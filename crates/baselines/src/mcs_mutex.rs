@@ -1,0 +1,191 @@
+//! The MCS queue mutex (Mellor-Crummey & Scott, 1991) — §4.1 of the
+//! paper, and the substrate FOLL/ROLL extend.
+//!
+//! Each waiting thread spins on a flag in its *own* queue node; the lock
+//! itself is a single tail pointer. Index-based nodes (one per thread
+//! slot) replace the paper's per-thread records.
+
+use oll_core::raw::{RwHandle, RwLockFamily};
+use oll_util::backoff::{spin_until, BackoffPolicy};
+use oll_util::slots::{SlotError, SlotGuard, SlotRegistry};
+use oll_util::sync::{AtomicBool, AtomicU32, Ordering};
+use oll_util::CachePadded;
+
+const NIL: u32 = u32::MAX;
+
+struct Node {
+    next: AtomicU32,
+    spin: AtomicBool,
+}
+
+/// The MCS queue mutex.
+pub struct McsMutex {
+    tail: CachePadded<AtomicU32>,
+    nodes: Box<[CachePadded<Node>]>,
+    slots: SlotRegistry,
+    backoff: BackoffPolicy,
+}
+
+impl McsMutex {
+    /// Creates a mutex for at most `capacity` concurrent threads.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            tail: CachePadded::new(AtomicU32::new(NIL)),
+            nodes: (0..capacity)
+                .map(|_| {
+                    CachePadded::new(Node {
+                        next: AtomicU32::new(NIL),
+                        spin: AtomicBool::new(false),
+                    })
+                })
+                .collect(),
+            slots: SlotRegistry::new(capacity),
+            backoff: BackoffPolicy::default(),
+        }
+    }
+
+    /// Acquires the mutex on behalf of thread `slot`.
+    pub fn acquire(&self, slot: usize) {
+        let node = &self.nodes[slot];
+        node.next.store(NIL, Ordering::Relaxed);
+        let pred = self.tail.swap(slot as u32, Ordering::AcqRel);
+        if pred == NIL {
+            return;
+        }
+        node.spin.store(true, Ordering::Relaxed);
+        self.nodes[pred as usize]
+            .next
+            .store(slot as u32, Ordering::Release);
+        spin_until(self.backoff, || !node.spin.load(Ordering::Acquire));
+    }
+
+    /// Releases the mutex held by thread `slot`.
+    pub fn release(&self, slot: usize) {
+        let node = &self.nodes[slot];
+        if node.next.load(Ordering::Acquire) == NIL {
+            if self
+                .tail
+                .compare_exchange(slot as u32, NIL, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return;
+            }
+            spin_until(self.backoff, || node.next.load(Ordering::Acquire) != NIL);
+        }
+        let succ = node.next.load(Ordering::Acquire) as usize;
+        self.nodes[succ].spin.store(false, Ordering::Release);
+    }
+}
+
+impl RwLockFamily for McsMutex {
+    type Handle<'a> = McsMutexHandle<'a>;
+
+    fn handle(&self) -> Result<McsMutexHandle<'_>, SlotError> {
+        let slot = SlotGuard::claim(&self.slots)?;
+        Ok(McsMutexHandle { lock: self, slot })
+    }
+
+    fn capacity(&self) -> usize {
+        self.slots.capacity()
+    }
+
+    fn name(&self) -> &'static str {
+        "MCS-mutex"
+    }
+}
+
+/// Per-thread handle for [`McsMutex`]. Reads and writes are both
+/// exclusive — this adapter exists so the harness can show what treating a
+/// reader-writer workload as mutual exclusion costs.
+pub struct McsMutexHandle<'a> {
+    lock: &'a McsMutex,
+    slot: SlotGuard<'a>,
+}
+
+impl RwHandle for McsMutexHandle<'_> {
+    fn lock_read(&mut self) {
+        self.lock.acquire(self.slot.slot());
+    }
+
+    fn unlock_read(&mut self) {
+        self.lock.release(self.slot.slot());
+    }
+
+    fn lock_write(&mut self) {
+        self.lock.acquire(self.slot.slot());
+    }
+
+    fn unlock_write(&mut self) {
+        self.lock.release(self.slot.slot());
+    }
+
+    fn try_lock_read(&mut self) -> bool {
+        self.try_lock_write()
+    }
+
+    fn try_lock_write(&mut self) -> bool {
+        let slot = self.slot.slot();
+        let node = &self.lock.nodes[slot];
+        node.next.store(NIL, Ordering::Relaxed);
+        self.lock
+            .tail
+            .compare_exchange(NIL, slot as u32, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicI64, Ordering as O};
+    use std::sync::Arc;
+
+    #[test]
+    fn acquire_release_single() {
+        let m = McsMutex::new(2);
+        m.acquire(0);
+        m.release(0);
+        m.acquire(1);
+        m.release(1);
+        assert_eq!(m.tail.load(O::SeqCst), NIL);
+    }
+
+    #[test]
+    fn try_lock_respects_holder() {
+        let m = McsMutex::new(2);
+        let mut a = m.handle().unwrap();
+        let mut b = m.handle().unwrap();
+        assert!(a.try_lock_write());
+        assert!(!b.try_lock_write());
+        a.unlock_write();
+        assert!(b.try_lock_write());
+        b.unlock_write();
+    }
+
+    #[test]
+    fn counter_under_contention() {
+        const THREADS: usize = 6;
+        const ITERS: usize = 3_000;
+        let m = Arc::new(McsMutex::new(THREADS));
+        let counter = Arc::new(AtomicI64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..THREADS {
+            let m = Arc::clone(&m);
+            let counter = Arc::clone(&counter);
+            handles.push(std::thread::spawn(move || {
+                let mut h = m.handle().unwrap();
+                for _ in 0..ITERS {
+                    h.lock_write();
+                    assert_eq!(counter.fetch_add(1, O::SeqCst), 0);
+                    counter.fetch_sub(1, O::SeqCst);
+                    h.unlock_write();
+                }
+            }));
+        }
+        for t in handles {
+            t.join().unwrap();
+        }
+        assert_eq!(m.tail.load(O::SeqCst), NIL);
+    }
+}

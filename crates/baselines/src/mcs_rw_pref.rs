@@ -1,0 +1,526 @@
+//! The reader-preference and writer-preference MCS reader-writer locks
+//! (Mellor-Crummey & Scott, PPoPP'91 — reference \[11\] of the paper
+//! presents fair, reader-preference, and writer-preference versions; the
+//! fair one lives in [`crate::mcs_rw`]).
+//!
+//! Both variants use the same skeleton: writers serialize among
+//! themselves on an MCS queue (so writer hand-off is local spinning), and
+//! contend with readers through one central word that packs the reader
+//! count with a *writer-active* flag (and, for the writer-preference
+//! variant, a *writer-interested* flag):
+//!
+//! * **Reader preference** ([`McsRwReaderPref`]): readers only defer to
+//!   an *active* writer, never to queued ones — a steady reader stream
+//!   can starve writers (the same trade ROLL makes with queue structure
+//!   instead of a counter).
+//! * **Writer preference** ([`McsRwWriterPref`]): readers defer to active
+//!   *and interested* writers; a steady writer stream can starve readers.
+//!
+//! Like every centralized-counter lock, both make readers CAS a shared
+//! word on each acquire and release — the cost the paper's C-SNZI
+//! removes.
+
+use oll_core::raw::{RwHandle, RwLockFamily};
+use oll_util::backoff::{spin_until, Backoff, BackoffPolicy};
+use oll_util::slots::{SlotError, SlotGuard, SlotRegistry};
+use oll_util::sync::{AtomicBool, AtomicU32, AtomicU64, Ordering::SeqCst};
+use oll_util::CachePadded;
+
+const NIL: u32 = u32::MAX;
+
+/// Writer-active flag: a writer holds the lock.
+const WAFLAG: u64 = 0b01;
+/// Writer-interested flag (writer-preference only): a writer is queued.
+const WWFLAG: u64 = 0b10;
+/// One reader in the count.
+const RC_INCR: u64 = 0b100;
+
+struct WriterNode {
+    next: AtomicU32,
+    spin: AtomicBool,
+}
+
+/// Shared skeleton: central `count+flags` word plus an MCS queue that
+/// serializes writers.
+struct Core {
+    word: CachePadded<AtomicU64>,
+    writer_tail: CachePadded<AtomicU32>,
+    nodes: Box<[CachePadded<WriterNode>]>,
+    slots: SlotRegistry,
+    backoff: BackoffPolicy,
+}
+
+impl Core {
+    fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            word: CachePadded::new(AtomicU64::new(0)),
+            writer_tail: CachePadded::new(AtomicU32::new(NIL)),
+            nodes: (0..capacity)
+                .map(|_| {
+                    CachePadded::new(WriterNode {
+                        next: AtomicU32::new(NIL),
+                        spin: AtomicBool::new(false),
+                    })
+                })
+                .collect(),
+            slots: SlotRegistry::new(capacity),
+            backoff: BackoffPolicy::default(),
+        }
+    }
+
+    /// MCS-acquire the writer queue: on return, this thread is the sole
+    /// *candidate* writer (it still must claim `WAFLAG` against readers).
+    fn writer_queue_acquire(&self, me: usize) {
+        let node = &self.nodes[me];
+        node.next.store(NIL, SeqCst);
+        let pred = self.writer_tail.swap(me as u32, SeqCst);
+        if pred == NIL {
+            return;
+        }
+        node.spin.store(true, SeqCst);
+        self.nodes[pred as usize].next.store(me as u32, SeqCst);
+        spin_until(self.backoff, || !node.spin.load(SeqCst));
+    }
+
+    /// MCS-release the writer queue; returns `true` if a successor writer
+    /// was handed the candidacy.
+    fn writer_queue_release(&self, me: usize) -> bool {
+        let node = &self.nodes[me];
+        if node.next.load(SeqCst) == NIL {
+            if self
+                .writer_tail
+                .compare_exchange(me as u32, NIL, SeqCst, SeqCst)
+                .is_ok()
+            {
+                return false;
+            }
+            spin_until(self.backoff, || node.next.load(SeqCst) != NIL);
+        }
+        let succ = node.next.load(SeqCst) as usize;
+        self.nodes[succ].spin.store(false, SeqCst);
+        true
+    }
+
+    /// Reader entry: spin until none of `block_mask`'s flags are set,
+    /// then count in.
+    fn reader_enter(&self, block_mask: u64) {
+        let mut b = Backoff::with_policy(self.backoff);
+        loop {
+            let w = self.word.load(SeqCst);
+            if w & block_mask == 0
+                && self
+                    .word
+                    .compare_exchange(w, w + RC_INCR, SeqCst, SeqCst)
+                    .is_ok()
+            {
+                return;
+            }
+            b.backoff();
+        }
+    }
+
+    fn try_reader_enter(&self, block_mask: u64) -> bool {
+        let w = self.word.load(SeqCst);
+        w & block_mask == 0
+            && self
+                .word
+                .compare_exchange(w, w + RC_INCR, SeqCst, SeqCst)
+                .is_ok()
+    }
+
+    fn reader_exit(&self) {
+        let old = self.word.fetch_sub(RC_INCR, SeqCst);
+        debug_assert!(old >= RC_INCR, "unlock_read without read hold");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reader preference
+// ---------------------------------------------------------------------
+
+/// The reader-preference MCS reader-writer lock.
+pub struct McsRwReaderPref {
+    core: Core,
+}
+
+impl McsRwReaderPref {
+    /// Creates a lock for at most `capacity` concurrent threads.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            core: Core::new(capacity),
+        }
+    }
+}
+
+impl RwLockFamily for McsRwReaderPref {
+    type Handle<'a> = McsRwReaderPrefHandle<'a>;
+
+    fn handle(&self) -> Result<McsRwReaderPrefHandle<'_>, SlotError> {
+        let slot = SlotGuard::claim(&self.core.slots)?;
+        Ok(McsRwReaderPrefHandle { lock: self, slot })
+    }
+
+    fn capacity(&self) -> usize {
+        self.core.slots.capacity()
+    }
+
+    fn name(&self) -> &'static str {
+        "MCS-RW-rp"
+    }
+}
+
+/// Per-thread handle for [`McsRwReaderPref`].
+pub struct McsRwReaderPrefHandle<'a> {
+    lock: &'a McsRwReaderPref,
+    slot: SlotGuard<'a>,
+}
+
+impl RwHandle for McsRwReaderPrefHandle<'_> {
+    fn lock_read(&mut self) {
+        // Readers only wait out an *active* writer.
+        self.lock.core.reader_enter(WAFLAG);
+    }
+
+    fn unlock_read(&mut self) {
+        self.lock.core.reader_exit();
+    }
+
+    fn lock_write(&mut self) {
+        let core = &self.lock.core;
+        core.writer_queue_acquire(self.slot.slot());
+        // Sole candidate: wait for a moment with no readers, claim WAFLAG.
+        let mut b = Backoff::with_policy(core.backoff);
+        loop {
+            if core
+                .word
+                .compare_exchange(0, WAFLAG, SeqCst, SeqCst)
+                .is_ok()
+            {
+                return;
+            }
+            b.backoff();
+        }
+    }
+
+    fn unlock_write(&mut self) {
+        let core = &self.lock.core;
+        let old = core.word.fetch_sub(WAFLAG, SeqCst);
+        debug_assert!(old & WAFLAG != 0, "unlock_write without write hold");
+        core.writer_queue_release(self.slot.slot());
+    }
+
+    fn try_lock_read(&mut self) -> bool {
+        self.lock.core.try_reader_enter(WAFLAG)
+    }
+
+    fn try_lock_write(&mut self) -> bool {
+        let core = &self.lock.core;
+        let me = self.slot.slot();
+        // Non-blocking: claim queue candidacy only if the queue is empty,
+        // then the word only if it is fully free; otherwise roll back.
+        core.nodes[me].next.store(NIL, SeqCst);
+        if core
+            .writer_tail
+            .compare_exchange(NIL, me as u32, SeqCst, SeqCst)
+            .is_err()
+        {
+            return false;
+        }
+        if core
+            .word
+            .compare_exchange(0, WAFLAG, SeqCst, SeqCst)
+            .is_ok()
+        {
+            true
+        } else {
+            core.writer_queue_release(me);
+            false
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Writer preference
+// ---------------------------------------------------------------------
+
+/// The writer-preference MCS reader-writer lock.
+pub struct McsRwWriterPref {
+    core: Core,
+}
+
+impl McsRwWriterPref {
+    /// Creates a lock for at most `capacity` concurrent threads.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            core: Core::new(capacity),
+        }
+    }
+}
+
+impl RwLockFamily for McsRwWriterPref {
+    type Handle<'a> = McsRwWriterPrefHandle<'a>;
+
+    fn handle(&self) -> Result<McsRwWriterPrefHandle<'_>, SlotError> {
+        let slot = SlotGuard::claim(&self.core.slots)?;
+        Ok(McsRwWriterPrefHandle { lock: self, slot })
+    }
+
+    fn capacity(&self) -> usize {
+        self.core.slots.capacity()
+    }
+
+    fn name(&self) -> &'static str {
+        "MCS-RW-wp"
+    }
+}
+
+/// Per-thread handle for [`McsRwWriterPref`].
+pub struct McsRwWriterPrefHandle<'a> {
+    lock: &'a McsRwWriterPref,
+    slot: SlotGuard<'a>,
+}
+
+impl RwHandle for McsRwWriterPrefHandle<'_> {
+    fn lock_read(&mut self) {
+        // Readers defer to active *and* interested writers.
+        self.lock.core.reader_enter(WAFLAG | WWFLAG);
+    }
+
+    fn unlock_read(&mut self) {
+        self.lock.core.reader_exit();
+    }
+
+    fn lock_write(&mut self) {
+        let core = &self.lock.core;
+        core.writer_queue_acquire(self.slot.slot());
+        // Sole candidate: announce interest (blocks new readers), wait for
+        // existing readers to drain, then convert interest to activity.
+        let mut b = Backoff::with_policy(core.backoff);
+        loop {
+            let w = core.word.load(SeqCst);
+            if w & WWFLAG == 0 {
+                // (Re-)assert interest; a predecessor's release may have
+                // cleared it.
+                core.word.fetch_or(WWFLAG, SeqCst);
+                continue;
+            }
+            if w & WAFLAG == 0 && w / RC_INCR == 0 {
+                if core
+                    .word
+                    .compare_exchange(w, WAFLAG | WWFLAG, SeqCst, SeqCst)
+                    .is_ok()
+                {
+                    return;
+                }
+            }
+            b.backoff();
+        }
+    }
+
+    fn unlock_write(&mut self) {
+        let core = &self.lock.core;
+        let me = self.slot.slot();
+        let node = &core.nodes[me];
+        // Peek for a successor *before* touching the word: if one exists,
+        // keep WWFLAG up across the hand-off so readers stay blocked
+        // (strict writer preference).
+        let has_succ = node.next.load(SeqCst) != NIL
+            || core
+                .writer_tail
+                .compare_exchange(me as u32, me as u32, SeqCst, SeqCst)
+                .is_err();
+        if has_succ {
+            core.word.fetch_and(!WAFLAG, SeqCst);
+        } else {
+            core.word.fetch_and(!(WAFLAG | WWFLAG), SeqCst);
+        }
+        core.writer_queue_release(me);
+    }
+
+    fn try_lock_read(&mut self) -> bool {
+        self.lock.core.try_reader_enter(WAFLAG | WWFLAG)
+    }
+
+    fn try_lock_write(&mut self) -> bool {
+        let core = &self.lock.core;
+        let me = self.slot.slot();
+        core.nodes[me].next.store(NIL, SeqCst);
+        if core
+            .writer_tail
+            .compare_exchange(NIL, me as u32, SeqCst, SeqCst)
+            .is_err()
+        {
+            return false;
+        }
+        if core
+            .word
+            .compare_exchange(0, WAFLAG | WWFLAG, SeqCst, SeqCst)
+            .is_ok()
+        {
+            true
+        } else {
+            // Roll back: clear any interest we implied and leave the queue.
+            self.unlock_try_rollback();
+            false
+        }
+    }
+}
+
+impl McsRwWriterPrefHandle<'_> {
+    fn unlock_try_rollback(&mut self) {
+        let core = &self.lock.core;
+        let me = self.slot.slot();
+        if !core.writer_queue_release(me) {
+            // No successor: nothing else to clean (we never set flags).
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicI64, Ordering as O};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn round_trip<L: RwLockFamily>(lock: L) {
+        let mut h = lock.handle().unwrap();
+        h.lock_read();
+        h.unlock_read();
+        h.lock_write();
+        h.unlock_write();
+        h.lock_read();
+        h.unlock_read();
+    }
+
+    #[test]
+    fn both_variants_round_trip() {
+        round_trip(McsRwReaderPref::new(2));
+        round_trip(McsRwWriterPref::new(2));
+    }
+
+    #[test]
+    fn readers_share_in_both() {
+        fn check<L: RwLockFamily>(lock: L) {
+            let mut a = lock.handle().unwrap();
+            let mut b = lock.handle().unwrap();
+            a.lock_read();
+            assert!(b.try_lock_read(), "{}", lock.name());
+            b.unlock_read();
+            a.unlock_read();
+        }
+        check(McsRwReaderPref::new(2));
+        check(McsRwWriterPref::new(2));
+    }
+
+    #[test]
+    fn writer_excludes_in_both() {
+        fn check<L: RwLockFamily>(lock: L) {
+            let mut a = lock.handle().unwrap();
+            let mut b = lock.handle().unwrap();
+            a.lock_write();
+            assert!(!b.try_lock_read(), "{}", lock.name());
+            assert!(!b.try_lock_write(), "{}", lock.name());
+            a.unlock_write();
+        }
+        check(McsRwReaderPref::new(2));
+        check(McsRwWriterPref::new(2));
+    }
+
+    #[test]
+    fn reader_pref_readers_pass_waiting_writers() {
+        // A reader holds; a writer queues (candidate, cannot claim).
+        // A second reader must still get in immediately — that is the
+        // preference.
+        let lock = Arc::new(McsRwReaderPref::new(3));
+        let mut r1 = lock.handle().unwrap();
+        r1.lock_read();
+        let l2 = Arc::clone(&lock);
+        let done = Arc::new(AtomicI64::new(0));
+        let d2 = Arc::clone(&done);
+        let w = std::thread::spawn(move || {
+            let mut h = l2.handle().unwrap();
+            h.lock_write();
+            d2.store(1, O::SeqCst);
+            h.unlock_write();
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(done.load(O::SeqCst), 0, "writer must still be waiting");
+        let mut r2 = lock.handle().unwrap();
+        assert!(
+            r2.try_lock_read(),
+            "reader preference: new reader enters past the waiting writer"
+        );
+        r2.unlock_read();
+        r1.unlock_read();
+        w.join().unwrap();
+    }
+
+    #[test]
+    fn writer_pref_blocks_new_readers_while_writer_waits() {
+        let lock = Arc::new(McsRwWriterPref::new(3));
+        let mut r1 = lock.handle().unwrap();
+        r1.lock_read();
+        let l2 = Arc::clone(&lock);
+        let done = Arc::new(AtomicI64::new(0));
+        let d2 = Arc::clone(&done);
+        let w = std::thread::spawn(move || {
+            let mut h = l2.handle().unwrap();
+            h.lock_write();
+            d2.store(1, O::SeqCst);
+            h.unlock_write();
+        });
+        // Wait until the writer has announced interest.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while lock.core.word.load(SeqCst) & WWFLAG == 0 {
+            assert!(std::time::Instant::now() < deadline);
+            std::thread::yield_now();
+        }
+        let mut r2 = lock.handle().unwrap();
+        assert!(
+            !r2.try_lock_read(),
+            "writer preference: new readers blocked while a writer waits"
+        );
+        r1.unlock_read();
+        w.join().unwrap();
+        assert!(r2.try_lock_read(), "free after writer completed");
+        r2.unlock_read();
+    }
+
+    #[test]
+    fn exclusion_stress_both() {
+        fn stress<L: RwLockFamily + 'static>(lock: L) {
+            const THREADS: usize = 5;
+            let lock = Arc::new(lock);
+            let state = Arc::new(AtomicI64::new(0));
+            let mut handles = Vec::new();
+            for tid in 0..THREADS {
+                let lock = Arc::clone(&lock);
+                let state = Arc::clone(&state);
+                handles.push(std::thread::spawn(move || {
+                    let mut h = lock.handle().unwrap();
+                    let mut rng = oll_util::XorShift64::for_thread(91, tid);
+                    for _ in 0..1_200 {
+                        if rng.percent(70) {
+                            h.lock_read();
+                            assert!(state.fetch_add(1, O::SeqCst) >= 0);
+                            state.fetch_sub(1, O::SeqCst);
+                            h.unlock_read();
+                        } else {
+                            h.lock_write();
+                            assert_eq!(state.swap(-1, O::SeqCst), 0);
+                            state.store(0, O::SeqCst);
+                            h.unlock_write();
+                        }
+                    }
+                }));
+            }
+            for t in handles {
+                t.join().unwrap();
+            }
+        }
+        stress(McsRwReaderPref::new(5));
+        stress(McsRwWriterPref::new(5));
+    }
+}

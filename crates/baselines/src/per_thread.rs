@@ -1,0 +1,200 @@
+//! The Hsieh–Weihl static per-thread-mutex reader-writer lock (IPPS'92) —
+//! reference \[7\] of the paper.
+//!
+//! Each thread slot owns a private mutex. A reader acquires *its own*
+//! mutex only — perfectly scalable reads with zero shared writes — while a
+//! writer must acquire *all* of them in slot order. The paper's verdict
+//! (§1): "this technique provides scalability for read-only workloads, \[but\]
+//! it is feasible only for low numbers of threads as the burden placed on
+//! writers becomes excessive at large thread counts." The Figure 5 harness
+//! shows exactly that trade: flat, fast reads; writer cost linear in
+//! capacity.
+
+use oll_core::raw::{RwHandle, RwLockFamily};
+use oll_util::backoff::{Backoff, BackoffPolicy};
+use oll_util::slots::{SlotError, SlotGuard, SlotRegistry};
+use oll_util::sync::{AtomicBool, Ordering};
+use oll_util::CachePadded;
+
+/// The per-thread-mutex reader-writer lock.
+pub struct PerThreadRwLock {
+    mutexes: Box<[CachePadded<AtomicBool>]>,
+    slots: SlotRegistry,
+    backoff: BackoffPolicy,
+}
+
+impl PerThreadRwLock {
+    /// Creates a lock for at most `capacity` concurrent threads.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            mutexes: (0..capacity)
+                .map(|_| CachePadded::new(AtomicBool::new(false)))
+                .collect(),
+            slots: SlotRegistry::new(capacity),
+            backoff: BackoffPolicy::default(),
+        }
+    }
+
+    fn acquire(&self, i: usize) {
+        let mut b = Backoff::with_policy(self.backoff);
+        while !self.try_acquire(i) {
+            while self.mutexes[i].load(Ordering::Relaxed) {
+                b.relax();
+            }
+        }
+    }
+
+    fn try_acquire(&self, i: usize) -> bool {
+        self.mutexes[i]
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    fn release(&self, i: usize) {
+        self.mutexes[i].store(false, Ordering::Release);
+    }
+}
+
+impl RwLockFamily for PerThreadRwLock {
+    type Handle<'a> = PerThreadHandle<'a>;
+
+    fn handle(&self) -> Result<PerThreadHandle<'_>, SlotError> {
+        let slot = SlotGuard::claim(&self.slots)?;
+        Ok(PerThreadHandle { lock: self, slot })
+    }
+
+    fn capacity(&self) -> usize {
+        self.slots.capacity()
+    }
+
+    fn name(&self) -> &'static str {
+        "Per-thread"
+    }
+}
+
+/// Per-thread handle for [`PerThreadRwLock`].
+pub struct PerThreadHandle<'a> {
+    lock: &'a PerThreadRwLock,
+    slot: SlotGuard<'a>,
+}
+
+impl RwHandle for PerThreadHandle<'_> {
+    fn lock_read(&mut self) {
+        self.lock.acquire(self.slot.slot());
+    }
+
+    fn unlock_read(&mut self) {
+        self.lock.release(self.slot.slot());
+    }
+
+    fn lock_write(&mut self) {
+        // Fixed ascending order makes concurrent writers deadlock-free.
+        for i in 0..self.lock.mutexes.len() {
+            self.lock.acquire(i);
+        }
+    }
+
+    fn unlock_write(&mut self) {
+        for i in (0..self.lock.mutexes.len()).rev() {
+            self.lock.release(i);
+        }
+    }
+
+    fn try_lock_read(&mut self) -> bool {
+        self.lock.try_acquire(self.slot.slot())
+    }
+
+    fn try_lock_write(&mut self) -> bool {
+        for i in 0..self.lock.mutexes.len() {
+            if !self.lock.try_acquire(i) {
+                for j in (0..i).rev() {
+                    self.lock.release(j);
+                }
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicI64, Ordering as O};
+    use std::sync::Arc;
+
+    #[test]
+    fn reader_only_touches_its_own_mutex() {
+        let lock = PerThreadRwLock::new(4);
+        let mut h = lock.handle().unwrap();
+        let me = 0; // first claimed slot
+        h.lock_read();
+        assert!(lock.mutexes[me].load(O::SeqCst));
+        assert!(!lock.mutexes[1].load(O::SeqCst));
+        h.unlock_read();
+        assert!(!lock.mutexes[me].load(O::SeqCst));
+    }
+
+    #[test]
+    fn writer_takes_everything() {
+        let lock = PerThreadRwLock::new(3);
+        let mut w = lock.handle().unwrap();
+        w.lock_write();
+        for m in lock.mutexes.iter() {
+            assert!(m.load(O::SeqCst));
+        }
+        let mut r = lock.handle().unwrap();
+        assert!(!r.try_lock_read());
+        w.unlock_write();
+        assert!(r.try_lock_read());
+        r.unlock_read();
+    }
+
+    #[test]
+    fn try_write_rolls_back() {
+        let lock = PerThreadRwLock::new(3);
+        let mut r = lock.handle().unwrap();
+        let mut w = lock.handle().unwrap();
+        r.lock_read();
+        assert!(!w.try_lock_write());
+        // All other mutexes must have been released on failure.
+        let held: usize = lock.mutexes.iter().filter(|m| m.load(O::SeqCst)).count();
+        assert_eq!(held, 1); // only the reader's own
+        r.unlock_read();
+        assert!(w.try_lock_write());
+        w.unlock_write();
+    }
+
+    #[test]
+    fn exclusion_stress() {
+        const THREADS: usize = 6;
+        let lock = Arc::new(PerThreadRwLock::new(THREADS));
+        let state = Arc::new(AtomicI64::new(0));
+        let mut handles = Vec::new();
+        for tid in 0..THREADS {
+            let lock = Arc::clone(&lock);
+            let state = Arc::clone(&state);
+            handles.push(std::thread::spawn(move || {
+                let mut h = lock.handle().unwrap();
+                let mut rng = oll_util::XorShift64::for_thread(61, tid);
+                for _ in 0..1_000 {
+                    if rng.percent(70) {
+                        h.lock_read();
+                        assert!(state.fetch_add(1, O::SeqCst) >= 0);
+                        state.fetch_sub(1, O::SeqCst);
+                        h.unlock_read();
+                    } else {
+                        h.lock_write();
+                        assert_eq!(state.swap(-1, O::SeqCst), 0);
+                        state.store(0, O::SeqCst);
+                        h.unlock_write();
+                    }
+                }
+            }));
+        }
+        for t in handles {
+            t.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! `std::sync::RwLock` behind the workspace lock interface — a sanity
+//! baseline: whatever the platform's general-purpose lock does, the
+//! harness can compare it on the same workloads.
+
+use oll_core::raw::{RwHandle, RwLockFamily};
+use oll_util::slots::{SlotError, SlotGuard, SlotRegistry};
+use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Adapter exposing `std::sync::RwLock<()>` as an [`RwLockFamily`].
+pub struct StdRwLock {
+    inner: RwLock<()>,
+    slots: SlotRegistry,
+}
+
+impl StdRwLock {
+    /// Creates an adapter with `capacity` thread slots (for parity with
+    /// the other locks; std itself has no capacity limit).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: RwLock::new(()),
+            slots: SlotRegistry::new(capacity.max(1)),
+        }
+    }
+}
+
+impl RwLockFamily for StdRwLock {
+    type Handle<'a> = StdRwHandle<'a>;
+
+    fn handle(&self) -> Result<StdRwHandle<'_>, SlotError> {
+        let slot = SlotGuard::claim(&self.slots)?;
+        Ok(StdRwHandle {
+            lock: self,
+            _slot: slot,
+            read_guard: None,
+            write_guard: None,
+        })
+    }
+
+    fn capacity(&self) -> usize {
+        self.slots.capacity()
+    }
+
+    fn name(&self) -> &'static str {
+        "std::sync::RwLock"
+    }
+}
+
+/// Per-thread handle for [`StdRwLock`]; stores the live std guard between
+/// lock and unlock.
+pub struct StdRwHandle<'a> {
+    lock: &'a StdRwLock,
+    _slot: SlotGuard<'a>,
+    read_guard: Option<RwLockReadGuard<'a, ()>>,
+    write_guard: Option<RwLockWriteGuard<'a, ()>>,
+}
+
+impl RwHandle for StdRwHandle<'_> {
+    fn lock_read(&mut self) {
+        debug_assert!(self.read_guard.is_none() && self.write_guard.is_none());
+        self.read_guard = Some(self.lock.inner.read().expect("std lock poisoned"));
+    }
+
+    fn unlock_read(&mut self) {
+        drop(
+            self.read_guard
+                .take()
+                .expect("unlock_read without read hold"),
+        );
+    }
+
+    fn lock_write(&mut self) {
+        debug_assert!(self.read_guard.is_none() && self.write_guard.is_none());
+        self.write_guard = Some(self.lock.inner.write().expect("std lock poisoned"));
+    }
+
+    fn unlock_write(&mut self) {
+        drop(
+            self.write_guard
+                .take()
+                .expect("unlock_write without write hold"),
+        );
+    }
+
+    fn try_lock_read(&mut self) -> bool {
+        match self.lock.inner.try_read() {
+            Ok(g) => {
+                self.read_guard = Some(g);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn try_lock_write(&mut self) -> bool {
+        match self.lock.inner.try_write() {
+            Ok(g) => {
+                self.write_guard = Some(g);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let lock = StdRwLock::new(2);
+        let mut h = lock.handle().unwrap();
+        h.lock_read();
+        h.unlock_read();
+        h.lock_write();
+        h.unlock_write();
+    }
+
+    #[test]
+    fn try_paths() {
+        let lock = StdRwLock::new(2);
+        let mut a = lock.handle().unwrap();
+        let mut b = lock.handle().unwrap();
+        assert!(a.try_lock_write());
+        assert!(!b.try_lock_read());
+        a.unlock_write();
+        assert!(b.try_lock_read());
+        assert!(!a.try_lock_write());
+        b.unlock_read();
+    }
+
+    #[test]
+    #[should_panic(expected = "unlock_read without read hold")]
+    fn unbalanced_unlock_panics() {
+        let lock = StdRwLock::new(1);
+        let mut h = lock.handle().unwrap();
+        h.unlock_read();
+    }
+}

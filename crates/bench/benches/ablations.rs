@@ -1,0 +1,307 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out.
+//!
+//! * `ablation_csnzi_vs_counter` — the mechanism behind the whole paper:
+//!   C-SNZI arrive/depart vs. a centralized atomic counter, single-thread
+//!   overhead and multi-thread shared-write traffic (§2.2).
+//! * `ablation_tree_shape` — root-only vs. flat vs. two-level trees
+//!   (§2.2's node-choice discussion).
+//! * `ablation_arrival_policy` — direct-vs-tree arrival thresholds
+//!   (§5.1's dual-counter heuristic).
+//! * `ablation_node_pool` — FOLL reader-node allocate/free (§4.2.1).
+//! * `ablation_roll_hint` — ROLL with and without the cached
+//!   last-reader-node pointer (§4.3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oll_core::{FairnessPolicy, FollLock, GollLock, RollLock, RwHandle, RwLockFamily};
+use oll_csnzi::{ArrivalPolicy, CSnzi, Snzi, TreeShape};
+use oll_util::sync::{AtomicU64, Ordering};
+use oll_workloads::config::WorkloadConfig;
+use oll_workloads::runner::run_throughput;
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+const THREADS: usize = 4;
+
+fn short<'c>(
+    c: &'c mut Criterion,
+    name: &str,
+) -> criterion::BenchmarkGroup<'c, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group(name);
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    g
+}
+
+/// Runs `per_thread_op` on `THREADS` threads, `iters` times total, and
+/// returns the wall time for all threads to finish.
+fn parallel_time(iters: u64, per_thread_op: impl Fn(usize, u64) + Sync) -> Duration {
+    let per_thread = (iters as usize / THREADS).max(1) as u64;
+    let barrier = Barrier::new(THREADS);
+    let spans: std::sync::Mutex<Vec<(Instant, Instant)>> = std::sync::Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for tid in 0..THREADS {
+            let barrier = &barrier;
+            let spans = &spans;
+            let op = &per_thread_op;
+            scope.spawn(move || {
+                barrier.wait();
+                let start = Instant::now();
+                op(tid, per_thread);
+                let end = Instant::now();
+                spans.lock().unwrap().push((start, end));
+            });
+        }
+    });
+    let spans = spans.into_inner().unwrap();
+    let s = spans.iter().map(|x| x.0).min().unwrap();
+    let e = spans.iter().map(|x| x.1).max().unwrap();
+    e.duration_since(s)
+}
+
+fn ablation_csnzi_vs_counter(c: &mut Criterion) {
+    let mut g = short(c, "ablation_csnzi_vs_counter");
+
+    // Single-thread overhead: the cost a reader pays when there is no
+    // contention (the paper keeps this small by arriving at the root).
+    g.bench_function("counter/1thread", |b| {
+        let counter = AtomicU64::new(0);
+        b.iter(|| {
+            counter.fetch_add(1, Ordering::AcqRel);
+            counter.fetch_sub(1, Ordering::AcqRel);
+        });
+    });
+    g.bench_function("csnzi_direct/1thread", |b| {
+        let c = CSnzi::new(TreeShape::flat(THREADS));
+        b.iter(|| {
+            let t = c.arrive_direct();
+            c.depart(t);
+        });
+    });
+    g.bench_function("csnzi_tree/1thread", |b| {
+        let c = CSnzi::new(TreeShape::flat(THREADS));
+        b.iter(|| {
+            let t = c.arrive_tree(0);
+            c.depart(t);
+        });
+    });
+    g.bench_function("snzi/1thread", |b| {
+        let s = Snzi::new(TreeShape::flat(THREADS));
+        let mut p = ArrivalPolicy::default();
+        b.iter(|| {
+            let t = s.arrive(&mut p, 0);
+            s.depart(t);
+        });
+    });
+
+    // Multi-thread traffic: every counter op hits one cache line; tree
+    // arrivals at distinct leaves do not (§2.2).
+    g.bench_function(
+        BenchmarkId::new("counter", format!("{THREADS}threads")),
+        |b| {
+            b.iter_custom(|iters| {
+                let counter = AtomicU64::new(0);
+                parallel_time(iters, |_tid, n| {
+                    for _ in 0..n {
+                        counter.fetch_add(1, Ordering::AcqRel);
+                        counter.fetch_sub(1, Ordering::AcqRel);
+                    }
+                })
+            });
+        },
+    );
+    g.bench_function(
+        BenchmarkId::new("csnzi_tree", format!("{THREADS}threads")),
+        |b| {
+            b.iter_custom(|iters| {
+                let c = CSnzi::new(TreeShape::flat(THREADS));
+                parallel_time(iters, |tid, n| {
+                    for _ in 0..n {
+                        let t = c.arrive_tree(tid);
+                        c.depart(t);
+                    }
+                })
+            });
+        },
+    );
+    g.finish();
+}
+
+fn ablation_tree_shape(c: &mut Criterion) {
+    let mut g = short(c, "ablation_tree_shape");
+    let shapes: [(&str, TreeShape); 4] = [
+        ("root_only", TreeShape::ROOT_ONLY),
+        ("flat4", TreeShape::flat(4)),
+        ("flat16", TreeShape::flat(16)),
+        (
+            "fanout4_depth2",
+            TreeShape {
+                fanout: 4,
+                depth: 2,
+            },
+        ),
+    ];
+    for (name, shape) in shapes {
+        g.bench_function(BenchmarkId::new("arrive_depart", name), |b| {
+            b.iter_custom(|iters| {
+                let cs = CSnzi::new(shape);
+                parallel_time(iters, |tid, n| {
+                    let mut p = ArrivalPolicy::always_tree();
+                    for _ in 0..n {
+                        let t = cs.arrive(&mut p, tid);
+                        cs.depart(t);
+                    }
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+fn ablation_arrival_policy(c: &mut Criterion) {
+    let mut g = short(c, "ablation_arrival_policy");
+    for (name, threshold) in [
+        ("always_direct", u32::MAX),
+        ("default", 2),
+        ("always_tree", 0),
+    ] {
+        g.bench_function(BenchmarkId::new("threshold", name), |b| {
+            b.iter_custom(|iters| {
+                let cs = CSnzi::new(TreeShape::flat(THREADS));
+                parallel_time(iters, |tid, n| {
+                    let mut p = ArrivalPolicy::new(threshold);
+                    for _ in 0..n {
+                        let t = cs.arrive(&mut p, tid);
+                        cs.depart(t);
+                    }
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+fn ablation_node_pool(c: &mut Criterion) {
+    let mut g = short(c, "ablation_node_pool");
+    // The pool cost shows up on read↔write alternation (each write forces
+    // the reader node to be recycled); pure reads reuse a node forever.
+    for (name, read_pct) in [("read_only", 100u32), ("alternating", 50)] {
+        g.bench_function(BenchmarkId::new("foll_mix", name), |b| {
+            b.iter_custom(|iters| {
+                let config = WorkloadConfig {
+                    threads: THREADS,
+                    read_pct,
+                    acquisitions_per_thread: (iters as usize / THREADS).max(1),
+                    critical_work: 0,
+                    outside_work: 0,
+                    seed: 9,
+                    runs: 1,
+                    verify: false,
+                };
+                let r = run_throughput(oll_workloads::LockKind::Foll, &config);
+                let done = config.total_acquisitions() as f64;
+                r.elapsed.mul_f64(iters as f64 / done)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn ablation_roll_hint(c: &mut Criterion) {
+    let mut g = short(c, "ablation_roll_hint");
+    for (name, hint) in [("with_hint", true), ("without_hint", false)] {
+        g.bench_function(BenchmarkId::new("read95", name), |b| {
+            b.iter_custom(|iters| {
+                let lock = RollLock::builder(THREADS).last_reader_hint(hint).build();
+                let per_thread = (iters as usize / THREADS).max(1);
+                parallel_time(iters, |tid, _n| {
+                    let mut h = lock.handle().unwrap();
+                    let mut rng = oll_util::XorShift64::for_thread(17, tid);
+                    for _ in 0..per_thread {
+                        if rng.percent(95) {
+                            h.lock_read();
+                            h.unlock_read();
+                        } else {
+                            h.lock_write();
+                            h.unlock_write();
+                        }
+                    }
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+fn ablation_goll_policy(c: &mut Criterion) {
+    // §3: the queue mutex makes GOLL's fairness policy pluggable. Measure
+    // what each policy costs on a mixed workload.
+    let mut g = short(c, "ablation_goll_policy");
+    for (name, policy) in [
+        ("fifo", FairnessPolicy::Fifo),
+        ("alternating", FairnessPolicy::Alternating),
+        ("reader_pref", FairnessPolicy::ReaderPreference),
+        ("writer_pref", FairnessPolicy::WriterPreference),
+    ] {
+        g.bench_function(BenchmarkId::new("read90", name), |b| {
+            b.iter_custom(|iters| {
+                let lock = GollLock::builder(THREADS).fairness(policy).build();
+                let per_thread = (iters as usize / THREADS).max(1);
+                parallel_time(iters, |tid, _n| {
+                    let mut h = lock.handle().unwrap();
+                    let mut rng = oll_util::XorShift64::for_thread(23, tid);
+                    for _ in 0..per_thread {
+                        if rng.percent(90) {
+                            h.lock_read();
+                            h.unlock_read();
+                        } else {
+                            h.lock_write();
+                            h.unlock_write();
+                        }
+                    }
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+fn ablation_lazy_tree(c: &mut Criterion) {
+    // §2.2: lazy tree allocation trades first-contact latency for
+    // footprint. Measure steady-state read cost with each mode.
+    let mut g = short(c, "ablation_lazy_tree");
+    for (name, lazy) in [("eager", false), ("lazy", true)] {
+        g.bench_function(BenchmarkId::new("foll_read", name), |b| {
+            b.iter_custom(|iters| {
+                let lock = FollLock::builder(THREADS).lazy_tree(lazy).build();
+                let per_thread = (iters as usize / THREADS).max(1);
+                parallel_time(iters, |_tid, _n| {
+                    let mut h = lock.handle().unwrap();
+                    for _ in 0..per_thread {
+                        h.lock_read();
+                        h.unlock_read();
+                    }
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Plot generation dominates wall time on small machines; see fig5.rs.
+fn plain() -> Criterion {
+    Criterion::default().without_plots()
+}
+
+criterion_group! {
+    name = ablations;
+    config = plain();
+    targets = ablation_csnzi_vs_counter,
+        ablation_tree_shape,
+        ablation_arrival_policy,
+        ablation_node_pool,
+        ablation_roll_hint,
+        ablation_goll_policy,
+        ablation_lazy_tree
+}
+criterion_main!(ablations);

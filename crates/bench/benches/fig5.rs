@@ -1,0 +1,110 @@
+//! Criterion benchmarks regenerating every panel of Figure 5.
+//!
+//! Each benchmark group is one panel (a read/write mix); each benchmark
+//! within it is one `lock × thread-count` point of the paper's series.
+//! The measured quantity is the wall time for all threads to complete
+//! their acquisitions, just as in §5.1 — Criterion's `iter_custom` hands
+//! the total iteration count to the same runner the `fig5` binary uses,
+//! so throughput (acquires/s) is `iters / time`.
+//!
+//! Thread counts are scaled to the host (the paper swept 1..=256 on a
+//! 256-hardware-thread T5440; see EXPERIMENTS.md for the mapping).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use oll_workloads::config::{Fig5Panel, LockKind, WorkloadConfig};
+use oll_workloads::runner::run_throughput;
+use std::time::Duration;
+
+fn thread_counts() -> Vec<usize> {
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // One point below, at, and above the hardware parallelism, so the
+    // oversubscription knee is visible on any host.
+    let mut v = vec![1, 2, 4];
+    for t in [hw, hw * 2] {
+        if !v.contains(&t) {
+            v.push(t);
+        }
+    }
+    v.sort_unstable();
+    v
+}
+
+fn bench_panel(c: &mut Criterion, panel: Fig5Panel) {
+    let mut group = c.benchmark_group(format!(
+        "fig5{}",
+        match panel {
+            Fig5Panel::A => "a_read100",
+            Fig5Panel::B => "b_read99",
+            Fig5Panel::C => "c_read95",
+            Fig5Panel::D => "d_read80",
+            Fig5Panel::E => "e_read50",
+            Fig5Panel::F => "f_read0",
+        }
+    ));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+
+    for kind in LockKind::FIGURE5 {
+        for threads in thread_counts() {
+            group.throughput(Throughput::Elements(1));
+            group.bench_with_input(
+                BenchmarkId::new(kind.name().replace(' ', "-"), threads),
+                &threads,
+                |b, &threads| {
+                    b.iter_custom(|iters| {
+                        let config = WorkloadConfig {
+                            threads,
+                            read_pct: panel.read_pct(),
+                            acquisitions_per_thread: (iters as usize / threads).max(1),
+                            critical_work: 0,
+                            outside_work: 0,
+                            seed: 0x5EED_2009,
+                            runs: 1,
+                            verify: false,
+                        };
+                        let r = run_throughput(kind, &config);
+                        // Scale the measured time to the requested iters so
+                        // Criterion's per-element math stays exact.
+                        let done = config.total_acquisitions() as f64;
+                        r.elapsed.mul_f64(iters as f64 / done)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn fig5a(c: &mut Criterion) {
+    bench_panel(c, Fig5Panel::A);
+}
+fn fig5b(c: &mut Criterion) {
+    bench_panel(c, Fig5Panel::B);
+}
+fn fig5c(c: &mut Criterion) {
+    bench_panel(c, Fig5Panel::C);
+}
+fn fig5d(c: &mut Criterion) {
+    bench_panel(c, Fig5Panel::D);
+}
+fn fig5e(c: &mut Criterion) {
+    bench_panel(c, Fig5Panel::E);
+}
+fn fig5f(c: &mut Criterion) {
+    bench_panel(c, Fig5Panel::F);
+}
+
+/// Plot generation dominates wall time on small machines and adds nothing
+/// to the recorded numbers; keep the default configuration plot-free.
+fn plain() -> Criterion {
+    Criterion::default().without_plots()
+}
+
+criterion_group! {
+    name = fig5;
+    config = plain();
+    targets = fig5a, fig5b, fig5c, fig5d, fig5e, fig5f
+}
+criterion_main!(fig5);

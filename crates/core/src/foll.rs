@@ -1,0 +1,829 @@
+//! The **FOLL** lock (§4.2, Figure 4 of the paper): a FIFO distributed
+//! queue reader-writer lock extending the MCS mutex.
+//!
+//! Writers queue exactly as in the MCS mutex. Successive readers, however,
+//! *share a single queue node* by arriving at that node's C-SNZI — so a
+//! read-only workload never writes the tail pointer after the first
+//! reader, eliminating the central point of contention that limits the
+//! MCS-RW and KSUH locks.
+//!
+//! Reader nodes outlive individual acquisitions (many readers may still be
+//! inside when the enqueuer leaves), so they are pool-allocated from a
+//! ring of `capacity` nodes with a `FREE`/`IN_USE` flag (§4.2.1 proves one
+//! node per thread suffices). We use indices into per-lock arrays instead
+//! of raw pointers; besides being safe Rust, index+generation-free reuse
+//! is exactly the ring discipline the paper's recycling argument assumes.
+
+use crate::raw::{RwHandle, RwLockFamily};
+use oll_csnzi::{ArrivalPolicy, CSnzi, Ticket, TreeShape};
+use oll_util::backoff::{spin_until, Backoff, BackoffPolicy};
+use oll_util::slots::{SlotError, SlotGuard, SlotRegistry};
+use oll_util::sync::{AtomicBool, AtomicU32, Ordering};
+use oll_util::CachePadded;
+
+/// A packed reference to a queue node: `0` is null; otherwise bit 0 is the
+/// node kind (1 = reader) and the remaining bits are `index + 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct NodeRef(u32);
+
+impl NodeRef {
+    pub(crate) const NIL: Self = Self(0);
+
+    pub(crate) fn reader(idx: usize) -> Self {
+        Self((((idx as u32) + 1) << 1) | 1)
+    }
+
+    pub(crate) fn writer(idx: usize) -> Self {
+        Self(((idx as u32) + 1) << 1)
+    }
+
+    pub(crate) fn is_nil(self) -> bool {
+        self.0 == 0
+    }
+
+    pub(crate) fn is_reader(self) -> bool {
+        !self.is_nil() && (self.0 & 1) == 1
+    }
+
+    pub(crate) fn index(self) -> usize {
+        debug_assert!(!self.is_nil());
+        ((self.0 >> 1) - 1) as usize
+    }
+
+    pub(crate) fn raw(self) -> u32 {
+        self.0
+    }
+
+    pub(crate) fn from_raw(raw: u32) -> Self {
+        Self(raw)
+    }
+}
+
+/// A writer's queue node: the MCS node (`qNext`, `spin`).
+pub(crate) struct WriterNode {
+    pub(crate) qnext: AtomicU32,
+    pub(crate) spin: AtomicBool,
+    /// ROLL only: predecessor link for the backward search. Unused (but
+    /// cheap) in FOLL.
+    pub(crate) prev: AtomicU32,
+}
+
+impl WriterNode {
+    fn new() -> Self {
+        Self {
+            qnext: AtomicU32::new(NodeRef::NIL.raw()),
+            spin: AtomicBool::new(false),
+            prev: AtomicU32::new(NodeRef::NIL.raw()),
+        }
+    }
+}
+
+/// A reader queue node: MCS fields plus the shared C-SNZI and the pool
+/// ring fields (`allocState`, `next`).
+pub(crate) struct ReaderNode {
+    pub(crate) csnzi: CSnzi,
+    pub(crate) qnext: AtomicU32,
+    pub(crate) spin: AtomicBool,
+    /// `true` = IN_USE, `false` = FREE.
+    pub(crate) in_use: AtomicBool,
+    /// Immutable ring successor for pool traversal.
+    pub(crate) ring_next: usize,
+    /// ROLL only: predecessor link.
+    pub(crate) prev: AtomicU32,
+}
+
+impl ReaderNode {
+    fn new(shape: TreeShape, ring_next: usize, lazy_tree: bool) -> Self {
+        Self {
+            // "when just allocated, has a closed C-SNZI with no surplus"
+            csnzi: if lazy_tree {
+                CSnzi::new_closed_lazy(shape)
+            } else {
+                CSnzi::new_closed(shape)
+            },
+            qnext: AtomicU32::new(NodeRef::NIL.raw()),
+            spin: AtomicBool::new(false),
+            in_use: AtomicBool::new(false),
+            ring_next,
+            prev: AtomicU32::new(NodeRef::NIL.raw()),
+        }
+    }
+}
+
+/// Shared queue state for FOLL and ROLL (ROLL reuses every piece and adds
+/// the backward search).
+pub(crate) struct QueueCore {
+    pub(crate) tail: CachePadded<AtomicU32>,
+    pub(crate) writer_nodes: Box<[CachePadded<WriterNode>]>,
+    pub(crate) reader_nodes: Box<[CachePadded<ReaderNode>]>,
+    pub(crate) slots: SlotRegistry,
+    pub(crate) backoff: BackoffPolicy,
+    pub(crate) arrival_threshold: u32,
+}
+
+impl QueueCore {
+    pub(crate) fn new(
+        capacity: usize,
+        shape: TreeShape,
+        backoff: BackoffPolicy,
+        arrival_threshold: u32,
+        lazy_tree: bool,
+    ) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            tail: CachePadded::new(AtomicU32::new(NodeRef::NIL.raw())),
+            writer_nodes: (0..capacity)
+                .map(|_| CachePadded::new(WriterNode::new()))
+                .collect(),
+            reader_nodes: (0..capacity)
+                .map(|i| CachePadded::new(ReaderNode::new(shape, (i + 1) % capacity, lazy_tree)))
+                .collect(),
+            slots: SlotRegistry::new(capacity),
+            backoff,
+            arrival_threshold,
+        }
+    }
+
+    pub(crate) fn load_tail(&self) -> NodeRef {
+        NodeRef::from_raw(self.tail.load(Ordering::Acquire))
+    }
+
+    pub(crate) fn cas_tail(&self, old: NodeRef, new: NodeRef) -> bool {
+        self.tail
+            .compare_exchange(old.raw(), new.raw(), Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    pub(crate) fn swap_tail(&self, new: NodeRef) -> NodeRef {
+        NodeRef::from_raw(self.tail.swap(new.raw(), Ordering::AcqRel))
+    }
+
+    pub(crate) fn rnode(&self, idx: usize) -> &ReaderNode {
+        &self.reader_nodes[idx]
+    }
+
+    pub(crate) fn wnode(&self, idx: usize) -> &WriterNode {
+        &self.writer_nodes[idx]
+    }
+
+    pub(crate) fn set_qnext(&self, node: NodeRef, next: NodeRef) {
+        let cell = if node.is_reader() {
+            &self.rnode(node.index()).qnext
+        } else {
+            &self.wnode(node.index()).qnext
+        };
+        cell.store(next.raw(), Ordering::Release);
+    }
+
+    /// Clears a successor's spin flag (releases the lock to it).
+    pub(crate) fn clear_spin(&self, node: NodeRef) {
+        let cell = if node.is_reader() {
+            &self.rnode(node.index()).spin
+        } else {
+            &self.wnode(node.index()).spin
+        };
+        cell.store(false, Ordering::Release);
+    }
+
+    /// `AllocReaderNode` (Figure 4): claim a FREE node from the ring,
+    /// starting at the thread's default node.
+    pub(crate) fn alloc_reader_node(&self, slot: usize) -> usize {
+        let mut idx = slot;
+        let mut backoff = Backoff::with_policy(self.backoff);
+        loop {
+            let node = self.rnode(idx);
+            if !node.in_use.load(Ordering::Relaxed)
+                && node
+                    .in_use
+                    .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+            {
+                debug_assert!(!node.csnzi.query().open, "free nodes are always closed");
+                debug_assert!(!node.csnzi.query().nonzero);
+                return idx;
+            }
+            idx = node.ring_next;
+            if idx == slot {
+                // §4.2.1 proves a free node always exists with one node per
+                // thread; a full wrap can only be transient contention.
+                backoff.backoff();
+            }
+        }
+    }
+
+    /// `FreeReaderNode`: return a node to the pool. At most one thread
+    /// frees a node before it is reallocated (§4.2.1), so a plain store
+    /// suffices, exactly as in the paper.
+    pub(crate) fn free_reader_node(&self, idx: usize) {
+        let node = self.rnode(idx);
+        debug_assert!(node.in_use.load(Ordering::Relaxed));
+        debug_assert!(
+            !node.csnzi.query().open && !node.csnzi.query().nonzero,
+            "recycled nodes must have a closed, empty C-SNZI"
+        );
+        node.in_use.store(false, Ordering::Release);
+    }
+
+    /// The writer half of `WriterLock`, shared verbatim by FOLL and ROLL
+    /// except for when the reader-predecessor's C-SNZI gets closed:
+    /// FOLL closes immediately (`wait_for_active` = false); ROLL first
+    /// waits for the predecessor's readers to become active, which is what
+    /// lets later readers overtake us and join them (§4.3).
+    pub(crate) fn writer_lock(&self, slot: usize, wait_for_active: bool) {
+        let me = NodeRef::writer(slot);
+        let node = self.wnode(slot);
+        node.qnext.store(NodeRef::NIL.raw(), Ordering::Relaxed);
+        node.prev.store(NodeRef::NIL.raw(), Ordering::Relaxed);
+        let pred = self.swap_tail(me);
+        if pred.is_nil() {
+            return; // lock acquired
+        }
+        // Set our spin flag *before* publishing the qNext link: our
+        // predecessor finds us only through qNext, so it cannot clear the
+        // flag before we set it.
+        node.spin.store(true, Ordering::Relaxed);
+        node.prev.store(pred.raw(), Ordering::Release);
+        self.set_qnext(pred, me);
+        if pred.is_reader() {
+            let pnode = self.rnode(pred.index());
+            // Node recycling: wait until the enqueuer has opened the
+            // C-SNZI of this node incarnation (§4.2).
+            spin_until(self.backoff, || pnode.csnzi.query().open);
+            if wait_for_active {
+                // ROLL: let readers keep joining until the group holds the
+                // lock.
+                spin_until(self.backoff, || !pnode.spin.load(Ordering::Acquire));
+            }
+            if pnode.csnzi.close() {
+                // No readers will signal us: the group is (or became)
+                // empty. Wait for the lock to reach the predecessor node
+                // through the queue, then take over and recycle it.
+                spin_until(self.backoff, || !pnode.spin.load(Ordering::Acquire));
+                self.free_reader_node(pred.index());
+            } else {
+                // The last departing reader will clear our flag.
+                spin_until(self.backoff, || !node.spin.load(Ordering::Acquire));
+            }
+        } else {
+            spin_until(self.backoff, || !node.spin.load(Ordering::Acquire));
+        }
+    }
+
+    /// `WriterUnlock` (Figure 4) — identical to the MCS mutex release.
+    pub(crate) fn writer_unlock(&self, slot: usize) {
+        let me = NodeRef::writer(slot);
+        let node = self.wnode(slot);
+        if NodeRef::from_raw(node.qnext.load(Ordering::Acquire)).is_nil() {
+            if self.cas_tail(me, NodeRef::NIL) {
+                return;
+            }
+            // Someone is linking in behind us; wait for the link.
+            spin_until(self.backoff, || {
+                !NodeRef::from_raw(node.qnext.load(Ordering::Acquire)).is_nil()
+            });
+        }
+        let succ = NodeRef::from_raw(node.qnext.load(Ordering::Acquire));
+        self.clear_spin(succ);
+        node.qnext.store(NodeRef::NIL.raw(), Ordering::Relaxed); // clean up
+    }
+
+    /// `ReaderUnlock` (Figure 4), shared by FOLL and ROLL.
+    pub(crate) fn reader_unlock(&self, depart_from: usize, ticket: Ticket) {
+        let node = self.rnode(depart_from);
+        if node.csnzi.depart(ticket) {
+            return;
+        }
+        // Last departure from a closed C-SNZI: a writer closed it after
+        // linking in behind this node, so qNext is already set; signal it
+        // and recycle the node.
+        let succ = NodeRef::from_raw(node.qnext.load(Ordering::Acquire));
+        debug_assert!(!succ.is_nil(), "the closing writer linked in first");
+        self.clear_spin(succ);
+        node.qnext.store(NodeRef::NIL.raw(), Ordering::Relaxed); // clean up
+        self.free_reader_node(depart_from);
+    }
+}
+
+/// Builder for [`FollLock`].
+#[derive(Debug, Clone)]
+pub struct FollBuilder {
+    capacity: usize,
+    shape: Option<TreeShape>,
+    backoff: BackoffPolicy,
+    arrival_threshold: u32,
+    lazy_tree: bool,
+}
+
+impl FollBuilder {
+    /// Starts a builder for a lock used by at most `capacity` concurrent
+    /// threads.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            shape: None,
+            backoff: BackoffPolicy::default(),
+            arrival_threshold: ArrivalPolicy::DEFAULT_THRESHOLD,
+            lazy_tree: false,
+        }
+    }
+
+    /// Defers each pooled reader node's C-SNZI tree allocation until the
+    /// node first sees a tree arrival (§2.2's space optimization): a lock
+    /// that never experiences read contention allocates no trees at all.
+    pub fn lazy_tree(mut self, lazy: bool) -> Self {
+        self.lazy_tree = lazy;
+        self
+    }
+
+    /// Overrides the per-node C-SNZI tree shape (default: one leaf per
+    /// thread).
+    pub fn tree_shape(mut self, shape: TreeShape) -> Self {
+        self.shape = Some(shape);
+        self
+    }
+
+    /// Overrides the busy-wait backoff tuning (§5.1 tunes this per lock).
+    pub fn backoff(mut self, policy: BackoffPolicy) -> Self {
+        self.backoff = policy;
+        self
+    }
+
+    /// Sets the per-thread failed-CAS count before C-SNZI arrivals move to
+    /// the tree.
+    pub fn arrival_threshold(mut self, threshold: u32) -> Self {
+        self.arrival_threshold = threshold;
+        self
+    }
+
+    /// Builds the lock.
+    pub fn build(self) -> FollLock {
+        let capacity = self.capacity.max(1);
+        FollLock {
+            core: QueueCore::new(
+                capacity,
+                self.shape
+                    .unwrap_or_else(|| TreeShape::for_threads(capacity)),
+                self.backoff,
+                self.arrival_threshold,
+                self.lazy_tree,
+            ),
+        }
+    }
+}
+
+/// The FIFO OLL reader-writer lock (§4.2).
+///
+/// ```
+/// use oll_core::{FollLock, RwHandle, RwLockFamily};
+///
+/// let lock = FollLock::new(4); // up to 4 concurrently registered threads
+/// let mut me = lock.handle().unwrap();
+/// {
+///     let _shared = me.read();
+/// }
+/// {
+///     let _exclusive = me.write();
+/// }
+/// ```
+pub struct FollLock {
+    core: QueueCore,
+}
+
+impl FollLock {
+    /// Creates a lock for at most `capacity` concurrent threads.
+    pub fn new(capacity: usize) -> Self {
+        FollBuilder::new(capacity).build()
+    }
+
+    /// Starts a [`FollBuilder`].
+    pub fn builder(capacity: usize) -> FollBuilder {
+        FollBuilder::new(capacity)
+    }
+
+    /// Whether the queue is currently empty (racy; for diagnostics).
+    pub fn is_queue_empty(&self) -> bool {
+        self.core.load_tail().is_nil()
+    }
+}
+
+impl RwLockFamily for FollLock {
+    type Handle<'a> = FollHandle<'a>;
+
+    fn handle(&self) -> Result<FollHandle<'_>, SlotError> {
+        let slot = SlotGuard::claim(&self.core.slots)?;
+        let policy = ArrivalPolicy::new(self.core.arrival_threshold);
+        Ok(FollHandle {
+            core: &self.core,
+            slot,
+            policy,
+            session: None,
+            write_held: false,
+        })
+    }
+
+    fn capacity(&self) -> usize {
+        self.core.slots.capacity()
+    }
+
+    fn name(&self) -> &'static str {
+        "FOLL"
+    }
+}
+
+/// Per-thread handle for [`FollLock`] (the paper's `Local` record).
+pub struct FollHandle<'a> {
+    core: &'a QueueCore,
+    slot: SlotGuard<'a>,
+    policy: ArrivalPolicy,
+    /// `(depart_from, ticket)` while holding for reading.
+    session: Option<(usize, Ticket)>,
+    write_held: bool,
+}
+
+impl FollHandle<'_> {
+    fn slot_idx(&self) -> usize {
+        self.slot.slot()
+    }
+}
+
+impl RwHandle for FollHandle<'_> {
+    /// `ReaderLock` (Figure 4).
+    fn lock_read(&mut self) {
+        debug_assert!(self.session.is_none() && !self.write_held);
+        let core = self.core;
+        let slot = self.slot_idx();
+        let mut rnode: Option<usize> = None;
+        let mut backoff = Backoff::with_policy(core.backoff);
+        loop {
+            let tail = core.load_tail();
+            if tail.is_nil() {
+                // Empty queue: enqueue a reader node we immediately own.
+                let r = rnode.take().unwrap_or_else(|| core.alloc_reader_node(slot));
+                let node = core.rnode(r);
+                node.spin.store(false, Ordering::Relaxed);
+                node.qnext.store(NodeRef::NIL.raw(), Ordering::Relaxed);
+                node.prev.store(NodeRef::NIL.raw(), Ordering::Relaxed);
+                if core.cas_tail(NodeRef::NIL, NodeRef::reader(r)) {
+                    // Only now that the node is enqueued may its C-SNZI
+                    // open (§4.2 explains why this ordering is vital).
+                    node.csnzi.open();
+                    let ticket = node.csnzi.arrive(&mut self.policy, slot);
+                    if ticket.arrived() {
+                        self.session = Some((r, ticket));
+                        return;
+                    }
+                    // A writer already queued behind us and closed the
+                    // C-SNZI; our node stays in the queue for it.
+                    rnode = None;
+                } else {
+                    rnode = Some(r); // keep the allocation for the retry
+                }
+            } else if !tail.is_reader() {
+                // Tail is a writer: enqueue a reader node behind it.
+                let r = rnode.take().unwrap_or_else(|| core.alloc_reader_node(slot));
+                let node = core.rnode(r);
+                node.spin.store(true, Ordering::Relaxed);
+                node.qnext.store(NodeRef::NIL.raw(), Ordering::Relaxed);
+                node.prev.store(NodeRef::NIL.raw(), Ordering::Relaxed);
+                if core.cas_tail(tail, NodeRef::reader(r)) {
+                    node.prev.store(tail.raw(), Ordering::Release);
+                    core.set_qnext(tail, NodeRef::reader(r));
+                    node.csnzi.open();
+                    let ticket = node.csnzi.arrive(&mut self.policy, slot);
+                    if ticket.arrived() {
+                        self.session = Some((r, ticket));
+                        spin_until(core.backoff, || !node.spin.load(Ordering::Acquire));
+                        return;
+                    }
+                    rnode = None;
+                } else {
+                    rnode = Some(r);
+                }
+            } else {
+                // Tail is a reader node: share it via its C-SNZI.
+                let node = core.rnode(tail.index());
+                let ticket = node.csnzi.arrive(&mut self.policy, slot);
+                if ticket.arrived() {
+                    if let Some(n) = rnode.take() {
+                        core.free_reader_node(n);
+                    }
+                    self.session = Some((tail.index(), ticket));
+                    spin_until(core.backoff, || !node.spin.load(Ordering::Acquire));
+                    return;
+                }
+                // C-SNZI closed ⇒ a writer queued behind that node ⇒ the
+                // tail changed; retry.
+                backoff.backoff();
+            }
+        }
+    }
+
+    fn unlock_read(&mut self) {
+        let (depart_from, ticket) = self.session.take().expect("unlock_read without read hold");
+        self.core.reader_unlock(depart_from, ticket);
+    }
+
+    fn lock_write(&mut self) {
+        debug_assert!(self.session.is_none() && !self.write_held);
+        self.core.writer_lock(self.slot_idx(), false);
+        self.write_held = true;
+    }
+
+    fn unlock_write(&mut self) {
+        debug_assert!(self.write_held, "unlock_write without write hold");
+        self.write_held = false;
+        self.core.writer_unlock(self.slot_idx());
+    }
+
+    /// Non-blocking read attempt: succeeds if the queue is empty (we
+    /// enqueue and immediately own) or the tail is an *active* reader node
+    /// we can join without waiting.
+    fn try_lock_read(&mut self) -> bool {
+        debug_assert!(self.session.is_none() && !self.write_held);
+        let core = self.core;
+        let slot = self.slot_idx();
+        let tail = core.load_tail();
+        if tail.is_nil() {
+            let r = core.alloc_reader_node(slot);
+            let node = core.rnode(r);
+            node.spin.store(false, Ordering::Relaxed);
+            node.qnext.store(NodeRef::NIL.raw(), Ordering::Relaxed);
+            node.prev.store(NodeRef::NIL.raw(), Ordering::Relaxed);
+            if core.cas_tail(NodeRef::NIL, NodeRef::reader(r)) {
+                node.csnzi.open();
+                let ticket = node.csnzi.arrive(&mut self.policy, slot);
+                if ticket.arrived() {
+                    self.session = Some((r, ticket));
+                    return true;
+                }
+                // Writer overtook us between open and arrive; the node is
+                // queued and the writer owns its recycling now.
+                return false;
+            }
+            core.free_reader_node(r);
+            false
+        } else if tail.is_reader() {
+            let node = core.rnode(tail.index());
+            // Only join without waiting: the node's readers must already
+            // be active.
+            if node.spin.load(Ordering::Acquire) {
+                return false;
+            }
+            let ticket = node.csnzi.arrive(&mut self.policy, slot);
+            if !ticket.arrived() {
+                return false;
+            }
+            // `spin` never goes back to true for an enqueued node, so the
+            // acquisition is immediate.
+            self.session = Some((tail.index(), ticket));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Non-blocking write attempt: succeeds only when the queue is empty.
+    fn try_lock_write(&mut self) -> bool {
+        debug_assert!(self.session.is_none() && !self.write_held);
+        let core = self.core;
+        let slot = self.slot_idx();
+        let node = core.wnode(slot);
+        node.qnext.store(NodeRef::NIL.raw(), Ordering::Relaxed);
+        node.prev.store(NodeRef::NIL.raw(), Ordering::Relaxed);
+        if core.cas_tail(NodeRef::NIL, NodeRef::writer(slot)) {
+            self.write_held = true;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl Drop for FollHandle<'_> {
+    fn drop(&mut self) {
+        debug_assert!(
+            self.session.is_none() && !self.write_held,
+            "FOLL handle dropped while holding the lock"
+        );
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicI64, Ordering as O};
+    use std::sync::Arc;
+
+    #[test]
+    fn node_ref_packing() {
+        assert!(NodeRef::NIL.is_nil());
+        let r = NodeRef::reader(5);
+        assert!(r.is_reader() && !r.is_nil());
+        assert_eq!(r.index(), 5);
+        let w = NodeRef::writer(5);
+        assert!(!w.is_reader() && !w.is_nil());
+        assert_eq!(w.index(), 5);
+        assert_ne!(r, w);
+    }
+
+    #[test]
+    fn uncontended_read_write() {
+        let lock = FollLock::new(4);
+        let mut h = lock.handle().unwrap();
+        h.lock_read();
+        h.unlock_read();
+        // The reader node stays queued after the last departure — FOLL's
+        // read-only steady state. A subsequent writer recycles it.
+        assert!(!lock.is_queue_empty());
+        h.lock_write();
+        h.unlock_write();
+        assert!(lock.is_queue_empty());
+    }
+
+    #[test]
+    fn queue_drains_after_read() {
+        let lock = FollLock::new(4);
+        let mut h1 = lock.handle().unwrap();
+        let mut h2 = lock.handle().unwrap();
+        h1.lock_read();
+        h2.lock_read(); // shares h1's node
+        h1.unlock_read();
+        h2.unlock_read();
+        // The reader node stays queued (nothing closed it) — this is the
+        // FOLL steady state for read-only workloads: one node, zero
+        // surplus, open.
+        assert!(!lock.is_queue_empty());
+        // A writer can still get in promptly.
+        h1.lock_write();
+        h1.unlock_write();
+        assert!(lock.is_queue_empty());
+    }
+
+    #[test]
+    fn try_write_fails_while_read_held() {
+        let lock = FollLock::new(2);
+        let mut r = lock.handle().unwrap();
+        let mut w = lock.handle().unwrap();
+        r.lock_read();
+        assert!(!w.try_lock_write());
+        r.unlock_read();
+        // The reader node is still queued, so conservative try_write still
+        // fails; a full write lock works.
+        w.lock_write();
+        w.unlock_write();
+        assert!(w.try_lock_write());
+        w.unlock_write();
+    }
+
+    #[test]
+    fn try_read_joins_active_readers() {
+        let lock = FollLock::new(3);
+        let mut r1 = lock.handle().unwrap();
+        let mut r2 = lock.handle().unwrap();
+        r1.lock_read();
+        assert!(r2.try_lock_read());
+        r1.unlock_read();
+        r2.unlock_read();
+    }
+
+    #[test]
+    fn try_read_fails_while_write_held() {
+        let lock = FollLock::new(2);
+        let mut w = lock.handle().unwrap();
+        let mut r = lock.handle().unwrap();
+        w.lock_write();
+        assert!(!r.try_lock_read());
+        w.unlock_write();
+        assert!(r.try_lock_read());
+        r.unlock_read();
+    }
+
+    #[test]
+    fn writers_are_mutually_exclusive() {
+        const THREADS: usize = 4;
+        const ITERS: usize = 2_000;
+        let lock = Arc::new(FollLock::new(THREADS));
+        let counter = Arc::new(AtomicI64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..THREADS {
+            let lock = Arc::clone(&lock);
+            let counter = Arc::clone(&counter);
+            handles.push(std::thread::spawn(move || {
+                let mut h = lock.handle().unwrap();
+                for _ in 0..ITERS {
+                    h.lock_write();
+                    assert_eq!(counter.fetch_add(1, O::SeqCst), 0);
+                    counter.fetch_sub(1, O::SeqCst);
+                    h.unlock_write();
+                }
+            }));
+        }
+        for t in handles {
+            t.join().unwrap();
+        }
+        assert!(lock.is_queue_empty());
+    }
+
+    #[test]
+    fn mixed_readers_writers_exclusion_stress() {
+        const THREADS: usize = 6;
+        const ITERS: usize = 1_500;
+        let lock = Arc::new(FollLock::new(THREADS));
+        let state = Arc::new(AtomicI64::new(0));
+        let mut handles = Vec::new();
+        for tid in 0..THREADS {
+            let lock = Arc::clone(&lock);
+            let state = Arc::clone(&state);
+            handles.push(std::thread::spawn(move || {
+                let mut h = lock.handle().unwrap();
+                let mut rng = oll_util::XorShift64::for_thread(7, tid);
+                for _ in 0..ITERS {
+                    if rng.percent(70) {
+                        h.lock_read();
+                        assert!(state.fetch_add(1, O::SeqCst) >= 0);
+                        state.fetch_sub(1, O::SeqCst);
+                        h.unlock_read();
+                    } else {
+                        h.lock_write();
+                        assert_eq!(state.swap(-1, O::SeqCst), 0);
+                        state.store(0, O::SeqCst);
+                        h.unlock_write();
+                    }
+                }
+            }));
+        }
+        for t in handles {
+            t.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn read_only_workload_touches_tail_once() {
+        // The headline claim of §4.2: after the first reader enqueues a
+        // node, subsequent readers only arrive/depart the C-SNZI; the tail
+        // word is never written again.
+        let lock = FollLock::new(4);
+        let mut h1 = lock.handle().unwrap();
+        let mut h2 = lock.handle().unwrap();
+        h1.lock_read();
+        let tail_after_first = lock.core.tail.load(O::SeqCst);
+        for _ in 0..100 {
+            h2.lock_read();
+            h2.unlock_read();
+        }
+        assert_eq!(lock.core.tail.load(O::SeqCst), tail_after_first);
+        h1.unlock_read();
+        assert_eq!(lock.core.tail.load(O::SeqCst), tail_after_first);
+    }
+
+    #[test]
+    fn node_pool_invariants_under_churn() {
+        const THREADS: usize = 4;
+        const ITERS: usize = 3_000;
+        let lock = Arc::new(FollLock::new(THREADS));
+        let mut handles = Vec::new();
+        for tid in 0..THREADS {
+            let lock = Arc::clone(&lock);
+            handles.push(std::thread::spawn(move || {
+                let mut h = lock.handle().unwrap();
+                let mut rng = oll_util::XorShift64::for_thread(13, tid);
+                for _ in 0..ITERS {
+                    if rng.percent(50) {
+                        h.lock_read();
+                        h.unlock_read();
+                    } else {
+                        h.lock_write();
+                        h.unlock_write();
+                    }
+                }
+            }));
+        }
+        for t in handles {
+            t.join().unwrap();
+        }
+        // After quiescence at most one node may remain queued (a reader
+        // node from a final read acquisition); all others must be FREE
+        // with closed, empty C-SNZIs.
+        let queued = lock.core.load_tail();
+        let mut in_use = 0;
+        for i in 0..THREADS {
+            let n = lock.core.rnode(i);
+            if n.in_use.load(O::SeqCst) {
+                in_use += 1;
+                assert!(queued.is_reader() && queued.index() == i);
+            } else {
+                assert!(!n.csnzi.query().open);
+                assert!(!n.csnzi.query().nonzero);
+            }
+        }
+        assert!(in_use <= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unlock_read without read hold")]
+    fn unbalanced_unlock_panics() {
+        let lock = FollLock::new(1);
+        let mut h = lock.handle().unwrap();
+        h.unlock_read();
+    }
+}

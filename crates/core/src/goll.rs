@@ -1,0 +1,986 @@
+//! The **GOLL** lock (§3.2 of the paper): the general OLL reader-writer
+//! lock, modeled on the Solaris kernel lock with the central lockword
+//! replaced by a C-SNZI.
+//!
+//! State encoding (the C-SNZI *is* the lockword):
+//!
+//! | C-SNZI state            | lock state                          |
+//! |-------------------------|-------------------------------------|
+//! | open, surplus = 0       | free                                |
+//! | closed, surplus = 0     | write-acquired                      |
+//! | open, surplus > 0       | read-acquired                       |
+//! | closed, surplus > 0     | read-acquired, writer(s) waiting    |
+//!
+//! Readers acquire with `Arrive` and release with `Depart`; writers
+//! acquire with `CloseIfEmpty`/`Close` and release with `Open`/
+//! `OpenWithArrivals`. Conflicting requests queue on a mutex-protected
+//! wait queue (the turnstile role), and releases *hand over* ownership:
+//! a woken thread already owns the lock.
+
+use crate::raw::{RwHandle, RwLockFamily, UpgradableHandle};
+use oll_csnzi::{ArrivalPolicy, CSnzi, Ticket, TreeShape};
+use oll_util::event::{Event, GroupEvent, WaitStrategy};
+use oll_util::slots::{SlotError, SlotGuard, SlotRegistry};
+use oll_util::{CachePadded, SpinMutex};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Queuing policy for conflicting lock requests.
+///
+/// The paper's evaluation (§5.1) uses the Solaris policy: "readers hand
+/// the lock over to writers, and writers hand the lock over to readers" —
+/// [`Alternating`](FairnessPolicy::Alternating). The queue mutex makes the
+/// policy pluggable ("allows a sophisticated queuing policy", §1); strict
+/// [`Fifo`](FairnessPolicy::Fifo) is also provided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FairnessPolicy {
+    /// Releases hand the lock to the group at the head of the queue.
+    Fifo,
+    /// Writers hand over to *all* waiting readers; readers hand over to
+    /// the first waiting writer (the Solaris/paper evaluation policy).
+    #[default]
+    Alternating,
+    /// Every release prefers waiting readers; writers advance only when
+    /// no readers wait. Maximizes read throughput; writers may starve
+    /// under a sustained reader stream (compare ROLL, §4.3).
+    ReaderPreference,
+    /// Every release prefers the first waiting writer; readers advance
+    /// only when no writers wait. Keeps data maximally fresh; readers may
+    /// starve under a sustained writer stream.
+    WriterPreference,
+}
+
+enum Group {
+    Readers {
+        event: Arc<GroupEvent>,
+        /// Highest priority among the group's members.
+        priority: u8,
+    },
+    Writer {
+        event: Arc<Event>,
+        priority: u8,
+    },
+}
+
+/// What a releasing thread hands the lock to.
+enum Handoff {
+    /// Nobody waiting: actually release.
+    None,
+    /// A single writer: the lock is already in (or stays in) the
+    /// closed-empty state; just wake it.
+    Writer(Arc<Event>),
+    /// One or more groups of readers, `total` threads in all.
+    Readers {
+        groups: Vec<Arc<GroupEvent>>,
+        total: u64,
+        /// Whether writers remain queued (the reopened C-SNZI must then
+        /// stay closed so new readers keep queuing behind them).
+        writers_remain: bool,
+    },
+}
+
+struct WaitQueue {
+    groups: VecDeque<Group>,
+    num_writers: usize,
+}
+
+impl WaitQueue {
+    fn new() -> Self {
+        Self {
+            groups: VecDeque::new(),
+            num_writers: 0,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    fn enqueue_writer(&mut self, strategy: WaitStrategy, priority: u8) -> Arc<Event> {
+        let ev = Arc::new(Event::new(strategy));
+        self.groups.push_back(Group::Writer {
+            event: Arc::clone(&ev),
+            priority,
+        });
+        self.num_writers += 1;
+        ev
+    }
+
+    /// Joins the readers group at the tail, or starts a new one. Reader
+    /// groups only coalesce at the tail, so two reader groups are never
+    /// adjacent in the queue.
+    fn join_readers(&mut self, strategy: WaitStrategy, priority: u8) -> Arc<GroupEvent> {
+        if let Some(Group::Readers {
+            event,
+            priority: group_prio,
+        }) = self.groups.back_mut()
+        {
+            *group_prio = (*group_prio).max(priority);
+            let g = Arc::clone(event);
+            g.join();
+            return g;
+        }
+        let g = Arc::new(GroupEvent::new(strategy));
+        g.join();
+        self.groups.push_back(Group::Readers {
+            event: Arc::clone(&g),
+            priority,
+        });
+        g
+    }
+
+    /// Highest priority among queued writers, if any.
+    fn max_writer_priority(&self) -> Option<u8> {
+        self.groups
+            .iter()
+            .filter_map(|g| match g {
+                Group::Writer { priority, .. } => Some(*priority),
+                Group::Readers { .. } => None,
+            })
+            .max()
+    }
+
+    /// Highest priority among queued reader groups, if any.
+    fn max_reader_priority(&self) -> Option<u8> {
+        self.groups
+            .iter()
+            .filter_map(|g| match g {
+                Group::Readers { priority, .. } => Some(*priority),
+                Group::Writer { .. } => None,
+            })
+            .max()
+    }
+
+    fn pop_front(&mut self) -> Handoff {
+        match self.groups.pop_front() {
+            None => Handoff::None,
+            Some(Group::Writer { event, .. }) => {
+                self.num_writers -= 1;
+                Handoff::Writer(event)
+            }
+            Some(Group::Readers { event, .. }) => {
+                let total = event.members() as u64;
+                Handoff::Readers {
+                    groups: vec![event],
+                    total,
+                    writers_remain: self.num_writers > 0,
+                }
+            }
+        }
+    }
+
+    /// Removes *every* readers group (Alternating writer-release).
+    fn drain_all_readers(&mut self) -> Handoff {
+        let mut groups = Vec::new();
+        let mut total = 0u64;
+        self.groups.retain(|g| match g {
+            Group::Readers { event, .. } => {
+                total += event.members() as u64;
+                groups.push(Arc::clone(event));
+                false
+            }
+            Group::Writer { .. } => true,
+        });
+        if groups.is_empty() {
+            Handoff::None
+        } else {
+            Handoff::Readers {
+                groups,
+                total,
+                writers_remain: self.num_writers > 0,
+            }
+        }
+    }
+
+    /// Removes the highest-priority writer (earliest among ties —
+    /// turnstiles order by priority, then FIFO).
+    fn take_first_writer(&mut self) -> Handoff {
+        let best = self
+            .groups
+            .iter()
+            .enumerate()
+            .filter_map(|(i, g)| match g {
+                Group::Writer { priority, .. } => Some((i, *priority)),
+                Group::Readers { .. } => None,
+            })
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)));
+        match best {
+            Some((i, _)) => match self.groups.remove(i) {
+                Some(Group::Writer { event, .. }) => {
+                    self.num_writers -= 1;
+                    Handoff::Writer(event)
+                }
+                _ => unreachable!("index located a writer"),
+            },
+            None => Handoff::None,
+        }
+    }
+
+    /// Chooses the hand-off target for a releasing *writer*.
+    fn has_waiting_readers(&self) -> bool {
+        self.num_writers < self.groups.len()
+    }
+
+    /// Prefer readers: wake every waiting reader if any exist, else the
+    /// first writer.
+    fn readers_first(&mut self) -> Handoff {
+        if self.has_waiting_readers() {
+            self.drain_all_readers()
+        } else {
+            self.take_first_writer()
+        }
+    }
+
+    /// The §5.1 policy with priorities: "writers hand the lock over to
+    /// readers (unless a higher-priority writer is waiting)".
+    fn readers_first_unless_higher_priority_writer(&mut self) -> Handoff {
+        match (self.max_reader_priority(), self.max_writer_priority()) {
+            (Some(rp), Some(wp)) if wp > rp => self.take_first_writer(),
+            (Some(_), _) => self.drain_all_readers(),
+            (None, Some(_)) => self.take_first_writer(),
+            (None, None) => Handoff::None,
+        }
+    }
+
+    /// Prefer writers: wake the first writer if any exists, else every
+    /// waiting reader.
+    fn writers_first(&mut self) -> Handoff {
+        if self.num_writers > 0 {
+            self.take_first_writer()
+        } else {
+            self.drain_all_readers()
+        }
+    }
+
+    /// Chooses the hand-off target for a releasing *writer*.
+    fn dequeue_for_writer_release(&mut self, policy: FairnessPolicy) -> Handoff {
+        match policy {
+            FairnessPolicy::Fifo => self.pop_front(),
+            FairnessPolicy::Alternating => self.readers_first_unless_higher_priority_writer(),
+            FairnessPolicy::ReaderPreference => self.readers_first(),
+            FairnessPolicy::WriterPreference => self.writers_first(),
+        }
+    }
+
+    /// Chooses the hand-off target for a releasing *reader*.
+    fn dequeue_for_reader_release(&mut self, policy: FairnessPolicy) -> Handoff {
+        match policy {
+            FairnessPolicy::Fifo => self.pop_front(),
+            FairnessPolicy::Alternating | FairnessPolicy::WriterPreference => self.writers_first(),
+            FairnessPolicy::ReaderPreference => self.readers_first(),
+        }
+    }
+}
+
+/// Builder for [`GollLock`].
+#[derive(Debug, Clone)]
+pub struct GollBuilder {
+    capacity: usize,
+    shape: Option<TreeShape>,
+    strategy: WaitStrategy,
+    policy: FairnessPolicy,
+    arrival_threshold: u32,
+    lazy_tree: bool,
+}
+
+impl GollBuilder {
+    /// Starts a builder for a lock used by at most `capacity` concurrent
+    /// threads.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            shape: None,
+            strategy: WaitStrategy::SpinThenYield,
+            policy: FairnessPolicy::Alternating,
+            arrival_threshold: ArrivalPolicy::DEFAULT_THRESHOLD,
+            lazy_tree: false,
+        }
+    }
+
+    /// Defers the C-SNZI tree allocation until the first contended
+    /// arrival (§2.2's space optimization). Uncontended locks then cost a
+    /// single cache line.
+    pub fn lazy_tree(mut self, lazy: bool) -> Self {
+        self.lazy_tree = lazy;
+        self
+    }
+
+    /// Overrides the C-SNZI tree shape (default: one leaf per thread).
+    pub fn tree_shape(mut self, shape: TreeShape) -> Self {
+        self.shape = Some(shape);
+        self
+    }
+
+    /// Sets how waiters burn time (default: spin-then-yield, like the
+    /// paper's spin-based condition variables).
+    pub fn wait_strategy(mut self, strategy: WaitStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the queuing policy (default: Alternating, as in §5.1).
+    pub fn fairness(mut self, policy: FairnessPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the per-thread failed-CAS count before arrivals move to the
+    /// C-SNZI tree.
+    pub fn arrival_threshold(mut self, threshold: u32) -> Self {
+        self.arrival_threshold = threshold;
+        self
+    }
+
+    /// Builds the lock.
+    pub fn build(self) -> GollLock {
+        let capacity = self.capacity.max(1);
+        let shape = self
+            .shape
+            .unwrap_or_else(|| TreeShape::for_threads(capacity));
+        GollLock {
+            csnzi: if self.lazy_tree {
+                CSnzi::new_lazy(shape)
+            } else {
+                CSnzi::new(shape)
+            },
+            queue: CachePadded::new(SpinMutex::new(WaitQueue::new())),
+            slots: SlotRegistry::new(capacity),
+            strategy: self.strategy,
+            policy: self.policy,
+            arrival_threshold: self.arrival_threshold,
+        }
+    }
+}
+
+/// The general OLL reader-writer lock (§3.2).
+///
+/// ```
+/// use oll_core::{FairnessPolicy, GollLock, RwHandle, RwLockFamily, UpgradableHandle};
+///
+/// let lock = GollLock::builder(4)
+///     .fairness(FairnessPolicy::Alternating) // the paper's §5.1 policy
+///     .build();
+/// let mut me = lock.handle().unwrap();
+///
+/// // Check-then-act with an atomic upgrade (§3.2.1):
+/// me.lock_read();
+/// if me.try_upgrade() {
+///     // sole reader: now write-held with no release window
+///     me.unlock_write();
+/// } else {
+///     me.unlock_read();
+/// }
+/// ```
+pub struct GollLock {
+    csnzi: CSnzi,
+    queue: CachePadded<SpinMutex<WaitQueue>>,
+    slots: SlotRegistry,
+    strategy: WaitStrategy,
+    policy: FairnessPolicy,
+    arrival_threshold: u32,
+}
+
+impl GollLock {
+    /// Creates a lock for at most `capacity` concurrent threads with the
+    /// paper's default configuration.
+    pub fn new(capacity: usize) -> Self {
+        GollBuilder::new(capacity).build()
+    }
+
+    /// Starts a [`GollBuilder`].
+    pub fn builder(capacity: usize) -> GollBuilder {
+        GollBuilder::new(capacity)
+    }
+
+    /// Diagnostic snapshot of the C-SNZI root (racy).
+    pub fn csnzi_snapshot(&self) -> oll_csnzi::RootWord {
+        self.csnzi.root_snapshot()
+    }
+
+    fn signal(&self, handoff: Handoff) {
+        match handoff {
+            Handoff::None => {}
+            Handoff::Writer(ev) => ev.signal(),
+            Handoff::Readers { groups, .. } => {
+                for g in groups {
+                    g.signal_all();
+                }
+            }
+        }
+    }
+}
+
+impl RwLockFamily for GollLock {
+    type Handle<'a> = GollHandle<'a>;
+
+    fn handle(&self) -> Result<GollHandle<'_>, SlotError> {
+        let slot = SlotGuard::claim(&self.slots)?;
+        Ok(GollHandle {
+            lock: self,
+            slot,
+            policy: ArrivalPolicy::new(self.arrival_threshold),
+            read_ticket: None,
+            write_held: false,
+            priority: 0,
+        })
+    }
+
+    fn capacity(&self) -> usize {
+        self.slots.capacity()
+    }
+
+    fn name(&self) -> &'static str {
+        "GOLL"
+    }
+}
+
+/// Per-thread handle for [`GollLock`] (the paper's `Local` record plus the
+/// thread's arrival policy).
+pub struct GollHandle<'a> {
+    lock: &'a GollLock,
+    slot: SlotGuard<'a>,
+    policy: ArrivalPolicy,
+    read_ticket: Option<Ticket>,
+    write_held: bool,
+    priority: u8,
+}
+
+impl GollHandle<'_> {
+    #[inline]
+    fn leaf_hint(&self) -> usize {
+        self.slot.slot()
+    }
+
+    /// Sets this thread's queuing priority (default 0). Under the
+    /// [`Alternating`](FairnessPolicy::Alternating) policy, a releasing
+    /// writer hands the lock to waiting readers *unless a strictly
+    /// higher-priority writer is waiting* (§5.1's Solaris behavior), and
+    /// among waiting writers the highest priority goes first (the
+    /// turnstile is a priority queue, §3.1). Only affects contended
+    /// acquisitions that reach the wait queue.
+    pub fn set_priority(&mut self, priority: u8) {
+        self.priority = priority;
+    }
+
+    /// This thread's queuing priority.
+    pub fn priority(&self) -> u8 {
+        self.priority
+    }
+}
+
+impl RwHandle for GollHandle<'_> {
+    fn lock_read(&mut self) {
+        debug_assert!(self.read_ticket.is_none() && !self.write_held);
+        loop {
+            // Fast path: in the absence of conflicting requests this is the
+            // only step, and it never touches the queue mutex.
+            let hint = self.leaf_hint();
+            let ticket = self.lock.csnzi.arrive(&mut self.policy, hint);
+            if ticket.arrived() {
+                self.read_ticket = Some(ticket);
+                return;
+            }
+            // C-SNZI closed: a writer owns or has claimed the lock.
+            let mut q = self.lock.queue.lock();
+            if self.lock.csnzi.query().open {
+                // The writer released before we got the mutex; retry.
+                drop(q);
+                continue;
+            }
+            let group = q.join_readers(self.lock.strategy, self.priority);
+            drop(q);
+            // The releasing thread pre-arrives at the root on our behalf
+            // (OpenWithArrivals), so we depart directly from the root.
+            group.wait();
+            self.read_ticket = Some(Ticket::ROOT);
+            return;
+        }
+    }
+
+    fn unlock_read(&mut self) {
+        let ticket = self
+            .read_ticket
+            .take()
+            .expect("unlock_read without read hold");
+        if self.lock.csnzi.depart(ticket) {
+            return;
+        }
+        // We are the last departer of a *closed* C-SNZI: the lock is now in
+        // the write-acquired state and we must hand it to a waiter.
+        let mut q = self.lock.queue.lock();
+        let handoff = q.dequeue_for_reader_release(self.lock.policy);
+        match handoff {
+            Handoff::Writer(_) => {
+                // Closed-and-empty is exactly the write-acquired state;
+                // nothing to change.
+                drop(q);
+            }
+            Handoff::Readers {
+                total,
+                writers_remain,
+                ..
+            } => {
+                // Policy let readers overtake the writer that closed the
+                // C-SNZI; that writer is still queued, so reopen directly
+                // into the read-acquired-with-writer-waiting state.
+                debug_assert!(writers_remain, "the closing writer must still be queued");
+                self.lock.csnzi.open_with_arrivals(total, writers_remain);
+                drop(q);
+            }
+            Handoff::None => {
+                unreachable!(
+                    "C-SNZI closed while read-held implies a writer enqueued under the mutex"
+                )
+            }
+        }
+        self.lock.signal(handoff);
+    }
+
+    fn lock_write(&mut self) {
+        debug_assert!(self.read_ticket.is_none() && !self.write_held);
+        // Fast path: free lock.
+        if self.lock.csnzi.close_if_empty() {
+            self.write_held = true;
+            return;
+        }
+        let mut q = self.lock.queue.lock();
+        // Close (sets the "write wanted" state): if it returns true the
+        // lock was free after all and we own it.
+        if self.lock.csnzi.close() {
+            drop(q);
+            self.write_held = true;
+            return;
+        }
+        let ev = q.enqueue_writer(self.lock.strategy, self.priority);
+        drop(q);
+        // Whoever releases the lock hands it to us in the write-acquired
+        // state before signaling.
+        ev.wait();
+        self.write_held = true;
+    }
+
+    fn unlock_write(&mut self) {
+        debug_assert!(self.write_held, "unlock_write without write hold");
+        self.write_held = false;
+        let mut q = self.lock.queue.lock();
+        let handoff = q.dequeue_for_writer_release(self.lock.policy);
+        match handoff {
+            Handoff::None => {
+                self.lock.csnzi.open();
+                drop(q);
+            }
+            Handoff::Writer(_) => {
+                // Lock stays closed-empty (write-acquired) for the next
+                // writer.
+                drop(q);
+            }
+            Handoff::Readers {
+                total,
+                writers_remain,
+                ..
+            } => {
+                self.lock.csnzi.open_with_arrivals(total, writers_remain);
+                drop(q);
+            }
+        }
+        self.lock.signal(handoff);
+    }
+
+    fn try_lock_read(&mut self) -> bool {
+        debug_assert!(self.read_ticket.is_none() && !self.write_held);
+        let hint = self.leaf_hint();
+        let ticket = self.lock.csnzi.arrive(&mut self.policy, hint);
+        if ticket.arrived() {
+            self.read_ticket = Some(ticket);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn try_lock_write(&mut self) -> bool {
+        debug_assert!(self.read_ticket.is_none() && !self.write_held);
+        if self.lock.csnzi.close_if_empty() {
+            self.write_held = true;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl UpgradableHandle for GollHandle<'_> {
+    fn try_upgrade(&mut self) -> bool {
+        let ticket = self
+            .read_ticket
+            .take()
+            .expect("try_upgrade without read hold");
+        // §3.2.1: trade our arrival for a direct arrival at the root, then
+        // we are the sole holder iff the root shows exactly (direct = 1,
+        // tree = 0). The upgrade commits by CASing that word (open flavor)
+        // to closed-empty, consuming our arrival.
+        let ticket = self.lock.csnzi.trade_to_direct(ticket);
+        if self.lock.csnzi.try_upgrade_sole_direct() {
+            self.write_held = true;
+            true
+        } else {
+            // Keep holding for reading (with the traded root ticket).
+            self.read_ticket = Some(ticket);
+            false
+        }
+    }
+
+    fn downgrade(&mut self) {
+        debug_assert!(self.write_held, "downgrade without write hold");
+        self.write_held = false;
+        // Atomically become a reader, bringing any waiting readers along
+        // (they would otherwise sit behind us even though the lock is now
+        // read-held).
+        let mut q = self.lock.queue.lock();
+        let handoff = match self.lock.policy {
+            // Non-FIFO policies bring every waiting reader along with the
+            // downgrade (they can all share the read hold).
+            FairnessPolicy::Alternating
+            | FairnessPolicy::ReaderPreference
+            | FairnessPolicy::WriterPreference => q.drain_all_readers(),
+            FairnessPolicy::Fifo => {
+                if matches!(q.groups.front(), Some(Group::Readers { .. })) {
+                    q.pop_front()
+                } else {
+                    Handoff::None
+                }
+            }
+        };
+        match &handoff {
+            Handoff::Readers { total, .. } => {
+                let close = !q.is_empty();
+                self.lock.csnzi.open_with_arrivals(total + 1, close);
+            }
+            Handoff::None => {
+                let close = !q.is_empty();
+                self.lock.csnzi.open_with_arrivals(1, close);
+            }
+            Handoff::Writer(_) => unreachable!("downgrade never dequeues writers"),
+        }
+        drop(q);
+        self.lock.signal(handoff);
+        self.read_ticket = Some(Ticket::ROOT);
+    }
+}
+
+impl Drop for GollHandle<'_> {
+    fn drop(&mut self) {
+        debug_assert!(
+            self.read_ticket.is_none() && !self.write_held,
+            "GOLL handle dropped while holding the lock"
+        );
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicI64, Ordering};
+    use std::sync::Arc as StdArc;
+
+    #[test]
+    fn uncontended_read_and_write() {
+        let lock = GollLock::new(4);
+        let mut h = lock.handle().unwrap();
+        h.lock_read();
+        h.unlock_read();
+        h.lock_write();
+        h.unlock_write();
+        // Lock ends free.
+        let w = lock.csnzi_snapshot();
+        assert_eq!((w.surplus(), w.open), (0, true));
+    }
+
+    #[test]
+    fn guards_release_on_drop() {
+        let lock = GollLock::new(2);
+        let mut h = lock.handle().unwrap();
+        {
+            let _g = h.read();
+        }
+        {
+            let _g = h.write();
+        }
+        assert!(lock.csnzi_snapshot().open);
+    }
+
+    #[test]
+    fn multiple_concurrent_readers() {
+        let lock = GollLock::new(4);
+        let mut h1 = lock.handle().unwrap();
+        let mut h2 = lock.handle().unwrap();
+        h1.lock_read();
+        h2.lock_read();
+        assert!(lock.csnzi_snapshot().surplus() >= 1);
+        h1.unlock_read();
+        h2.unlock_read();
+        assert_eq!(lock.csnzi_snapshot().surplus(), 0);
+    }
+
+    #[test]
+    fn try_write_fails_while_read_held() {
+        let lock = GollLock::new(2);
+        let mut r = lock.handle().unwrap();
+        let mut w = lock.handle().unwrap();
+        r.lock_read();
+        assert!(!w.try_lock_write());
+        r.unlock_read();
+        assert!(w.try_lock_write());
+        w.unlock_write();
+    }
+
+    #[test]
+    fn try_read_fails_while_write_held() {
+        let lock = GollLock::new(2);
+        let mut w = lock.handle().unwrap();
+        let mut r = lock.handle().unwrap();
+        w.lock_write();
+        assert!(!r.try_lock_read());
+        w.unlock_write();
+        assert!(r.try_lock_read());
+        r.unlock_read();
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let lock = GollLock::new(1);
+        let _h = lock.handle().unwrap();
+        assert!(lock.handle().is_err());
+    }
+
+    #[test]
+    fn upgrade_sole_reader_succeeds() {
+        let lock = GollLock::new(2);
+        let mut h = lock.handle().unwrap();
+        h.lock_read();
+        assert!(h.try_upgrade());
+        // Now write-held: no readers may enter.
+        let mut r = lock.handle().unwrap();
+        assert!(!r.try_lock_read());
+        h.unlock_write();
+        assert!(r.try_lock_read());
+        r.unlock_read();
+    }
+
+    #[test]
+    fn upgrade_fails_with_two_readers_and_keeps_read_hold() {
+        let lock = GollLock::new(2);
+        let mut h1 = lock.handle().unwrap();
+        let mut h2 = lock.handle().unwrap();
+        h1.lock_read();
+        h2.lock_read();
+        assert!(!h1.try_upgrade());
+        // h1 still holds for reading.
+        h2.unlock_read();
+        assert!(h1.try_upgrade());
+        h1.unlock_write();
+    }
+
+    #[test]
+    fn downgrade_lets_readers_in() {
+        let lock = GollLock::new(2);
+        let mut w = lock.handle().unwrap();
+        let mut r = lock.handle().unwrap();
+        w.lock_write();
+        w.downgrade();
+        // Now read-held: other readers may join, writers may not.
+        assert!(r.try_lock_read());
+        r.unlock_read();
+        w.unlock_read();
+        let snap = lock.csnzi_snapshot();
+        assert_eq!((snap.surplus(), snap.open), (0, true));
+    }
+
+    #[test]
+    fn guard_level_upgrade_round_trip() {
+        let lock = GollLock::new(2);
+        let mut h = lock.handle().unwrap();
+        let g = h.read();
+        let Ok(g) = g.try_upgrade() else {
+            panic!("sole reader upgrades");
+        };
+        let _g = g.downgrade();
+    }
+
+    #[test]
+    fn writers_exclude_each_other() {
+        const THREADS: usize = 4;
+        const ITERS: usize = 2_000;
+        let lock = StdArc::new(GollLock::new(THREADS));
+        let counter = StdArc::new(AtomicI64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..THREADS {
+            let lock = StdArc::clone(&lock);
+            let counter = StdArc::clone(&counter);
+            handles.push(std::thread::spawn(move || {
+                let mut h = lock.handle().unwrap();
+                for _ in 0..ITERS {
+                    h.lock_write();
+                    let v = counter.fetch_add(1, Ordering::SeqCst);
+                    assert_eq!(v, 0, "another writer inside the critical section");
+                    counter.fetch_sub(1, Ordering::SeqCst);
+                    h.unlock_write();
+                }
+            }));
+        }
+        for t in handles {
+            t.join().unwrap();
+        }
+        assert!(lock.csnzi_snapshot().open);
+    }
+
+    #[test]
+    fn readers_and_writers_exclude() {
+        rw_exclusion_stress(FairnessPolicy::Alternating);
+    }
+
+    #[test]
+    fn readers_and_writers_exclude_fifo() {
+        rw_exclusion_stress(FairnessPolicy::Fifo);
+    }
+
+    fn rw_exclusion_stress(policy: FairnessPolicy) {
+        const THREADS: usize = 6;
+        const ITERS: usize = 1_500;
+        let lock = StdArc::new(GollLock::builder(THREADS).fairness(policy).build());
+        // counter > 0: readers inside; counter == -1: a writer inside.
+        let state = StdArc::new(AtomicI64::new(0));
+        let mut handles = Vec::new();
+        for tid in 0..THREADS {
+            let lock = StdArc::clone(&lock);
+            let state = StdArc::clone(&state);
+            handles.push(std::thread::spawn(move || {
+                let mut h = lock.handle().unwrap();
+                let mut rng = oll_util::XorShift64::for_thread(42, tid);
+                for _ in 0..ITERS {
+                    if rng.percent(70) {
+                        h.lock_read();
+                        let s = state.fetch_add(1, Ordering::SeqCst);
+                        assert!(s >= 0, "reader entered while writer inside");
+                        state.fetch_sub(1, Ordering::SeqCst);
+                        h.unlock_read();
+                    } else {
+                        h.lock_write();
+                        let s = state.swap(-1, Ordering::SeqCst);
+                        assert_eq!(s, 0, "writer entered while lock held");
+                        state.store(0, Ordering::SeqCst);
+                        h.unlock_write();
+                    }
+                }
+            }));
+        }
+        for t in handles {
+            t.join().unwrap();
+        }
+        let w = lock.csnzi_snapshot();
+        assert_eq!((w.surplus(), w.open), (0, true));
+    }
+
+    #[test]
+    fn spin_then_park_strategy_works() {
+        const THREADS: usize = 4;
+        let lock = StdArc::new(
+            GollLock::builder(THREADS)
+                .wait_strategy(WaitStrategy::SpinThenPark)
+                .build(),
+        );
+        let mut handles = Vec::new();
+        for _ in 0..THREADS {
+            let lock = StdArc::clone(&lock);
+            handles.push(std::thread::spawn(move || {
+                let mut h = lock.handle().unwrap();
+                for _ in 0..500 {
+                    h.lock_write();
+                    h.unlock_write();
+                    h.lock_read();
+                    h.unlock_read();
+                }
+            }));
+        }
+        for t in handles {
+            t.join().unwrap();
+        }
+    }
+
+    /// Sets up: W0 holds for writing; one reader and one writer queue
+    /// behind it (in that order); W0 releases. Returns which class entered
+    /// first ('R' or 'W').
+    fn first_after_writer_release(policy: FairnessPolicy) -> char {
+        use std::sync::atomic::AtomicU8;
+        use std::time::Duration;
+
+        let lock = StdArc::new(GollLock::builder(4).fairness(policy).build());
+        let mut w0 = lock.handle().unwrap();
+        w0.lock_write();
+
+        let first = StdArc::new(AtomicU8::new(0));
+        let mut threads = Vec::new();
+        {
+            let lock = StdArc::clone(&lock);
+            let first = StdArc::clone(&first);
+            threads.push(std::thread::spawn(move || {
+                let mut h = lock.handle().unwrap();
+                h.lock_read();
+                let _ = first.compare_exchange(0, b'R', Ordering::SeqCst, Ordering::SeqCst);
+                h.unlock_read();
+            }));
+        }
+        std::thread::sleep(Duration::from_millis(30)); // reader enqueues first
+        {
+            let lock = StdArc::clone(&lock);
+            let first = StdArc::clone(&first);
+            threads.push(std::thread::spawn(move || {
+                let mut h = lock.handle().unwrap();
+                h.lock_write();
+                let _ = first.compare_exchange(0, b'W', Ordering::SeqCst, Ordering::SeqCst);
+                h.unlock_write();
+            }));
+        }
+        std::thread::sleep(Duration::from_millis(30)); // writer enqueues second
+        w0.unlock_write();
+        for t in threads {
+            t.join().unwrap();
+        }
+        first.load(Ordering::SeqCst) as char
+    }
+
+    #[test]
+    fn writer_release_handoff_order_follows_policy() {
+        // Reader enqueued first, so FIFO and the reader-preferring
+        // policies all wake it first; WriterPreference jumps the writer
+        // over it.
+        assert_eq!(first_after_writer_release(FairnessPolicy::Fifo), 'R');
+        assert_eq!(first_after_writer_release(FairnessPolicy::Alternating), 'R');
+        assert_eq!(
+            first_after_writer_release(FairnessPolicy::ReaderPreference),
+            'R'
+        );
+        assert_eq!(
+            first_after_writer_release(FairnessPolicy::WriterPreference),
+            'W'
+        );
+    }
+
+    #[test]
+    fn reader_preference_policy_exclusion_stress() {
+        rw_exclusion_stress(FairnessPolicy::ReaderPreference);
+    }
+
+    #[test]
+    fn writer_preference_policy_exclusion_stress() {
+        rw_exclusion_stress(FairnessPolicy::WriterPreference);
+    }
+
+    #[test]
+    #[should_panic(expected = "unlock_read without read hold")]
+    fn unbalanced_unlock_panics() {
+        let lock = GollLock::new(1);
+        let mut h = lock.handle().unwrap();
+        h.unlock_read();
+    }
+}

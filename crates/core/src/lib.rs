@@ -1,0 +1,48 @@
+//! The OLL scalable reader-writer locks (*Scalable Reader-Writer Locks*,
+//! Lev, Luchangco & Olszewski, SPAA 2009).
+//!
+//! Three lock algorithms that eliminate updates to central shared data on
+//! the reader path by tracking readers with a [closable scalable nonzero
+//! indicator](oll_csnzi::CSnzi) instead of a counter:
+//!
+//! * [`GollLock`] — the **G**eneral OLL lock (§3): Solaris-kernel-style,
+//!   with a mutex-protected wait queue, pluggable [`FairnessPolicy`], and
+//!   write [upgrade/downgrade](UpgradableHandle) support.
+//! * [`FollLock`] — the **F**IFO OLL lock (§4.2): an MCS-queue lock where
+//!   successive readers share one queue node through its C-SNZI.
+//! * [`RollLock`] — the **R**eader-preference OLL lock (§4.3): FOLL with a
+//!   doubly-linked queue that lets readers overtake waiting writers to
+//!   join a waiting reader group.
+//!
+//! All locks (including the baselines in `oll-baselines`) implement
+//! [`RwLockFamily`]: register a per-thread handle, then acquire through it.
+//! [`RwLock`] wraps a value for guard-deref ergonomics.
+//!
+//! ```
+//! use oll_core::{RollLock, RwHandle, RwLockFamily};
+//!
+//! let lock = RollLock::new(4); // up to 4 concurrent threads
+//! let mut me = lock.handle().unwrap();
+//! {
+//!     let _shared = me.read();
+//!     // ... read the protected state ...
+//! }
+//! {
+//!     let _exclusive = me.write();
+//!     // ... mutate the protected state ...
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod foll;
+pub mod goll;
+pub mod raw;
+pub mod roll;
+pub mod rwlock;
+
+pub use foll::{FollBuilder, FollLock};
+pub use goll::{FairnessPolicy, GollBuilder, GollLock};
+pub use raw::{ReadGuard, RwHandle, RwLockFamily, UpgradableHandle, WriteGuard};
+pub use roll::{RollBuilder, RollLock};
+pub use rwlock::{RwLock, RwLockOwner, RwLockReadGuard, RwLockWriteGuard};

@@ -1,0 +1,176 @@
+//! The common reader-writer-lock interface all locks in this workspace
+//! implement.
+//!
+//! The design mirrors the paper's API shape: every algorithm has per-thread
+//! `Local` state (default queue nodes, C-SNZI tickets, arrival policy), so
+//! a thread first **registers** with a lock to obtain a handle ([`RwLockFamily::handle`]), and all
+//! lock operations go through the handle. A handle supports one outstanding
+//! acquisition at a time (exactly like the paper's `Local` record); the
+//! RAII guards returned by [`RwHandle::read`] / [`RwHandle::write`] enforce
+//! balanced lock/unlock pairs at compile time.
+
+use oll_util::slots::SlotError;
+
+/// A reader-writer lock whose per-thread state lives in a handle.
+pub trait RwLockFamily: Send + Sync {
+    /// The per-thread handle type.
+    type Handle<'a>: RwHandle
+    where
+        Self: 'a;
+
+    /// Registers the calling thread, claiming one of the lock's thread
+    /// slots. Fails if more than `capacity` handles are live at once.
+    fn handle(&self) -> Result<Self::Handle<'_>, SlotError>;
+
+    /// Maximum number of concurrently registered threads.
+    fn capacity(&self) -> usize;
+
+    /// A short, stable name for harness output (e.g. `"FOLL"`).
+    fn name(&self) -> &'static str;
+}
+
+/// A registered thread's view of a reader-writer lock.
+///
+/// The raw `lock_*`/`unlock_*` methods exist for the benchmark harness
+/// (which measures acquire/release pairs directly); application code should
+/// prefer [`read`](Self::read) and [`write`](Self::write), whose guards
+/// cannot be unbalanced.
+///
+/// # Contract
+/// A handle has at most one outstanding acquisition. `unlock_read` must
+/// follow `lock_read` (and similarly for writes) on the *same* handle;
+/// implementations panic on misuse rather than corrupt the lock.
+pub trait RwHandle {
+    /// Acquires the lock for reading (shared).
+    fn lock_read(&mut self);
+
+    /// Releases a read acquisition.
+    fn unlock_read(&mut self);
+
+    /// Acquires the lock for writing (exclusive).
+    fn lock_write(&mut self);
+
+    /// Releases a write acquisition.
+    fn unlock_write(&mut self);
+
+    /// Attempts a read acquisition without waiting for conflicting
+    /// holders. May fail spuriously under contention.
+    fn try_lock_read(&mut self) -> bool;
+
+    /// Attempts a write acquisition without waiting. May fail spuriously
+    /// under contention.
+    fn try_lock_write(&mut self) -> bool;
+
+    /// Acquires for reading and returns a guard that releases on drop.
+    fn read(&mut self) -> ReadGuard<'_, Self>
+    where
+        Self: Sized,
+    {
+        self.lock_read();
+        ReadGuard { handle: self }
+    }
+
+    /// Acquires for writing and returns a guard that releases on drop.
+    fn write(&mut self) -> WriteGuard<'_, Self>
+    where
+        Self: Sized,
+    {
+        self.lock_write();
+        WriteGuard { handle: self }
+    }
+
+    /// Attempts a read acquisition, returning a guard on success.
+    fn try_read(&mut self) -> Option<ReadGuard<'_, Self>>
+    where
+        Self: Sized,
+    {
+        if self.try_lock_read() {
+            Some(ReadGuard { handle: self })
+        } else {
+            None
+        }
+    }
+
+    /// Attempts a write acquisition, returning a guard on success.
+    fn try_write(&mut self) -> Option<WriteGuard<'_, Self>>
+    where
+        Self: Sized,
+    {
+        if self.try_lock_write() {
+            Some(WriteGuard { handle: self })
+        } else {
+            None
+        }
+    }
+}
+
+/// Write-upgrade support (§3.2.1 of the paper). Implemented by locks that
+/// can atomically convert a *sole* read hold into a write hold.
+pub trait UpgradableHandle: RwHandle {
+    /// Attempts to upgrade the current read acquisition to a write
+    /// acquisition. Returns `true` on success. On failure the thread
+    /// *keeps holding the lock for reading* (the paper's semantics).
+    ///
+    /// Must only be called while this handle holds a read acquisition.
+    fn try_upgrade(&mut self) -> bool;
+
+    /// Converts the current write acquisition into a read acquisition
+    /// without releasing the lock in between.
+    ///
+    /// Must only be called while this handle holds a write acquisition.
+    fn downgrade(&mut self);
+}
+
+/// RAII guard for a read acquisition.
+#[must_use = "the lock is released as soon as the guard is dropped"]
+pub struct ReadGuard<'h, H: RwHandle> {
+    handle: &'h mut H,
+}
+
+impl<H: RwHandle> Drop for ReadGuard<'_, H> {
+    fn drop(&mut self) {
+        self.handle.unlock_read();
+    }
+}
+
+/// RAII guard for a write acquisition.
+#[must_use = "the lock is released as soon as the guard is dropped"]
+pub struct WriteGuard<'h, H: RwHandle> {
+    handle: &'h mut H,
+}
+
+impl<H: RwHandle> Drop for WriteGuard<'_, H> {
+    fn drop(&mut self) {
+        self.handle.unlock_write();
+    }
+}
+
+impl<'h, H: UpgradableHandle> WriteGuard<'h, H> {
+    /// Downgrades this write guard to a read guard without unlocking.
+    pub fn downgrade(self) -> ReadGuard<'h, H> {
+        // Move the handle out without running our drop (which would
+        // unlock_write).
+        let this = core::mem::ManuallyDrop::new(self);
+        // SAFETY: `this` is never used again and its Drop is suppressed.
+        let handle: &'h mut H = unsafe { core::ptr::read(&this.handle) };
+        handle.downgrade();
+        ReadGuard { handle }
+    }
+}
+
+impl<'h, H: UpgradableHandle> ReadGuard<'h, H> {
+    /// Attempts to upgrade this read guard to a write guard. On failure
+    /// the read guard is returned unchanged (the lock stays read-held).
+    pub fn try_upgrade(self) -> Result<WriteGuard<'h, H>, Self> {
+        let mut this = core::mem::ManuallyDrop::new(self);
+        if this.handle.try_upgrade() {
+            // SAFETY: `this` is never used again and its Drop is suppressed.
+            let handle: &'h mut H = unsafe { core::ptr::read(&this.handle) };
+            Ok(WriteGuard { handle })
+        } else {
+            // SAFETY: as above; we rebuild the read guard.
+            let handle: &'h mut H = unsafe { core::ptr::read(&this.handle) };
+            Err(ReadGuard { handle })
+        }
+    }
+}

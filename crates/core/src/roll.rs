@@ -1,0 +1,589 @@
+//! The **ROLL** lock (§4.3 of the paper): the reader-preference OLL lock.
+//!
+//! ROLL relaxes FOLL's strict FIFO ordering: a reader that finds a *still
+//! waiting* group of readers in the queue joins that group — overtaking
+//! any writers queued behind it — instead of enqueuing at the tail. Two
+//! mechanisms make this work:
+//!
+//! 1. The queue is doubly linked (`prev` pointers, set by each enqueuer),
+//!    so a reader arriving at a writer tail can search backward for a
+//!    reader node whose `spin` flag is still `true`.
+//! 2. A writer that enqueues behind a reader node does **not** close its
+//!    C-SNZI immediately (as FOLL does); it waits until that group becomes
+//!    *active* first. While the group is waiting, its C-SNZI stays open and
+//!    late readers can keep joining.
+//!
+//! The lock also caches a pointer to "the last known reader node with
+//! threads still busy-waiting" (`last_reader`), updated on joins and
+//! enqueues and cleared on failed joins, which short-circuits most
+//! searches (the §4.3 optimization; `ablation_roll_hint` measures it).
+
+use crate::foll::{NodeRef, QueueCore};
+use crate::raw::{RwHandle, RwLockFamily};
+use oll_csnzi::{ArrivalPolicy, Ticket, TreeShape};
+use oll_util::backoff::{spin_until, Backoff, BackoffPolicy};
+use oll_util::slots::{SlotError, SlotGuard};
+use oll_util::sync::{AtomicU32, Ordering};
+use oll_util::CachePadded;
+
+/// Builder for [`RollLock`].
+#[derive(Debug, Clone)]
+pub struct RollBuilder {
+    capacity: usize,
+    shape: Option<TreeShape>,
+    backoff: BackoffPolicy,
+    arrival_threshold: u32,
+    use_hint: bool,
+    lazy_tree: bool,
+}
+
+impl RollBuilder {
+    /// Starts a builder for a lock used by at most `capacity` concurrent
+    /// threads.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            shape: None,
+            backoff: BackoffPolicy::default(),
+            arrival_threshold: ArrivalPolicy::DEFAULT_THRESHOLD,
+            use_hint: true,
+            lazy_tree: false,
+        }
+    }
+
+    /// Defers each pooled reader node's C-SNZI tree allocation until
+    /// first use (§2.2's space optimization).
+    pub fn lazy_tree(mut self, lazy: bool) -> Self {
+        self.lazy_tree = lazy;
+        self
+    }
+
+    /// Overrides the per-node C-SNZI tree shape (default: one leaf per
+    /// thread).
+    pub fn tree_shape(mut self, shape: TreeShape) -> Self {
+        self.shape = Some(shape);
+        self
+    }
+
+    /// Overrides the busy-wait backoff tuning.
+    pub fn backoff(mut self, policy: BackoffPolicy) -> Self {
+        self.backoff = policy;
+        self
+    }
+
+    /// Sets the per-thread failed-CAS count before C-SNZI arrivals move to
+    /// the tree.
+    pub fn arrival_threshold(mut self, threshold: u32) -> Self {
+        self.arrival_threshold = threshold;
+        self
+    }
+
+    /// Enables/disables the cached last-reader-node pointer (§4.3's search
+    /// optimization). On by default; the ablation bench turns it off.
+    pub fn last_reader_hint(mut self, enabled: bool) -> Self {
+        self.use_hint = enabled;
+        self
+    }
+
+    /// Builds the lock.
+    pub fn build(self) -> RollLock {
+        let capacity = self.capacity.max(1);
+        RollLock {
+            core: QueueCore::new(
+                capacity,
+                self.shape
+                    .unwrap_or_else(|| TreeShape::for_threads(capacity)),
+                self.backoff,
+                self.arrival_threshold,
+                self.lazy_tree,
+            ),
+            last_reader: CachePadded::new(AtomicU32::new(NodeRef::NIL.raw())),
+            use_hint: self.use_hint,
+        }
+    }
+}
+
+/// The reader-preference OLL lock (§4.3).
+///
+/// ```
+/// use oll_core::{RollLock, RwHandle, RwLockFamily};
+///
+/// let lock = RollLock::builder(8)
+///     .last_reader_hint(true) // §4.3's search shortcut (default on)
+///     .build();
+/// let mut me = lock.handle().unwrap();
+/// assert!(me.try_read().is_some());
+/// ```
+pub struct RollLock {
+    core: QueueCore,
+    /// Cached reference to the last known still-waiting reader node.
+    last_reader: CachePadded<AtomicU32>,
+    use_hint: bool,
+}
+
+impl RollLock {
+    /// Creates a lock for at most `capacity` concurrent threads.
+    pub fn new(capacity: usize) -> Self {
+        RollBuilder::new(capacity).build()
+    }
+
+    /// Starts a [`RollBuilder`].
+    pub fn builder(capacity: usize) -> RollBuilder {
+        RollBuilder::new(capacity)
+    }
+
+    /// Whether the queue is currently empty (racy; for diagnostics).
+    pub fn is_queue_empty(&self) -> bool {
+        self.core.load_tail().is_nil()
+    }
+
+    fn set_hint(&self, node: NodeRef) {
+        if self.use_hint {
+            self.last_reader.store(node.raw(), Ordering::Release);
+        }
+    }
+
+    fn clear_hint(&self, node: NodeRef) {
+        if self.use_hint {
+            // Only clear our own stale value; someone may have published a
+            // fresher hint.
+            let _ = self.last_reader.compare_exchange(
+                node.raw(),
+                NodeRef::NIL.raw(),
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            );
+        }
+    }
+
+    fn load_hint(&self) -> NodeRef {
+        if self.use_hint {
+            NodeRef::from_raw(self.last_reader.load(Ordering::Acquire))
+        } else {
+            NodeRef::NIL
+        }
+    }
+}
+
+impl RwLockFamily for RollLock {
+    type Handle<'a> = RollHandle<'a>;
+
+    fn handle(&self) -> Result<RollHandle<'_>, SlotError> {
+        let slot = SlotGuard::claim(&self.core.slots)?;
+        let policy = ArrivalPolicy::new(self.core.arrival_threshold);
+        Ok(RollHandle {
+            lock: self,
+            slot,
+            policy,
+            session: None,
+            write_held: false,
+        })
+    }
+
+    fn capacity(&self) -> usize {
+        self.core.slots.capacity()
+    }
+
+    fn name(&self) -> &'static str {
+        "ROLL"
+    }
+}
+
+/// Per-thread handle for [`RollLock`].
+pub struct RollHandle<'a> {
+    lock: &'a RollLock,
+    slot: SlotGuard<'a>,
+    policy: ArrivalPolicy,
+    session: Option<(usize, Ticket)>,
+    write_held: bool,
+}
+
+impl RollHandle<'_> {
+    fn slot_idx(&self) -> usize {
+        self.slot.slot()
+    }
+
+    /// Tries to join a still-waiting reader node (hint first, then a
+    /// backward traversal from `tail`). On success the caller holds an
+    /// arrival on that node and needs only to wait out its spin flag.
+    fn try_join_waiting_reader(&mut self, tail: NodeRef) -> Option<(usize, Ticket)> {
+        let lock = self.lock;
+        let core = &lock.core;
+        let slot = self.slot_idx();
+
+        // 1. Hint path: one load instead of a queue traversal.
+        let hint = lock.load_hint();
+        if hint.is_reader() {
+            let node = core.rnode(hint.index());
+            if node.spin.load(Ordering::Acquire) {
+                let ticket = node.csnzi.arrive(&mut self.policy, slot);
+                if ticket.arrived() {
+                    return Some((hint.index(), ticket));
+                }
+            }
+            lock.clear_hint(hint);
+        }
+
+        // 2. Backward search from the tail. `prev` links are best-effort
+        // (an enqueuer publishes its node before its prev link, and
+        // recycled nodes leave stale values), but that is safe: joining is
+        // validated by the arrival itself — `Arrive` only succeeds on an
+        // open C-SNZI, and open C-SNZIs belong to enqueued reader nodes.
+        let mut cur = tail;
+        let mut steps = 0usize;
+        let cap = core.slots.capacity() * 2;
+        while !cur.is_nil() && steps < cap {
+            if cur.is_reader() {
+                let node = core.rnode(cur.index());
+                if node.spin.load(Ordering::Acquire) {
+                    let ticket = node.csnzi.arrive(&mut self.policy, slot);
+                    if ticket.arrived() {
+                        lock.set_hint(cur);
+                        return Some((cur.index(), ticket));
+                    }
+                }
+                // Waiting group not joinable (already closed) or group is
+                // active: per §4.3, fall back to enqueuing a fresh node.
+                return None;
+            }
+            let prev = core.wnode(cur.index()).prev.load(Ordering::Acquire);
+            cur = NodeRef::from_raw(prev);
+            steps += 1;
+        }
+        None
+    }
+}
+
+impl RwHandle for RollHandle<'_> {
+    fn lock_read(&mut self) {
+        debug_assert!(self.session.is_none() && !self.write_held);
+        let lock = self.lock;
+        let core = &lock.core;
+        let slot = self.slot_idx();
+        let mut rnode: Option<usize> = None;
+        let mut backoff = Backoff::with_policy(core.backoff);
+        loop {
+            let tail = core.load_tail();
+            if tail.is_nil() {
+                let r = rnode.take().unwrap_or_else(|| core.alloc_reader_node(slot));
+                let node = core.rnode(r);
+                node.spin.store(false, Ordering::Relaxed);
+                node.qnext.store(NodeRef::NIL.raw(), Ordering::Relaxed);
+                node.prev.store(NodeRef::NIL.raw(), Ordering::Relaxed);
+                if core.cas_tail(NodeRef::NIL, NodeRef::reader(r)) {
+                    node.csnzi.open();
+                    let ticket = node.csnzi.arrive(&mut self.policy, slot);
+                    if ticket.arrived() {
+                        self.session = Some((r, ticket));
+                        return;
+                    }
+                    rnode = None;
+                } else {
+                    rnode = Some(r);
+                }
+            } else if tail.is_reader() {
+                // Tail is a reader node: join it directly, as in FOLL.
+                let node = core.rnode(tail.index());
+                let ticket = node.csnzi.arrive(&mut self.policy, slot);
+                if ticket.arrived() {
+                    if let Some(n) = rnode.take() {
+                        core.free_reader_node(n);
+                    }
+                    self.session = Some((tail.index(), ticket));
+                    spin_until(core.backoff, || !node.spin.load(Ordering::Acquire));
+                    return;
+                }
+                backoff.backoff();
+            } else {
+                // Tail is a writer: reader preference kicks in — overtake
+                // it if a group of readers is still waiting somewhere in
+                // the queue.
+                if let Some((idx, ticket)) = self.try_join_waiting_reader(tail) {
+                    if let Some(n) = rnode.take() {
+                        core.free_reader_node(n);
+                    }
+                    let node = core.rnode(idx);
+                    self.session = Some((idx, ticket));
+                    spin_until(core.backoff, || !node.spin.load(Ordering::Acquire));
+                    return;
+                }
+                // No waiting group: enqueue a fresh node behind the writer.
+                let r = rnode.take().unwrap_or_else(|| core.alloc_reader_node(slot));
+                let node = core.rnode(r);
+                node.spin.store(true, Ordering::Relaxed);
+                node.qnext.store(NodeRef::NIL.raw(), Ordering::Relaxed);
+                node.prev.store(NodeRef::NIL.raw(), Ordering::Relaxed);
+                if core.cas_tail(tail, NodeRef::reader(r)) {
+                    node.prev.store(tail.raw(), Ordering::Release);
+                    core.set_qnext(tail, NodeRef::reader(r));
+                    node.csnzi.open();
+                    let ticket = node.csnzi.arrive(&mut self.policy, slot);
+                    if ticket.arrived() {
+                        lock.set_hint(NodeRef::reader(r));
+                        self.session = Some((r, ticket));
+                        spin_until(core.backoff, || !node.spin.load(Ordering::Acquire));
+                        return;
+                    }
+                    rnode = None;
+                } else {
+                    rnode = Some(r);
+                }
+            }
+        }
+    }
+
+    fn unlock_read(&mut self) {
+        let (depart_from, ticket) = self.session.take().expect("unlock_read without read hold");
+        self.lock.core.reader_unlock(depart_from, ticket);
+    }
+
+    fn lock_write(&mut self) {
+        debug_assert!(self.session.is_none() && !self.write_held);
+        // `wait_for_active = true`: do not close a waiting reader group's
+        // C-SNZI — that group must stay joinable until it holds the lock.
+        self.lock.core.writer_lock(self.slot_idx(), true);
+        self.write_held = true;
+    }
+
+    fn unlock_write(&mut self) {
+        debug_assert!(self.write_held, "unlock_write without write hold");
+        self.write_held = false;
+        self.lock.core.writer_unlock(self.slot_idx());
+    }
+
+    fn try_lock_read(&mut self) -> bool {
+        debug_assert!(self.session.is_none() && !self.write_held);
+        let core = &self.lock.core;
+        let slot = self.slot_idx();
+        let tail = core.load_tail();
+        if tail.is_nil() {
+            let r = core.alloc_reader_node(slot);
+            let node = core.rnode(r);
+            node.spin.store(false, Ordering::Relaxed);
+            node.qnext.store(NodeRef::NIL.raw(), Ordering::Relaxed);
+            node.prev.store(NodeRef::NIL.raw(), Ordering::Relaxed);
+            if core.cas_tail(NodeRef::NIL, NodeRef::reader(r)) {
+                node.csnzi.open();
+                let ticket = node.csnzi.arrive(&mut self.policy, slot);
+                if ticket.arrived() {
+                    self.session = Some((r, ticket));
+                    return true;
+                }
+                return false;
+            }
+            core.free_reader_node(r);
+            false
+        } else if tail.is_reader() {
+            let node = core.rnode(tail.index());
+            if node.spin.load(Ordering::Acquire) {
+                return false;
+            }
+            let ticket = node.csnzi.arrive(&mut self.policy, slot);
+            if !ticket.arrived() {
+                return false;
+            }
+            self.session = Some((tail.index(), ticket));
+            true
+        } else {
+            false
+        }
+    }
+
+    fn try_lock_write(&mut self) -> bool {
+        debug_assert!(self.session.is_none() && !self.write_held);
+        let core = &self.lock.core;
+        let slot = self.slot_idx();
+        let node = core.wnode(slot);
+        node.qnext.store(NodeRef::NIL.raw(), Ordering::Relaxed);
+        node.prev.store(NodeRef::NIL.raw(), Ordering::Relaxed);
+        if core.cas_tail(NodeRef::NIL, NodeRef::writer(slot)) {
+            self.write_held = true;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl Drop for RollHandle<'_> {
+    fn drop(&mut self) {
+        debug_assert!(
+            self.session.is_none() && !self.write_held,
+            "ROLL handle dropped while holding the lock"
+        );
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicI64, Ordering as O};
+    use std::sync::Arc;
+
+    #[test]
+    fn uncontended_read_write() {
+        let lock = RollLock::new(4);
+        let mut h = lock.handle().unwrap();
+        h.lock_read();
+        h.unlock_read();
+        h.lock_write();
+        h.unlock_write();
+        assert!(lock.is_queue_empty());
+    }
+
+    #[test]
+    fn readers_share_a_node() {
+        let lock = RollLock::new(4);
+        let mut h1 = lock.handle().unwrap();
+        let mut h2 = lock.handle().unwrap();
+        h1.lock_read();
+        h2.lock_read();
+        h2.unlock_read();
+        h1.unlock_read();
+        let mut w = lock.handle().unwrap();
+        w.lock_write();
+        w.unlock_write();
+        assert!(lock.is_queue_empty());
+    }
+
+    #[test]
+    fn try_paths_match_foll_semantics() {
+        let lock = RollLock::new(3);
+        let mut r = lock.handle().unwrap();
+        let mut w = lock.handle().unwrap();
+        assert!(r.try_lock_read());
+        assert!(!w.try_lock_write());
+        r.unlock_read();
+        let mut r2 = lock.handle().unwrap();
+        assert!(r2.try_lock_read()); // joins the still-queued active node
+        r2.unlock_read();
+    }
+
+    #[test]
+    fn reader_overtakes_waiting_writer() {
+        // Construct the scenario of §4.3 deterministically:
+        //  1. R1 read-locks (reader node N1 at head, active).
+        //  2. W enqueues behind N1 and waits for the lock.
+        //  3. R2 arrives; tail is W's node; R2 enqueues node N2 (waiting).
+        //  4. R3 arrives; tail is still W; R3 must *join N2*, overtaking W.
+        //  5. R1 releases: W gets the lock (N1 closed after activity),
+        //     then W releases to N2's two readers.
+        let lock = Arc::new(RollLock::new(8));
+        let writer_in = Arc::new(AtomicBool::new(false));
+        let writer_out = Arc::new(AtomicBool::new(false));
+        let readers_in = Arc::new(AtomicI64::new(0));
+
+        let mut r1 = lock.handle().unwrap();
+        r1.lock_read();
+
+        // Writer thread parks in the queue.
+        let wl = Arc::clone(&lock);
+        let wi = Arc::clone(&writer_in);
+        let wo = Arc::clone(&writer_out);
+        let writer = std::thread::spawn(move || {
+            let mut h = wl.handle().unwrap();
+            wi.store(true, O::SeqCst);
+            h.lock_write();
+            h.unlock_write();
+            wo.store(true, O::SeqCst);
+        });
+        while !writer_in.load(O::SeqCst) {
+            std::thread::yield_now();
+        }
+        // Give the writer time to actually enqueue behind N1.
+        while lock.core.load_tail().is_reader() {
+            std::thread::yield_now();
+        }
+
+        // R2 and R3: both should end up waiting on one shared node.
+        let mut overtakers = Vec::new();
+        for _ in 0..2 {
+            let rl = Arc::clone(&lock);
+            let ri = Arc::clone(&readers_in);
+            overtakers.push(std::thread::spawn(move || {
+                let mut h = rl.handle().unwrap();
+                h.lock_read();
+                ri.fetch_add(1, O::SeqCst);
+                while ri.load(O::SeqCst) < 2 {
+                    std::thread::yield_now(); // both inside together
+                }
+                h.unlock_read();
+            }));
+        }
+
+        // Writer must still be queued (readers can't have released it).
+        assert!(!writer_out.load(O::SeqCst));
+        r1.unlock_read();
+
+        writer.join().unwrap();
+        for t in overtakers {
+            t.join().unwrap();
+        }
+        assert_eq!(readers_in.load(O::SeqCst), 2);
+    }
+
+    #[test]
+    fn mixed_stress_exclusion() {
+        const THREADS: usize = 6;
+        const ITERS: usize = 1_500;
+        let lock = Arc::new(RollLock::new(THREADS));
+        let state = Arc::new(AtomicI64::new(0));
+        let mut handles = Vec::new();
+        for tid in 0..THREADS {
+            let lock = Arc::clone(&lock);
+            let state = Arc::clone(&state);
+            handles.push(std::thread::spawn(move || {
+                let mut h = lock.handle().unwrap();
+                let mut rng = oll_util::XorShift64::for_thread(99, tid);
+                for _ in 0..ITERS {
+                    if rng.percent(70) {
+                        h.lock_read();
+                        assert!(state.fetch_add(1, O::SeqCst) >= 0);
+                        state.fetch_sub(1, O::SeqCst);
+                        h.unlock_read();
+                    } else {
+                        h.lock_write();
+                        assert_eq!(state.swap(-1, O::SeqCst), 0);
+                        state.store(0, O::SeqCst);
+                        h.unlock_write();
+                    }
+                }
+            }));
+        }
+        for t in handles {
+            t.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn hint_disabled_still_correct() {
+        const THREADS: usize = 4;
+        let lock = Arc::new(RollLock::builder(THREADS).last_reader_hint(false).build());
+        let state = Arc::new(AtomicI64::new(0));
+        let mut handles = Vec::new();
+        for tid in 0..THREADS {
+            let lock = Arc::clone(&lock);
+            let state = Arc::clone(&state);
+            handles.push(std::thread::spawn(move || {
+                let mut h = lock.handle().unwrap();
+                let mut rng = oll_util::XorShift64::for_thread(5, tid);
+                for _ in 0..1_000 {
+                    if rng.percent(60) {
+                        h.lock_read();
+                        assert!(state.fetch_add(1, O::SeqCst) >= 0);
+                        state.fetch_sub(1, O::SeqCst);
+                        h.unlock_read();
+                    } else {
+                        h.lock_write();
+                        assert_eq!(state.swap(-1, O::SeqCst), 0);
+                        state.store(0, O::SeqCst);
+                        h.unlock_write();
+                    }
+                }
+            }));
+        }
+        for t in handles {
+            t.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,988 @@
+//! The closable scalable nonzero indicator (Figure 2 of the paper).
+
+use crate::node::{Parent, SnziNode, TreeShape};
+use crate::policy::ArrivalPolicy;
+use crate::root::RootWord;
+use oll_util::sync::{AtomicU64, Ordering};
+use oll_util::CachePadded;
+
+/// Result of [`CSnzi::query`]: Figure 1's `(surplus > 0, state = OPEN)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Query {
+    /// Whether there is a surplus of arrivals (readers hold the lock).
+    pub nonzero: bool,
+    /// Whether the C-SNZI is open (no writer owns or has claimed it).
+    pub open: bool,
+}
+
+/// Where an arrival landed; required to depart.
+///
+/// The paper encapsulates the "node we arrived at" pointer in an opaque
+/// ticket "not \[to\] be dereferenced or manipulated outside the C-SNZI
+/// code". We use an index with two sentinels instead of a pointer.
+///
+/// Tickets are `Copy` for the same reason the paper passes them by value;
+/// the usage contract (one `depart` per successful `arrive`) is the
+/// caller's responsibility, exactly as in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ticket(u32);
+
+const TICKET_FAILED: u32 = u32::MAX;
+const TICKET_ROOT: u32 = u32::MAX - 1;
+
+impl Ticket {
+    /// The ticket returned by a failed arrival (`Ticket(null)`).
+    pub const FAILED: Self = Self(TICKET_FAILED);
+
+    /// A ticket that departs directly from the root — Figure 2's
+    /// `DirectTicket`. Used by GOLL readers whose arrival was performed on
+    /// their behalf by a releasing writer (`OpenWithArrivals`).
+    pub const ROOT: Self = Self(TICKET_ROOT);
+
+    fn node(idx: usize) -> Self {
+        debug_assert!(idx < TICKET_ROOT as usize);
+        Self(idx as u32)
+    }
+
+    /// Figure 2's `Arrived`: whether the arrival succeeded.
+    #[inline]
+    pub fn arrived(self) -> bool {
+        self.0 != TICKET_FAILED
+    }
+
+    /// Whether this ticket departs directly at the root.
+    #[inline]
+    pub fn is_root(self) -> bool {
+        self.0 == TICKET_ROOT
+    }
+}
+
+/// A closable scalable nonzero indicator.
+///
+/// Supports the full interface of Figures 1–2 plus the §2.1 variations and
+/// the §3.2.1 dual-counter extensions. Readers of an OLL lock `arrive` and
+/// `depart`; writers `close` and `open`.
+///
+/// The surplus lives at a CAS-able [`RootWord`] plus a tree of counter
+/// nodes; a subtree's root has nonzero surplus iff some node in the subtree
+/// does, so `query` needs only the root word while concurrent arrivals and
+/// departures at distinct leaves touch distinct cache lines.
+#[derive(Debug)]
+pub struct CSnzi {
+    root: CachePadded<AtomicU64>,
+    nodes: NodeStorage,
+    shape: TreeShape,
+    #[cfg(feature = "stats")]
+    stats: crate::stats::CsnziStats,
+}
+
+/// Tree-node storage: eager (allocated at construction) or lazy
+/// (allocated on the first tree arrival). §2.2: "we can avoid allocating
+/// the tree (other than the root node) until it is needed, thus incurring
+/// the associated space overhead only for those SNZI objects that are
+/// heavily contended." FOLL/ROLL allocate one C-SNZI per pooled reader
+/// node, so lazy trees keep the per-lock footprint proportional to the
+/// contention actually observed.
+#[derive(Debug)]
+enum NodeStorage {
+    Eager(Box<[CachePadded<SnziNode>]>),
+    // loom cannot model std::sync::OnceLock, and the lazy path is an
+    // allocation-time optimization with no new synchronization to check,
+    // so loom builds are always eager.
+    #[cfg(not(loom))]
+    Lazy(std::sync::OnceLock<Box<[CachePadded<SnziNode>]>>),
+}
+
+impl NodeStorage {
+    fn get(&self, shape: TreeShape) -> &[CachePadded<SnziNode>] {
+        match self {
+            NodeStorage::Eager(nodes) => nodes,
+            #[cfg(not(loom))]
+            NodeStorage::Lazy(cell) => cell.get_or_init(|| shape.alloc_nodes()),
+        }
+    }
+
+    fn is_allocated(&self) -> bool {
+        match self {
+            NodeStorage::Eager(_) => true,
+            #[cfg(not(loom))]
+            NodeStorage::Lazy(cell) => cell.get().is_some(),
+        }
+    }
+}
+
+impl Default for CSnzi {
+    fn default() -> Self {
+        Self::new(TreeShape::ROOT_ONLY)
+    }
+}
+
+impl CSnzi {
+    /// Creates an open, empty C-SNZI with the given tree shape.
+    pub fn new(shape: TreeShape) -> Self {
+        Self {
+            root: CachePadded::new(AtomicU64::new(RootWord::OPEN_EMPTY.pack())),
+            nodes: NodeStorage::Eager(shape.alloc_nodes()),
+            shape,
+            #[cfg(feature = "stats")]
+            stats: crate::stats::CsnziStats::default(),
+        }
+    }
+
+    /// Creates an open, empty C-SNZI whose tree is allocated only when
+    /// the first arrival actually lands on it (§2.2's space optimization).
+    /// Until then the object costs one cache line, like a plain counter.
+    ///
+    /// Under loom (`--cfg loom`) this falls back to eager allocation.
+    pub fn new_lazy(shape: TreeShape) -> Self {
+        Self {
+            root: CachePadded::new(AtomicU64::new(RootWord::OPEN_EMPTY.pack())),
+            #[cfg(not(loom))]
+            nodes: NodeStorage::Lazy(std::sync::OnceLock::new()),
+            #[cfg(loom)]
+            nodes: NodeStorage::Eager(shape.alloc_nodes()),
+            shape,
+            #[cfg(feature = "stats")]
+            stats: crate::stats::CsnziStats::default(),
+        }
+    }
+
+    /// Like [`new_lazy`](Self::new_lazy), but starting closed — the
+    /// pooled FOLL/ROLL reader-node configuration, where the per-node
+    /// trees only materialize on locks that actually see read contention.
+    pub fn new_closed_lazy(shape: TreeShape) -> Self {
+        Self {
+            root: CachePadded::new(AtomicU64::new(RootWord::CLOSED_EMPTY.pack())),
+            #[cfg(not(loom))]
+            nodes: NodeStorage::Lazy(std::sync::OnceLock::new()),
+            #[cfg(loom)]
+            nodes: NodeStorage::Eager(shape.alloc_nodes()),
+            shape,
+            #[cfg(feature = "stats")]
+            stats: crate::stats::CsnziStats::default(),
+        }
+    }
+
+    /// Whether the tree's node array has been allocated yet (always true
+    /// for eagerly constructed objects).
+    pub fn is_tree_allocated(&self) -> bool {
+        self.nodes.is_allocated()
+    }
+
+    /// Creates a closed, empty C-SNZI (FOLL reader nodes start this way:
+    /// "when just allocated, has a closed C-SNZI with no surplus", §4.2).
+    pub fn new_closed(shape: TreeShape) -> Self {
+        Self {
+            root: CachePadded::new(AtomicU64::new(RootWord::CLOSED_EMPTY.pack())),
+            nodes: NodeStorage::Eager(shape.alloc_nodes()),
+            shape,
+            #[cfg(feature = "stats")]
+            stats: crate::stats::CsnziStats::default(),
+        }
+    }
+
+    /// Shared-write counters (cargo feature `stats`).
+    #[cfg(feature = "stats")]
+    pub fn stats(&self) -> &crate::stats::CsnziStats {
+        &self.stats
+    }
+
+    #[inline]
+    fn note_root_write(&self) {
+        #[cfg(feature = "stats")]
+        self.stats.record_root_write();
+    }
+
+    #[inline]
+    fn note_root_cas_failure(&self) {
+        #[cfg(feature = "stats")]
+        self.stats.record_root_cas_failure();
+    }
+
+    #[inline]
+    fn note_node_write(&self) {
+        #[cfg(feature = "stats")]
+        self.stats.record_node_write();
+    }
+
+    /// The tree shape this C-SNZI was built with.
+    pub fn shape(&self) -> TreeShape {
+        self.shape
+    }
+
+    #[inline]
+    fn load_root(&self) -> RootWord {
+        RootWord::unpack(self.root.load(Ordering::Acquire))
+    }
+
+    #[inline]
+    fn cas_root(&self, old: RootWord, new: RootWord) -> bool {
+        let ok = self
+            .root
+            .compare_exchange(old.pack(), new.pack(), Ordering::AcqRel, Ordering::Acquire)
+            .is_ok();
+        if ok {
+            self.note_root_write();
+        } else {
+            self.note_root_cas_failure();
+        }
+        ok
+    }
+
+    /// `Arrive` (Figure 2): if open, increments the surplus — directly at
+    /// the root or at this thread's leaf, per `policy` — and returns a
+    /// ticket for the node arrived at. If closed, changes nothing and
+    /// returns [`Ticket::FAILED`].
+    ///
+    /// `leaf_hint` identifies the calling thread (`GetLeafForThread`);
+    /// lock handles pass their slot index so distinct threads default to
+    /// distinct leaves.
+    pub fn arrive(&self, policy: &mut ArrivalPolicy, leaf_hint: usize) -> Ticket {
+        loop {
+            let old = self.load_root();
+            if !old.open {
+                return Ticket::FAILED;
+            }
+            if self.shape.depth == 0 || !policy.should_arrive_at_tree(old) {
+                if self.cas_root(old, old.with_direct_arrival()) {
+                    policy.record_success();
+                    return Ticket::ROOT;
+                }
+                policy.record_failure();
+            } else {
+                let leaf = self.shape.leaf_for(leaf_hint);
+                return if self.tree_arrive(leaf) {
+                    Ticket::node(leaf)
+                } else {
+                    Ticket::FAILED
+                };
+            }
+        }
+    }
+
+    /// Arrives directly at the root regardless of policy (still fails if
+    /// closed). Exposed for ablation benchmarks.
+    pub fn arrive_direct(&self) -> Ticket {
+        let mut p = ArrivalPolicy::always_direct();
+        self.arrive(&mut p, 0)
+    }
+
+    /// Arrives at this thread's leaf regardless of policy (still fails if
+    /// the C-SNZI is closed). Exposed for ablation benchmarks.
+    pub fn arrive_tree(&self, leaf_hint: usize) -> Ticket {
+        if self.shape.depth == 0 {
+            return self.arrive_direct();
+        }
+        // Check openness first, as the top of Arrive does; the tree path
+        // linearizes at this check when the leaf already has surplus.
+        if !self.load_root().open {
+            return Ticket::FAILED;
+        }
+        let leaf = self.shape.leaf_for(leaf_hint);
+        if self.tree_arrive(leaf) {
+            Ticket::node(leaf)
+        } else {
+            Ticket::FAILED
+        }
+    }
+
+    /// `Depart` (Figure 2): decrements the surplus; returns `false` iff the
+    /// resulting state is CLOSED with zero surplus (i.e. the caller is the
+    /// last departer and must hand the lock to the waiting writer).
+    ///
+    /// `ticket` must come from a successful arrival (or `Ticket::ROOT` for
+    /// a pre-arranged direct arrival), departed exactly once.
+    pub fn depart(&self, ticket: Ticket) -> bool {
+        debug_assert!(ticket.arrived(), "cannot depart with a failed ticket");
+        if ticket.is_root() {
+            self.root_direct_depart()
+        } else {
+            self.tree_depart(ticket.0 as usize)
+        }
+    }
+
+    /// `Query` (Figure 2): one root load.
+    #[inline]
+    pub fn query(&self) -> Query {
+        let w = self.load_root();
+        Query {
+            nonzero: w.surplus() > 0,
+            open: w.open,
+        }
+    }
+
+    /// `Open` (Figure 2): requires state CLOSED and surplus zero.
+    ///
+    /// The caller owns the C-SNZI in this state (it is the write-lock
+    /// holder), so a plain store suffices, exactly as in the paper.
+    pub fn open(&self) {
+        debug_assert!({
+            let w = self.load_root();
+            !w.open && w.surplus() == 0
+        });
+        self.root
+            .store(RootWord::OPEN_EMPTY.pack(), Ordering::Release);
+        self.note_root_write();
+    }
+
+    /// `OpenWithArrivals` (§2.1, Figure 2): atomically opens, performs
+    /// `cnt` arrivals *at the root*, and optionally closes again. Requires
+    /// state CLOSED and surplus zero. The beneficiaries depart with
+    /// [`Ticket::ROOT`].
+    pub fn open_with_arrivals(&self, cnt: u64, close: bool) {
+        debug_assert!({
+            let w = self.load_root();
+            !w.open && w.surplus() == 0
+        });
+        let w = RootWord {
+            direct: cnt,
+            tree: 0,
+            open: !close,
+        };
+        self.root.store(w.pack(), Ordering::Release);
+        self.note_root_write();
+    }
+
+    /// `Close` (Figure 2): closes an open C-SNZI (no-op if already closed);
+    /// returns `true` iff the state changed OPEN→CLOSED *and* the surplus
+    /// is zero — i.e. the closer has write-acquired an uncontended object.
+    pub fn close(&self) -> bool {
+        loop {
+            let old = self.load_root();
+            if !old.open {
+                return false;
+            }
+            let new = old.closed();
+            if self.cas_root(old, new) {
+                return new.surplus() == 0;
+            }
+        }
+    }
+
+    /// `CloseIfEmpty` (§2.1, Figure 2): closes only if open with zero
+    /// surplus; returns whether it closed. This is the writer fast path of
+    /// the GOLL lock.
+    pub fn close_if_empty(&self) -> bool {
+        loop {
+            let old = self.load_root();
+            if old != RootWord::OPEN_EMPTY {
+                return false;
+            }
+            if self.cas_root(old, RootWord::CLOSED_EMPTY) {
+                return true;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // §3.2.1 dual-counter extensions (write-upgrade support)
+    // ------------------------------------------------------------------
+
+    /// Trades a tree arrival for a direct arrival at the root: arrives
+    /// directly at the root, then departs from the original node (§3.2.1).
+    /// Returns the new (root) ticket.
+    ///
+    /// Requires that the caller holds a successful arrival (`ticket`), so
+    /// the surplus is nonzero throughout; the trade therefore succeeds even
+    /// if the C-SNZI has been closed in the meantime.
+    pub fn trade_to_direct(&self, ticket: Ticket) -> Ticket {
+        debug_assert!(ticket.arrived());
+        if ticket.is_root() {
+            return ticket;
+        }
+        // Unconditional direct arrival: legal because our existing arrival
+        // keeps the surplus nonzero, so this never creates surplus on a
+        // closed-and-empty C-SNZI.
+        loop {
+            let old = self.load_root();
+            debug_assert!(old.surplus() > 0);
+            if self.cas_root(old, old.with_direct_arrival()) {
+                break;
+            }
+        }
+        let still_held = self.tree_depart(ticket.0 as usize);
+        debug_assert!(still_held, "surplus kept nonzero by the direct arrival");
+        Ticket::ROOT
+    }
+
+    /// Whether the *only* surplus is a single direct arrival — after
+    /// [`trade_to_direct`](Self::trade_to_direct), this is exactly the
+    /// paper's "the thread is the only one holding \[the\] lock" test.
+    pub fn is_sole_direct(&self) -> bool {
+        let w = self.load_root();
+        w.direct == 1 && w.tree == 0
+    }
+
+    /// Attempts to atomically convert a sole direct arrival on an *open*
+    /// C-SNZI into the closed-empty (write-acquired) state. Returns `true`
+    /// on success; on failure nothing changes and the caller still holds
+    /// its arrival.
+    ///
+    /// This is the commit point of the GOLL write-upgrade: the reader's own
+    /// surplus is consumed and the object ends closed with zero surplus.
+    pub fn try_upgrade_sole_direct(&self) -> bool {
+        let old = RootWord {
+            direct: 1,
+            tree: 0,
+            open: true,
+        };
+        // Retry while the word still matches: a concurrent reader that
+        // arrived and already departed again may fail the CAS spuriously
+        // without invalidating our sole-reader status.
+        loop {
+            let w = self.load_root();
+            if w != old {
+                return false;
+            }
+            if self.cas_root(old, RootWord::CLOSED_EMPTY) {
+                return true;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Tree operations (Figure 2's TreeArrive / TreeDepart)
+    // ------------------------------------------------------------------
+
+    fn node(&self, idx: usize) -> &SnziNode {
+        &self.nodes.get(self.shape)[idx]
+    }
+
+    fn parent_arrive(&self, parent: Parent) -> bool {
+        match parent {
+            Parent::Root => self.root_tree_arrive(),
+            Parent::Node(p) => self.tree_arrive(p),
+        }
+    }
+
+    fn parent_depart(&self, parent: Parent) -> bool {
+        match parent {
+            Parent::Root => self.root_tree_depart(),
+            Parent::Node(p) => self.tree_depart(p),
+        }
+    }
+
+    /// `TreeArrive(node)`: increments this node's surplus, first arriving
+    /// at the parent if the surplus here might go 0→1. Crucially (and this
+    /// is what makes the closable extension work — §2.2), the node is *not*
+    /// modified before the parent arrival, so a failed parent arrival needs
+    /// no cleanup.
+    fn tree_arrive(&self, idx: usize) -> bool {
+        let parent = self.shape.parent_of(idx);
+        let node = self.node(idx);
+        let mut arrived_at_parent = false;
+        loop {
+            let x = node.cnt.load(Ordering::Acquire);
+            if x == 0 && !arrived_at_parent {
+                if self.parent_arrive(parent) {
+                    arrived_at_parent = true;
+                } else {
+                    return false;
+                }
+                continue;
+            }
+            if node
+                .cnt
+                .compare_exchange(x, x + 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                self.note_node_write();
+                // We pre-arrived at the parent but someone else created the
+                // surplus here first; undo the extra parent arrival.
+                if arrived_at_parent && x != 0 {
+                    self.parent_depart(parent);
+                }
+                return true;
+            }
+        }
+    }
+
+    /// `TreeDepart(node)`: decrements this node's surplus, propagating to
+    /// the parent when the surplus here drops to zero. Returns `false` iff
+    /// the C-SNZI as a whole became CLOSED with zero surplus.
+    fn tree_depart(&self, idx: usize) -> bool {
+        let parent = self.shape.parent_of(idx);
+        let node = self.node(idx);
+        loop {
+            let x = node.cnt.load(Ordering::Acquire);
+            debug_assert!(x > 0, "tree depart with no surplus at node {idx}");
+            if node
+                .cnt
+                .compare_exchange(x, x - 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                self.note_node_write();
+                return if x == 1 {
+                    self.parent_depart(parent)
+                } else {
+                    true
+                };
+            }
+        }
+    }
+
+    /// `TreeArrive` base case at the root: fails only when the C-SNZI is
+    /// closed with zero surplus (a tree arrival may legitimately land while
+    /// the C-SNZI is closed but still held by readers; it linearizes at the
+    /// openness check its leaf-arriving thread performed earlier — §2.2).
+    fn root_tree_arrive(&self) -> bool {
+        loop {
+            let old = self.load_root();
+            if old.surplus() == 0 && !old.open {
+                return false;
+            }
+            if self.cas_root(old, old.with_tree_arrival()) {
+                return true;
+            }
+        }
+    }
+
+    /// `TreeDepart` base case at the root.
+    // The `!(surplus == 0 && closed)` form mirrors Figure 1/2 verbatim.
+    #[allow(clippy::nonminimal_bool)]
+    fn root_tree_depart(&self) -> bool {
+        loop {
+            let old = self.load_root();
+            let new = old.with_tree_departure();
+            if self.cas_root(old, new) {
+                return !(new.surplus() == 0 && !new.open);
+            }
+        }
+    }
+
+    /// Departure of a direct (root) arrival.
+    #[allow(clippy::nonminimal_bool)]
+    fn root_direct_depart(&self) -> bool {
+        loop {
+            let old = self.load_root();
+            let new = old.with_direct_departure();
+            if self.cas_root(old, new) {
+                return !(new.surplus() == 0 && !new.open);
+            }
+        }
+    }
+
+    /// Test/diagnostic accessor: the decoded root word (racy snapshot).
+    pub fn root_snapshot(&self) -> RootWord {
+        self.load_root()
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    fn shapes() -> Vec<TreeShape> {
+        vec![
+            TreeShape::ROOT_ONLY,
+            TreeShape::flat(1),
+            TreeShape::flat(4),
+            TreeShape {
+                fanout: 2,
+                depth: 2,
+            },
+            TreeShape {
+                fanout: 2,
+                depth: 3,
+            },
+        ]
+    }
+
+    fn tree_policy() -> ArrivalPolicy {
+        ArrivalPolicy::always_tree()
+    }
+
+    #[test]
+    fn starts_open_and_empty() {
+        for shape in shapes() {
+            let c = CSnzi::new(shape);
+            assert_eq!(
+                c.query(),
+                Query {
+                    nonzero: false,
+                    open: true
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn new_closed_starts_closed() {
+        let c = CSnzi::new_closed(TreeShape::flat(2));
+        assert_eq!(
+            c.query(),
+            Query {
+                nonzero: false,
+                open: false
+            }
+        );
+        assert!(!c.arrive(&mut tree_policy(), 0).arrived());
+    }
+
+    #[test]
+    fn direct_arrive_depart_round_trip() {
+        for shape in shapes() {
+            let c = CSnzi::new(shape);
+            let t = c.arrive_direct();
+            assert!(t.arrived());
+            assert!(t.is_root());
+            assert!(c.query().nonzero);
+            assert!(c.depart(t)); // open ⇒ true
+            assert!(!c.query().nonzero);
+        }
+    }
+
+    #[test]
+    fn tree_arrive_depart_round_trip_all_leaves() {
+        for shape in shapes().into_iter().filter(|s| s.depth > 0) {
+            let c = CSnzi::new(shape);
+            for hint in 0..shape.leaf_count() * 2 {
+                let t = c.arrive_tree(hint);
+                assert!(t.arrived());
+                assert!(!t.is_root());
+                assert!(c.query().nonzero, "shape {shape:?} hint {hint}");
+                assert!(c.depart(t));
+                assert!(!c.query().nonzero);
+            }
+        }
+    }
+
+    #[test]
+    fn surplus_at_root_iff_surplus_anywhere() {
+        let shape = TreeShape {
+            fanout: 2,
+            depth: 2,
+        };
+        let c = CSnzi::new(shape);
+        let mut tickets = Vec::new();
+        // Arrive at every leaf and directly, in a mix.
+        for hint in 0..shape.leaf_count() {
+            tickets.push(c.arrive_tree(hint));
+        }
+        tickets.push(c.arrive_direct());
+        assert!(c.query().nonzero);
+        // Depart in reverse order; root must stay nonzero until the end.
+        while let Some(t) = tickets.pop() {
+            assert!(c.query().nonzero);
+            assert!(c.depart(t));
+        }
+        assert!(!c.query().nonzero);
+    }
+
+    #[test]
+    fn close_blocks_arrivals_everywhere() {
+        for shape in shapes() {
+            let c = CSnzi::new(shape);
+            assert!(c.close());
+            assert!(!c.arrive_direct().arrived());
+            if shape.depth > 0 {
+                assert!(!c.arrive_tree(0).arrived());
+            }
+            assert!(!c.close(), "closing twice must fail");
+        }
+    }
+
+    #[test]
+    fn close_with_tree_surplus_returns_false() {
+        let c = CSnzi::new(TreeShape::flat(2));
+        let t = c.arrive_tree(0);
+        assert!(!c.close());
+        assert_eq!(
+            c.query(),
+            Query {
+                nonzero: true,
+                open: false
+            }
+        );
+        // Last departure from a closed C-SNZI reports false.
+        assert!(!c.depart(t));
+        assert_eq!(
+            c.query(),
+            Query {
+                nonzero: false,
+                open: false
+            }
+        );
+        c.open();
+        assert!(c.query().open);
+    }
+
+    #[test]
+    fn arrivals_fail_after_close_even_with_leaf_surplus() {
+        // Every *new* arrival re-checks openness first (the §2.2 "closed
+        // but leaf nonzero" window only exists for a thread that passed
+        // the openness check before the close; such an arrival linearizes
+        // at that earlier check). Arrivals starting after the close must
+        // fail at every node.
+        let c = CSnzi::new(TreeShape::flat(1));
+        let t1 = c.arrive_tree(0);
+        assert!(!c.close());
+        // Public arrive re-checks openness and must fail.
+        assert!(!c.arrive(&mut tree_policy(), 0).arrived());
+        assert!(!c.arrive_tree(0).arrived());
+        assert!(!c.depart(t1));
+    }
+
+    #[test]
+    fn close_if_empty_fast_path() {
+        let c = CSnzi::new(TreeShape::flat(2));
+        assert!(c.close_if_empty());
+        assert!(!c.close_if_empty());
+        c.open();
+        let t = c.arrive_direct();
+        assert!(!c.close_if_empty());
+        assert!(c.query().open);
+        assert!(c.depart(t));
+    }
+
+    #[test]
+    fn open_with_arrivals_and_root_tickets() {
+        let c = CSnzi::new(TreeShape::flat(2));
+        assert!(c.close());
+        c.open_with_arrivals(3, false);
+        assert_eq!(
+            c.query(),
+            Query {
+                nonzero: true,
+                open: true
+            }
+        );
+        assert!(c.depart(Ticket::ROOT));
+        assert!(c.depart(Ticket::ROOT));
+        assert!(c.depart(Ticket::ROOT));
+        assert!(!c.query().nonzero);
+        assert!(c.query().open);
+    }
+
+    #[test]
+    fn open_with_arrivals_closed_variant() {
+        let c = CSnzi::new(TreeShape::flat(2));
+        assert!(c.close());
+        c.open_with_arrivals(2, true);
+        assert_eq!(
+            c.query(),
+            Query {
+                nonzero: true,
+                open: false
+            }
+        );
+        assert!(c.depart(Ticket::ROOT));
+        assert!(!c.depart(Ticket::ROOT)); // last departer must hand off
+    }
+
+    #[test]
+    fn policy_migrates_to_tree_after_failures() {
+        let c = CSnzi::new(TreeShape::flat(4));
+        let mut p = ArrivalPolicy::new(0); // tree immediately
+        let t = c.arrive(&mut p, 3);
+        assert!(t.arrived());
+        assert!(!t.is_root());
+        // A default-policy arrival now sees tree surplus and follows it.
+        let mut p2 = ArrivalPolicy::default();
+        let t2 = c.arrive(&mut p2, 1);
+        assert!(!t2.is_root());
+        assert!(c.depart(t2));
+        assert!(c.depart(t));
+    }
+
+    #[test]
+    fn trade_to_direct_preserves_surplus() {
+        let c = CSnzi::new(TreeShape::flat(2));
+        let t = c.arrive_tree(1);
+        assert!(!t.is_root());
+        let t = c.trade_to_direct(t);
+        assert!(t.is_root());
+        let w = c.root_snapshot();
+        assert_eq!((w.direct, w.tree), (1, 0));
+        assert!(c.is_sole_direct());
+        assert!(c.depart(t));
+        assert!(!c.query().nonzero);
+    }
+
+    #[test]
+    fn trade_is_idempotent_for_root_tickets() {
+        let c = CSnzi::new(TreeShape::ROOT_ONLY);
+        let t = c.arrive_direct();
+        assert_eq!(c.trade_to_direct(t), t);
+        c.depart(t);
+    }
+
+    #[test]
+    fn sole_direct_detects_other_readers() {
+        let c = CSnzi::new(TreeShape::flat(2));
+        let t1 = c.arrive_direct();
+        assert!(c.is_sole_direct());
+        let t2 = c.arrive_tree(0);
+        assert!(!c.is_sole_direct());
+        c.depart(t2);
+        assert!(c.is_sole_direct());
+        c.depart(t1);
+    }
+
+    #[test]
+    fn upgrade_sole_direct() {
+        let c = CSnzi::new(TreeShape::flat(2));
+        let t = c.arrive_tree(0);
+        let _t = c.trade_to_direct(t);
+        assert!(c.try_upgrade_sole_direct());
+        // Now closed and empty: a write-acquired lock.
+        assert_eq!(
+            c.query(),
+            Query {
+                nonzero: false,
+                open: false
+            }
+        );
+        // And reopenable.
+        c.open();
+        assert!(c.query().open);
+    }
+
+    #[test]
+    fn upgrade_fails_with_second_reader() {
+        let c = CSnzi::new(TreeShape::flat(2));
+        let t1 = c.arrive_direct();
+        let t2 = c.arrive_direct();
+        assert!(!c.try_upgrade_sole_direct());
+        assert!(c.depart(t2));
+        assert!(c.try_upgrade_sole_direct());
+        let _ = t1; // consumed by the upgrade
+    }
+
+    #[test]
+    fn upgrade_fails_when_closed() {
+        let c = CSnzi::new(TreeShape::flat(2));
+        let t = c.arrive_direct();
+        assert!(!c.close());
+        assert!(!c.try_upgrade_sole_direct());
+        assert!(!c.depart(t));
+    }
+
+    #[test]
+    fn many_arrivals_one_leaf_propagate_once() {
+        let c = CSnzi::new(TreeShape::flat(2));
+        let tickets: Vec<_> = (0..10).map(|_| c.arrive_tree(0)).collect();
+        let w = c.root_snapshot();
+        // Only the first arrival propagates to the root.
+        assert_eq!(w.tree, 1);
+        assert_eq!(w.direct, 0);
+        for t in tickets {
+            assert!(c.depart(t));
+        }
+        assert_eq!(c.root_snapshot().tree, 0);
+    }
+
+    #[test]
+    fn concurrent_stress_matches_counted_oracle() {
+        use std::sync::atomic::{AtomicI64, Ordering as O};
+        use std::sync::Arc;
+
+        const THREADS: usize = 8;
+        const OPS: usize = 2_000;
+        let c = Arc::new(CSnzi::new(TreeShape::flat(THREADS)));
+        let oracle = Arc::new(AtomicI64::new(0));
+        let mut handles = Vec::new();
+        for tid in 0..THREADS {
+            let c = Arc::clone(&c);
+            let oracle = Arc::clone(&oracle);
+            handles.push(std::thread::spawn(move || {
+                let mut p = ArrivalPolicy::default();
+                for i in 0..OPS {
+                    let t = c.arrive(&mut p, tid);
+                    assert!(t.arrived(), "object is never closed in this test");
+                    oracle.fetch_add(1, O::SeqCst);
+                    if i % 3 == 0 {
+                        std::thread::yield_now();
+                    }
+                    // While we hold an arrival, the root must be nonzero.
+                    assert!(c.query().nonzero);
+                    oracle.fetch_sub(1, O::SeqCst);
+                    assert!(c.depart(t));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(oracle.load(O::SeqCst), 0);
+        assert!(!c.query().nonzero);
+        assert!(c.query().open);
+        let w = c.root_snapshot();
+        assert_eq!((w.direct, w.tree), (0, 0));
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod lazy_tests {
+    use super::*;
+
+    #[test]
+    fn lazy_tree_allocates_only_on_first_tree_arrival() {
+        let c = CSnzi::new_lazy(TreeShape::flat(8));
+        assert!(!c.is_tree_allocated());
+
+        // Root-path operations never materialize the tree.
+        let t = c.arrive_direct();
+        assert!(!c.is_tree_allocated());
+        assert!(c.depart(t));
+        assert!(c.close());
+        c.open();
+        assert!(c.close_if_empty());
+        c.open_with_arrivals(2, false);
+        assert!(c.depart(Ticket::ROOT));
+        assert!(c.depart(Ticket::ROOT));
+        assert!(!c.is_tree_allocated());
+
+        // First tree arrival materializes it.
+        let t = c.arrive_tree(3);
+        assert!(c.is_tree_allocated());
+        assert!(c.depart(t));
+    }
+
+    #[test]
+    fn eager_tree_is_always_allocated() {
+        let c = CSnzi::new(TreeShape::flat(2));
+        assert!(c.is_tree_allocated());
+        let c = CSnzi::new_closed(TreeShape::flat(2));
+        assert!(c.is_tree_allocated());
+    }
+
+    #[test]
+    fn lazy_tree_behaves_identically_after_materialization() {
+        let lazy = CSnzi::new_lazy(TreeShape::flat(4));
+        let eager = CSnzi::new(TreeShape::flat(4));
+        for hint in 0..8 {
+            let tl = lazy.arrive_tree(hint);
+            let te = eager.arrive_tree(hint);
+            assert_eq!(tl.arrived(), te.arrived());
+            assert_eq!(lazy.query(), eager.query());
+            assert_eq!(lazy.depart(tl), eager.depart(te));
+        }
+        // Both drained: closing an empty, open object succeeds.
+        assert!(lazy.close());
+        assert!(eager.close());
+    }
+
+    #[test]
+    fn concurrent_first_tree_arrivals_race_safely() {
+        use std::sync::Arc;
+        let c = Arc::new(CSnzi::new_lazy(TreeShape::flat(4)));
+        let mut handles = Vec::new();
+        for tid in 0..4 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..500 {
+                    let t = c.arrive_tree(tid);
+                    assert!(t.arrived());
+                    assert!(c.query().nonzero);
+                    assert!(c.depart(t));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(c.is_tree_allocated());
+        assert_eq!(c.root_snapshot().surplus(), 0);
+    }
+}

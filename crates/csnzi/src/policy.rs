@@ -1,0 +1,130 @@
+//! The `ShouldArriveAtTree` heuristic.
+//!
+//! §2.2: "we adopt the simple policy of arriving at the root unless
+//! attempting to do so has failed several times, or if there is already
+//! some surplus due to arrivals at leaves." §5.1 adds that with the
+//! dual-counter root this "favor\[s\] direct arrivals until it encounters
+//! contention or until it sees that other threads have arrived using the
+//! tree, indicating that contention was recently observed by another
+//! thread."
+//!
+//! The policy is *per-thread* state (a failure counter); lock handles own
+//! one per C-SNZI they use.
+
+use crate::root::RootWord;
+
+/// Per-thread decision state for [`CSnzi::arrive`](crate::CSnzi::arrive).
+#[derive(Debug, Clone)]
+pub struct ArrivalPolicy {
+    failures: u32,
+    threshold: u32,
+}
+
+impl Default for ArrivalPolicy {
+    fn default() -> Self {
+        Self::new(Self::DEFAULT_THRESHOLD)
+    }
+}
+
+impl ArrivalPolicy {
+    /// Default number of consecutive root-CAS failures before switching to
+    /// tree arrivals.
+    pub const DEFAULT_THRESHOLD: u32 = 2;
+
+    /// Creates a policy that tolerates `threshold` consecutive failed root
+    /// CASes before moving to the tree. A threshold of `u32::MAX`
+    /// effectively pins arrivals to the root; `0` pins them to the tree.
+    pub fn new(threshold: u32) -> Self {
+        Self {
+            failures: 0,
+            threshold,
+        }
+    }
+
+    /// A policy that always arrives directly at the root (unless another
+    /// thread is already using the tree, which tree-surplus correctness
+    /// does not require us to follow — root arrival stays correct, so this
+    /// truly pins to the root).
+    pub fn always_direct() -> Self {
+        Self::new(u32::MAX)
+    }
+
+    /// A policy that always arrives at the tree.
+    pub fn always_tree() -> Self {
+        Self::new(0)
+    }
+
+    /// Decides where the next arrival should go, given the freshly loaded
+    /// root word.
+    pub fn should_arrive_at_tree(&self, root: RootWord) -> bool {
+        self.failures >= self.threshold || (self.threshold != u32::MAX && root.tree > 0)
+    }
+
+    /// Records a failed CAS on the root (contention evidence).
+    pub fn record_failure(&mut self) {
+        self.failures = self.failures.saturating_add(1);
+    }
+
+    /// Records a successful direct arrival (contention is subsiding).
+    pub fn record_success(&mut self) {
+        self.failures = self.failures.saturating_sub(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_root() -> RootWord {
+        RootWord::OPEN_EMPTY
+    }
+
+    fn tree_busy_root() -> RootWord {
+        RootWord {
+            direct: 0,
+            tree: 3,
+            open: true,
+        }
+    }
+
+    #[test]
+    fn fresh_policy_prefers_direct() {
+        let p = ArrivalPolicy::default();
+        assert!(!p.should_arrive_at_tree(quiet_root()));
+    }
+
+    #[test]
+    fn failures_push_to_tree_and_successes_pull_back() {
+        let mut p = ArrivalPolicy::new(2);
+        p.record_failure();
+        assert!(!p.should_arrive_at_tree(quiet_root()));
+        p.record_failure();
+        assert!(p.should_arrive_at_tree(quiet_root()));
+        p.record_success();
+        assert!(!p.should_arrive_at_tree(quiet_root()));
+    }
+
+    #[test]
+    fn tree_surplus_from_others_pushes_to_tree() {
+        let p = ArrivalPolicy::default();
+        assert!(p.should_arrive_at_tree(tree_busy_root()));
+    }
+
+    #[test]
+    fn pinned_policies() {
+        let p = ArrivalPolicy::always_direct();
+        assert!(!p.should_arrive_at_tree(tree_busy_root()));
+        let p = ArrivalPolicy::always_tree();
+        assert!(p.should_arrive_at_tree(quiet_root()));
+    }
+
+    #[test]
+    fn failure_counter_saturates() {
+        let mut p = ArrivalPolicy::new(u32::MAX);
+        for _ in 0..10 {
+            p.record_failure();
+        }
+        // Saturating, no overflow; still short of u32::MAX threshold.
+        assert!(!p.should_arrive_at_tree(quiet_root()));
+    }
+}

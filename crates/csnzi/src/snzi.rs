@@ -1,0 +1,101 @@
+//! Plain (non-closable) SNZI.
+//!
+//! The original scalable nonzero indicator of Ellen, Lev, Luchangco, and
+//! Moir (PODC'07), in the simplified form of Lev et al. that this paper
+//! builds C-SNZI on. A C-SNZI that is never closed behaves exactly like a
+//! SNZI and compiles to the same operations, so `Snzi` is a thin veneer
+//! over [`CSnzi`] that exposes the three-operation interface
+//! (`arrive`/`depart`/`query`) with infallible arrivals.
+//!
+//! Kept as a public type because (a) it *is* one of the systems the paper
+//! depends on, and (b) the `ablation_csnzi_vs_counter` benchmark compares
+//! it against a centralized atomic counter to demonstrate the mechanism
+//! behind the lock results.
+
+use crate::csnzi::{CSnzi, Ticket};
+use crate::node::TreeShape;
+use crate::policy::ArrivalPolicy;
+
+/// A scalable nonzero indicator: threads `arrive` and `depart`; `query`
+/// reports whether there is a surplus of arrivals.
+#[derive(Debug, Default)]
+pub struct Snzi {
+    inner: CSnzi,
+}
+
+impl Snzi {
+    /// Creates an empty SNZI with the given tree shape.
+    pub fn new(shape: TreeShape) -> Self {
+        Self {
+            inner: CSnzi::new(shape),
+        }
+    }
+
+    /// Arrives; always succeeds (a SNZI cannot be closed). Returns the
+    /// ticket to pass to [`depart`](Self::depart).
+    pub fn arrive(&self, policy: &mut ArrivalPolicy, leaf_hint: usize) -> Ticket {
+        let t = self.inner.arrive(policy, leaf_hint);
+        debug_assert!(t.arrived(), "SNZI arrivals cannot fail");
+        t
+    }
+
+    /// Departs a previous arrival. (The SNZI `Depart` has no return value;
+    /// a surplus-zero-while-closed condition cannot occur.)
+    pub fn depart(&self, ticket: Ticket) {
+        let ok = self.inner.depart(ticket);
+        debug_assert!(ok, "SNZI departures never observe a closed object");
+    }
+
+    /// Whether there have been more arrivals than departures.
+    pub fn query(&self) -> bool {
+        self.inner.query().nonzero
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrive_sets_query_depart_clears_it() {
+        let s = Snzi::new(TreeShape::flat(4));
+        assert!(!s.query());
+        let mut p = ArrivalPolicy::default();
+        let t1 = s.arrive(&mut p, 0);
+        let t2 = s.arrive(&mut p, 1);
+        assert!(s.query());
+        s.depart(t1);
+        assert!(s.query());
+        s.depart(t2);
+        assert!(!s.query());
+    }
+
+    #[test]
+    fn concurrent_surplus_is_never_lost() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        const THREADS: usize = 6;
+        let s = Arc::new(Snzi::new(TreeShape::flat(THREADS)));
+        let anyone_in = Arc::new(AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for tid in 0..THREADS {
+            let s = Arc::clone(&s);
+            let anyone_in = Arc::clone(&anyone_in);
+            handles.push(std::thread::spawn(move || {
+                let mut p = ArrivalPolicy::always_tree();
+                for _ in 0..1_000 {
+                    let t = s.arrive(&mut p, tid);
+                    anyone_in.store(true, Ordering::Relaxed);
+                    // While *we* are inside, query must say nonzero.
+                    assert!(s.query());
+                    s.depart(t);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(!s.query());
+    }
+}

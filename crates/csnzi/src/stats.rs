@@ -1,0 +1,69 @@
+//! Shared-write instrumentation (cargo feature `stats`).
+//!
+//! The paper's scalability argument is about *where writes land*: a
+//! centralized lockword absorbs one or more CAS writes from every
+//! acquisition and release, while the C-SNZI routes most of them to
+//! per-leaf cache lines, touching the shared root only when a leaf's
+//! surplus crosses zero. These counters make that claim measurable: with
+//! `--features stats`, every successful modification of the root word and
+//! of any tree node is counted, and `EXPERIMENTS.md` reports root writes
+//! per acquisition for the direct and tree policies.
+//!
+//! Compiled out entirely (zero cost) unless the `stats` feature is on.
+
+use oll_util::sync::{AtomicU64, Ordering};
+
+/// Per-C-SNZI shared-write counters.
+#[derive(Debug, Default)]
+pub struct CsnziStats {
+    /// Successful modifications of the root word (CAS or store) — the
+    /// *shared* cache line every query also reads.
+    pub(crate) root_writes: AtomicU64,
+    /// Successful modifications of tree node counters — distributed
+    /// cache lines.
+    pub(crate) node_writes: AtomicU64,
+    /// Failed CAS attempts on the root word — wasted shared-line traffic
+    /// under contention.
+    pub(crate) root_cas_failures: AtomicU64,
+}
+
+/// A snapshot of [`CsnziStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Successful root-word writes.
+    pub root_writes: u64,
+    /// Successful tree-node writes.
+    pub node_writes: u64,
+    /// Failed root CAS attempts.
+    pub root_cas_failures: u64,
+}
+
+impl CsnziStats {
+    pub(crate) fn record_root_write(&self) {
+        self.root_writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_node_write(&self) {
+        self.node_writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_root_cas_failure(&self) {
+        self.root_cas_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reads the counters (racy snapshot; exact once quiescent).
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            root_writes: self.root_writes.load(Ordering::Relaxed),
+            node_writes: self.node_writes.load(Ordering::Relaxed),
+            root_cas_failures: self.root_cas_failures.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes the counters.
+    pub fn reset(&self) {
+        self.root_writes.store(0, Ordering::Relaxed);
+        self.node_writes.store(0, Ordering::Relaxed);
+        self.root_cas_failures.store(0, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,132 @@
+//! The mechanism behind Figure 5, made countable (requires
+//! `--features stats`): under the tree policy, N arrivals and departures
+//! at an already-nonzero leaf perform **zero** additional root-word
+//! writes, while a centralized counter (or the direct policy) pays two
+//! shared writes per acquisition. This is the property that lets the OLL
+//! locks scale under read contention regardless of machine size.
+//!
+//! ```sh
+//! cargo test -p oll-csnzi --features stats --test shared_write_stats
+//! ```
+
+#![cfg(feature = "stats")]
+
+use oll_csnzi::{CSnzi, TreeShape};
+
+#[test]
+fn direct_policy_pays_two_root_writes_per_acquisition() {
+    let c = CSnzi::new(TreeShape::flat(4));
+    c.stats().reset();
+    const N: u64 = 1_000;
+    for _ in 0..N {
+        let t = c.arrive_direct();
+        c.depart(t);
+    }
+    let s = c.stats().snapshot();
+    assert_eq!(s.root_writes, 2 * N, "arrive + depart each CAS the root");
+    assert_eq!(s.node_writes, 0);
+}
+
+#[test]
+fn tree_policy_keeps_root_quiet_while_surplus_is_nonzero() {
+    let c = CSnzi::new(TreeShape::flat(4));
+    // Pin the surplus above zero so inner arrivals never cross zero.
+    let hold = c.arrive_tree(0);
+    c.stats().reset();
+
+    const N: u64 = 1_000;
+    for _ in 0..N {
+        let t = c.arrive_tree(0);
+        c.depart(t);
+    }
+    let s = c.stats().snapshot();
+    assert_eq!(
+        s.root_writes, 0,
+        "no root traffic while the leaf surplus stays nonzero"
+    );
+    assert_eq!(s.node_writes, 2 * N, "all writes land on the leaf line");
+
+    c.depart(hold);
+    let s = c.stats().snapshot();
+    assert_eq!(s.root_writes, 1, "only the final 1->0 crossing propagates");
+}
+
+#[test]
+fn distinct_leaves_distribute_writes() {
+    let c = CSnzi::new(TreeShape::flat(4));
+    // One holder per leaf keeps every leaf nonzero.
+    let holders: Vec<_> = (0..4).map(|i| c.arrive_tree(i)).collect();
+    c.stats().reset();
+
+    const N: u64 = 500;
+    for round in 0..N {
+        for leaf in 0..4 {
+            let t = c.arrive_tree(leaf);
+            c.depart(t);
+        }
+        let _ = round;
+    }
+    let s = c.stats().snapshot();
+    assert_eq!(s.root_writes, 0);
+    assert_eq!(s.node_writes, 2 * N * 4);
+
+    for h in holders {
+        c.depart(h);
+    }
+}
+
+#[test]
+fn root_writes_scale_with_zero_crossings_not_acquisitions() {
+    // Alternating empty<->nonzero: every acquisition crosses zero, so the
+    // tree cannot help — root writes match the centralized cost. The win
+    // exists exactly when readers overlap (the paper's read contention).
+    let c = CSnzi::new(TreeShape::flat(2));
+    c.stats().reset();
+    const N: u64 = 300;
+    for _ in 0..N {
+        let t = c.arrive_tree(0);
+        c.depart(t);
+    }
+    let s = c.stats().snapshot();
+    assert_eq!(s.root_writes, 2 * N, "every op crosses zero: no savings");
+}
+
+#[test]
+fn concurrent_readers_produce_sublinear_root_traffic() {
+    use std::sync::Arc;
+
+    const THREADS: usize = 4;
+    const PER: u64 = 2_000;
+    let c = Arc::new(CSnzi::new(TreeShape::flat(THREADS)));
+    // One base holder per leaf keeps every leaf's surplus nonzero,
+    // modeling the steady state of a read-heavy lock where readers
+    // overlap (§5's read contention). Without overlap each op crosses
+    // zero and must propagate — see the zero-crossings test above.
+    let holders: Vec<_> = (0..THREADS).map(|i| c.arrive_tree(i)).collect();
+    c.stats().reset();
+
+    let mut handles = Vec::new();
+    for tid in 0..THREADS {
+        let c = Arc::clone(&c);
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..PER {
+                let t = c.arrive_tree(tid);
+                assert!(t.arrived());
+                c.depart(t);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let s = c.stats().snapshot();
+    let total_ops = THREADS as u64 * PER;
+    assert_eq!(
+        s.root_writes, 0,
+        "no root traffic: every leaf surplus stays nonzero throughout"
+    );
+    assert!(s.node_writes >= 2 * total_ops);
+    for h in holders {
+        c.depart(h);
+    }
+}

@@ -1,0 +1,218 @@
+//! Tunable exponential backoff.
+
+use crate::sync::{spin_loop_hint, thread};
+
+/// Exponential backoff for contended retry loops and busy-wait spins.
+///
+/// The paper tunes exponential backoff per lock (§5.1); [`BackoffPolicy`]
+/// captures those tuning knobs and each lock's builder exposes them.
+///
+/// Two phases:
+/// 1. *Spin*: issue `2^step` CPU relax hints, doubling each call, capped at
+///    `2^spin_limit`.
+/// 2. *Yield*: once past `spin_limit`, also yield the OS thread. This keeps
+///    the queue-based locks live when there are more runnable threads than
+///    hardware threads (the original MCS/FOLL algorithms assume a thread per
+///    processor; yielding is the standard user-space adaptation).
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    step: u32,
+    policy: BackoffPolicy,
+}
+
+/// Tuning knobs for [`Backoff`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// Phase-1 cap: spin `2^spin_limit` relax hints at most per call.
+    pub spin_limit: u32,
+    /// Phase-2 cap: growth stops at `2^yield_limit` (hints remain capped at
+    /// `2^spin_limit`; past `spin_limit` each call also yields).
+    pub yield_limit: u32,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        // 2^6 = 64 relax hints before the first yield: long enough to win
+        // short races without burning a scheduling quantum.
+        Self {
+            spin_limit: 6,
+            yield_limit: 10,
+        }
+    }
+}
+
+impl BackoffPolicy {
+    /// A policy that never spins and always yields — appropriate when the
+    /// expected wait is a whole critical section on an oversubscribed box.
+    pub const YIELD_ONLY: Self = Self {
+        spin_limit: 0,
+        yield_limit: 4,
+    };
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Backoff {
+    /// New backoff with the default policy.
+    pub fn new() -> Self {
+        Self::with_policy(BackoffPolicy::default())
+    }
+
+    /// New backoff with an explicit policy.
+    pub fn with_policy(policy: BackoffPolicy) -> Self {
+        Self { step: 0, policy }
+    }
+
+    /// Resets to the initial (shortest) delay.
+    ///
+    /// Call after a successful acquisition so the next contention episode
+    /// starts from a short spin again.
+    pub fn reset(&mut self) {
+        self.step = 0;
+    }
+
+    /// Returns `true` once the spin phase is exhausted and the backoff has
+    /// started yielding the thread. Lock-acquire loops use this to switch
+    /// from "optimistic" to "contended" strategies (e.g. the C-SNZI
+    /// `ShouldArriveAtTree` policy).
+    pub fn is_contended(&self) -> bool {
+        self.step > self.policy.spin_limit
+    }
+
+    /// Backs off once: spins (and, past the spin limit, yields), then
+    /// increases the next delay exponentially.
+    pub fn backoff(&mut self) {
+        // Under loom every relax hint is a scheduling point; issuing 2^k
+        // of them per call explodes the model's branch count without
+        // exploring anything new. One per call is equivalent for checking.
+        #[cfg(loom)]
+        {
+            spin_loop_hint();
+            if self.step < self.policy.yield_limit {
+                self.step += 1;
+            }
+            return;
+        }
+        #[cfg(not(loom))]
+        {
+            let spins = 1u32 << self.step.min(self.policy.spin_limit);
+            for _ in 0..spins {
+                spin_loop_hint();
+            }
+            if self.step > self.policy.spin_limit {
+                thread::yield_now();
+            }
+            if self.step < self.policy.yield_limit {
+                self.step += 1;
+            }
+        }
+    }
+
+    /// One relax step with no exponential growth; for tight "wait until flag
+    /// flips" loops where the waiter is next in line and the wait is expected
+    /// to be short (queue hand-offs).
+    pub fn relax(&mut self) {
+        #[cfg(loom)]
+        {
+            spin_loop_hint();
+            return;
+        }
+        #[cfg(not(loom))]
+        {
+            let spins = 1u32 << self.step.min(self.policy.spin_limit);
+            for _ in 0..spins {
+                spin_loop_hint();
+            }
+            // Escalate to yielding, but keep the delay flat once there:
+            // the hand-off we are waiting for is O(1) work away, growing
+            // further only adds latency.
+            if self.step <= self.policy.spin_limit {
+                self.step += 1;
+            } else {
+                thread::yield_now();
+            }
+        }
+    }
+}
+
+/// Spins until `cond()` is true, backing off between probes.
+///
+/// The workhorse behind every `repeat until !spin` in the paper's
+/// pseudocode.
+#[inline]
+pub fn spin_until(policy: BackoffPolicy, mut cond: impl FnMut() -> bool) {
+    let mut b = Backoff::with_policy(policy);
+    while !cond() {
+        b.relax();
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn steps_saturate_at_yield_limit() {
+        let mut b = Backoff::with_policy(BackoffPolicy {
+            spin_limit: 2,
+            yield_limit: 4,
+        });
+        for _ in 0..100 {
+            b.backoff();
+        }
+        assert_eq!(b.step, 4);
+        b.reset();
+        assert_eq!(b.step, 0);
+        assert!(!b.is_contended());
+    }
+
+    #[test]
+    fn contended_after_spin_phase() {
+        let mut b = Backoff::with_policy(BackoffPolicy {
+            spin_limit: 1,
+            yield_limit: 8,
+        });
+        assert!(!b.is_contended());
+        for _ in 0..3 {
+            b.backoff();
+        }
+        assert!(b.is_contended());
+    }
+
+    #[test]
+    fn relax_never_exceeds_spin_phase_step() {
+        let mut b = Backoff::with_policy(BackoffPolicy {
+            spin_limit: 3,
+            yield_limit: 10,
+        });
+        for _ in 0..50 {
+            b.relax();
+        }
+        assert_eq!(b.step, b.policy.spin_limit + 1);
+    }
+
+    #[test]
+    fn spin_until_observes_flag_from_other_thread() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let f2 = Arc::clone(&flag);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            f2.store(true, Ordering::Release);
+        });
+        spin_until(BackoffPolicy::default(), || flag.load(Ordering::Acquire));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn yield_only_policy_is_contended_immediately_after_one_step() {
+        let mut b = Backoff::with_policy(BackoffPolicy::YIELD_ONLY);
+        b.backoff();
+        assert!(b.is_contended());
+    }
+}

@@ -1,0 +1,40 @@
+//! Low-level synchronization substrate for the OLL reader-writer locks.
+//!
+//! This crate provides the building blocks shared by the lock
+//! implementations in `oll-core` and `oll-baselines`:
+//!
+//! * [`CachePadded`] — false-sharing avoidance for per-thread and per-node
+//!   state (every contended atomic in this workspace lives on its own cache
+//!   line).
+//! * [`Backoff`] — tunable exponential backoff that escalates from
+//!   `spin_loop` hints to `yield_now`, keeping busy-wait algorithms live on
+//!   oversubscribed machines.
+//! * [`Event`] / [`GroupEvent`] — one-shot and broadcast waiter objects with
+//!   configurable [`WaitStrategy`] (spin-then-yield like the paper's
+//!   spin-based condition variables, or spin-then-park for production use).
+//! * [`SpinMutex`] — a TTAS spin mutex with backoff, used as the GOLL
+//!   "metalock" and the turnstile mutex of the Solaris-like baseline.
+//! * [`SlotRegistry`] — per-lock thread slot assignment (the paper's
+//!   per-thread `Local` records and default queue nodes are indexed by slot).
+//! * [`XorShift64`] — the per-thread PRNG the evaluation harness uses to
+//!   choose read vs. write acquisitions (§5.1 of the paper).
+//!
+//! The [`sync`] module re-exports either `std` or `loom` primitives so the
+//! algorithm crates can be model-checked with `RUSTFLAGS="--cfg loom"`.
+
+#![warn(missing_docs)]
+
+pub mod backoff;
+pub mod cache_padded;
+pub mod event;
+pub mod rng;
+pub mod slots;
+pub mod spin_mutex;
+pub mod sync;
+
+pub use backoff::Backoff;
+pub use cache_padded::CachePadded;
+pub use event::{Event, GroupEvent, WaitStrategy};
+pub use rng::XorShift64;
+pub use slots::{SlotError, SlotGuard, SlotRegistry};
+pub use spin_mutex::{SpinMutex, SpinMutexGuard};

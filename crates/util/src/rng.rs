@@ -1,0 +1,143 @@
+//! Small, fast per-thread PRNG.
+//!
+//! The paper's harness has each thread decide read-vs-write "using a
+//! per-thread private random number generator" (§5.1). A xorshift64*
+//! generator is the standard choice for this: a few ALU ops per draw, no
+//! shared state, and good enough statistical quality for workload mixing.
+
+/// A xorshift64* pseudo-random number generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Creates a generator from a seed. A zero seed is remapped (xorshift
+    /// has a fixed point at zero).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
+        }
+    }
+
+    /// Derives a well-spread seed for thread `i` from a base seed, so
+    /// per-thread streams do not overlap trivially.
+    pub fn for_thread(base_seed: u64, i: usize) -> Self {
+        // SplitMix64 step: the recommended way to seed xorshift families.
+        let mut z = base_seed.wrapping_add((i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        Self::new(z ^ (z >> 31))
+    }
+
+    /// Next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform draw in `[0, bound)`. `bound` must be nonzero.
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Lemire's multiply-shift; slight bias is irrelevant for workload
+        // mixing and avoids a modulo on the hot path.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Returns true with probability `percent / 100`.
+    ///
+    /// This is exactly the paper's "target read percentage" draw.
+    #[inline]
+    pub fn percent(&mut self, percent: u32) -> bool {
+        debug_assert!(percent <= 100);
+        self.next_below(100) < percent as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut a = XorShift64::new(0);
+        let mut b = XorShift64::new(0x9E37_79B9_7F4A_7C15);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = XorShift64::new(42);
+        let mut b = XorShift64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn thread_streams_differ() {
+        let mut a = XorShift64::for_thread(7, 0);
+        let mut b = XorShift64::for_thread(7, 1);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn next_below_stays_in_range() {
+        let mut r = XorShift64::new(123);
+        for bound in [1u64, 2, 3, 10, 100, 1 << 40] {
+            for _ in 0..1000 {
+                assert!(r.next_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn percent_extremes() {
+        let mut r = XorShift64::new(5);
+        for _ in 0..1000 {
+            assert!(!r.percent(0));
+            assert!(r.percent(100));
+        }
+    }
+
+    #[test]
+    fn percent_roughly_matches_target() {
+        let mut r = XorShift64::new(99);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| r.percent(80)).count();
+        let frac = hits as f64 / n as f64;
+        assert!((0.78..0.82).contains(&frac), "frac = {frac}");
+    }
+
+    #[test]
+    fn bits_look_balanced() {
+        // Cheap sanity check: across many draws, each bit position should be
+        // set roughly half the time.
+        let mut r = XorShift64::new(2026);
+        let n = 10_000;
+        let mut ones = [0u32; 64];
+        for _ in 0..n {
+            let x = r.next_u64();
+            for (bit, count) in ones.iter_mut().enumerate() {
+                *count += ((x >> bit) & 1) as u32;
+            }
+        }
+        for (bit, &count) in ones.iter().enumerate() {
+            let frac = count as f64 / n as f64;
+            assert!(
+                (0.45..0.55).contains(&frac),
+                "bit {bit} set fraction {frac}"
+            );
+        }
+    }
+}

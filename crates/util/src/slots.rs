@@ -1,0 +1,226 @@
+//! Per-lock thread slot registry.
+//!
+//! All the queue-based locks in this workspace preallocate per-thread state
+//! (the paper's `Local` records, MCS writer nodes, the FOLL reader-node
+//! ring) for a bounded number of threads, exactly as the paper's node
+//! recycling argument assumes "N reader nodes ... where N is the number of
+//! threads" (§4.2.1). A [`SlotRegistry`] hands out those slot indices:
+//! a thread claims a slot when it registers with a lock and releases it
+//! when its handle drops, so a pool of `capacity` slots serves any number
+//! of threads over time as long as at most `capacity` use the lock
+//! concurrently.
+
+use crate::cache_padded::CachePadded;
+use crate::sync::{AtomicBool, AtomicUsize, Ordering};
+use core::fmt;
+
+/// Error returned when all slots are claimed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotError {
+    /// The registry's capacity.
+    pub capacity: usize,
+}
+
+impl fmt::Display for SlotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "all {} thread slots are in use; construct the lock with a larger capacity",
+            self.capacity
+        )
+    }
+}
+
+impl std::error::Error for SlotError {}
+
+/// A fixed-capacity pool of thread slot indices.
+pub struct SlotRegistry {
+    taken: Box<[CachePadded<AtomicBool>]>,
+    /// Rotating hint so successive claims start probing at different slots.
+    next_hint: AtomicUsize,
+}
+
+impl SlotRegistry {
+    /// Creates a registry with `capacity` slots.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "slot registry needs at least one slot");
+        Self {
+            taken: (0..capacity)
+                .map(|_| CachePadded::new(AtomicBool::new(false)))
+                .collect(),
+            next_hint: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.taken.len()
+    }
+
+    /// Claims a free slot, returning its index.
+    pub fn claim(&self) -> Result<usize, SlotError> {
+        let n = self.capacity();
+        let start = self.next_hint.fetch_add(1, Ordering::Relaxed) % n;
+        for off in 0..n {
+            let i = (start + off) % n;
+            if !self.taken[i].load(Ordering::Relaxed)
+                && self.taken[i]
+                    .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+            {
+                return Ok(i);
+            }
+        }
+        Err(SlotError { capacity: n })
+    }
+
+    /// Releases a slot previously returned by [`claim`](Self::claim).
+    ///
+    /// # Panics
+    /// Panics if the slot was not claimed (double release).
+    pub fn release(&self, slot: usize) {
+        let was = self.taken[slot].swap(false, Ordering::Release);
+        assert!(was, "slot {slot} released twice");
+    }
+
+    /// Number of currently claimed slots (racy; for diagnostics).
+    pub fn claimed(&self) -> usize {
+        self.taken
+            .iter()
+            .filter(|t| t.load(Ordering::Relaxed))
+            .count()
+    }
+}
+
+impl fmt::Debug for SlotRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SlotRegistry")
+            .field("capacity", &self.capacity())
+            .field("claimed", &self.claimed())
+            .finish()
+    }
+}
+
+/// RAII wrapper that releases its slot on drop.
+///
+/// Lock handles embed one of these so dropping a handle returns the slot
+/// (and with it the lock's per-thread nodes) to the pool.
+pub struct SlotGuard<'a> {
+    registry: &'a SlotRegistry,
+    slot: usize,
+}
+
+impl<'a> SlotGuard<'a> {
+    /// Claims a slot from `registry`.
+    pub fn claim(registry: &'a SlotRegistry) -> Result<Self, SlotError> {
+        registry.claim().map(|slot| Self { registry, slot })
+    }
+
+    /// The claimed slot index.
+    pub fn slot(&self) -> usize {
+        self.slot
+    }
+}
+
+impl Drop for SlotGuard<'_> {
+    fn drop(&mut self) {
+        self.registry.release(self.slot);
+    }
+}
+
+impl fmt::Debug for SlotGuard<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SlotGuard")
+            .field("slot", &self.slot)
+            .finish()
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+
+    #[test]
+    fn claims_are_distinct_and_bounded() {
+        let r = SlotRegistry::new(4);
+        let slots: Vec<_> = (0..4).map(|_| r.claim().unwrap()).collect();
+        let set: HashSet<_> = slots.iter().copied().collect();
+        assert_eq!(set.len(), 4);
+        assert_eq!(r.claim(), Err(SlotError { capacity: 4 }));
+        assert_eq!(r.claimed(), 4);
+    }
+
+    #[test]
+    fn release_makes_slot_reusable() {
+        let r = SlotRegistry::new(1);
+        let s = r.claim().unwrap();
+        assert!(r.claim().is_err());
+        r.release(s);
+        assert_eq!(r.claim().unwrap(), s);
+    }
+
+    #[test]
+    #[should_panic(expected = "released twice")]
+    fn double_release_panics() {
+        let r = SlotRegistry::new(2);
+        let s = r.claim().unwrap();
+        r.release(s);
+        r.release(s);
+    }
+
+    #[test]
+    fn guard_releases_on_drop() {
+        let r = SlotRegistry::new(1);
+        {
+            let g = SlotGuard::claim(&r).unwrap();
+            assert_eq!(g.slot(), 0);
+            assert!(SlotGuard::claim(&r).is_err());
+        }
+        assert_eq!(r.claimed(), 0);
+        assert!(SlotGuard::claim(&r).is_ok());
+    }
+
+    #[test]
+    fn concurrent_claims_never_alias() {
+        const THREADS: usize = 8;
+        const ROUNDS: usize = 500;
+        let r = Arc::new(SlotRegistry::new(THREADS / 2));
+        let hits = Arc::new(
+            (0..THREADS / 2)
+                .map(|_| std::sync::atomic::AtomicUsize::new(0))
+                .collect::<Vec<_>>(),
+        );
+        let mut handles = Vec::new();
+        for _ in 0..THREADS {
+            let r = Arc::clone(&r);
+            let hits = Arc::clone(&hits);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..ROUNDS {
+                    if let Ok(s) = r.claim() {
+                        // While we hold slot s, we must be its only owner.
+                        let prev = hits[s].fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                        assert_eq!(prev % 2, 0, "slot {s} double-claimed");
+                        hits[s].fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                        r.release(s);
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_capacity_panics() {
+        let _ = SlotRegistry::new(0);
+    }
+}

@@ -1,0 +1,70 @@
+//! Switchable synchronization primitives.
+//!
+//! Algorithm code in this workspace imports atomics, `thread::yield_now`,
+//! and `hint::spin_loop` from here instead of `std`, so that the same code
+//! can be model-checked by [loom](https://docs.rs/loom) when compiled with
+//! `RUSTFLAGS="--cfg loom"`.
+
+#[cfg(loom)]
+pub use loom::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+#[cfg(not(loom))]
+pub use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+/// Thread utilities (`yield_now`), loom-aware.
+pub mod thread {
+    #[cfg(loom)]
+    pub use loom::thread::yield_now;
+
+    #[cfg(not(loom))]
+    pub use std::thread::yield_now;
+}
+
+/// CPU relax hint, loom-aware.
+///
+/// Under loom there is no real CPU to relax; yielding instead lets the model
+/// checker explore interleavings at spin points.
+#[inline]
+pub fn spin_loop_hint() {
+    #[cfg(loom)]
+    loom::thread::yield_now();
+
+    #[cfg(not(loom))]
+    std::hint::spin_loop();
+}
+
+/// An `UnsafeCell` whose API matches loom's (`with` / `with_mut` accessors).
+#[cfg(loom)]
+pub use loom::cell::UnsafeCell;
+
+/// An `UnsafeCell` whose API matches loom's (`with` / `with_mut` accessors).
+#[cfg(not(loom))]
+#[derive(Debug, Default)]
+pub struct UnsafeCell<T>(std::cell::UnsafeCell<T>);
+
+#[cfg(not(loom))]
+impl<T> UnsafeCell<T> {
+    /// Creates a new cell.
+    pub const fn new(data: T) -> Self {
+        Self(std::cell::UnsafeCell::new(data))
+    }
+
+    /// Calls `f` with a shared raw pointer to the contents.
+    ///
+    /// # Safety contract
+    /// Callers must uphold the usual aliasing rules; loom checks them at
+    /// model-checking time, the `std` version trusts the caller.
+    pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        f(self.0.get())
+    }
+
+    /// Calls `f` with an exclusive raw pointer to the contents.
+    pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        f(self.0.get())
+    }
+
+    /// Consumes the cell, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner()
+    }
+}

@@ -1,0 +1,157 @@
+//! `fig5` — regenerate the throughput panels of Figure 5.
+//!
+//! ```text
+//! USAGE:
+//!   fig5 [--panel a|b|c|d|e|f|all] [--threads 1,2,4,8,16]
+//!        [--locks GOLL,FOLL,ROLL,KSUH,Solaris-Like,...|all]
+//!        [--acquisitions N] [--runs N] [--paper] [--verify]
+//!        [--csv PATH]
+//! ```
+//!
+//! Defaults are scaled for a small machine; `--paper` switches to the
+//! paper's exact per-thread acquisition counts (100k, or 10k at ≤50%
+//! reads).
+
+use oll_workloads::config::{Fig5Panel, LockKind, WorkloadConfig};
+use oll_workloads::report::{render_csv, render_table};
+use oll_workloads::sweep::{run_panel, SweepOptions};
+use std::io::Write as _;
+use std::process::exit;
+
+struct Args {
+    panels: Vec<Fig5Panel>,
+    opts: SweepOptions,
+    csv: Option<String>,
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: fig5 [--panel a|b|c|d|e|f|all] [--threads 1,2,4]\n\
+         \t[--locks name,...|all] [--acquisitions N] [--runs N]\n\
+         \t[--paper] [--verify] [--csv PATH]"
+    );
+    exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut panels = Fig5Panel::ALL.to_vec();
+    let mut opts = SweepOptions::quick();
+    opts.progress = true;
+    let mut csv = None;
+    let mut paper = false;
+
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: usize| -> String {
+            argv.get(i + 1)
+                .unwrap_or_else(|| usage("missing value for flag"))
+                .clone()
+        };
+        match argv[i].as_str() {
+            "--panel" => {
+                let v = value(i);
+                i += 1;
+                if v.eq_ignore_ascii_case("all") {
+                    panels = Fig5Panel::ALL.to_vec();
+                } else {
+                    panels = v
+                        .split(',')
+                        .map(|p| {
+                            Fig5Panel::parse(p)
+                                .unwrap_or_else(|| usage(&format!("unknown panel `{p}`")))
+                        })
+                        .collect();
+                }
+            }
+            "--threads" => {
+                let v = value(i);
+                i += 1;
+                opts.thread_counts = v
+                    .split(',')
+                    .map(|t| {
+                        t.trim()
+                            .parse::<usize>()
+                            .unwrap_or_else(|_| usage(&format!("bad thread count `{t}`")))
+                    })
+                    .collect();
+                if opts.thread_counts.is_empty() {
+                    usage("--threads needs at least one value");
+                }
+            }
+            "--locks" => {
+                let v = value(i);
+                i += 1;
+                if v.eq_ignore_ascii_case("all") {
+                    opts.locks = LockKind::ALL.to_vec();
+                } else {
+                    opts.locks = v
+                        .split(',')
+                        .map(|l| {
+                            LockKind::parse(l)
+                                .unwrap_or_else(|| usage(&format!("unknown lock `{l}`")))
+                        })
+                        .collect();
+                }
+            }
+            "--acquisitions" => {
+                opts.base.acquisitions_per_thread = value(i)
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --acquisitions"));
+                i += 1;
+            }
+            "--runs" => {
+                opts.base.runs = value(i).parse().unwrap_or_else(|_| usage("bad --runs"));
+                i += 1;
+            }
+            "--paper" => paper = true,
+            "--verify" => opts.base.verify = true,
+            "--csv" => {
+                csv = Some(value(i));
+                i += 1;
+            }
+            "--quiet" => opts.progress = false,
+            "--help" | "-h" => usage("help requested"),
+            other => usage(&format!("unknown flag `{other}`")),
+        }
+        i += 1;
+    }
+    if paper {
+        opts.base = WorkloadConfig {
+            verify: opts.base.verify,
+            runs: opts.base.runs,
+            ..WorkloadConfig::paper_fidelity(1, 100)
+        };
+    }
+    Args { panels, opts, csv }
+}
+
+fn main() {
+    let args = parse_args();
+    eprintln!(
+        "fig5: {} panel(s), threads {:?}, {} acquisitions/thread (/10 at <=50% reads), {} run(s) averaged",
+        args.panels.len(),
+        args.opts.thread_counts,
+        args.opts.base.acquisitions_per_thread,
+        args.opts.base.runs,
+    );
+
+    let mut csv_body = String::new();
+    let mut first = true;
+    for &panel in &args.panels {
+        eprintln!("== {} ==", panel.caption());
+        let result = run_panel(panel, &args.opts);
+        println!("{}", render_table(&result));
+        csv_body.push_str(&render_csv(&result, first));
+        first = false;
+    }
+
+    if let Some(path) = args.csv {
+        let mut f = std::fs::File::create(&path)
+            .unwrap_or_else(|e| usage(&format!("cannot create {path}: {e}")));
+        f.write_all(csv_body.as_bytes())
+            .unwrap_or_else(|e| usage(&format!("cannot write {path}: {e}")));
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,119 @@
+//! `latency` — per-acquisition latency percentiles for every lock.
+//!
+//! ```text
+//! USAGE:
+//!   latency [--threads N] [--read-pct P] [--acquisitions N]
+//!           [--locks name,...|all]
+//! ```
+//!
+//! Complements the throughput-oriented `fig5` binary with tail-latency
+//! visibility: how long can a single `lock_read` / `lock_write` stall
+//! under the given mix?
+
+use oll_workloads::config::{LockKind, WorkloadConfig};
+use oll_workloads::latency::run_latency;
+use std::process::exit;
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: latency [--threads N] [--read-pct P] [--acquisitions N] [--locks name,...|all]"
+    );
+    exit(2);
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+fn main() {
+    let mut threads = 4usize;
+    let mut read_pct = 95u32;
+    let mut acquisitions = 10_000usize;
+    let mut locks = LockKind::FIGURE5.to_vec();
+
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: usize| -> String {
+            argv.get(i + 1)
+                .unwrap_or_else(|| usage("missing value for flag"))
+                .clone()
+        };
+        match argv[i].as_str() {
+            "--threads" => {
+                threads = value(i).parse().unwrap_or_else(|_| usage("bad --threads"));
+                i += 1;
+            }
+            "--read-pct" => {
+                read_pct = value(i).parse().unwrap_or_else(|_| usage("bad --read-pct"));
+                if read_pct > 100 {
+                    usage("--read-pct must be 0..=100");
+                }
+                i += 1;
+            }
+            "--acquisitions" => {
+                acquisitions = value(i)
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --acquisitions"));
+                i += 1;
+            }
+            "--locks" => {
+                let v = value(i);
+                i += 1;
+                if v.eq_ignore_ascii_case("all") {
+                    locks = LockKind::ALL.to_vec();
+                } else {
+                    locks = v
+                        .split(',')
+                        .map(|l| {
+                            LockKind::parse(l)
+                                .unwrap_or_else(|| usage(&format!("unknown lock `{l}`")))
+                        })
+                        .collect();
+                }
+            }
+            "--help" | "-h" => usage("help requested"),
+            other => usage(&format!("unknown flag `{other}`")),
+        }
+        i += 1;
+    }
+
+    let config = WorkloadConfig {
+        threads,
+        read_pct,
+        acquisitions_per_thread: acquisitions,
+        critical_work: 0,
+        outside_work: 0,
+        seed: 0x7A7E_2009,
+        runs: 1,
+        verify: false,
+    };
+
+    println!("latency: {threads} threads, {read_pct}% reads, {acquisitions} acquisitions/thread");
+    println!(
+        "{:<13} {:>8} {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8} {:>8}",
+        "lock", "r.p50", "r.p99", "r.p999", "r.max", "w.p50", "w.p99", "w.p999", "w.max"
+    );
+    for kind in locks {
+        let r = run_latency(kind, &config);
+        println!(
+            "{:<13} {:>8} {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8} {:>8}",
+            r.kind.name(),
+            fmt_ns(r.read.p50_ns),
+            fmt_ns(r.read.p99_ns),
+            fmt_ns(r.read.p999_ns),
+            fmt_ns(r.read.max_ns),
+            fmt_ns(r.write.p50_ns),
+            fmt_ns(r.write.p99_ns),
+            fmt_ns(r.write.p999_ns),
+            fmt_ns(r.write.max_ns),
+        );
+    }
+}

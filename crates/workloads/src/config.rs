@@ -1,0 +1,269 @@
+//! Workload configuration, mirroring the paper's methodology (§5.1).
+
+/// Which lock algorithm a workload drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LockKind {
+    /// The general OLL lock (§3.2).
+    Goll,
+    /// The FIFO OLL lock (§4.2).
+    Foll,
+    /// The reader-preference OLL lock (§4.3).
+    Roll,
+    /// Krieger et al.'s doubly-linked queue lock.
+    Ksuh,
+    /// The Solaris-kernel-style central-lockword lock.
+    SolarisLike,
+    /// The naive single-CAS-word lock.
+    Centralized,
+    /// Mellor-Crummey & Scott's fair queue RW lock.
+    McsRw,
+    /// Reader-preference MCS RW lock.
+    McsRwReaderPref,
+    /// Writer-preference MCS RW lock.
+    McsRwWriterPref,
+    /// Hsieh & Weihl's per-thread-mutex lock.
+    PerThread,
+    /// `std::sync::RwLock`.
+    StdRw,
+    /// The MCS mutex treating reads as writes.
+    McsMutex,
+}
+
+impl LockKind {
+    /// The five locks of the paper's Figure 5, in its legend order.
+    pub const FIGURE5: [LockKind; 5] = [
+        LockKind::Goll,
+        LockKind::Foll,
+        LockKind::Roll,
+        LockKind::Ksuh,
+        LockKind::SolarisLike,
+    ];
+
+    /// Every lock in the workspace.
+    pub const ALL: [LockKind; 12] = [
+        LockKind::Goll,
+        LockKind::Foll,
+        LockKind::Roll,
+        LockKind::Ksuh,
+        LockKind::SolarisLike,
+        LockKind::Centralized,
+        LockKind::McsRw,
+        LockKind::McsRwReaderPref,
+        LockKind::McsRwWriterPref,
+        LockKind::PerThread,
+        LockKind::StdRw,
+        LockKind::McsMutex,
+    ];
+
+    /// Display name matching the paper's legend where applicable.
+    pub fn name(self) -> &'static str {
+        match self {
+            LockKind::Goll => "GOLL",
+            LockKind::Foll => "FOLL",
+            LockKind::Roll => "ROLL",
+            LockKind::Ksuh => "KSUH",
+            LockKind::SolarisLike => "Solaris Like",
+            LockKind::Centralized => "Centralized",
+            LockKind::McsRw => "MCS-RW",
+            LockKind::McsRwReaderPref => "MCS-RW-rp",
+            LockKind::McsRwWriterPref => "MCS-RW-wp",
+            LockKind::PerThread => "Per-thread",
+            LockKind::StdRw => "std RwLock",
+            LockKind::McsMutex => "MCS mutex",
+        }
+    }
+
+    /// Parses a CLI name (case-insensitive; accepts paper legend names).
+    pub fn parse(s: &str) -> Option<LockKind> {
+        let k = s.trim().to_ascii_lowercase().replace([' ', '_'], "-");
+        Some(match k.as_str() {
+            "goll" => LockKind::Goll,
+            "foll" => LockKind::Foll,
+            "roll" => LockKind::Roll,
+            "ksuh" => LockKind::Ksuh,
+            "solaris" | "solaris-like" => LockKind::SolarisLike,
+            "centralized" | "naive" => LockKind::Centralized,
+            "mcs-rw" | "mcsrw" => LockKind::McsRw,
+            "mcs-rw-rp" | "mcsrw-rp" => LockKind::McsRwReaderPref,
+            "mcs-rw-wp" | "mcsrw-wp" => LockKind::McsRwWriterPref,
+            "per-thread" | "perthread" | "hsieh-weihl" => LockKind::PerThread,
+            "std" | "std-rwlock" => LockKind::StdRw,
+            "mcs" | "mcs-mutex" => LockKind::McsMutex,
+            _ => return None,
+        })
+    }
+}
+
+/// One throughput measurement's parameters.
+///
+/// The paper's harness: "threads repeatedly acquire and release the lock
+/// in a tight loop without performing any work within the critical
+/// section. Threads decide whether to acquire the lock for reading or
+/// writing using a per-thread private random number generator and a target
+/// read percentage" — plus 100,000 acquisitions per thread (10,000 for
+/// read percentages ≤ 50%) and the average of 3 runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadConfig {
+    /// Number of concurrent threads.
+    pub threads: usize,
+    /// Percentage of acquisitions that are reads (0–100).
+    pub read_pct: u32,
+    /// Acquisitions performed by *each* thread.
+    pub acquisitions_per_thread: usize,
+    /// Dummy work iterations inside the critical section (paper: 0).
+    pub critical_work: u32,
+    /// Dummy work iterations between acquisitions (paper: 0).
+    pub outside_work: u32,
+    /// Base PRNG seed; thread `i` uses a stream derived from it.
+    pub seed: u64,
+    /// Independent repetitions to average (paper: 3).
+    pub runs: usize,
+    /// When set, the harness additionally checks the reader-writer
+    /// exclusion invariant on every critical section (slower; used by the
+    /// integration tests, not the benchmarks).
+    pub verify: bool,
+}
+
+impl WorkloadConfig {
+    /// A paper-shaped config scaled for quick local runs.
+    pub fn quick(threads: usize, read_pct: u32) -> Self {
+        Self {
+            threads,
+            read_pct,
+            // The paper's 100k/10k split, scaled down 20x so a full sweep
+            // finishes in minutes on a small machine.
+            acquisitions_per_thread: if read_pct > 50 { 5_000 } else { 500 },
+            critical_work: 0,
+            outside_work: 0,
+            seed: 0x5EED_2009,
+            runs: 3,
+            verify: false,
+        }
+    }
+
+    /// The paper's exact per-thread acquisition counts (§5.1).
+    pub fn paper_fidelity(threads: usize, read_pct: u32) -> Self {
+        Self {
+            acquisitions_per_thread: if read_pct > 50 { 100_000 } else { 10_000 },
+            ..Self::quick(threads, read_pct)
+        }
+    }
+
+    /// Total acquisitions across all threads.
+    pub fn total_acquisitions(&self) -> usize {
+        self.threads * self.acquisitions_per_thread
+    }
+}
+
+/// The six panels of Figure 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fig5Panel {
+    /// (a) 100% reads.
+    A,
+    /// (b) 99% reads.
+    B,
+    /// (c) 95% reads.
+    C,
+    /// (d) 80% reads.
+    D,
+    /// (e) 50% reads.
+    E,
+    /// (f) 0% reads.
+    F,
+}
+
+impl Fig5Panel {
+    /// All panels in paper order.
+    pub const ALL: [Fig5Panel; 6] = [
+        Fig5Panel::A,
+        Fig5Panel::B,
+        Fig5Panel::C,
+        Fig5Panel::D,
+        Fig5Panel::E,
+        Fig5Panel::F,
+    ];
+
+    /// The panel's target read percentage.
+    pub fn read_pct(self) -> u32 {
+        match self {
+            Fig5Panel::A => 100,
+            Fig5Panel::B => 99,
+            Fig5Panel::C => 95,
+            Fig5Panel::D => 80,
+            Fig5Panel::E => 50,
+            Fig5Panel::F => 0,
+        }
+    }
+
+    /// The paper's caption for the panel.
+    pub fn caption(self) -> &'static str {
+        match self {
+            Fig5Panel::A => "Figure 5(a): 100% Reads",
+            Fig5Panel::B => "Figure 5(b): 99% Reads",
+            Fig5Panel::C => "Figure 5(c): 95% Reads",
+            Fig5Panel::D => "Figure 5(d): 80% Reads",
+            Fig5Panel::E => "Figure 5(e): 50% Reads",
+            Fig5Panel::F => "Figure 5(f): 0% Reads",
+        }
+    }
+
+    /// Parses `a`..`f`.
+    pub fn parse(s: &str) -> Option<Fig5Panel> {
+        Some(match s.trim().to_ascii_lowercase().as_str() {
+            "a" => Fig5Panel::A,
+            "b" => Fig5Panel::B,
+            "c" => Fig5Panel::C,
+            "d" => Fig5Panel::D,
+            "e" => Fig5Panel::E,
+            "f" => Fig5Panel::F,
+            _ => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_kind_parse_round_trips() {
+        for k in LockKind::ALL {
+            assert_eq!(LockKind::parse(k.name()), Some(k), "{}", k.name());
+        }
+        assert_eq!(LockKind::parse("solaris like"), Some(LockKind::SolarisLike));
+        assert!(LockKind::parse("nope").is_none());
+    }
+
+    #[test]
+    fn panel_read_pcts_match_paper() {
+        let pcts: Vec<u32> = Fig5Panel::ALL.iter().map(|p| p.read_pct()).collect();
+        assert_eq!(pcts, vec![100, 99, 95, 80, 50, 0]);
+    }
+
+    #[test]
+    fn paper_fidelity_uses_paper_counts() {
+        assert_eq!(
+            WorkloadConfig::paper_fidelity(4, 99).acquisitions_per_thread,
+            100_000
+        );
+        assert_eq!(
+            WorkloadConfig::paper_fidelity(4, 50).acquisitions_per_thread,
+            10_000
+        );
+    }
+
+    #[test]
+    fn quick_splits_at_50_pct() {
+        assert!(
+            WorkloadConfig::quick(2, 80).acquisitions_per_thread
+                > WorkloadConfig::quick(2, 50).acquisitions_per_thread
+        );
+        assert_eq!(WorkloadConfig::quick(3, 99).total_acquisitions(), 15_000);
+    }
+
+    #[test]
+    fn panel_parse() {
+        assert_eq!(Fig5Panel::parse("C"), Some(Fig5Panel::C));
+        assert!(Fig5Panel::parse("z").is_none());
+    }
+}

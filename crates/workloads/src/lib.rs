@@ -1,0 +1,30 @@
+//! The evaluation harness reproducing §5 of *Scalable Reader-Writer
+//! Locks* (SPAA 2009).
+//!
+//! The paper's methodology (§5.1): every thread repeatedly acquires and
+//! releases the lock in a tight loop with an empty critical section,
+//! choosing read vs. write with a per-thread PRNG at a target read
+//! percentage; throughput is total acquisitions over the time for all
+//! threads to finish, averaged over three runs. [`runner`] implements
+//! exactly that loop, [`sweep`] runs it over thread-count grids to
+//! regenerate each panel of Figure 5, and [`report`] prints the series.
+//!
+//! The `fig5` binary drives it all:
+//!
+//! ```sh
+//! cargo run -p oll-workloads --release --bin fig5 -- --panel a
+//! cargo run -p oll-workloads --release --bin fig5 -- --panel all --csv fig5.csv
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod latency;
+pub mod report;
+pub mod runner;
+pub mod sweep;
+
+pub use config::{Fig5Panel, LockKind, WorkloadConfig};
+pub use latency::{run_latency, LatencyHistogram, LatencyResult, LatencySummary};
+pub use runner::{run_throughput, ThroughputResult};
+pub use sweep::{run_panel, PanelResult, Series, SweepOptions};

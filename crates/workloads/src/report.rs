@@ -1,0 +1,125 @@
+//! Output formatting: aligned text tables (the rows behind each Figure 5
+//! panel) and CSV for external plotting.
+
+use crate::config::LockKind;
+use crate::sweep::PanelResult;
+use std::fmt::Write as _;
+
+/// Renders a panel as an aligned text table, one row per thread count and
+/// one column per lock — the same series the paper plots.
+pub fn render_table(panel: &PanelResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", panel.panel.caption());
+    let _ = writeln!(out, "(throughput in acquires/s; higher is better)");
+    let _ = write!(out, "{:>8}", "threads");
+    for s in &panel.series {
+        let _ = write!(out, " {:>14}", s.kind.name());
+    }
+    let _ = writeln!(out);
+    for (i, &t) in panel.thread_counts.iter().enumerate() {
+        let _ = write!(out, "{t:>8}");
+        for s in &panel.series {
+            let _ = write!(out, " {:>14.0}", s.points[i].acquires_per_sec);
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders a panel as CSV: `panel,read_pct,lock,threads,acquires_per_sec`.
+pub fn render_csv(panel: &PanelResult, include_header: bool) -> String {
+    let mut out = String::new();
+    if include_header {
+        out.push_str("panel,read_pct,lock,threads,acquires_per_sec,elapsed_secs\n");
+    }
+    let tag = match panel.panel {
+        crate::config::Fig5Panel::A => "a",
+        crate::config::Fig5Panel::B => "b",
+        crate::config::Fig5Panel::C => "c",
+        crate::config::Fig5Panel::D => "d",
+        crate::config::Fig5Panel::E => "e",
+        crate::config::Fig5Panel::F => "f",
+    };
+    for s in &panel.series {
+        for p in &s.points {
+            let _ = writeln!(
+                out,
+                "{tag},{},{},{},{:.1},{:.6}",
+                p.read_pct,
+                s.kind.name().replace(' ', "-"),
+                p.threads,
+                p.acquires_per_sec,
+                p.elapsed.as_secs_f64(),
+            );
+        }
+    }
+    out
+}
+
+/// A qualitative comparison of two locks at the largest thread count —
+/// used by EXPERIMENTS.md to state "who wins, by what factor".
+pub fn factor_at_peak(panel: &PanelResult, a: LockKind, b: LockKind) -> Option<f64> {
+    let fa = panel.peak_threads_throughput(a)?;
+    let fb = panel.peak_threads_throughput(b)?;
+    if fb > 0.0 {
+        Some(fa / fb)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Fig5Panel, WorkloadConfig};
+    use crate::sweep::{run_panel, SweepOptions};
+
+    fn tiny_panel() -> PanelResult {
+        run_panel(
+            Fig5Panel::B,
+            &SweepOptions {
+                thread_counts: vec![1, 2],
+                locks: vec![LockKind::Foll, LockKind::SolarisLike],
+                base: WorkloadConfig {
+                    threads: 1,
+                    read_pct: 99,
+                    acquisitions_per_thread: 150,
+                    critical_work: 0,
+                    outside_work: 0,
+                    seed: 3,
+                    runs: 1,
+                    verify: false,
+                },
+                progress: false,
+            },
+        )
+    }
+
+    #[test]
+    fn table_contains_caption_locks_and_rows() {
+        let p = tiny_panel();
+        let t = render_table(&p);
+        assert!(t.contains("Figure 5(b)"));
+        assert!(t.contains("FOLL"));
+        assert!(t.contains("Solaris Like"));
+        // one header + one units line + two data rows
+        assert_eq!(t.lines().count(), 5);
+    }
+
+    #[test]
+    fn csv_has_header_and_all_points() {
+        let p = tiny_panel();
+        let csv = render_csv(&p, true);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + 2 * 2);
+        assert!(lines[0].starts_with("panel,"));
+        assert!(lines[1].starts_with("b,99,FOLL,1,"));
+    }
+
+    #[test]
+    fn factor_is_finite_and_positive() {
+        let p = tiny_panel();
+        let f = factor_at_peak(&p, LockKind::Foll, LockKind::SolarisLike).unwrap();
+        assert!(f.is_finite() && f > 0.0);
+    }
+}

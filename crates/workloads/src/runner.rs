@@ -1,0 +1,186 @@
+//! The throughput runner: the paper's tight acquire/release loop (§5.1).
+
+use crate::config::{LockKind, WorkloadConfig};
+use oll_baselines::{
+    CentralizedRwLock, KsuhLock, McsMutex, McsRwLock, McsRwReaderPref, McsRwWriterPref,
+    PerThreadRwLock, SolarisLikeRwLock, StdRwLock,
+};
+use oll_core::{FollLock, GollLock, RollLock, RwHandle, RwLockFamily};
+use oll_util::XorShift64;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+/// The outcome of one throughput measurement (averaged over
+/// `config.runs` repetitions).
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputResult {
+    /// The lock measured.
+    pub kind: LockKind,
+    /// Thread count used.
+    pub threads: usize,
+    /// Read percentage used.
+    pub read_pct: u32,
+    /// Mean acquisitions per second over all runs.
+    pub acquires_per_sec: f64,
+    /// Mean wall time of a run.
+    pub elapsed: Duration,
+    /// Total acquisitions in one run.
+    pub total_acquisitions: usize,
+}
+
+#[inline]
+fn dummy_work(iters: u32) {
+    for _ in 0..iters {
+        std::hint::spin_loop();
+    }
+}
+
+/// Measures one run: barrier-synchronized start, join-synchronized stop.
+fn measure<L, F>(make_lock: F, config: &WorkloadConfig) -> Duration
+where
+    L: RwLockFamily,
+    F: Fn(usize) -> L,
+{
+    // Thread spawn/registration cost happens before the barrier. Each
+    // worker records its own start (at barrier release) and end (after its
+    // last release); the run's elapsed time is max(end) - min(start),
+    // i.e. "the amount of time needed for all threads to complete" their
+    // acquisitions. Workers must self-timestamp: on an oversubscribed
+    // machine a coordinator thread may not be scheduled again until the
+    // workers are already done.
+    let lock = make_lock(config.threads);
+    let barrier = Barrier::new(config.threads);
+    let state = AtomicI64::new(0);
+
+    let spans: std::sync::Mutex<Vec<(Instant, Instant)>> =
+        std::sync::Mutex::new(Vec::with_capacity(config.threads));
+    std::thread::scope(|scope| {
+        for tid in 0..config.threads {
+            let lock = &lock;
+            let barrier = &barrier;
+            let state = &state;
+            let spans = &spans;
+            scope.spawn(move || {
+                let mut handle = lock.handle().expect("capacity sized to thread count");
+                let mut rng = XorShift64::for_thread(config.seed, tid);
+                barrier.wait();
+                let start = Instant::now();
+                for _ in 0..config.acquisitions_per_thread {
+                    if rng.percent(config.read_pct) {
+                        handle.lock_read();
+                        if config.verify {
+                            let s = state.fetch_add(1, Ordering::SeqCst);
+                            assert!(s >= 0, "reader entered while a writer was inside");
+                        }
+                        dummy_work(config.critical_work);
+                        if config.verify {
+                            state.fetch_sub(1, Ordering::SeqCst);
+                        }
+                        handle.unlock_read();
+                    } else {
+                        handle.lock_write();
+                        if config.verify {
+                            let s = state.swap(-1, Ordering::SeqCst);
+                            assert_eq!(s, 0, "writer entered while the lock was held");
+                        }
+                        dummy_work(config.critical_work);
+                        if config.verify {
+                            state.store(0, Ordering::SeqCst);
+                        }
+                        handle.unlock_write();
+                    }
+                    dummy_work(config.outside_work);
+                }
+                let end = Instant::now();
+                spans.lock().unwrap().push((start, end));
+            });
+        }
+    });
+    let spans = spans.into_inner().unwrap();
+    let first_start = spans.iter().map(|s| s.0).min().expect("threads ran");
+    let last_end = spans.iter().map(|s| s.1).max().expect("threads ran");
+    last_end.duration_since(first_start)
+}
+
+/// Runs `config` against lock `kind`, averaging `config.runs` repetitions.
+pub fn run_throughput(kind: LockKind, config: &WorkloadConfig) -> ThroughputResult {
+    let mut total = Duration::ZERO;
+    let runs = config.runs.max(1);
+    for _ in 0..runs {
+        let elapsed = match kind {
+            LockKind::Goll => measure(GollLock::new, config),
+            LockKind::Foll => measure(FollLock::new, config),
+            LockKind::Roll => measure(RollLock::new, config),
+            LockKind::Ksuh => measure(KsuhLock::new, config),
+            LockKind::SolarisLike => measure(SolarisLikeRwLock::new, config),
+            LockKind::Centralized => measure(CentralizedRwLock::new, config),
+            LockKind::McsRw => measure(McsRwLock::new, config),
+            LockKind::McsRwReaderPref => measure(McsRwReaderPref::new, config),
+            LockKind::McsRwWriterPref => measure(McsRwWriterPref::new, config),
+            LockKind::PerThread => measure(PerThreadRwLock::new, config),
+            LockKind::StdRw => measure(StdRwLock::new, config),
+            LockKind::McsMutex => measure(McsMutex::new, config),
+        };
+        total += elapsed;
+    }
+    let mean = total / runs as u32;
+    let total_acqs = config.total_acquisitions();
+    ThroughputResult {
+        kind,
+        threads: config.threads,
+        read_pct: config.read_pct,
+        acquires_per_sec: total_acqs as f64 / mean.as_secs_f64(),
+        elapsed: mean,
+        total_acquisitions: total_acqs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(read_pct: u32) -> WorkloadConfig {
+        WorkloadConfig {
+            threads: 3,
+            read_pct,
+            acquisitions_per_thread: 300,
+            critical_work: 0,
+            outside_work: 0,
+            seed: 42,
+            runs: 1,
+            verify: true,
+        }
+    }
+
+    #[test]
+    fn every_lock_survives_verified_mixed_workload() {
+        for kind in LockKind::ALL {
+            let r = run_throughput(kind, &tiny(70));
+            assert!(
+                r.acquires_per_sec > 0.0,
+                "{}: nonpositive throughput",
+                kind.name()
+            );
+            assert_eq!(r.total_acquisitions, 900);
+        }
+    }
+
+    #[test]
+    fn read_only_and_write_only_extremes() {
+        for kind in LockKind::FIGURE5 {
+            run_throughput(kind, &tiny(100));
+            run_throughput(kind, &tiny(0));
+        }
+    }
+
+    #[test]
+    fn single_thread_runs() {
+        let config = WorkloadConfig {
+            threads: 1,
+            ..tiny(50)
+        };
+        let r = run_throughput(LockKind::Foll, &config);
+        assert_eq!(r.threads, 1);
+    }
+}

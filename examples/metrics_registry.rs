@@ -1,0 +1,102 @@
+//! A read-mostly metrics registry — the workload the paper's introduction
+//! motivates: shared state that is read constantly (every request samples
+//! counters) and written rarely (a new metric is registered once).
+//!
+//! Request threads hammer the registry with lookups while a control
+//! thread occasionally registers new metrics. The same run is repeated
+//! with the FOLL lock and the naive centralized lock so the overhead gap
+//! on the read path is visible even on a small machine.
+//!
+//! ```sh
+//! cargo run --release --example metrics_registry
+//! ```
+
+use oll::{CentralizedRwLock, FollLock, RwLock, RwLockFamily};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+struct Registry {
+    metrics: HashMap<String, u64>,
+}
+
+impl Registry {
+    fn new() -> Self {
+        let mut metrics = HashMap::new();
+        for i in 0..64 {
+            metrics.insert(format!("requests.endpoint_{i}"), 0);
+        }
+        Self { metrics }
+    }
+}
+
+fn run<L: RwLockFamily>(label: &str, lock: L, workers: usize, duration: Duration) {
+    let registry = RwLock::new(lock, Registry::new());
+    let stop = AtomicBool::new(false);
+    let lookups = AtomicU64::new(0);
+    let registrations = AtomicU64::new(0);
+
+    std::thread::scope(|s| {
+        // Request threads: read-only sampling.
+        for w in 0..workers {
+            let registry = &registry;
+            let stop = &stop;
+            let lookups = &lookups;
+            s.spawn(move || {
+                let mut me = registry.owner().unwrap();
+                let mut local = 0u64;
+                let key = format!("requests.endpoint_{}", w % 64);
+                while !stop.load(Ordering::Relaxed) {
+                    let guard = me.read();
+                    local += guard.metrics.get(&key).copied().unwrap_or(0) + 1;
+                    drop(guard);
+                }
+                lookups.fetch_add(local, Ordering::Relaxed);
+            });
+        }
+        // Control thread: rare writes (one registration per 10 ms).
+        let registry = &registry;
+        let stop = &stop;
+        let registrations = &registrations;
+        s.spawn(move || {
+            let mut me = registry.owner().unwrap();
+            let mut next = 64;
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(10));
+                me.write()
+                    .metrics
+                    .insert(format!("requests.endpoint_{next}"), 0);
+                next += 1;
+                registrations.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+
+        let start = Instant::now();
+        while start.elapsed() < duration {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    let mut me = registry.owner().unwrap();
+    let final_metrics = me.read().metrics.len();
+    println!(
+        "{label:>12}: {:>12} lookups, {:>3} registrations, {final_metrics} metrics live",
+        lookups.load(Ordering::Relaxed),
+        registrations.load(Ordering::Relaxed),
+    );
+}
+
+fn main() {
+    let workers = 4;
+    let duration = Duration::from_millis(600);
+    println!("metrics registry: {workers} request threads + 1 control thread, {duration:?}");
+    run("FOLL", FollLock::new(workers + 2), workers, duration);
+    run(
+        "Centralized",
+        CentralizedRwLock::new(workers + 2),
+        workers,
+        duration,
+    );
+    println!("(higher lookup counts = less reader-side lock overhead)");
+}

@@ -1,0 +1,74 @@
+//! Quickstart: the three OLL locks in five minutes.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use oll::{FollLock, GollLock, RollLock, RwHandle, RwLock, RwLockFamily, UpgradableHandle};
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. Raw handle API: register, then acquire through the handle.
+    //    (Every lock is constructed with a capacity: the maximum number of
+    //    concurrently registered threads — the paper's per-thread queue
+    //    nodes are preallocated from it.)
+    // ------------------------------------------------------------------
+    let lock = FollLock::new(4);
+    let mut me = lock.handle().expect("capacity not exhausted");
+    {
+        let _shared = me.read(); // shared: other readers may enter
+        println!("FOLL: holding for reading");
+    } // guard drop releases
+    {
+        let _exclusive = me.write(); // exclusive
+        println!("FOLL: holding for writing");
+    }
+
+    // ------------------------------------------------------------------
+    // 2. Data-carrying wrapper: RwLock<T, L> pairs a value with any lock.
+    // ------------------------------------------------------------------
+    let counter = RwLock::new(RollLock::new(8), 0u64);
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let counter = &counter;
+            s.spawn(move || {
+                let mut me = counter.owner().unwrap();
+                for _ in 0..10_000 {
+                    *me.write() += 1;
+                }
+                let snapshot = *me.read();
+                assert!(snapshot >= 10_000);
+            });
+        }
+    });
+    {
+        let mut me = counter.owner().unwrap();
+        println!("ROLL-protected counter: {}", *me.read());
+        assert_eq!(*me.read(), 40_000);
+    }
+
+    // ------------------------------------------------------------------
+    // 3. GOLL extras: try-locks and write upgrade/downgrade (§3.2.1).
+    // ------------------------------------------------------------------
+    let goll = GollLock::new(4);
+    let mut a = goll.handle().unwrap();
+    let mut b = goll.handle().unwrap();
+
+    a.lock_read();
+    assert!(b.try_lock_read(), "readers share");
+    b.unlock_read();
+
+    // Sole reader -> upgrade to writer without releasing.
+    assert!(a.try_upgrade());
+    assert!(!b.try_lock_read(), "write-held now");
+    println!("GOLL: upgraded read -> write");
+
+    // And back down without releasing.
+    a.downgrade();
+    assert!(b.try_lock_read(), "read-held again");
+    b.unlock_read();
+    a.unlock_read();
+    println!("GOLL: downgraded write -> read");
+
+    println!("quickstart OK");
+}

@@ -1,0 +1,104 @@
+//! Write upgrade in practice (§3.2.1): the check-then-act pattern.
+//!
+//! Worker threads maintain a shared two-word configuration whose
+//! invariant (`stamp == version * 3`) only holds while nobody is mid-
+//! update — the reader-writer lock is what keeps readers from observing a
+//! torn refresh. Most of the time workers only *check* the config (read
+//! lock); on finding it stale they try to *upgrade* the read hold to a
+//! write hold and refresh in place, with no release/re-acquire gap for
+//! another thread to sneak through. Upgrades succeed only for a sole
+//! reader, so under contention workers fall back to drop-and-write-lock;
+//! the run counts both paths.
+//!
+//! ```sh
+//! cargo run --release --example write_upgrade
+//! ```
+
+use oll::{GollLock, RwHandle, RwLockFamily, UpgradableHandle};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Shared config. The fields are atomics only so Rust lets us share them;
+/// their *mutual consistency* is protected by the GOLL lock, exactly like
+/// plain fields under `std::sync::RwLock`.
+struct Config {
+    version: AtomicU64,
+    stamp: AtomicU64, // invariant: stamp == version * 3 when quiescent
+}
+
+fn main() {
+    const WORKERS: usize = 4;
+    const CHECKS_PER_WORKER: usize = 20_000;
+
+    let lock = GollLock::new(WORKERS);
+    let config = Config {
+        version: AtomicU64::new(0),
+        stamp: AtomicU64::new(0),
+    };
+    let target_version = |i: usize| (i as u64) / 1_000;
+
+    let upgrades = AtomicU64::new(0);
+    let fallbacks = AtomicU64::new(0);
+    let refreshes = AtomicU64::new(0);
+
+    std::thread::scope(|s| {
+        for _ in 0..WORKERS {
+            let lock = &lock;
+            let config = &config;
+            let (upgrades, fallbacks, refreshes) = (&upgrades, &fallbacks, &refreshes);
+            s.spawn(move || {
+                let mut me = lock.handle().unwrap();
+                for i in 0..CHECKS_PER_WORKER {
+                    // --- check phase (read lock) ---
+                    me.lock_read();
+                    let v = config.version.load(Relaxed);
+                    let stamp = config.stamp.load(Relaxed);
+                    assert_eq!(stamp, v * 3, "reader observed a torn refresh");
+                    if v >= target_version(i) {
+                        me.unlock_read();
+                        continue;
+                    }
+                    // --- act phase: upgrade in place, or fall back ---
+                    if me.try_upgrade() {
+                        upgrades.fetch_add(1, Relaxed);
+                    } else {
+                        me.unlock_read();
+                        me.lock_write();
+                        fallbacks.fetch_add(1, Relaxed);
+                    }
+                    // Write-held either way: refresh (deliberately torn in
+                    // the middle — the lock hides the intermediate state).
+                    let v = config.version.load(Relaxed);
+                    if v < target_version(i) {
+                        let nv = target_version(i);
+                        config.version.store(nv, Relaxed);
+                        // Torn window: stamp still belongs to the old
+                        // version. No reader may see this.
+                        std::hint::black_box(&config.stamp);
+                        config.stamp.store(nv * 3, Relaxed);
+                        refreshes.fetch_add(1, Relaxed);
+                    }
+                    // Downgrade: verify our refresh while already letting
+                    // other readers in.
+                    me.downgrade();
+                    let v = config.version.load(Relaxed);
+                    assert_eq!(config.stamp.load(Relaxed), v * 3);
+                    assert!(v >= target_version(i));
+                    me.unlock_read();
+                }
+            });
+        }
+    });
+
+    println!(
+        "upgrades: {}, fallbacks: {}, refreshes applied: {}",
+        upgrades.load(Relaxed),
+        fallbacks.load(Relaxed),
+        refreshes.load(Relaxed),
+    );
+    println!(
+        "final config version {} (stamp {})",
+        config.version.load(Relaxed),
+        config.stamp.load(Relaxed),
+    );
+    println!("write_upgrade OK");
+}

@@ -1,0 +1,33 @@
+# Gnuplot script: render the six Figure 5 panels from fig5's CSV output.
+#
+#   cargo run -p oll-workloads --release --bin fig5 -- --panel all --csv fig5.csv
+#   gnuplot -e "csv='fig5.csv'" scripts/plot_fig5.gp
+#
+# Produces fig5.png with the same 3x2 layout as the paper.
+
+if (!exists("csv")) csv = "fig5.csv"
+
+set datafile separator comma
+set terminal pngcairo size 1400,1500 font "sans,10"
+set output "fig5.png"
+set multiplot layout 3,2 title "Figure 5: throughput for reader-writer locks (reproduction)"
+
+set xlabel "Threads"
+set ylabel "Throughput (acquires/s)"
+set key top right
+set grid
+
+panels = "a b c d e f"
+titles = "'100% Reads' '99% Reads' '95% Reads' '80% Reads' '50% Reads' '0% Reads'"
+locks  = "GOLL FOLL ROLL KSUH Solaris-Like"
+
+do for [p = 1:6] {
+    panel = word(panels, p)
+    set title sprintf("(%s) %s", panel, word(titles, p))
+    plot for [l = 1:5] csv using \
+        (strcol(1) eq panel && strcol(3) eq word(locks, l) ? column(4) : NaN):5 \
+        with linespoints title word(locks, l)
+}
+
+unset multiplot
+print "wrote fig5.png"

@@ -1,0 +1,63 @@
+//! **oll** — scalable reader-writer locks.
+//!
+//! A from-scratch Rust implementation of *Scalable Reader-Writer Locks*
+//! (Lev, Luchangco & Olszewski, SPAA 2009): the C-SNZI data structure,
+//! the three OLL lock algorithms it powers, the baseline locks the paper
+//! compares against, and the full evaluation harness that regenerates the
+//! paper's Figure 5.
+//!
+//! # Which lock should I use?
+//!
+//! * Read-mostly data, busy-wait acceptable, FIFO fairness wanted →
+//!   [`FollLock`].
+//! * Read-mostly data, maximize reader throughput, writers may wait
+//!   longer → [`RollLock`].
+//! * Need blocking waiters, priority-style policies, or write
+//!   upgrade/downgrade → [`GollLock`].
+//!
+//! # Quickstart
+//!
+//! ```
+//! use oll::{RollLock, RwLock};
+//!
+//! // A lock sized for up to 8 concurrently registered threads.
+//! let table = RwLock::new(RollLock::new(8), std::collections::HashMap::new());
+//!
+//! std::thread::scope(|s| {
+//!     for worker in 0..4 {
+//!         let table = &table;
+//!         s.spawn(move || {
+//!             let mut me = table.owner().unwrap(); // register this thread
+//!             me.write().insert(worker, worker * 10);
+//!             let _sum: i32 = me.read().values().sum(); // shared with other readers
+//!         });
+//!     }
+//! });
+//!
+//! let mut me = table.owner().unwrap();
+//! assert_eq!(me.read().len(), 4);
+//! ```
+//!
+//! # Crate map
+//!
+//! * [`csnzi`] — SNZI / closable-SNZI (the paper's §2).
+//! * [`core`] (re-exported at the root) — GOLL, FOLL, ROLL (§3–4).
+//! * [`baselines`] — KSUH, Solaris-like, MCS, MCS-RW, centralized,
+//!   per-thread, std (§1, §5).
+//! * [`workloads`] — the Figure 5 throughput harness (§5).
+//! * [`util`] — backoff, cache padding, events, spin mutex, thread slots.
+
+pub use oll_baselines as baselines;
+pub use oll_core as core;
+pub use oll_csnzi as csnzi;
+pub use oll_util as util;
+pub use oll_workloads as workloads;
+
+pub use oll_baselines::{
+    CentralizedRwLock, KsuhLock, McsMutex, McsRwLock, McsRwReaderPref, McsRwWriterPref,
+    PerThreadRwLock, SolarisLikeRwLock, StdRwLock,
+};
+pub use oll_core::{
+    FairnessPolicy, FollLock, GollLock, RollLock, RwHandle, RwLock, RwLockFamily, UpgradableHandle,
+};
+pub use oll_csnzi::{ArrivalPolicy, CSnzi, Snzi, TreeShape};

@@ -1,0 +1,112 @@
+//! End-to-end checks of the Figure 5 harness itself: panel sweeps produce
+//! complete, well-formed output, and the relationships that should hold
+//! on *any* machine (not just the paper's 256-thread T5440) do hold.
+
+use oll::workloads::config::{Fig5Panel, LockKind, WorkloadConfig};
+use oll::workloads::report::{factor_at_peak, render_csv, render_table};
+use oll::workloads::sweep::{run_panel, SweepOptions};
+
+fn tiny_opts(locks: Vec<LockKind>) -> SweepOptions {
+    SweepOptions {
+        thread_counts: vec![1, 2, 4],
+        locks,
+        base: WorkloadConfig {
+            threads: 1,
+            read_pct: 100,
+            acquisitions_per_thread: 1_500,
+            critical_work: 0,
+            outside_work: 0,
+            seed: 0x600D_F00D,
+            runs: 1,
+            verify: false,
+        },
+        progress: false,
+    }
+}
+
+#[test]
+fn every_panel_runs_with_figure5_locks() {
+    // One quick point per panel keeps this test minutes-proof.
+    let opts = SweepOptions {
+        thread_counts: vec![2],
+        ..tiny_opts(LockKind::FIGURE5.to_vec())
+    };
+    for panel in Fig5Panel::ALL {
+        let r = run_panel(panel, &opts);
+        assert_eq!(r.series.len(), 5);
+        for s in &r.series {
+            assert_eq!(s.points.len(), 1);
+            assert!(s.points[0].acquires_per_sec > 0.0);
+            assert_eq!(s.points[0].read_pct, panel.read_pct());
+        }
+        let table = render_table(&r);
+        assert!(table.contains("Figure 5"));
+        let csv = render_csv(&r, true);
+        assert_eq!(csv.lines().count(), 1 + 5);
+    }
+}
+
+#[test]
+fn read_only_throughput_beats_write_only_for_rw_locks() {
+    // At equal thread counts, 100% reads must outperform 0% reads for any
+    // reader-writer lock (readers share; writers serialize). This is only
+    // observable with real parallelism: on a single hardware thread,
+    // concurrent readers cannot overlap, so the two workloads cost the
+    // same and the comparison is noise.
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if hw < 2 {
+        eprintln!("skipping shape assertion: single hardware thread (see EXPERIMENTS.md)");
+        return;
+    }
+    let opts = tiny_opts(vec![LockKind::Foll, LockKind::Roll, LockKind::Goll]);
+    let read_only = run_panel(Fig5Panel::A, &opts);
+    let write_only = run_panel(Fig5Panel::F, &opts);
+    for kind in [LockKind::Foll, LockKind::Roll, LockKind::Goll] {
+        let r = read_only
+            .series_for(kind)
+            .unwrap()
+            .points
+            .last()
+            .unwrap()
+            .acquires_per_sec;
+        let w = write_only
+            .series_for(kind)
+            .unwrap()
+            .points
+            .last()
+            .unwrap()
+            .acquires_per_sec;
+        assert!(
+            r > w,
+            "{}: read-only ({r:.0}/s) should beat write-only ({w:.0}/s) at 4 threads",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn factor_helper_compares_series() {
+    let opts = tiny_opts(vec![LockKind::Foll, LockKind::Ksuh]);
+    let panel = run_panel(Fig5Panel::A, &opts);
+    let f = factor_at_peak(&panel, LockKind::Foll, LockKind::Ksuh).unwrap();
+    assert!(f.is_finite() && f > 0.0);
+}
+
+#[test]
+fn csv_rows_are_parseable() {
+    let opts = SweepOptions {
+        thread_counts: vec![1, 2],
+        ..tiny_opts(vec![LockKind::Goll])
+    };
+    let panel = run_panel(Fig5Panel::C, &opts);
+    let csv = render_csv(&panel, true);
+    for line in csv.lines().skip(1) {
+        let fields: Vec<&str> = line.split(',').collect();
+        assert_eq!(fields.len(), 6, "line: {line}");
+        assert_eq!(fields[0], "c");
+        assert_eq!(fields[1], "95");
+        assert!(fields[3].parse::<usize>().is_ok());
+        assert!(fields[4].parse::<f64>().unwrap() > 0.0);
+        assert!(fields[5].parse::<f64>().unwrap() > 0.0);
+    }
+}

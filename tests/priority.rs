@@ -1,0 +1,140 @@
+//! GOLL priority semantics (§3.1 turnstile ordering, §5.1's "unless a
+//! higher-priority writer is waiting").
+
+use oll::{GollLock, RwHandle, RwLockFamily};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// W0 holds the lock; a reader (priority pr) and a writer (priority pw)
+/// queue behind it; W0 releases under the Alternating policy. Returns
+/// which class entered first.
+fn first_after_release(pr: u8, pw: u8) -> char {
+    let lock = Arc::new(GollLock::new(4));
+    let mut w0 = lock.handle().unwrap();
+    w0.lock_write();
+
+    let first = Arc::new(AtomicU8::new(0));
+    let mut threads = Vec::new();
+    {
+        let lock = Arc::clone(&lock);
+        let first = Arc::clone(&first);
+        threads.push(std::thread::spawn(move || {
+            let mut h = lock.handle().unwrap();
+            h.set_priority(pr);
+            h.lock_read();
+            let _ = first.compare_exchange(0, b'R', Ordering::SeqCst, Ordering::SeqCst);
+            h.unlock_read();
+        }));
+    }
+    std::thread::sleep(Duration::from_millis(30));
+    {
+        let lock = Arc::clone(&lock);
+        let first = Arc::clone(&first);
+        threads.push(std::thread::spawn(move || {
+            let mut h = lock.handle().unwrap();
+            h.set_priority(pw);
+            h.lock_write();
+            let _ = first.compare_exchange(0, b'W', Ordering::SeqCst, Ordering::SeqCst);
+            h.unlock_write();
+        }));
+    }
+    std::thread::sleep(Duration::from_millis(30));
+    w0.unlock_write();
+    for t in threads {
+        t.join().unwrap();
+    }
+    first.load(Ordering::SeqCst) as char
+}
+
+#[test]
+fn equal_priorities_hand_to_readers() {
+    assert_eq!(first_after_release(0, 0), 'R');
+}
+
+#[test]
+fn higher_priority_writer_overrides_readers() {
+    assert_eq!(first_after_release(0, 5), 'W');
+}
+
+#[test]
+fn higher_priority_reader_still_goes_first() {
+    assert_eq!(first_after_release(5, 3), 'R');
+}
+
+/// With several writers queued, the highest-priority one is released
+/// first; ties break FIFO.
+#[test]
+fn writers_are_released_in_priority_order() {
+    let lock = Arc::new(GollLock::new(8));
+    let mut holder = lock.handle().unwrap();
+    holder.lock_write();
+
+    // Queue writers with priorities 1, 3, 2 (in that arrival order).
+    let order = Arc::new(AtomicUsize::new(0));
+    let sequence: Arc<[AtomicUsize; 3]> = Arc::new([
+        AtomicUsize::new(0),
+        AtomicUsize::new(0),
+        AtomicUsize::new(0),
+    ]);
+    let mut threads = Vec::new();
+    for (i, prio) in [(0usize, 1u8), (1, 3), (2, 2)] {
+        let lock = Arc::clone(&lock);
+        let order = Arc::clone(&order);
+        let sequence = Arc::clone(&sequence);
+        threads.push(std::thread::spawn(move || {
+            let mut h = lock.handle().unwrap();
+            h.set_priority(prio);
+            h.lock_write();
+            sequence[i].store(order.fetch_add(1, Ordering::SeqCst) + 1, Ordering::SeqCst);
+            h.unlock_write();
+        }));
+        // Ensure arrival order is deterministic.
+        std::thread::sleep(Duration::from_millis(30));
+    }
+
+    holder.unlock_write();
+    for t in threads {
+        t.join().unwrap();
+    }
+    let got: Vec<usize> = sequence.iter().map(|s| s.load(Ordering::SeqCst)).collect();
+    // Priorities 1, 3, 2 -> release order: prio 3 first, then 2, then 1.
+    assert_eq!(got, vec![3, 1, 2], "writer release order follows priority");
+}
+
+/// Priority never bypasses mutual exclusion.
+#[test]
+fn priority_stress_preserves_exclusion() {
+    use std::sync::atomic::AtomicI64;
+    const THREADS: usize = 5;
+    let lock = Arc::new(GollLock::new(THREADS));
+    let state = Arc::new(AtomicI64::new(0));
+    let mut threads = Vec::new();
+    for tid in 0..THREADS {
+        let lock = Arc::clone(&lock);
+        let state = Arc::clone(&state);
+        threads.push(std::thread::spawn(move || {
+            let mut h = lock.handle().unwrap();
+            h.set_priority((tid % 3) as u8);
+            let mut rng = oll::util::XorShift64::for_thread(606, tid);
+            for _ in 0..1_000 {
+                if rng.percent(70) {
+                    h.lock_read();
+                    assert!(state.fetch_add(1, Ordering::SeqCst) >= 0);
+                    state.fetch_sub(1, Ordering::SeqCst);
+                    h.unlock_read();
+                } else {
+                    h.lock_write();
+                    assert_eq!(state.swap(-1, Ordering::SeqCst), 0);
+                    state.store(0, Ordering::SeqCst);
+                    h.unlock_write();
+                }
+            }
+        }));
+    }
+    for t in threads {
+        t.join().unwrap();
+    }
+    let snap = lock.csnzi_snapshot();
+    assert_eq!((snap.surplus(), snap.open), (0, true));
+}

@@ -1,0 +1,172 @@
+//! Write-upgrade and downgrade semantics (§3.2.1) under concurrency.
+
+use oll::{GollLock, RwHandle, RwLockFamily, UpgradableHandle};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn upgrade_is_atomic_no_release_window() {
+    // If try_upgrade released the read lock before acquiring the write
+    // lock, another writer could slip in between. Detect that: the
+    // upgrader checks a value under the read lock, upgrades, and asserts
+    // the value did not change across the upgrade.
+    const ITERS: usize = 2_000;
+    let lock = Arc::new(GollLock::new(2));
+    let value = Arc::new(AtomicU64::new(0));
+    let upgrader = {
+        let lock = Arc::clone(&lock);
+        let value = Arc::clone(&value);
+        std::thread::spawn(move || {
+            let mut h = lock.handle().unwrap();
+            let mut upgrades = 0u64;
+            for _ in 0..ITERS {
+                h.lock_read();
+                let seen = value.load(Ordering::SeqCst);
+                if h.try_upgrade() {
+                    // Atomic upgrade: nobody may have written in between.
+                    assert_eq!(
+                        value.load(Ordering::SeqCst),
+                        seen,
+                        "writer slipped through upgrade"
+                    );
+                    value.fetch_add(1, Ordering::SeqCst);
+                    upgrades += 1;
+                    h.unlock_write();
+                } else {
+                    h.unlock_read();
+                }
+            }
+            upgrades
+        })
+    };
+    let writer = {
+        let lock = Arc::clone(&lock);
+        let value = Arc::clone(&value);
+        std::thread::spawn(move || {
+            let mut h = lock.handle().unwrap();
+            for _ in 0..ITERS {
+                h.lock_write();
+                value.fetch_add(1, Ordering::SeqCst);
+                h.unlock_write();
+            }
+        })
+    };
+    let upgrades = upgrader.join().unwrap();
+    writer.join().unwrap();
+    assert_eq!(
+        value.load(Ordering::SeqCst),
+        upgrades + ITERS as u64,
+        "every successful upgrade and every write counted exactly once"
+    );
+}
+
+#[test]
+fn upgrade_failure_keeps_read_hold() {
+    let lock = GollLock::new(3);
+    let mut a = lock.handle().unwrap();
+    let mut b = lock.handle().unwrap();
+    let mut w = lock.handle().unwrap();
+    a.lock_read();
+    b.lock_read();
+    assert!(!a.try_upgrade());
+    // a must still hold for reading: a writer cannot enter.
+    assert!(!w.try_lock_write());
+    b.unlock_read();
+    assert!(!w.try_lock_write(), "a still holds for reading");
+    a.unlock_read();
+    assert!(w.try_lock_write());
+    w.unlock_write();
+}
+
+#[test]
+fn downgrade_admits_readers_excludes_writers() {
+    let lock = GollLock::new(3);
+    let mut w = lock.handle().unwrap();
+    let mut r = lock.handle().unwrap();
+    let mut w2 = lock.handle().unwrap();
+    w.lock_write();
+    w.downgrade();
+    assert!(r.try_lock_read(), "downgraded lock admits readers");
+    assert!(
+        !w2.try_lock_write(),
+        "downgraded lock still excludes writers"
+    );
+    r.unlock_read();
+    w.unlock_read();
+    assert!(w2.try_lock_write());
+    w2.unlock_write();
+}
+
+#[test]
+fn downgrade_wakes_waiting_readers_with_us() {
+    use std::time::Duration;
+    let lock = Arc::new(GollLock::new(4));
+    let mut w = lock.handle().unwrap();
+    w.lock_write();
+
+    let readers_in = Arc::new(AtomicI64::new(0));
+    let mut threads = Vec::new();
+    for _ in 0..2 {
+        let lock = Arc::clone(&lock);
+        let readers_in = Arc::clone(&readers_in);
+        threads.push(std::thread::spawn(move || {
+            let mut h = lock.handle().unwrap();
+            h.lock_read();
+            readers_in.fetch_add(1, Ordering::SeqCst);
+            while readers_in.load(Ordering::SeqCst) < 2 {
+                std::thread::yield_now();
+            }
+            h.unlock_read();
+        }));
+    }
+    // Let both readers reach the wait queue.
+    std::thread::sleep(Duration::from_millis(30));
+    // Downgrade: we become a reader *and* the queued readers join us.
+    w.downgrade();
+    for t in threads {
+        t.join().unwrap();
+    }
+    assert_eq!(readers_in.load(Ordering::SeqCst), 2);
+    w.unlock_read();
+}
+
+#[test]
+fn upgrade_stress_with_concurrent_readers() {
+    const THREADS: usize = 4;
+    const ITERS: usize = 1_000;
+    let lock = Arc::new(GollLock::new(THREADS));
+    let state = Arc::new(AtomicI64::new(0));
+    let mut threads = Vec::new();
+    for tid in 0..THREADS {
+        let lock = Arc::clone(&lock);
+        let state = Arc::clone(&state);
+        threads.push(std::thread::spawn(move || {
+            let mut h = lock.handle().unwrap();
+            let mut rng = oll::util::XorShift64::for_thread(404, tid);
+            for _ in 0..ITERS {
+                h.lock_read();
+                let s = state.fetch_add(1, Ordering::SeqCst);
+                assert!(s >= 0);
+                state.fetch_sub(1, Ordering::SeqCst);
+                if rng.percent(30) && h.try_upgrade() {
+                    let s = state.swap(-1, Ordering::SeqCst);
+                    assert_eq!(s, 0, "upgrade without exclusivity");
+                    state.store(0, Ordering::SeqCst);
+                    if rng.percent(50) {
+                        h.downgrade();
+                        h.unlock_read();
+                    } else {
+                        h.unlock_write();
+                    }
+                    continue;
+                }
+                h.unlock_read();
+            }
+        }));
+    }
+    for t in threads {
+        t.join().unwrap();
+    }
+    let snap = lock.csnzi_snapshot();
+    assert_eq!((snap.surplus(), snap.open), (0, true));
+}
