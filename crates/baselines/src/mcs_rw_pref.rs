@@ -305,14 +305,14 @@ impl RwHandle for McsRwWriterPrefHandle<'_> {
                 core.word.fetch_or(WWFLAG, SeqCst);
                 continue;
             }
-            if w & WAFLAG == 0 && w / RC_INCR == 0 {
-                if core
+            if w & WAFLAG == 0
+                && w / RC_INCR == 0
+                && core
                     .word
                     .compare_exchange(w, WAFLAG | WWFLAG, SeqCst, SeqCst)
                     .is_ok()
-                {
-                    return;
-                }
+            {
+                return;
             }
             b.backoff();
         }

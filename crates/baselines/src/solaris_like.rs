@@ -352,6 +352,143 @@ impl RwHandle for SolarisLikeHandle<'_> {
     }
 }
 
+#[cfg(not(loom))]
+impl oll_core::raw::TimedHandle for SolarisLikeHandle<'_> {
+    /// Timed read via turnstile excision: a timed-out waiter removes
+    /// itself from its reader group under the turnstile mutex. If the
+    /// hand-off already counted it into the lockword, it instead waits for
+    /// the (imminent) signal, takes ownership, and releases normally.
+    /// Waiter bits left stale by a departure (`hasWaiters`, `writeWanted`)
+    /// are recomputed by the next release's `handover`.
+    fn lock_read_deadline(
+        &mut self,
+        deadline: std::time::Instant,
+    ) -> Result<(), oll_core::TimedOut> {
+        let lock = self.lock;
+        let mut b = Backoff::with_policy(lock.backoff);
+        loop {
+            let w = lock.load();
+            if !w.write_locked() && !w.write_wanted() {
+                if lock.cas(w, Word(w.0 + READER_UNIT)) {
+                    return Ok(());
+                }
+                b.backoff();
+                if std::time::Instant::now() >= deadline {
+                    return Err(oll_core::TimedOut);
+                }
+                continue;
+            }
+            if std::time::Instant::now() >= deadline {
+                return Err(oll_core::TimedOut);
+            }
+            let mut ts = lock.turnstile.lock();
+            let w = lock.load();
+            if !w.write_locked() && !w.write_wanted() {
+                drop(ts);
+                continue;
+            }
+            if !w.has_waiters() && !lock.cas(w, Word(w.0 | HAS_WAITERS)) {
+                drop(ts);
+                continue;
+            }
+            let group = match ts.groups.back() {
+                Some(Group::Readers(g)) => {
+                    let g = Arc::clone(g);
+                    g.join();
+                    g
+                }
+                _ => {
+                    let g = Arc::new(GroupEvent::new(lock.strategy));
+                    g.join();
+                    ts.groups.push_back(Group::Readers(Arc::clone(&g)));
+                    g
+                }
+            };
+            drop(ts);
+            if group.wait_deadline(deadline) {
+                return Ok(()); // handed over: already counted into the word
+            }
+            // Timed out: arbitrate against the hand-off under the mutex.
+            let mut ts = lock.turnstile.lock();
+            let pos = ts
+                .groups
+                .iter()
+                .position(|g| matches!(g, Group::Readers(g) if Arc::ptr_eq(g, &group)));
+            if let Some(idx) = pos {
+                // Still queued: step out before any releaser counts us.
+                if group.leave() == 0 {
+                    ts.groups.remove(idx);
+                }
+                drop(ts);
+                return Err(oll_core::TimedOut);
+            }
+            // A releaser dequeued the group — we are counted into the
+            // lockword as a reader. Wait for the signal, then undo via the
+            // normal release path.
+            drop(ts);
+            group.wait();
+            self.unlock_read();
+            return Err(oll_core::TimedOut);
+        }
+    }
+
+    fn lock_write_deadline(
+        &mut self,
+        deadline: std::time::Instant,
+    ) -> Result<(), oll_core::TimedOut> {
+        let lock = self.lock;
+        let mut b = Backoff::with_policy(lock.backoff);
+        loop {
+            let w = lock.load();
+            if w.readers() == 0 && !w.write_locked() && !w.has_waiters() {
+                if lock.cas(w, Word::make(0, true, false, false)) {
+                    return Ok(());
+                }
+                b.backoff();
+                if std::time::Instant::now() >= deadline {
+                    return Err(oll_core::TimedOut);
+                }
+                continue;
+            }
+            if std::time::Instant::now() >= deadline {
+                return Err(oll_core::TimedOut);
+            }
+            let mut ts = lock.turnstile.lock();
+            let w = lock.load();
+            if w.readers() == 0 && !w.write_locked() && !w.has_waiters() {
+                drop(ts);
+                continue;
+            }
+            if lock.cas(w, Word(w.0 | HAS_WAITERS | WRITE_WANTED)) {
+                let ev = Arc::new(Event::new(lock.strategy));
+                ts.groups.push_back(Group::Writer(Arc::clone(&ev)));
+                ts.num_writers += 1;
+                drop(ts);
+                if ev.wait_deadline(deadline) {
+                    return Ok(());
+                }
+                let mut ts = lock.turnstile.lock();
+                let pos = ts
+                    .groups
+                    .iter()
+                    .position(|g| matches!(g, Group::Writer(e) if Arc::ptr_eq(e, &ev)));
+                if let Some(idx) = pos {
+                    ts.groups.remove(idx);
+                    ts.num_writers -= 1;
+                    drop(ts);
+                    return Err(oll_core::TimedOut);
+                }
+                // Hand-off already made us the write holder.
+                drop(ts);
+                ev.wait();
+                self.unlock_write();
+                return Err(oll_core::TimedOut);
+            }
+            drop(ts);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -102,6 +102,62 @@ impl RwHandle for StdRwHandle<'_> {
     }
 }
 
+#[cfg(not(loom))]
+impl oll_core::raw::TimedHandle for StdRwHandle<'_> {
+    /// std has no native timed acquisition, so poll `try_read` under a
+    /// deadline-bounded backoff. Unlike the queue locks this can starve
+    /// under heavy contention, which is itself a useful baseline contrast.
+    fn lock_read_deadline(
+        &mut self,
+        deadline: std::time::Instant,
+    ) -> Result<(), oll_core::TimedOut> {
+        use oll_util::backoff::{spin_until_deadline, BackoffPolicy};
+        debug_assert!(self.read_guard.is_none() && self.write_guard.is_none());
+        let inner = &self.lock.inner;
+        let mut guard = None;
+        if spin_until_deadline(BackoffPolicy::default(), deadline, || {
+            match inner.try_read() {
+                Ok(g) => {
+                    guard = Some(g);
+                    true
+                }
+                Err(std::sync::TryLockError::WouldBlock) => false,
+                Err(std::sync::TryLockError::Poisoned(_)) => panic!("std lock poisoned"),
+            }
+        }) {
+            self.read_guard = guard;
+            Ok(())
+        } else {
+            Err(oll_core::TimedOut)
+        }
+    }
+
+    fn lock_write_deadline(
+        &mut self,
+        deadline: std::time::Instant,
+    ) -> Result<(), oll_core::TimedOut> {
+        use oll_util::backoff::{spin_until_deadline, BackoffPolicy};
+        debug_assert!(self.read_guard.is_none() && self.write_guard.is_none());
+        let inner = &self.lock.inner;
+        let mut guard = None;
+        if spin_until_deadline(BackoffPolicy::default(), deadline, || {
+            match inner.try_write() {
+                Ok(g) => {
+                    guard = Some(g);
+                    true
+                }
+                Err(std::sync::TryLockError::WouldBlock) => false,
+                Err(std::sync::TryLockError::Poisoned(_)) => panic!("std lock poisoned"),
+            }
+        }) {
+            self.write_guard = guard;
+            Ok(())
+        } else {
+            Err(oll_core::TimedOut)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -15,11 +15,55 @@
 //! is exactly the ring discipline the paper's recycling argument assumes.
 
 use crate::raw::{RwHandle, RwLockFamily};
-use oll_csnzi::{ArrivalPolicy, CSnzi, Ticket, TreeShape};
+use oll_csnzi::{ArrivalPolicy, CSnzi, CancelOutcome, Ticket, TreeShape};
 use oll_util::backoff::{spin_until, Backoff, BackoffPolicy};
+use oll_util::fault;
 use oll_util::slots::{SlotError, SlotGuard, SlotRegistry};
 use oll_util::sync::{AtomicBool, AtomicU32, Ordering};
 use oll_util::CachePadded;
+
+/// Hand-off state of a queue node, generalizing Figure 4's boolean `spin`
+/// flag so that timed acquisitions can *cancel* a wait.
+///
+/// The MCS-style hand-off gives each waiting node exactly one granter (its
+/// queue predecessor, or the last departing reader of a closed reader
+/// node). Cancellation races that grant; the node's state word is the
+/// arbiter, with a single CAS deciding who is responsible for the node:
+///
+/// * granter CAS `WAITING → GRANTED` wins: the waiter (or its canceller)
+///   owns the lock and must release it normally;
+/// * canceller CAS `WAITING → ABANDONED` wins: the waiter is gone, and the
+///   *granter* performs the release on its behalf when the grant arrives
+///   ([`QueueCore::grant`] cascades over abandoned nodes).
+///
+/// Abandoned reader nodes are recycled by the granter (they are closed and
+/// empty, exactly the pool invariant). Abandoned *writer* nodes belong to a
+/// thread slot, so the granter cannot recycle them; it marks them
+/// `RELEASED` and the owning handle reclaims the node before its next
+/// writer-side operation.
+pub(crate) mod node_state {
+    /// The node's owner holds the lock (also the unqueued/initial state —
+    /// Figure 4's `spin = false`).
+    pub const GRANTED: u32 = 0;
+    /// Waiting for the predecessor's grant (Figure 4's `spin = true`).
+    pub const WAITING: u32 = 1;
+    /// The waiter timed out and left; the granter releases on its behalf.
+    pub const ABANDONED: u32 = 2;
+    /// Writer nodes only: the granter finished the abandoned release and
+    /// the owning handle may now reuse the node.
+    pub const RELEASED: u32 = 3;
+}
+use node_state::{ABANDONED, GRANTED, RELEASED, WAITING};
+
+/// Outcome of a timed write acquisition that did not get the lock.
+pub(crate) enum WriteTimeout {
+    /// The cancel undid everything; the writer node is immediately
+    /// reusable.
+    Clean,
+    /// The node was left `ABANDONED` in the queue; the handle must
+    /// [`QueueCore::reclaim_writer_node`] before the node's next use.
+    Abandoned,
+}
 
 /// A packed reference to a queue node: `0` is null; otherwise bit 0 is the
 /// node kind (1 = reader) and the remaining bits are `index + 1`.
@@ -59,10 +103,10 @@ impl NodeRef {
     }
 }
 
-/// A writer's queue node: the MCS node (`qNext`, `spin`).
+/// A writer's queue node: the MCS node (`qNext`, hand-off `state`).
 pub(crate) struct WriterNode {
     pub(crate) qnext: AtomicU32,
-    pub(crate) spin: AtomicBool,
+    pub(crate) state: AtomicU32,
     /// ROLL only: predecessor link for the backward search. Unused (but
     /// cheap) in FOLL.
     pub(crate) prev: AtomicU32,
@@ -72,7 +116,7 @@ impl WriterNode {
     fn new() -> Self {
         Self {
             qnext: AtomicU32::new(NodeRef::NIL.raw()),
-            spin: AtomicBool::new(false),
+            state: AtomicU32::new(GRANTED),
             prev: AtomicU32::new(NodeRef::NIL.raw()),
         }
     }
@@ -83,7 +127,7 @@ impl WriterNode {
 pub(crate) struct ReaderNode {
     pub(crate) csnzi: CSnzi,
     pub(crate) qnext: AtomicU32,
-    pub(crate) spin: AtomicBool,
+    pub(crate) state: AtomicU32,
     /// `true` = IN_USE, `false` = FREE.
     pub(crate) in_use: AtomicBool,
     /// Immutable ring successor for pool traversal.
@@ -102,7 +146,7 @@ impl ReaderNode {
                 CSnzi::new_closed(shape)
             },
             qnext: AtomicU32::new(NodeRef::NIL.raw()),
-            spin: AtomicBool::new(false),
+            state: AtomicU32::new(GRANTED),
             in_use: AtomicBool::new(false),
             ring_next,
             prev: AtomicU32::new(NodeRef::NIL.raw()),
@@ -175,14 +219,108 @@ impl QueueCore {
         cell.store(next.raw(), Ordering::Release);
     }
 
-    /// Clears a successor's spin flag (releases the lock to it).
-    pub(crate) fn clear_spin(&self, node: NodeRef) {
-        let cell = if node.is_reader() {
-            &self.rnode(node.index()).spin
+    fn state_cell(&self, node: NodeRef) -> &AtomicU32 {
+        if node.is_reader() {
+            &self.rnode(node.index()).state
         } else {
-            &self.wnode(node.index()).spin
-        };
-        cell.store(false, Ordering::Release);
+            &self.wnode(node.index()).state
+        }
+    }
+
+    /// Hands the lock to `node` (Figure 4's `spin := false`), cascading
+    /// over abandoned waiters: if `node`'s owner cancelled its acquisition,
+    /// the grant performs the release the owner would have performed —
+    /// recycling an abandoned reader node and granting the writer linked
+    /// behind it, or running an abandoned writer's `WriterUnlock` — and the
+    /// cascade continues until the grant lands on a live waiter (or the
+    /// queue empties).
+    pub(crate) fn grant(&self, node: NodeRef) {
+        let mut cur = node;
+        loop {
+            match self.state_cell(cur).compare_exchange(
+                WAITING,
+                GRANTED,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return,
+                Err(observed) => {
+                    debug_assert_eq!(observed, ABANDONED, "grant raced a non-cancel transition");
+                    if cur.is_reader() {
+                        // An abandoned reader node is closed and empty with
+                        // the closing writer already linked behind it (both
+                        // abandonment paths establish this before the
+                        // ABANDONED store becomes visible). Recycle it and
+                        // pass the lock on.
+                        let n = self.rnode(cur.index());
+                        debug_assert!(!n.csnzi.query().open && !n.csnzi.query().nonzero);
+                        let succ = NodeRef::from_raw(n.qnext.load(Ordering::Acquire));
+                        debug_assert!(
+                            !succ.is_nil(),
+                            "abandoned reader nodes always have a queued successor"
+                        );
+                        n.qnext.store(NodeRef::NIL.raw(), Ordering::Relaxed);
+                        self.free_reader_node(cur.index());
+                        cur = succ;
+                    } else {
+                        // Release on the abandoned writer's behalf, then let
+                        // its owner reclaim the node. `writer_unlock` grants
+                        // the successor itself (cascading further if needed).
+                        let slot = cur.index();
+                        self.writer_unlock(slot);
+                        self.wnode(slot).state.store(RELEASED, Ordering::Release);
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Blocks until an abandoned writer node's takeover release finishes,
+    /// then resets it for reuse. Must be called (once) before the node's
+    /// next enqueue after a [`WriteTimeout::Abandoned`].
+    pub(crate) fn reclaim_writer_node(&self, slot: usize) {
+        let node = self.wnode(slot);
+        spin_until(self.backoff, || {
+            node.state.load(Ordering::Acquire) == RELEASED
+        });
+        node.state.store(GRANTED, Ordering::Relaxed);
+    }
+
+    /// Cancels a read acquisition that is still waiting on `idx`'s grant
+    /// (the timed reader's undo). On return the caller holds nothing and
+    /// owes nothing; any hand-off obligation picked up in the race with a
+    /// concurrent grant is discharged here.
+    pub(crate) fn cancel_read_session(&self, idx: usize, ticket: Ticket) {
+        let node = self.rnode(idx);
+        match node.csnzi.cancel(ticket) {
+            CancelOutcome::Undone => {
+                // Other readers remain arrived, or the node is simply back
+                // to surplus zero. Either way it stays queued — reader
+                // nodes outlive acquisitions by design, and a waiting
+                // empty node is still joinable (ROLL) and recyclable by
+                // the next writer.
+            }
+            CancelOutcome::MustHandOff => {
+                // We were the last departer of a *closed* node: the
+                // closing writer linked in behind and expects the lock.
+                // If the node is still waiting, leave the obligation with
+                // the future granter; if the grant already arrived, we own
+                // the lock and release it exactly as `reader_unlock` does.
+                fault::inject("foll.read.cancel-vs-grant");
+                if node
+                    .state
+                    .compare_exchange(WAITING, ABANDONED, Ordering::AcqRel, Ordering::Acquire)
+                    .is_err()
+                {
+                    let succ = NodeRef::from_raw(node.qnext.load(Ordering::Acquire));
+                    debug_assert!(!succ.is_nil(), "the closing writer linked in first");
+                    self.grant(succ);
+                    node.qnext.store(NodeRef::NIL.raw(), Ordering::Relaxed);
+                    self.free_reader_node(idx);
+                }
+            }
+        }
     }
 
     /// `AllocReaderNode` (Figure 4): claim a FREE node from the ring,
@@ -238,12 +376,13 @@ impl QueueCore {
         if pred.is_nil() {
             return; // lock acquired
         }
-        // Set our spin flag *before* publishing the qNext link: our
-        // predecessor finds us only through qNext, so it cannot clear the
-        // flag before we set it.
-        node.spin.store(true, Ordering::Relaxed);
+        // Set our state to WAITING *before* publishing the qNext link: our
+        // predecessor finds us only through qNext, so it cannot grant us
+        // before we start waiting.
+        node.state.store(WAITING, Ordering::Relaxed);
         node.prev.store(pred.raw(), Ordering::Release);
         self.set_qnext(pred, me);
+        fault::inject("foll.write.enqueued");
         if pred.is_reader() {
             let pnode = self.rnode(pred.index());
             // Node recycling: wait until the enqueuer has opened the
@@ -251,21 +390,146 @@ impl QueueCore {
             spin_until(self.backoff, || pnode.csnzi.query().open);
             if wait_for_active {
                 // ROLL: let readers keep joining until the group holds the
-                // lock.
-                spin_until(self.backoff, || !pnode.spin.load(Ordering::Acquire));
+                // lock. The predecessor reader node cannot be ABANDONED
+                // here: its C-SNZI is still open, so no canceller ever saw
+                // `MustHandOff` on it.
+                spin_until(self.backoff, || {
+                    pnode.state.load(Ordering::Acquire) == GRANTED
+                });
             }
             if pnode.csnzi.close() {
                 // No readers will signal us: the group is (or became)
                 // empty. Wait for the lock to reach the predecessor node
-                // through the queue, then take over and recycle it.
-                spin_until(self.backoff, || !pnode.spin.load(Ordering::Acquire));
+                // through the queue, then take over and recycle it. (The
+                // close saw surplus zero, so no arrived reader exists to
+                // cancel and abandon the node — it can only be GRANTED.)
+                fault::inject("foll.write.closed-empty");
+                spin_until(self.backoff, || {
+                    pnode.state.load(Ordering::Acquire) == GRANTED
+                });
                 self.free_reader_node(pred.index());
             } else {
-                // The last departing reader will clear our flag.
-                spin_until(self.backoff, || !node.spin.load(Ordering::Acquire));
+                // The last departing reader will grant us.
+                fault::inject("foll.write.waiting");
+                spin_until(self.backoff, || {
+                    node.state.load(Ordering::Acquire) == GRANTED
+                });
             }
         } else {
-            spin_until(self.backoff, || !node.spin.load(Ordering::Acquire));
+            fault::inject("foll.write.waiting");
+            spin_until(self.backoff, || {
+                node.state.load(Ordering::Acquire) == GRANTED
+            });
+        }
+    }
+
+    /// Timed [`writer_lock`](Self::writer_lock): gives up at `deadline`,
+    /// undoing the acquisition. Returns which undo path was taken — after
+    /// [`WriteTimeout::Abandoned`] the slot's writer node is still in the
+    /// queue and must be [reclaimed](Self::reclaim_writer_node) before its
+    /// next use.
+    #[cfg(not(loom))]
+    pub(crate) fn writer_lock_deadline(
+        &self,
+        slot: usize,
+        wait_for_active: bool,
+        deadline: std::time::Instant,
+    ) -> Result<(), WriteTimeout> {
+        use oll_util::backoff::spin_until_deadline;
+
+        let me = NodeRef::writer(slot);
+        let node = self.wnode(slot);
+        node.qnext.store(NodeRef::NIL.raw(), Ordering::Relaxed);
+        node.prev.store(NodeRef::NIL.raw(), Ordering::Relaxed);
+        let pred = self.swap_tail(me);
+        if pred.is_nil() {
+            return Ok(()); // lock acquired
+        }
+        node.state.store(WAITING, Ordering::Relaxed);
+        node.prev.store(pred.raw(), Ordering::Release);
+        self.set_qnext(pred, me);
+        fault::inject("foll.write.enqueued");
+        if pred.is_reader() {
+            let pnode = self.rnode(pred.index());
+            // Untimed on purpose: the enqueuer opens the C-SNZI within a
+            // few instructions of the CAS that made the node visible.
+            spin_until(self.backoff, || pnode.csnzi.query().open);
+            if wait_for_active {
+                // ROLL's courtesy wait; on timeout just close early — the
+                // acquisition degrades to FOLL behaviour but stays correct.
+                spin_until_deadline(self.backoff, deadline, || {
+                    pnode.state.load(Ordering::Acquire) == GRANTED
+                });
+            }
+            if pnode.csnzi.close() {
+                fault::inject("foll.write.closed-empty");
+                if spin_until_deadline(self.backoff, deadline, || {
+                    pnode.state.load(Ordering::Acquire) == GRANTED
+                }) {
+                    self.free_reader_node(pred.index());
+                    return Ok(());
+                }
+                // Timed out waiting for the takeover. Abandon *our own*
+                // node first — a plain store is enough, since our only
+                // granter works through `pnode`, which is still WAITING —
+                // then race the grant for `pnode`.
+                node.state.store(ABANDONED, Ordering::Release);
+                fault::inject("foll.write.abandon-pred");
+                if pnode
+                    .state
+                    .compare_exchange(WAITING, ABANDONED, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    // `pnode`'s granter will recycle it and release on our
+                    // behalf (cascade), ending in a RELEASED store.
+                    Err(WriteTimeout::Abandoned)
+                } else {
+                    // The grant reached `pnode` first: the lock is ours
+                    // (we closed its empty C-SNZI, so no reader signals
+                    // us). Un-abandon — no granter can have seen the store,
+                    // it would have had to go through `pnode` — and
+                    // release normally.
+                    node.state.store(GRANTED, Ordering::Relaxed);
+                    self.free_reader_node(pred.index());
+                    self.writer_unlock(slot);
+                    Err(WriteTimeout::Clean)
+                }
+            } else {
+                fault::inject("foll.write.waiting");
+                if spin_until_deadline(self.backoff, deadline, || {
+                    node.state.load(Ordering::Acquire) == GRANTED
+                }) {
+                    return Ok(());
+                }
+                self.cancel_writer_wait(slot)
+            }
+        } else {
+            fault::inject("foll.write.waiting");
+            if spin_until_deadline(self.backoff, deadline, || {
+                node.state.load(Ordering::Acquire) == GRANTED
+            }) {
+                return Ok(());
+            }
+            self.cancel_writer_wait(slot)
+        }
+    }
+
+    /// Races the pending grant for our own writer node: either we abandon
+    /// it (the granter releases on our behalf) or the grant already
+    /// arrived and we release normally.
+    #[cfg(not(loom))]
+    fn cancel_writer_wait(&self, slot: usize) -> Result<(), WriteTimeout> {
+        fault::inject("foll.write.abandon-self");
+        if self
+            .wnode(slot)
+            .state
+            .compare_exchange(WAITING, ABANDONED, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            Err(WriteTimeout::Abandoned)
+        } else {
+            self.writer_unlock(slot);
+            Err(WriteTimeout::Clean)
         }
     }
 
@@ -283,7 +547,7 @@ impl QueueCore {
             });
         }
         let succ = NodeRef::from_raw(node.qnext.load(Ordering::Acquire));
-        self.clear_spin(succ);
+        self.grant(succ);
         node.qnext.store(NodeRef::NIL.raw(), Ordering::Relaxed); // clean up
     }
 
@@ -298,7 +562,8 @@ impl QueueCore {
         // and recycle the node.
         let succ = NodeRef::from_raw(node.qnext.load(Ordering::Acquire));
         debug_assert!(!succ.is_nil(), "the closing writer linked in first");
-        self.clear_spin(succ);
+        fault::inject("foll.read.handoff");
+        self.grant(succ);
         node.qnext.store(NodeRef::NIL.raw(), Ordering::Relaxed); // clean up
         self.free_reader_node(depart_from);
     }
@@ -418,6 +683,7 @@ impl RwLockFamily for FollLock {
             policy,
             session: None,
             write_held: false,
+            pending_reclaim: false,
         })
     }
 
@@ -438,11 +704,23 @@ pub struct FollHandle<'a> {
     /// `(depart_from, ticket)` while holding for reading.
     session: Option<(usize, Ticket)>,
     write_held: bool,
+    /// A timed write abandoned this slot's writer node in the queue; it
+    /// must be reclaimed before the node's next use.
+    pending_reclaim: bool,
 }
 
 impl FollHandle<'_> {
     fn slot_idx(&self) -> usize {
         self.slot.slot()
+    }
+
+    /// Finishes any pending reclaim of this slot's writer node (after a
+    /// timed write abandoned it). Must run before every writer-node use.
+    fn ensure_writer_node(&mut self) {
+        if self.pending_reclaim {
+            self.core.reclaim_writer_node(self.slot_idx());
+            self.pending_reclaim = false;
+        }
     }
 }
 
@@ -460,7 +738,7 @@ impl RwHandle for FollHandle<'_> {
                 // Empty queue: enqueue a reader node we immediately own.
                 let r = rnode.take().unwrap_or_else(|| core.alloc_reader_node(slot));
                 let node = core.rnode(r);
-                node.spin.store(false, Ordering::Relaxed);
+                node.state.store(GRANTED, Ordering::Relaxed);
                 node.qnext.store(NodeRef::NIL.raw(), Ordering::Relaxed);
                 node.prev.store(NodeRef::NIL.raw(), Ordering::Relaxed);
                 if core.cas_tail(NodeRef::NIL, NodeRef::reader(r)) {
@@ -482,7 +760,7 @@ impl RwHandle for FollHandle<'_> {
                 // Tail is a writer: enqueue a reader node behind it.
                 let r = rnode.take().unwrap_or_else(|| core.alloc_reader_node(slot));
                 let node = core.rnode(r);
-                node.spin.store(true, Ordering::Relaxed);
+                node.state.store(WAITING, Ordering::Relaxed);
                 node.qnext.store(NodeRef::NIL.raw(), Ordering::Relaxed);
                 node.prev.store(NodeRef::NIL.raw(), Ordering::Relaxed);
                 if core.cas_tail(tail, NodeRef::reader(r)) {
@@ -492,7 +770,10 @@ impl RwHandle for FollHandle<'_> {
                     let ticket = node.csnzi.arrive(&mut self.policy, slot);
                     if ticket.arrived() {
                         self.session = Some((r, ticket));
-                        spin_until(core.backoff, || !node.spin.load(Ordering::Acquire));
+                        fault::inject("foll.read.waiting");
+                        spin_until(core.backoff, || {
+                            node.state.load(Ordering::Acquire) == GRANTED
+                        });
                         return;
                     }
                     rnode = None;
@@ -508,7 +789,10 @@ impl RwHandle for FollHandle<'_> {
                         core.free_reader_node(n);
                     }
                     self.session = Some((tail.index(), ticket));
-                    spin_until(core.backoff, || !node.spin.load(Ordering::Acquire));
+                    fault::inject("foll.read.waiting");
+                    spin_until(core.backoff, || {
+                        node.state.load(Ordering::Acquire) == GRANTED
+                    });
                     return;
                 }
                 // C-SNZI closed ⇒ a writer queued behind that node ⇒ the
@@ -525,6 +809,7 @@ impl RwHandle for FollHandle<'_> {
 
     fn lock_write(&mut self) {
         debug_assert!(self.session.is_none() && !self.write_held);
+        self.ensure_writer_node();
         self.core.writer_lock(self.slot_idx(), false);
         self.write_held = true;
     }
@@ -546,7 +831,7 @@ impl RwHandle for FollHandle<'_> {
         if tail.is_nil() {
             let r = core.alloc_reader_node(slot);
             let node = core.rnode(r);
-            node.spin.store(false, Ordering::Relaxed);
+            node.state.store(GRANTED, Ordering::Relaxed);
             node.qnext.store(NodeRef::NIL.raw(), Ordering::Relaxed);
             node.prev.store(NodeRef::NIL.raw(), Ordering::Relaxed);
             if core.cas_tail(NodeRef::NIL, NodeRef::reader(r)) {
@@ -566,15 +851,15 @@ impl RwHandle for FollHandle<'_> {
             let node = core.rnode(tail.index());
             // Only join without waiting: the node's readers must already
             // be active.
-            if node.spin.load(Ordering::Acquire) {
+            if node.state.load(Ordering::Acquire) != GRANTED {
                 return false;
             }
             let ticket = node.csnzi.arrive(&mut self.policy, slot);
             if !ticket.arrived() {
                 return false;
             }
-            // `spin` never goes back to true for an enqueued node, so the
-            // acquisition is immediate.
+            // An enqueued node never leaves GRANTED, so the acquisition is
+            // immediate.
             self.session = Some((tail.index(), ticket));
             true
         } else {
@@ -585,6 +870,7 @@ impl RwHandle for FollHandle<'_> {
     /// Non-blocking write attempt: succeeds only when the queue is empty.
     fn try_lock_write(&mut self) -> bool {
         debug_assert!(self.session.is_none() && !self.write_held);
+        self.ensure_writer_node();
         let core = self.core;
         let slot = self.slot_idx();
         let node = core.wnode(slot);
@@ -599,12 +885,137 @@ impl RwHandle for FollHandle<'_> {
     }
 }
 
+#[cfg(not(loom))]
+impl crate::raw::TimedHandle for FollHandle<'_> {
+    /// `ReaderLock` with a deadline: identical to [`lock_read`] until a
+    /// wait starts; a timed-out wait departs the C-SNZI (undoing the
+    /// arrival) and discharges any hand-off obligation picked up in the
+    /// race with the grant.
+    ///
+    /// [`lock_read`]: RwHandle::lock_read
+    fn lock_read_deadline(
+        &mut self,
+        deadline: std::time::Instant,
+    ) -> Result<(), crate::raw::TimedOut> {
+        use oll_util::backoff::spin_until_deadline;
+
+        debug_assert!(self.session.is_none() && !self.write_held);
+        let core = self.core;
+        let slot = self.slot_idx();
+        let mut rnode: Option<usize> = None;
+        let mut backoff = Backoff::with_policy(core.backoff);
+        loop {
+            let tail = core.load_tail();
+            if tail.is_nil() {
+                let r = rnode.take().unwrap_or_else(|| core.alloc_reader_node(slot));
+                let node = core.rnode(r);
+                node.state.store(GRANTED, Ordering::Relaxed);
+                node.qnext.store(NodeRef::NIL.raw(), Ordering::Relaxed);
+                node.prev.store(NodeRef::NIL.raw(), Ordering::Relaxed);
+                if core.cas_tail(NodeRef::NIL, NodeRef::reader(r)) {
+                    node.csnzi.open();
+                    let ticket = node.csnzi.arrive(&mut self.policy, slot);
+                    if ticket.arrived() {
+                        // Empty-queue enqueue grants immediately — no wait,
+                        // so nothing left to time out on.
+                        self.session = Some((r, ticket));
+                        return Ok(());
+                    }
+                    rnode = None;
+                } else {
+                    rnode = Some(r);
+                }
+            } else if !tail.is_reader() {
+                let r = rnode.take().unwrap_or_else(|| core.alloc_reader_node(slot));
+                let node = core.rnode(r);
+                node.state.store(WAITING, Ordering::Relaxed);
+                node.qnext.store(NodeRef::NIL.raw(), Ordering::Relaxed);
+                node.prev.store(NodeRef::NIL.raw(), Ordering::Relaxed);
+                if core.cas_tail(tail, NodeRef::reader(r)) {
+                    node.prev.store(tail.raw(), Ordering::Release);
+                    core.set_qnext(tail, NodeRef::reader(r));
+                    node.csnzi.open();
+                    let ticket = node.csnzi.arrive(&mut self.policy, slot);
+                    if ticket.arrived() {
+                        fault::inject("foll.read.waiting");
+                        if spin_until_deadline(core.backoff, deadline, || {
+                            node.state.load(Ordering::Acquire) == GRANTED
+                        }) {
+                            self.session = Some((r, ticket));
+                            return Ok(());
+                        }
+                        fault::inject("foll.read.timeout");
+                        core.cancel_read_session(r, ticket);
+                        return Err(crate::raw::TimedOut);
+                    }
+                    rnode = None;
+                } else {
+                    rnode = Some(r);
+                }
+            } else {
+                let node = core.rnode(tail.index());
+                let ticket = node.csnzi.arrive(&mut self.policy, slot);
+                if ticket.arrived() {
+                    if let Some(n) = rnode.take() {
+                        core.free_reader_node(n);
+                    }
+                    fault::inject("foll.read.waiting");
+                    if spin_until_deadline(core.backoff, deadline, || {
+                        node.state.load(Ordering::Acquire) == GRANTED
+                    }) {
+                        self.session = Some((tail.index(), ticket));
+                        return Ok(());
+                    }
+                    fault::inject("foll.read.timeout");
+                    core.cancel_read_session(tail.index(), ticket);
+                    return Err(crate::raw::TimedOut);
+                }
+                backoff.backoff();
+            }
+            if std::time::Instant::now() >= deadline {
+                // Give up between attempts: nothing is enqueued or arrived
+                // at this point, so only the spare allocation needs
+                // returning.
+                if let Some(n) = rnode.take() {
+                    core.free_reader_node(n);
+                }
+                return Err(crate::raw::TimedOut);
+            }
+        }
+    }
+
+    fn lock_write_deadline(
+        &mut self,
+        deadline: std::time::Instant,
+    ) -> Result<(), crate::raw::TimedOut> {
+        debug_assert!(self.session.is_none() && !self.write_held);
+        self.ensure_writer_node();
+        match self
+            .core
+            .writer_lock_deadline(self.slot_idx(), false, deadline)
+        {
+            Ok(()) => {
+                self.write_held = true;
+                Ok(())
+            }
+            Err(WriteTimeout::Clean) => Err(crate::raw::TimedOut),
+            Err(WriteTimeout::Abandoned) => {
+                self.pending_reclaim = true;
+                Err(crate::raw::TimedOut)
+            }
+        }
+    }
+}
+
 impl Drop for FollHandle<'_> {
     fn drop(&mut self) {
         debug_assert!(
             self.session.is_none() && !self.write_held,
             "FOLL handle dropped while holding the lock"
         );
+        // The slot (and with it the writer node) is released on drop; make
+        // sure no abandoned-release is still running against the node.
+        self.ensure_writer_node();
     }
 }
 

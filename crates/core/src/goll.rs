@@ -20,6 +20,7 @@
 use crate::raw::{RwHandle, RwLockFamily, UpgradableHandle};
 use oll_csnzi::{ArrivalPolicy, CSnzi, Ticket, TreeShape};
 use oll_util::event::{Event, GroupEvent, WaitStrategy};
+use oll_util::fault;
 use oll_util::slots::{SlotError, SlotGuard, SlotRegistry};
 use oll_util::{CachePadded, SpinMutex};
 use std::collections::VecDeque;
@@ -270,6 +271,42 @@ impl WaitQueue {
             FairnessPolicy::ReaderPreference => self.readers_first(),
         }
     }
+
+    /// A timed-out reader abandons its queued group. Returns `true` if the
+    /// group was still queued (the member left; an emptied group is
+    /// removed); `false` means a releaser already dequeued the group — its
+    /// `OpenWithArrivals` counted this member, so the caller must consume
+    /// the hand-off instead of leaving.
+    fn leave_reader_group(&mut self, target: &Arc<GroupEvent>) -> bool {
+        let Some(idx) = self.groups.iter().position(|g| match g {
+            Group::Readers { event, .. } => Arc::ptr_eq(event, target),
+            Group::Writer { .. } => false,
+        }) else {
+            return false;
+        };
+        if target.leave() == 0 {
+            // Last member out: drop the empty group so no releaser wakes
+            // (and pre-arrives for) a group nobody belongs to.
+            self.groups.remove(idx);
+        }
+        true
+    }
+
+    /// A timed-out writer excises its queue entry. Returns `true` if the
+    /// entry was still queued; `false` means a releaser already dequeued it
+    /// and the lock is being (or has been) handed to this writer — the
+    /// caller must accept ownership and release it.
+    fn remove_writer(&mut self, target: &Arc<Event>) -> bool {
+        let Some(idx) = self.groups.iter().position(|g| match g {
+            Group::Writer { event, .. } => Arc::ptr_eq(event, target),
+            Group::Readers { .. } => false,
+        }) else {
+            return false;
+        };
+        self.groups.remove(idx);
+        self.num_writers -= 1;
+        true
+    }
 }
 
 /// Builder for [`GollLock`].
@@ -481,6 +518,7 @@ impl RwHandle for GollHandle<'_> {
                 return;
             }
             // C-SNZI closed: a writer owns or has claimed the lock.
+            fault::inject("goll.read.before-queue-mutex");
             let mut q = self.lock.queue.lock();
             if self.lock.csnzi.query().open {
                 // The writer released before we got the mutex; retry.
@@ -507,6 +545,7 @@ impl RwHandle for GollHandle<'_> {
         }
         // We are the last departer of a *closed* C-SNZI: the lock is now in
         // the write-acquired state and we must hand it to a waiter.
+        fault::inject("goll.unlock_read.before-handoff");
         let mut q = self.lock.queue.lock();
         let handoff = q.dequeue_for_reader_release(self.lock.policy);
         match handoff {
@@ -521,16 +560,19 @@ impl RwHandle for GollHandle<'_> {
                 ..
             } => {
                 // Policy let readers overtake the writer that closed the
-                // C-SNZI; that writer is still queued, so reopen directly
-                // into the read-acquired-with-writer-waiting state.
-                debug_assert!(writers_remain, "the closing writer must still be queued");
+                // C-SNZI (or that writer's timed acquisition was cancelled
+                // and only readers remain); reopen directly into the
+                // read-acquired state, staying closed iff writers remain.
                 self.lock.csnzi.open_with_arrivals(total, writers_remain);
                 drop(q);
             }
             Handoff::None => {
-                unreachable!(
-                    "C-SNZI closed while read-held implies a writer enqueued under the mutex"
-                )
+                // Untimed-only operation would make this unreachable (a
+                // closed C-SNZI under read hold implies an enqueued
+                // writer), but that writer may since have cancelled its
+                // timed acquisition, leaving the queue empty. Reopen.
+                self.lock.csnzi.open();
+                drop(q);
             }
         }
         self.lock.signal(handoff);
@@ -606,6 +648,101 @@ impl RwHandle for GollHandle<'_> {
         } else {
             false
         }
+    }
+}
+
+#[cfg(not(loom))]
+impl crate::raw::TimedHandle for GollHandle<'_> {
+    fn lock_read_deadline(&mut self, deadline: std::time::Instant) -> Result<(), crate::TimedOut> {
+        debug_assert!(self.read_ticket.is_none() && !self.write_held);
+        loop {
+            let hint = self.leaf_hint();
+            let ticket = self.lock.csnzi.arrive(&mut self.policy, hint);
+            if ticket.arrived() {
+                self.read_ticket = Some(ticket);
+                return Ok(());
+            }
+            // Closed; nothing is held yet, so a pre-queue timeout is free.
+            if std::time::Instant::now() >= deadline {
+                return Err(crate::TimedOut);
+            }
+            fault::inject("goll.read.before-queue-mutex");
+            let mut q = self.lock.queue.lock();
+            if self.lock.csnzi.query().open {
+                drop(q);
+                continue;
+            }
+            let group = q.join_readers(self.lock.strategy, self.priority);
+            drop(q);
+            fault::inject("goll.read.queued");
+            if group.wait_deadline(deadline) {
+                self.read_ticket = Some(Ticket::ROOT);
+                return Ok(());
+            }
+            // Timed out. Race: a releaser may concurrently dequeue our
+            // group and pre-arrive on our behalf. The queue mutex is the
+            // arbiter — if the group is still queued we can leave it;
+            // otherwise the hand-off already counted us and we must take
+            // the read hold and then undo it with a normal release.
+            fault::inject("goll.read.timeout");
+            let mut q = self.lock.queue.lock();
+            if q.leave_reader_group(&group) {
+                drop(q);
+                return Err(crate::TimedOut);
+            }
+            drop(q);
+            fault::inject("goll.read.cancel-vs-handoff");
+            group.wait();
+            self.read_ticket = Some(Ticket::ROOT);
+            self.unlock_read();
+            return Err(crate::TimedOut);
+        }
+    }
+
+    fn lock_write_deadline(&mut self, deadline: std::time::Instant) -> Result<(), crate::TimedOut> {
+        debug_assert!(self.read_ticket.is_none() && !self.write_held);
+        if self.lock.csnzi.close_if_empty() {
+            self.write_held = true;
+            return Ok(());
+        }
+        fault::inject("goll.write.before-queue-mutex");
+        let mut q = self.lock.queue.lock();
+        if self.lock.csnzi.close() {
+            drop(q);
+            self.write_held = true;
+            return Ok(());
+        }
+        // Expired before enqueueing: leave without a queue entry. Our
+        // `close` may have moved the C-SNZI to closed-with-readers with no
+        // writer queued; the last departing reader handles that (its
+        // dequeue finds nothing and reopens).
+        if std::time::Instant::now() >= deadline {
+            drop(q);
+            return Err(crate::TimedOut);
+        }
+        let ev = q.enqueue_writer(self.lock.strategy, self.priority);
+        drop(q);
+        fault::inject("goll.write.queued");
+        if ev.wait_deadline(deadline) {
+            self.write_held = true;
+            return Ok(());
+        }
+        // Timed out; same arbitration as the read path. An entry still
+        // queued can be excised; a dequeued entry means a releaser is
+        // handing us the lock in the write-acquired state — accept it,
+        // then release normally.
+        fault::inject("goll.write.timeout");
+        let mut q = self.lock.queue.lock();
+        if q.remove_writer(&ev) {
+            drop(q);
+            return Err(crate::TimedOut);
+        }
+        drop(q);
+        fault::inject("goll.write.cancel-vs-handoff");
+        ev.wait();
+        self.write_held = true;
+        self.unlock_write();
+        Err(crate::TimedOut)
     }
 }
 

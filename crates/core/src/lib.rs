@@ -43,6 +43,8 @@ pub mod rwlock;
 
 pub use foll::{FollBuilder, FollLock};
 pub use goll::{FairnessPolicy, GollBuilder, GollLock};
-pub use raw::{ReadGuard, RwHandle, RwLockFamily, UpgradableHandle, WriteGuard};
+#[cfg(not(loom))]
+pub use raw::TimedHandle;
+pub use raw::{ReadGuard, RwHandle, RwLockFamily, TimedOut, UpgradableHandle, WriteGuard};
 pub use roll::{RollBuilder, RollLock};
 pub use rwlock::{RwLock, RwLockOwner, RwLockReadGuard, RwLockWriteGuard};

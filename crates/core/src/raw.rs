@@ -104,6 +104,105 @@ pub trait RwHandle {
     }
 }
 
+/// A timed acquisition gave up: the deadline passed before the lock could
+/// be acquired. The acquisition was fully undone — no ticket, queue node,
+/// or waiter registration is left behind, and the handle may immediately
+/// retry or acquire in the other mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedOut;
+
+impl core::fmt::Display for TimedOut {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("lock acquisition timed out")
+    }
+}
+
+impl std::error::Error for TimedOut {}
+
+/// Timed, cancellable acquisition.
+///
+/// A deadline acquisition either succeeds (having the same effect as the
+/// untimed `lock_*`) or returns `Err(TimedOut)` having *no* effect: the
+/// implementation must undo any partial arrival — depart the C-SNZI or
+/// un-arrive a direct-count ticket, excise its node from the wait queue
+/// without breaking the hand-off chain — before reporting the timeout.
+///
+/// Best-effort timing: if the lock becomes available the acquisition may
+/// succeed even after the deadline (a success is never converted to a
+/// timeout once the thread has been granted ownership — lock hand-off is
+/// irrevocable, so the grant must be kept or released, and keeping it is
+/// both cheaper and what callers expect from, e.g., `pthread`'s timed
+/// locks).
+///
+/// Unavailable under loom (wall-clock time has no meaning in a model
+/// checker); the timed paths are exercised by the fault-injection suites.
+#[cfg(not(loom))]
+pub trait TimedHandle: RwHandle {
+    /// Acquires for reading (shared), giving up at `deadline`.
+    fn lock_read_deadline(&mut self, deadline: std::time::Instant) -> Result<(), TimedOut>;
+
+    /// Acquires for writing (exclusive), giving up at `deadline`.
+    fn lock_write_deadline(&mut self, deadline: std::time::Instant) -> Result<(), TimedOut>;
+
+    /// Acquires for reading with a relative timeout.
+    fn lock_read_timeout(&mut self, timeout: std::time::Duration) -> Result<(), TimedOut> {
+        let deadline = std::time::Instant::now() + timeout;
+        self.lock_read_deadline(deadline)
+    }
+
+    /// Acquires for writing with a relative timeout.
+    fn lock_write_timeout(&mut self, timeout: std::time::Duration) -> Result<(), TimedOut> {
+        let deadline = std::time::Instant::now() + timeout;
+        self.lock_write_deadline(deadline)
+    }
+
+    /// Deadline-bounded read acquisition returning a guard.
+    fn read_deadline(
+        &mut self,
+        deadline: std::time::Instant,
+    ) -> Result<ReadGuard<'_, Self>, TimedOut>
+    where
+        Self: Sized,
+    {
+        self.lock_read_deadline(deadline)?;
+        Ok(ReadGuard { handle: self })
+    }
+
+    /// Deadline-bounded write acquisition returning a guard.
+    fn write_deadline(
+        &mut self,
+        deadline: std::time::Instant,
+    ) -> Result<WriteGuard<'_, Self>, TimedOut>
+    where
+        Self: Sized,
+    {
+        self.lock_write_deadline(deadline)?;
+        Ok(WriteGuard { handle: self })
+    }
+
+    /// Timeout-bounded read acquisition returning a guard.
+    fn read_timeout(
+        &mut self,
+        timeout: std::time::Duration,
+    ) -> Result<ReadGuard<'_, Self>, TimedOut>
+    where
+        Self: Sized,
+    {
+        self.read_deadline(std::time::Instant::now() + timeout)
+    }
+
+    /// Timeout-bounded write acquisition returning a guard.
+    fn write_timeout(
+        &mut self,
+        timeout: std::time::Duration,
+    ) -> Result<WriteGuard<'_, Self>, TimedOut>
+    where
+        Self: Sized,
+    {
+        self.write_deadline(std::time::Instant::now() + timeout)
+    }
+}
+
 /// Write-upgrade support (§3.2.1 of the paper). Implemented by locks that
 /// can atomically convert a *sole* read hold into a write hold.
 pub trait UpgradableHandle: RwHandle {

@@ -7,7 +7,7 @@
 //!
 //! 1. The queue is doubly linked (`prev` pointers, set by each enqueuer),
 //!    so a reader arriving at a writer tail can search backward for a
-//!    reader node whose `spin` flag is still `true`.
+//!    reader node still in the `WAITING` hand-off state.
 //! 2. A writer that enqueues behind a reader node does **not** close its
 //!    C-SNZI immediately (as FOLL does); it waits until that group becomes
 //!    *active* first. While the group is waiting, its C-SNZI stays open and
@@ -18,10 +18,12 @@
 //! enqueues and cleared on failed joins, which short-circuits most
 //! searches (the §4.3 optimization; `ablation_roll_hint` measures it).
 
+use crate::foll::node_state::{GRANTED, WAITING};
 use crate::foll::{NodeRef, QueueCore};
 use crate::raw::{RwHandle, RwLockFamily};
 use oll_csnzi::{ArrivalPolicy, Ticket, TreeShape};
 use oll_util::backoff::{spin_until, Backoff, BackoffPolicy};
+use oll_util::fault;
 use oll_util::slots::{SlotError, SlotGuard};
 use oll_util::sync::{AtomicU32, Ordering};
 use oll_util::CachePadded;
@@ -177,6 +179,7 @@ impl RwLockFamily for RollLock {
             policy,
             session: None,
             write_held: false,
+            pending_reclaim: false,
         })
     }
 
@@ -196,11 +199,23 @@ pub struct RollHandle<'a> {
     policy: ArrivalPolicy,
     session: Option<(usize, Ticket)>,
     write_held: bool,
+    /// A timed write abandoned this slot's writer node in the queue; it
+    /// must be reclaimed before the node's next use.
+    pending_reclaim: bool,
 }
 
 impl RollHandle<'_> {
     fn slot_idx(&self) -> usize {
         self.slot.slot()
+    }
+
+    /// Finishes any pending reclaim of this slot's writer node (after a
+    /// timed write abandoned it). Must run before every writer-node use.
+    fn ensure_writer_node(&mut self) {
+        if self.pending_reclaim {
+            self.lock.core.reclaim_writer_node(self.slot_idx());
+            self.pending_reclaim = false;
+        }
     }
 
     /// Tries to join a still-waiting reader node (hint first, then a
@@ -215,7 +230,7 @@ impl RollHandle<'_> {
         let hint = lock.load_hint();
         if hint.is_reader() {
             let node = core.rnode(hint.index());
-            if node.spin.load(Ordering::Acquire) {
+            if node.state.load(Ordering::Acquire) == WAITING {
                 let ticket = node.csnzi.arrive(&mut self.policy, slot);
                 if ticket.arrived() {
                     return Some((hint.index(), ticket));
@@ -235,7 +250,7 @@ impl RollHandle<'_> {
         while !cur.is_nil() && steps < cap {
             if cur.is_reader() {
                 let node = core.rnode(cur.index());
-                if node.spin.load(Ordering::Acquire) {
+                if node.state.load(Ordering::Acquire) == WAITING {
                     let ticket = node.csnzi.arrive(&mut self.policy, slot);
                     if ticket.arrived() {
                         lock.set_hint(cur);
@@ -267,7 +282,7 @@ impl RwHandle for RollHandle<'_> {
             if tail.is_nil() {
                 let r = rnode.take().unwrap_or_else(|| core.alloc_reader_node(slot));
                 let node = core.rnode(r);
-                node.spin.store(false, Ordering::Relaxed);
+                node.state.store(GRANTED, Ordering::Relaxed);
                 node.qnext.store(NodeRef::NIL.raw(), Ordering::Relaxed);
                 node.prev.store(NodeRef::NIL.raw(), Ordering::Relaxed);
                 if core.cas_tail(NodeRef::NIL, NodeRef::reader(r)) {
@@ -290,7 +305,10 @@ impl RwHandle for RollHandle<'_> {
                         core.free_reader_node(n);
                     }
                     self.session = Some((tail.index(), ticket));
-                    spin_until(core.backoff, || !node.spin.load(Ordering::Acquire));
+                    fault::inject("roll.read.waiting");
+                    spin_until(core.backoff, || {
+                        node.state.load(Ordering::Acquire) == GRANTED
+                    });
                     return;
                 }
                 backoff.backoff();
@@ -304,13 +322,16 @@ impl RwHandle for RollHandle<'_> {
                     }
                     let node = core.rnode(idx);
                     self.session = Some((idx, ticket));
-                    spin_until(core.backoff, || !node.spin.load(Ordering::Acquire));
+                    fault::inject("roll.read.joined");
+                    spin_until(core.backoff, || {
+                        node.state.load(Ordering::Acquire) == GRANTED
+                    });
                     return;
                 }
                 // No waiting group: enqueue a fresh node behind the writer.
                 let r = rnode.take().unwrap_or_else(|| core.alloc_reader_node(slot));
                 let node = core.rnode(r);
-                node.spin.store(true, Ordering::Relaxed);
+                node.state.store(WAITING, Ordering::Relaxed);
                 node.qnext.store(NodeRef::NIL.raw(), Ordering::Relaxed);
                 node.prev.store(NodeRef::NIL.raw(), Ordering::Relaxed);
                 if core.cas_tail(tail, NodeRef::reader(r)) {
@@ -321,7 +342,10 @@ impl RwHandle for RollHandle<'_> {
                     if ticket.arrived() {
                         lock.set_hint(NodeRef::reader(r));
                         self.session = Some((r, ticket));
-                        spin_until(core.backoff, || !node.spin.load(Ordering::Acquire));
+                        fault::inject("roll.read.waiting");
+                        spin_until(core.backoff, || {
+                            node.state.load(Ordering::Acquire) == GRANTED
+                        });
                         return;
                     }
                     rnode = None;
@@ -339,6 +363,7 @@ impl RwHandle for RollHandle<'_> {
 
     fn lock_write(&mut self) {
         debug_assert!(self.session.is_none() && !self.write_held);
+        self.ensure_writer_node();
         // `wait_for_active = true`: do not close a waiting reader group's
         // C-SNZI — that group must stay joinable until it holds the lock.
         self.lock.core.writer_lock(self.slot_idx(), true);
@@ -359,7 +384,7 @@ impl RwHandle for RollHandle<'_> {
         if tail.is_nil() {
             let r = core.alloc_reader_node(slot);
             let node = core.rnode(r);
-            node.spin.store(false, Ordering::Relaxed);
+            node.state.store(GRANTED, Ordering::Relaxed);
             node.qnext.store(NodeRef::NIL.raw(), Ordering::Relaxed);
             node.prev.store(NodeRef::NIL.raw(), Ordering::Relaxed);
             if core.cas_tail(NodeRef::NIL, NodeRef::reader(r)) {
@@ -375,7 +400,7 @@ impl RwHandle for RollHandle<'_> {
             false
         } else if tail.is_reader() {
             let node = core.rnode(tail.index());
-            if node.spin.load(Ordering::Acquire) {
+            if node.state.load(Ordering::Acquire) != GRANTED {
                 return false;
             }
             let ticket = node.csnzi.arrive(&mut self.policy, slot);
@@ -391,6 +416,7 @@ impl RwHandle for RollHandle<'_> {
 
     fn try_lock_write(&mut self) -> bool {
         debug_assert!(self.session.is_none() && !self.write_held);
+        self.ensure_writer_node();
         let core = &self.lock.core;
         let slot = self.slot_idx();
         let node = core.wnode(slot);
@@ -405,12 +431,152 @@ impl RwHandle for RollHandle<'_> {
     }
 }
 
+#[cfg(not(loom))]
+impl crate::raw::TimedHandle for RollHandle<'_> {
+    /// Timed ROLL read: identical to `lock_read` (including the overtaking
+    /// join) until a wait starts; a timed-out wait departs the C-SNZI and
+    /// discharges any hand-off obligation picked up in the race with the
+    /// grant.
+    fn lock_read_deadline(
+        &mut self,
+        deadline: std::time::Instant,
+    ) -> Result<(), crate::raw::TimedOut> {
+        use oll_util::backoff::spin_until_deadline;
+
+        debug_assert!(self.session.is_none() && !self.write_held);
+        let lock = self.lock;
+        let core = &lock.core;
+        let slot = self.slot_idx();
+        let mut rnode: Option<usize> = None;
+        let mut backoff = Backoff::with_policy(core.backoff);
+        loop {
+            let tail = core.load_tail();
+            if tail.is_nil() {
+                let r = rnode.take().unwrap_or_else(|| core.alloc_reader_node(slot));
+                let node = core.rnode(r);
+                node.state.store(GRANTED, Ordering::Relaxed);
+                node.qnext.store(NodeRef::NIL.raw(), Ordering::Relaxed);
+                node.prev.store(NodeRef::NIL.raw(), Ordering::Relaxed);
+                if core.cas_tail(NodeRef::NIL, NodeRef::reader(r)) {
+                    node.csnzi.open();
+                    let ticket = node.csnzi.arrive(&mut self.policy, slot);
+                    if ticket.arrived() {
+                        self.session = Some((r, ticket));
+                        return Ok(());
+                    }
+                    rnode = None;
+                } else {
+                    rnode = Some(r);
+                }
+            } else if tail.is_reader() {
+                let node = core.rnode(tail.index());
+                let ticket = node.csnzi.arrive(&mut self.policy, slot);
+                if ticket.arrived() {
+                    if let Some(n) = rnode.take() {
+                        core.free_reader_node(n);
+                    }
+                    fault::inject("roll.read.waiting");
+                    if spin_until_deadline(core.backoff, deadline, || {
+                        node.state.load(Ordering::Acquire) == GRANTED
+                    }) {
+                        self.session = Some((tail.index(), ticket));
+                        return Ok(());
+                    }
+                    fault::inject("roll.read.timeout");
+                    core.cancel_read_session(tail.index(), ticket);
+                    return Err(crate::raw::TimedOut);
+                }
+                backoff.backoff();
+            } else {
+                if let Some((idx, ticket)) = self.try_join_waiting_reader(tail) {
+                    if let Some(n) = rnode.take() {
+                        core.free_reader_node(n);
+                    }
+                    let node = core.rnode(idx);
+                    fault::inject("roll.read.joined");
+                    if spin_until_deadline(core.backoff, deadline, || {
+                        node.state.load(Ordering::Acquire) == GRANTED
+                    }) {
+                        self.session = Some((idx, ticket));
+                        return Ok(());
+                    }
+                    fault::inject("roll.read.timeout");
+                    core.cancel_read_session(idx, ticket);
+                    return Err(crate::raw::TimedOut);
+                }
+                let r = rnode.take().unwrap_or_else(|| core.alloc_reader_node(slot));
+                let node = core.rnode(r);
+                node.state.store(WAITING, Ordering::Relaxed);
+                node.qnext.store(NodeRef::NIL.raw(), Ordering::Relaxed);
+                node.prev.store(NodeRef::NIL.raw(), Ordering::Relaxed);
+                if core.cas_tail(tail, NodeRef::reader(r)) {
+                    node.prev.store(tail.raw(), Ordering::Release);
+                    core.set_qnext(tail, NodeRef::reader(r));
+                    node.csnzi.open();
+                    let ticket = node.csnzi.arrive(&mut self.policy, slot);
+                    if ticket.arrived() {
+                        lock.set_hint(NodeRef::reader(r));
+                        self.session = Some((r, ticket));
+                        fault::inject("roll.read.waiting");
+                        if spin_until_deadline(core.backoff, deadline, || {
+                            node.state.load(Ordering::Acquire) == GRANTED
+                        }) {
+                            return Ok(());
+                        }
+                        fault::inject("roll.read.timeout");
+                        let (idx, ticket) = self.session.take().expect("session was just stored");
+                        core.cancel_read_session(idx, ticket);
+                        return Err(crate::raw::TimedOut);
+                    }
+                    rnode = None;
+                } else {
+                    rnode = Some(r);
+                }
+            }
+            if std::time::Instant::now() >= deadline {
+                if let Some(n) = rnode.take() {
+                    core.free_reader_node(n);
+                }
+                return Err(crate::raw::TimedOut);
+            }
+        }
+    }
+
+    fn lock_write_deadline(
+        &mut self,
+        deadline: std::time::Instant,
+    ) -> Result<(), crate::raw::TimedOut> {
+        use crate::foll::WriteTimeout;
+
+        debug_assert!(self.session.is_none() && !self.write_held);
+        self.ensure_writer_node();
+        match self
+            .lock
+            .core
+            .writer_lock_deadline(self.slot_idx(), true, deadline)
+        {
+            Ok(()) => {
+                self.write_held = true;
+                Ok(())
+            }
+            Err(WriteTimeout::Clean) => Err(crate::raw::TimedOut),
+            Err(WriteTimeout::Abandoned) => {
+                self.pending_reclaim = true;
+                Err(crate::raw::TimedOut)
+            }
+        }
+    }
+}
+
 impl Drop for RollHandle<'_> {
     fn drop(&mut self) {
         debug_assert!(
             self.session.is_none() && !self.write_held,
             "ROLL handle dropped while holding the lock"
         );
+        // The slot (and with it the writer node) is released on drop; make
+        // sure no abandoned-release is still running against the node.
+        self.ensure_writer_node();
     }
 }
 

@@ -134,6 +134,59 @@ impl<'l, T, L: RwLockFamily> RwLockOwner<'l, T, L> {
     }
 }
 
+#[cfg(not(loom))]
+impl<'l, T, L: RwLockFamily> RwLockOwner<'l, T, L>
+where
+    L::Handle<'l>: crate::raw::TimedHandle,
+{
+    /// Acquires for reading, giving up after `timeout`; on `Err(TimedOut)`
+    /// the acquisition left no trace and the owner may retry immediately.
+    pub fn read_timeout(
+        &mut self,
+        timeout: std::time::Duration,
+    ) -> Result<RwLockReadGuard<'_, T, L::Handle<'l>>, crate::raw::TimedOut> {
+        self.read_deadline(std::time::Instant::now() + timeout)
+    }
+
+    /// Acquires for writing, giving up after `timeout`.
+    pub fn write_timeout(
+        &mut self,
+        timeout: std::time::Duration,
+    ) -> Result<RwLockWriteGuard<'_, T, L::Handle<'l>>, crate::raw::TimedOut> {
+        self.write_deadline(std::time::Instant::now() + timeout)
+    }
+
+    /// Acquires for reading, giving up at `deadline`.
+    pub fn read_deadline(
+        &mut self,
+        deadline: std::time::Instant,
+    ) -> Result<RwLockReadGuard<'_, T, L::Handle<'l>>, crate::raw::TimedOut> {
+        use crate::raw::TimedHandle as _;
+        let data = self.data.get();
+        let inner = self.handle.read_deadline(deadline)?;
+        // SAFETY: as in `read`.
+        Ok(RwLockReadGuard {
+            data: unsafe { &*data },
+            _inner: inner,
+        })
+    }
+
+    /// Acquires for writing, giving up at `deadline`.
+    pub fn write_deadline(
+        &mut self,
+        deadline: std::time::Instant,
+    ) -> Result<RwLockWriteGuard<'_, T, L::Handle<'l>>, crate::raw::TimedOut> {
+        use crate::raw::TimedHandle as _;
+        let data = self.data.get();
+        let inner = self.handle.write_deadline(deadline)?;
+        // SAFETY: as in `write`.
+        Ok(RwLockWriteGuard {
+            data: unsafe { &mut *data },
+            _inner: inner,
+        })
+    }
+}
+
 /// Guard dereferencing to the protected data for reading.
 #[must_use = "the lock is released as soon as the guard is dropped"]
 pub struct RwLockReadGuard<'g, T, H: RwHandle> {

@@ -15,6 +15,17 @@ pub struct Query {
     pub open: bool,
 }
 
+/// Result of [`CSnzi::cancel`]: what the abandoning arriver owes the lock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelOutcome {
+    /// The arrival was undone; the canceller holds nothing.
+    Undone,
+    /// The cancel zeroed a closed C-SNZI: the canceller was the last
+    /// surplus-holder and now owns the lock — it must perform the owning
+    /// lock's reader-release hand-off before returning.
+    MustHandOff,
+}
+
 /// Where an arrival landed; required to depart.
 ///
 /// The paper encapsulates the "node we arrived at" pointer in an opaque
@@ -298,6 +309,26 @@ impl CSnzi {
             self.root_direct_depart()
         } else {
             self.tree_depart(ticket.0 as usize)
+        }
+    }
+
+    /// Cancels a pending arrival: a reader that arrived but now abandons
+    /// the acquisition (timeout, cancellation) calls this instead of
+    /// `depart` to make the undo semantics explicit at the call site.
+    ///
+    /// Cancellation *is* departure — the C-SNZI has no separate undo
+    /// operation; an arrival that will never be used is indistinguishable
+    /// from one whose critical section already ended. The distinction that
+    /// matters is the outcome: [`CancelOutcome::MustHandOff`] means this
+    /// cancel zeroed a *closed* C-SNZI, so the canceller now owns the lock
+    /// exactly as a departing last reader would, and must run the owning
+    /// lock's release protocol (it cannot simply walk away).
+    #[must_use = "MustHandOff obligates the caller to release the lock"]
+    pub fn cancel(&self, ticket: Ticket) -> CancelOutcome {
+        if self.depart(ticket) {
+            CancelOutcome::Undone
+        } else {
+            CancelOutcome::MustHandOff
         }
     }
 

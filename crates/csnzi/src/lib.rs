@@ -45,7 +45,7 @@ pub mod spec;
 #[cfg(feature = "stats")]
 pub mod stats;
 
-pub use crate::csnzi::{CSnzi, Query, Ticket};
+pub use crate::csnzi::{CSnzi, CancelOutcome, Query, Ticket};
 pub use node::TreeShape;
 pub use policy::ArrivalPolicy;
 pub use root::RootWord;

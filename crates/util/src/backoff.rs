@@ -20,13 +20,32 @@ pub struct Backoff {
     policy: BackoffPolicy,
 }
 
+/// Hard ceiling on the spin exponent, whatever the policy says.
+///
+/// `spin_limit` is a user-tunable `u32`, and the spin count is `1 <<
+/// exponent`: an over-eager policy (say `spin_limit: 40`) would otherwise
+/// spin for a *trillion* relax hints per call — effectively a hang, and on
+/// a 32-bit shift an overflow panic. Every shift in this module clamps the
+/// exponent to this value first, so the longest possible single burst is
+/// `2^16` = 65 536 hints (tens of microseconds), after which escalation
+/// must go through `yield_now` instead of longer spins.
+pub const MAX_SPIN_EXPONENT: u32 = 16;
+
 /// Tuning knobs for [`Backoff`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BackoffPolicy {
     /// Phase-1 cap: spin `2^spin_limit` relax hints at most per call.
+    /// Values above [`MAX_SPIN_EXPONENT`] are clamped to it.
     pub spin_limit: u32,
     /// Phase-2 cap: growth stops at `2^yield_limit` (hints remain capped at
     /// `2^spin_limit`; past `spin_limit` each call also yields).
+    ///
+    /// This is the *yield threshold*: once `step` exceeds `spin_limit`,
+    /// every call yields the OS thread exactly once — the per-call spin
+    /// stays at `2^spin_limit` and only the step counter keeps growing (to
+    /// `yield_limit`), which matters solely for [`Backoff::is_contended`]
+    /// consumers. Yielding is what keeps the queue locks live when runnable
+    /// threads outnumber hardware threads.
     pub yield_limit: u32,
 }
 
@@ -99,7 +118,7 @@ impl Backoff {
         }
         #[cfg(not(loom))]
         {
-            let spins = 1u32 << self.step.min(self.policy.spin_limit);
+            let spins = 1u32 << self.spin_exponent();
             for _ in 0..spins {
                 spin_loop_hint();
             }
@@ -110,6 +129,13 @@ impl Backoff {
                 self.step += 1;
             }
         }
+    }
+
+    /// Current spin exponent, clamped by both the policy and the module-wide
+    /// [`MAX_SPIN_EXPONENT`] ceiling.
+    #[inline]
+    fn spin_exponent(&self) -> u32 {
+        self.step.min(self.policy.spin_limit).min(MAX_SPIN_EXPONENT)
     }
 
     /// One relax step with no exponential growth; for tight "wait until flag
@@ -123,7 +149,7 @@ impl Backoff {
         }
         #[cfg(not(loom))]
         {
-            let spins = 1u32 << self.step.min(self.policy.spin_limit);
+            let spins = 1u32 << self.spin_exponent();
             for _ in 0..spins {
                 spin_loop_hint();
             }
@@ -147,6 +173,32 @@ impl Backoff {
 pub fn spin_until(policy: BackoffPolicy, mut cond: impl FnMut() -> bool) {
     let mut b = Backoff::with_policy(policy);
     while !cond() {
+        b.relax();
+    }
+}
+
+/// Spins until `cond()` is true or `deadline` passes; returns whether the
+/// condition was observed.
+///
+/// `cond` is re-checked once after the clock read, so a condition that
+/// flips concurrently with the deadline is never misreported as a timeout.
+/// (Time-based, hence unavailable under loom — timed paths are exercised by
+/// the fault-injection suites instead.)
+#[cfg(not(loom))]
+#[inline]
+pub fn spin_until_deadline(
+    policy: BackoffPolicy,
+    deadline: std::time::Instant,
+    mut cond: impl FnMut() -> bool,
+) -> bool {
+    let mut b = Backoff::with_policy(policy);
+    loop {
+        if cond() {
+            return true;
+        }
+        if std::time::Instant::now() >= deadline {
+            return cond();
+        }
         b.relax();
     }
 }
@@ -206,6 +258,51 @@ mod tests {
             f2.store(true, Ordering::Release);
         });
         spin_until(BackoffPolicy::default(), || flag.load(Ordering::Acquire));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn absurd_spin_limit_is_clamped_to_max_exponent() {
+        // spin_limit: 40 would shift past u32 width (panic) and spin ~10^12
+        // hints per call without the clamp; with it, one call completes in
+        // at most 2^MAX_SPIN_EXPONENT hints.
+        let mut b = Backoff::with_policy(BackoffPolicy {
+            spin_limit: 40,
+            yield_limit: 64,
+        });
+        for _ in 0..(MAX_SPIN_EXPONENT + 4) {
+            b.backoff();
+        }
+        assert_eq!(b.spin_exponent(), MAX_SPIN_EXPONENT);
+        b.relax();
+    }
+
+    #[test]
+    fn spin_until_deadline_times_out_and_observes_late_flag() {
+        use std::time::{Duration, Instant};
+        // Condition never flips: must report timeout, promptly.
+        let start = Instant::now();
+        let ok = spin_until_deadline(
+            BackoffPolicy::default(),
+            start + Duration::from_millis(5),
+            || false,
+        );
+        assert!(!ok);
+        assert!(start.elapsed() >= Duration::from_millis(5));
+
+        // Condition flips from another thread before the deadline.
+        let flag = Arc::new(AtomicBool::new(false));
+        let f2 = Arc::clone(&flag);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(5));
+            f2.store(true, Ordering::Release);
+        });
+        let ok = spin_until_deadline(
+            BackoffPolicy::default(),
+            Instant::now() + Duration::from_secs(5),
+            || flag.load(Ordering::Acquire),
+        );
+        assert!(ok);
         h.join().unwrap();
     }
 

@@ -125,6 +125,74 @@ impl Event {
         }
     }
 
+    /// Blocks until the event is signaled or `deadline` passes.
+    ///
+    /// Returns `true` if the event was signaled, `false` on timeout. A
+    /// `false` return only means the *wait* gave up: the signal may still
+    /// arrive later (or already be in flight), so the caller must run its
+    /// own cancellation protocol before abandoning the waiter object.
+    #[cfg(not(loom))]
+    pub fn wait_deadline(&self, deadline: std::time::Instant) -> bool {
+        match self.strategy {
+            WaitStrategy::SpinThenYield => {
+                let mut b = Backoff::with_policy(BackoffPolicy::default());
+                loop {
+                    if self.is_set() {
+                        return true;
+                    }
+                    if std::time::Instant::now() >= deadline {
+                        // Final re-check so a signal that raced the clock
+                        // read is never reported as a timeout.
+                        return self.is_set();
+                    }
+                    b.relax();
+                }
+            }
+            WaitStrategy::SpinThenPark => self.wait_parking_deadline(deadline),
+        }
+    }
+
+    #[cfg(not(loom))]
+    fn wait_parking_deadline(&self, deadline: std::time::Instant) -> bool {
+        let mut b = Backoff::new();
+        for _ in 0..PARK_SPIN_ROUNDS {
+            if self.is_set() {
+                return true;
+            }
+            if std::time::Instant::now() >= deadline {
+                return self.is_set();
+            }
+            b.relax();
+        }
+        loop {
+            {
+                let mut parked = self.parked.lock().unwrap();
+                if self.is_set() {
+                    return true;
+                }
+                parked.push(std::thread::current());
+            }
+            let now = std::time::Instant::now();
+            if now < deadline {
+                std::thread::park_timeout(deadline - now);
+            }
+            // Whether we were unparked, woke spuriously, or timed out, our
+            // handle may still be on the list; remove it before deciding,
+            // so a later `signal` never unparks a thread that has moved on.
+            {
+                let mut parked = self.parked.lock().unwrap();
+                let me = std::thread::current().id();
+                parked.retain(|t| t.id() != me);
+                if self.is_set() {
+                    return true;
+                }
+            }
+            if std::time::Instant::now() >= deadline {
+                return self.is_set();
+            }
+        }
+    }
+
     /// Rearms the event. Caller must guarantee no thread is still waiting.
     pub fn reset(&self) {
         self.set.store(false, Ordering::Release);
@@ -174,6 +242,29 @@ impl GroupEvent {
     /// Blocks the calling member until the group is signaled.
     pub fn wait(&self) {
         self.event.wait();
+    }
+
+    /// Blocks the calling member until the group is signaled or `deadline`
+    /// passes. Returns `true` if signaled, `false` on timeout; see
+    /// [`Event::wait_deadline`] for the timeout caveats.
+    #[cfg(not(loom))]
+    pub fn wait_deadline(&self, deadline: std::time::Instant) -> bool {
+        self.event.wait_deadline(deadline)
+    }
+
+    /// Removes one member that is abandoning the wait; returns the new
+    /// membership count.
+    ///
+    /// Must be called while holding the same lock that serializes
+    /// [`GroupEvent::join`] against dequeueing (the owning lock's queue
+    /// mutex), and only while the group is still queued: once a releaser
+    /// has dequeued the group it has already counted this member into its
+    /// `OpenWithArrivals`, and the member must consume the hand-off
+    /// instead of leaving.
+    pub fn leave(&self) -> usize {
+        let prev = self.members.fetch_sub(1, Ordering::Relaxed);
+        debug_assert!(prev > 0, "leave() without a matching join()");
+        prev - 1
     }
 
     /// Returns whether the group has been signaled.

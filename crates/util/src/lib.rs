@@ -27,6 +27,7 @@
 pub mod backoff;
 pub mod cache_padded;
 pub mod event;
+pub mod fault;
 pub mod rng;
 pub mod slots;
 pub mod spin_mutex;

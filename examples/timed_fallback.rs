@@ -1,0 +1,82 @@
+//! Timed acquisition with a stale-data fallback (the README §Timeouts
+//! pattern): a latency-sensitive reader serves its last good snapshot
+//! instead of stalling behind a slow writer, because a timed-out
+//! acquisition has zero effect and can simply be retried next call.
+//!
+//! Run: cargo run --release --example timed_fallback
+
+use oll::{GollLock, RwHandle, RwLock, RwLockFamily, TimedHandle};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+#[derive(Clone, Debug)]
+struct Config {
+    version: u64,
+}
+
+fn main() {
+    let cache = RwLock::new(GollLock::new(8), Config { version: 0 });
+    let stop = AtomicBool::new(false);
+
+    let cache = &cache;
+    let stop = &stop;
+    std::thread::scope(|s| {
+        // A slow writer: holds the write lock for 2ms per update.
+        s.spawn(move || {
+            let mut w = cache.owner().unwrap();
+            for v in 1..=200u64 {
+                let mut g = w.write();
+                g.version = v;
+                std::thread::sleep(Duration::from_millis(2));
+                drop(g);
+                std::thread::yield_now();
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+
+        // Latency-sensitive readers: never wait more than 100µs.
+        for id in 0..3 {
+            s.spawn(move || {
+                let mut me = cache.owner().unwrap();
+                let mut stale = Config { version: 0 };
+                let (mut fresh, mut fallback) = (0u32, 0u32);
+                while !stop.load(Ordering::Relaxed) {
+                    match me.read_timeout(Duration::from_micros(100)) {
+                        Ok(guard) => {
+                            stale = guard.clone();
+                            fresh += 1;
+                        }
+                        Err(_) => fallback += 1, // serve `stale` instead
+                    }
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                println!(
+                    "reader {id}: {fresh} fresh reads, {fallback} stale fallbacks, \
+                     last seen version {}",
+                    stale.version
+                );
+            });
+        }
+    });
+
+    // Deadline-style writer cancellation on the raw handle API: the
+    // timed-out attempt leaves no trace, so the lock stays reusable.
+    let lock = GollLock::new(4);
+    let mut holder = lock.handle().unwrap();
+    let mut timed = lock.handle().unwrap();
+    holder.lock_read();
+    assert!(timed.lock_write_deadline(Instant::now()).is_err());
+    holder.unlock_read();
+    timed.lock_write(); // cancelled attempt fully undone
+    timed.unlock_write();
+    // Timing is best-effort in the grant direction: an uncontended
+    // acquisition succeeds even with an already-expired deadline.
+    assert!(timed.lock_read_deadline(Instant::now()).is_ok());
+    timed.unlock_read();
+    println!("timed-out writer left the lock clean and re-acquirable");
+
+    let mut me = cache.owner().unwrap();
+    let final_version = me.read().version;
+    assert_eq!(final_version, 200);
+    println!("final config version: {final_version}");
+}

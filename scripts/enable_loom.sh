@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Inject loom as a dev-dependency into the crates with loom model-checking
+# suites. The workspace ships with no external dependencies so that tier-1
+# (`cargo build --release && cargo test -q`) resolves fully offline; loom
+# is pulled from the registry only where model checking actually runs —
+# i.e. on a networked machine or CI runner, via this script.
+#
+# Usage:  ./scripts/enable_loom.sh [loom-version]
+# Then:   RUSTFLAGS="--cfg loom" cargo test -p oll-csnzi --test loom_csnzi --release
+#
+# The injection is additive and local — don't commit the Cargo.toml edits.
+set -euo pipefail
+
+LOOM_VERSION="${1:-0.7}"
+cd "$(dirname "$0")/.."
+
+for pkg in oll-util oll-csnzi oll-core oll-baselines; do
+    echo "==> adding loom@${LOOM_VERSION} to ${pkg} (dev-dependencies)"
+    cargo add --package "$pkg" --dev "loom@${LOOM_VERSION}"
+done
+
+echo
+echo "loom injected. The loom code paths are behind --cfg loom, e.g.:"
+echo '  RUSTFLAGS="--cfg loom" cargo test -p oll-csnzi --test loom_csnzi --release'
+echo '  RUSTFLAGS="--cfg loom" cargo test -p oll-core --test loom_locks --release'
+echo '  RUSTFLAGS="--cfg loom" cargo test -p oll-baselines --test loom_baselines --release'
+echo "Revert with: git checkout -- crates/*/Cargo.toml Cargo.toml"

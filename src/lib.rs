@@ -57,7 +57,10 @@ pub use oll_baselines::{
     CentralizedRwLock, KsuhLock, McsMutex, McsRwLock, McsRwReaderPref, McsRwWriterPref,
     PerThreadRwLock, SolarisLikeRwLock, StdRwLock,
 };
+#[cfg(not(loom))]
+pub use oll_core::TimedHandle;
 pub use oll_core::{
-    FairnessPolicy, FollLock, GollLock, RollLock, RwHandle, RwLock, RwLockFamily, UpgradableHandle,
+    FairnessPolicy, FollLock, GollLock, RollLock, RwHandle, RwLock, RwLockFamily, TimedOut,
+    UpgradableHandle,
 };
-pub use oll_csnzi::{ArrivalPolicy, CSnzi, Snzi, TreeShape};
+pub use oll_csnzi::{ArrivalPolicy, CSnzi, CancelOutcome, Snzi, TreeShape};

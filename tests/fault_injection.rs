@@ -1,0 +1,201 @@
+//! Seeded fault-injection suites: deterministically widen the
+//! timeout-vs-hand-off windows in the lock slow paths and hammer them.
+//!
+//! Run with `cargo test --features fault-injection --test fault_injection`.
+//! Without the feature this file compiles to nothing (the `inject` sites in
+//! the locks are no-ops, so there would be nothing to test).
+#![cfg(feature = "fault-injection")]
+
+use oll::util::fault::FaultPlan;
+use oll::{FollLock, GollLock, RollLock, RwHandle, RwLockFamily, TimedHandle};
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// The fault plan is process-global; serialize the tests that install one.
+fn serial() -> MutexGuard<'static, ()> {
+    static GATE: Mutex<()> = Mutex::new(());
+    GATE.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The directed race the tentpole asks for: a reader's timeout expiring at
+/// the same moment the writer's release hands the lock to that reader.
+/// The plan stretches the cancellation-side windows (between the wait
+/// giving up and the cancel re-arbitrating) so the hand-off lands inside
+/// them; 1000 iterations with a fixed seed walk a deterministic schedule
+/// of widened windows. Whichever side wins each race, the lock must end
+/// every iteration fully functional.
+fn timeout_vs_handoff_race<L>(lock: L, site_filter: &str, seed: u64)
+where
+    L: RwLockFamily + Send + Sync + 'static,
+    for<'a> L::Handle<'a>: TimedHandle,
+{
+    const ITERS: usize = 1000;
+    let _guard = serial();
+    let _plan = FaultPlan::sometimes(seed, site_filter, 60, 8).install();
+
+    let lock = Arc::new(lock);
+    let state = Arc::new(AtomicI64::new(0));
+    for i in 0..ITERS {
+        let mut w = lock.handle().unwrap();
+        w.lock_write();
+        state.store(-1, Ordering::SeqCst);
+
+        let reader = {
+            let lock = Arc::clone(&lock);
+            let state = Arc::clone(&state);
+            // Vary the timeout so the expiry sweeps across the release.
+            let timeout = Duration::from_micros((i % 40) as u64);
+            std::thread::spawn(move || {
+                let mut r = lock.handle().unwrap();
+                if r.lock_read_timeout(timeout).is_ok() {
+                    // Granted: the writer must already be out.
+                    assert!(
+                        state.load(Ordering::SeqCst) >= 0,
+                        "read granted under writer"
+                    );
+                    r.unlock_read();
+                    true
+                } else {
+                    false
+                }
+            })
+        };
+
+        // Release roughly when the reader's timeout expires; the injected
+        // yields inside the reader's cancel path do the fine aiming.
+        std::thread::yield_now();
+        state.store(0, Ordering::SeqCst);
+        w.unlock_write();
+        let _timed_out = reader.join().unwrap();
+
+        // The lock must be fully functional whichever side won.
+        let mut h = lock.handle().unwrap();
+        h.lock_write();
+        h.unlock_write();
+        h.lock_read();
+        h.unlock_read();
+    }
+}
+
+#[test]
+fn goll_timeout_vs_handoff_1000_iters() {
+    timeout_vs_handoff_race(GollLock::new(8), "goll.read", 0x5EED_0001);
+}
+
+#[test]
+fn foll_timeout_vs_handoff_1000_iters() {
+    timeout_vs_handoff_race(FollLock::new(8), "foll.read", 0x5EED_0002);
+}
+
+#[test]
+fn roll_timeout_vs_handoff_1000_iters() {
+    timeout_vs_handoff_race(RollLock::new(8), "roll.read", 0x5EED_0003);
+}
+
+/// FOLL's hardest cancellation window: a queued writer closes the reader
+/// node, making the timing-out reader the *last departer* (`MustHandOff`).
+/// The plan widens both the reader's cancel-vs-grant arbitration and the
+/// hand-off path of normal departures.
+#[test]
+fn foll_cancel_vs_close_race() {
+    const ITERS: usize = 400;
+    let _guard = serial();
+    let _plan = FaultPlan::sometimes(0x5EED_0004, "foll", 50, 6).install();
+
+    let lock = Arc::new(FollLock::new(8));
+    for i in 0..ITERS {
+        let mut w1 = lock.handle().unwrap();
+        w1.lock_write();
+
+        let reader = {
+            let lock = Arc::clone(&lock);
+            let timeout = Duration::from_micros((i % 60) as u64);
+            std::thread::spawn(move || {
+                let mut r = lock.handle().unwrap();
+                if r.lock_read_timeout(timeout).is_ok() {
+                    r.unlock_read();
+                }
+            })
+        };
+        let w2 = {
+            let lock = Arc::clone(&lock);
+            std::thread::spawn(move || {
+                let mut w = lock.handle().unwrap();
+                w.lock_write();
+                w.unlock_write();
+            })
+        };
+
+        std::thread::yield_now();
+        w1.unlock_write();
+        reader.join().unwrap();
+        w2.join().unwrap();
+
+        let mut h = lock.handle().unwrap();
+        h.lock_write();
+        h.unlock_write();
+    }
+    assert!(lock.is_queue_empty());
+}
+
+/// Timed writers abandoning queue nodes while other writers churn: the
+/// abandoned-node takeover (grant cascade → RELEASED → reclaim) must
+/// never lose the queue. Exercises `foll.write.*` windows.
+fn abandoned_writer_churn<L>(lock: L, site_filter: &str, seed: u64)
+where
+    L: RwLockFamily + Send + Sync + 'static,
+    for<'a> L::Handle<'a>: TimedHandle,
+{
+    const THREADS: usize = 5;
+    const ITERS: usize = 300;
+    let _guard = serial();
+    let _plan = FaultPlan::sometimes(seed, site_filter, 50, 6).install();
+
+    let lock = Arc::new(lock);
+    let state = Arc::new(AtomicI64::new(0));
+    let mut threads = Vec::new();
+    for tid in 0..THREADS {
+        let lock = Arc::clone(&lock);
+        let state = Arc::clone(&state);
+        threads.push(std::thread::spawn(move || {
+            let mut h = lock.handle().unwrap();
+            let mut rng = oll_util::XorShift64::for_thread(seed, tid);
+            for _ in 0..ITERS {
+                let timeout = Duration::from_micros(rng.next_below(200));
+                if rng.percent(50) {
+                    if h.lock_write_timeout(timeout).is_ok() {
+                        assert_eq!(state.swap(-1, Ordering::SeqCst), 0);
+                        state.store(0, Ordering::SeqCst);
+                        h.unlock_write();
+                    }
+                } else if h.lock_read_timeout(timeout).is_ok() {
+                    assert!(state.fetch_add(1, Ordering::SeqCst) >= 0);
+                    state.fetch_sub(1, Ordering::SeqCst);
+                    h.unlock_read();
+                }
+            }
+        }));
+    }
+    for t in threads {
+        t.join().unwrap();
+    }
+    let mut h = lock.handle().unwrap();
+    h.lock_write();
+    h.unlock_write();
+}
+
+#[test]
+fn foll_abandoned_writer_churn() {
+    abandoned_writer_churn(FollLock::new(8), "foll.write", 0x5EED_0005);
+}
+
+#[test]
+fn roll_abandoned_writer_churn() {
+    abandoned_writer_churn(RollLock::new(8), "foll.write", 0x5EED_0006);
+}
+
+#[test]
+fn goll_writer_cancel_churn() {
+    abandoned_writer_churn(GollLock::new(8), "goll.write", 0x5EED_0007);
+}

@@ -10,6 +10,9 @@
 //! their documented contract — so the checks are implications, not
 //! equivalences.
 
+// Gated: run with `cargo test --features proptest`.
+#![cfg(feature = "proptest")]
+
 use oll::{
     CentralizedRwLock, FollLock, GollLock, KsuhLock, McsRwLock, McsRwReaderPref, McsRwWriterPref,
     PerThreadRwLock, RollLock, RwHandle, RwLockFamily, SolarisLikeRwLock, StdRwLock,

@@ -1,0 +1,319 @@
+//! Timed, cancellable acquisition (the robustness extension): every lock
+//! with a [`TimedHandle`] must undo a timed-out acquisition completely —
+//! C-SNZI surplus departed, queue entries excised or abandoned-and-
+//! reclaimed, hand-off chains intact — leaving the lock immediately
+//! re-acquirable in both modes.
+
+use oll::{FollLock, GollLock, RollLock, RwHandle, RwLockFamily, TimedHandle};
+use oll_baselines::{SolarisLikeRwLock, StdRwLock};
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Generous bound for acquisitions that must succeed: long enough for any
+/// CI machine, short enough to fail the test rather than hang it.
+const MUST: Duration = Duration::from_secs(20);
+
+/// The acceptance scenario: a writer holds the lock, N readers time out,
+/// and every one of them undoes cleanly — afterwards the lock works in
+/// both modes with no leftover surplus, queue nodes, or waiter bits.
+fn readers_time_out_and_undo<L>(lock: L)
+where
+    L: RwLockFamily,
+    for<'a> L::Handle<'a>: TimedHandle,
+{
+    const READERS: usize = 4;
+    let mut w = lock.handle().unwrap();
+    w.lock_write();
+
+    let mut readers: Vec<_> = (0..READERS).map(|_| lock.handle().unwrap()).collect();
+    for r in &mut readers {
+        // An already-expired deadline: the wait must cancel immediately.
+        assert!(r.lock_read_deadline(Instant::now()).is_err());
+        // The undo must leave the handle reusable for another timed try.
+        assert!(r.lock_read_timeout(Duration::from_millis(2)).is_err());
+    }
+
+    w.unlock_write();
+
+    // All cancelled readers can immediately acquire together...
+    for r in &mut readers {
+        r.lock_read_timeout(MUST).expect("lock not re-acquirable");
+    }
+    for r in &mut readers {
+        r.unlock_read();
+    }
+    // ...and the writer can too (this drains any node a reader left).
+    w.lock_write_timeout(MUST).expect("lock not re-acquirable");
+    w.unlock_write();
+}
+
+/// Mirror scenario: a reader holds the lock, N writers time out; the
+/// abandoned writer nodes must be reclaimed transparently on next use.
+fn writers_time_out_and_undo<L>(lock: L)
+where
+    L: RwLockFamily,
+    for<'a> L::Handle<'a>: TimedHandle,
+{
+    const WRITERS: usize = 4;
+    let mut r = lock.handle().unwrap();
+    r.lock_read();
+
+    let mut writers: Vec<_> = (0..WRITERS).map(|_| lock.handle().unwrap()).collect();
+    for w in &mut writers {
+        assert!(w.lock_write_deadline(Instant::now()).is_err());
+    }
+
+    r.unlock_read();
+
+    for w in &mut writers {
+        w.lock_write_timeout(MUST).expect("lock not re-acquirable");
+        w.unlock_write();
+    }
+    r.lock_read_timeout(MUST).expect("lock not re-acquirable");
+    r.unlock_read();
+}
+
+/// A timed wait that outlives the conflicting hold must succeed; one that
+/// doesn't must fail — with real threads and real waiting.
+fn timed_read_respects_hold_duration<L>(lock: L)
+where
+    L: RwLockFamily + Send + Sync + 'static,
+    for<'a> L::Handle<'a>: TimedHandle,
+{
+    let lock = Arc::new(lock);
+    let mut w = lock.handle().unwrap();
+    w.lock_write();
+
+    let short = {
+        let lock = Arc::clone(&lock);
+        std::thread::spawn(move || {
+            let mut r = lock.handle().unwrap();
+            r.lock_read_timeout(Duration::from_millis(10)).is_err()
+        })
+    };
+    assert!(short.join().unwrap(), "short timeout should have expired");
+
+    let long = {
+        let lock = Arc::clone(&lock);
+        std::thread::spawn(move || {
+            let mut r = lock.handle().unwrap();
+            let ok = r.lock_read_timeout(MUST).is_ok();
+            if ok {
+                r.unlock_read();
+            }
+            ok
+        })
+    };
+    std::thread::sleep(Duration::from_millis(30));
+    w.unlock_write();
+    assert!(long.join().unwrap(), "long timeout should have succeeded");
+}
+
+/// Every thread mixes timed and untimed acquisitions under contention;
+/// the single-writer / no-writer-with-readers invariant must hold across
+/// every grant, cancellation, and abandoned-node takeover.
+fn mixed_timed_stress<L>(lock: L, seed: u64)
+where
+    L: RwLockFamily + Send + Sync + 'static,
+    for<'a> L::Handle<'a>: TimedHandle,
+{
+    const THREADS: usize = 6;
+    const ITERS: usize = 600;
+    let lock = Arc::new(lock);
+    let state = Arc::new(AtomicI64::new(0));
+    let mut threads = Vec::new();
+    for tid in 0..THREADS {
+        let lock = Arc::clone(&lock);
+        let state = Arc::clone(&state);
+        threads.push(std::thread::spawn(move || {
+            let mut h = lock.handle().unwrap();
+            let mut rng = oll_util::XorShift64::for_thread(seed, tid);
+            for _ in 0..ITERS {
+                let timeout = Duration::from_micros(rng.next_below(300));
+                match rng.next_below(4) {
+                    0 => {
+                        if h.lock_read_timeout(timeout).is_ok() {
+                            assert!(state.fetch_add(1, Ordering::SeqCst) >= 0);
+                            state.fetch_sub(1, Ordering::SeqCst);
+                            h.unlock_read();
+                        }
+                    }
+                    1 => {
+                        if h.lock_write_timeout(timeout).is_ok() {
+                            assert_eq!(state.swap(-1, Ordering::SeqCst), 0);
+                            state.store(0, Ordering::SeqCst);
+                            h.unlock_write();
+                        }
+                    }
+                    2 => {
+                        h.lock_read();
+                        assert!(state.fetch_add(1, Ordering::SeqCst) >= 0);
+                        state.fetch_sub(1, Ordering::SeqCst);
+                        h.unlock_read();
+                    }
+                    _ => {
+                        h.lock_write();
+                        assert_eq!(state.swap(-1, Ordering::SeqCst), 0);
+                        state.store(0, Ordering::SeqCst);
+                        h.unlock_write();
+                    }
+                }
+            }
+        }));
+    }
+    for t in threads {
+        t.join().unwrap();
+    }
+    // Quiesced: both modes acquire immediately.
+    let mut h = lock.handle().unwrap();
+    h.lock_write_timeout(MUST).unwrap();
+    h.unlock_write();
+}
+
+macro_rules! timed_lock_suite {
+    ($mod_name:ident, $make:expr, $seed:expr) => {
+        mod $mod_name {
+            use super::*;
+
+            #[test]
+            fn readers_time_out_and_undo_cleanly() {
+                readers_time_out_and_undo($make(8));
+            }
+
+            #[test]
+            fn writers_time_out_and_undo_cleanly() {
+                writers_time_out_and_undo($make(8));
+            }
+
+            #[test]
+            fn timed_read_respects_hold_duration() {
+                super::timed_read_respects_hold_duration($make(4));
+            }
+
+            #[test]
+            fn mixed_timed_stress_keeps_exclusion() {
+                mixed_timed_stress($make(8), $seed);
+            }
+        }
+    };
+}
+
+timed_lock_suite!(goll, GollLock::new, 0xA11CE);
+timed_lock_suite!(foll, FollLock::new, 0xB0B);
+timed_lock_suite!(roll, RollLock::new, 0xCAFE);
+timed_lock_suite!(solaris_like, SolarisLikeRwLock::new, 0xD00D);
+timed_lock_suite!(std_rw, StdRwLock::new, 0xE66);
+
+/// Regression: a GOLL writer that closes the C-SNZI (readers inside) and
+/// then times out before enqueuing leaves the lock *closed with readers
+/// and an empty queue*. The last departing reader must reopen it, or
+/// every later reader blocks forever.
+#[test]
+fn goll_cancelled_writer_reopens_csnzi() {
+    let lock = GollLock::new(4);
+    let mut r = lock.handle().unwrap();
+    r.lock_read();
+
+    let mut w = lock.handle().unwrap();
+    assert!(w.lock_write_deadline(Instant::now()).is_err());
+
+    r.unlock_read(); // must reopen the closed-with-readers C-SNZI
+
+    let mut r2 = lock.handle().unwrap();
+    r2.lock_read_timeout(MUST)
+        .expect("C-SNZI left closed by the cancelled writer");
+    r2.unlock_read();
+    w.lock_write_timeout(MUST).unwrap();
+    w.unlock_write();
+}
+
+/// FOLL: a reader whose node was closed by a queued writer and whose
+/// timeout makes it the node's last departer must hand the lock off (the
+/// `MustHandOff` cancellation path), not orphan the queued writer.
+#[test]
+fn foll_cancelled_last_reader_hands_off() {
+    let lock = Arc::new(FollLock::new(4));
+
+    // W1 parks the queue head.
+    let mut w1 = lock.handle().unwrap();
+    w1.lock_write();
+
+    // R enqueues a reader node behind W1 and waits.
+    let r_thread = {
+        let lock = Arc::clone(&lock);
+        std::thread::spawn(move || {
+            let mut r = lock.handle().unwrap();
+            r.lock_read_timeout(Duration::from_millis(80)).is_err()
+        })
+    };
+    std::thread::sleep(Duration::from_millis(20));
+
+    // W2 enqueues behind R's node and closes its C-SNZI (FOLL closes
+    // immediately), making R the node's only — and last — departer.
+    let w2_thread = {
+        let lock = Arc::clone(&lock);
+        std::thread::spawn(move || {
+            let mut w2 = lock.handle().unwrap();
+            w2.lock_write();
+            w2.unlock_write();
+        })
+    };
+    std::thread::sleep(Duration::from_millis(20));
+
+    // R times out: its cancel must leave the node abandoned (or perform
+    // the hand-off itself), so that W1's release reaches W2.
+    assert!(r_thread.join().unwrap(), "reader should have timed out");
+    w1.unlock_write();
+    w2_thread.join().unwrap();
+
+    let mut h = lock.handle().unwrap();
+    h.lock_write_timeout(MUST).unwrap();
+    h.unlock_write();
+}
+
+/// FOLL/ROLL: a writer that abandons its queue node must be able to drop
+/// its handle (slot reuse!) and a fresh handle must acquire normally —
+/// the reclaim handshake runs in Drop.
+#[test]
+fn abandoned_writer_node_reclaimed_on_drop() {
+    fn check<L>(lock: &L)
+    where
+        L: RwLockFamily,
+        for<'a> L::Handle<'a>: TimedHandle,
+    {
+        let mut r = lock.handle().unwrap();
+        r.lock_read();
+        {
+            let mut w = lock.handle().unwrap();
+            assert!(w.lock_write_deadline(Instant::now()).is_err());
+            // Holder releases; the abandoned node's takeover release runs.
+            r.unlock_read();
+            // `w` dropped here with a possibly pending reclaim.
+        }
+        let mut w2 = lock.handle().unwrap();
+        w2.lock_write_timeout(MUST).unwrap();
+        w2.unlock_write();
+        r.lock_read_timeout(MUST).unwrap();
+        r.unlock_read();
+    }
+    check(&FollLock::new(4));
+    check(&RollLock::new(4));
+}
+
+/// The data-carrying wrapper's timed guards: Err leaves the lock free,
+/// Ok hands back a live guard.
+#[test]
+fn rwlock_wrapper_timed_guards() {
+    let rw = oll::RwLock::new(GollLock::new(2), 7u32);
+    let mut a = rw.owner().unwrap();
+    let mut b = rw.owner().unwrap();
+
+    let g = a.write();
+    assert!(b.read_timeout(Duration::from_millis(5)).is_err());
+    assert!(b.write_timeout(Duration::from_millis(5)).is_err());
+    drop(g);
+
+    *b.write_timeout(MUST).unwrap() = 9;
+    assert_eq!(*b.read_timeout(MUST).unwrap(), 9);
+}

@@ -170,3 +170,96 @@ fn upgrade_stress_with_concurrent_readers() {
     let snap = lock.csnzi_snapshot();
     assert_eq!((snap.surplus(), snap.open), (0, true));
 }
+
+#[test]
+fn guard_try_upgrade_failure_returns_live_read_guard() {
+    // The guard-level API: ReadGuard::try_upgrade must return the original
+    // read guard on failure (no unlock happened), and a successful upgrade
+    // must yield a write guard that downgrades back losslessly.
+    let lock = GollLock::new(3);
+    let mut a = lock.handle().unwrap();
+    let mut b = lock.handle().unwrap();
+
+    // A second reader blocks the upgrade.
+    b.lock_read();
+    let ga = a.read();
+    let ga = match ga.try_upgrade() {
+        Ok(_) => panic!("upgrade succeeded with a second reader inside"),
+        Err(g) => g, // must still be read-held
+    };
+    // Proof the returned guard still holds: the lock still excludes writers.
+    let mut w = lock.handle().unwrap();
+    assert!(w.try_write().is_none());
+    b.unlock_read();
+    assert!(w.try_write().is_none(), "a's guard still holds for reading");
+
+    // Sole reader now: upgrade must succeed, downgrade must re-admit b.
+    let gw = match ga.try_upgrade() {
+        Ok(g) => g,
+        Err(_) => panic!("sole reader upgrades"),
+    };
+    assert!(!b.try_lock_read());
+    let gr = gw.downgrade();
+    assert!(b.try_lock_read(), "downgraded guard admits readers");
+    b.unlock_read();
+    drop(gr);
+    assert!(w.try_write().is_some()); // guard drops: lock is free again
+}
+
+#[test]
+fn guard_upgrade_races_second_reader() {
+    // Two threads loop on the guard API: one holds read guards and tries
+    // to upgrade, the other dips in and out as a racing second reader.
+    // Whatever interleaving occurs, a successful upgrade must be exclusive
+    // and a failed one must keep the read hold (checked via the invariant
+    // counter, which a lost hold would let run negative).
+    const ITERS: usize = 2_000;
+    let lock = Arc::new(GollLock::new(2));
+    let state = Arc::new(AtomicI64::new(0));
+
+    let upgrader = {
+        let lock = Arc::clone(&lock);
+        let state = Arc::clone(&state);
+        std::thread::spawn(move || {
+            let mut h = lock.handle().unwrap();
+            for _ in 0..ITERS {
+                let g = h.read();
+                assert!(state.fetch_add(1, Ordering::SeqCst) >= 0);
+                state.fetch_sub(1, Ordering::SeqCst);
+                match g.try_upgrade() {
+                    Ok(gw) => {
+                        assert_eq!(state.swap(-1, Ordering::SeqCst), 0);
+                        state.store(0, Ordering::SeqCst);
+                        let gr = gw.downgrade();
+                        assert!(state.fetch_add(1, Ordering::SeqCst) >= 0);
+                        state.fetch_sub(1, Ordering::SeqCst);
+                        drop(gr);
+                    }
+                    Err(gr) => {
+                        // Still read-held: the counter stays consistent.
+                        assert!(state.fetch_add(1, Ordering::SeqCst) >= 0);
+                        state.fetch_sub(1, Ordering::SeqCst);
+                        drop(gr);
+                    }
+                }
+            }
+        })
+    };
+    let racer = {
+        let lock = Arc::clone(&lock);
+        let state = Arc::clone(&state);
+        std::thread::spawn(move || {
+            let mut h = lock.handle().unwrap();
+            for _ in 0..ITERS {
+                let _g = h.read();
+                assert!(state.fetch_add(1, Ordering::SeqCst) >= 0);
+                state.fetch_sub(1, Ordering::SeqCst);
+            }
+        })
+    };
+    upgrader.join().unwrap();
+    racer.join().unwrap();
+
+    let snap = lock.csnzi_snapshot();
+    assert_eq!((snap.surplus(), snap.open), (0, true));
+}
