@@ -14,6 +14,7 @@
 //! section — is exactly what the GOLL lock's C-SNZI removes.
 
 use oll_core::raw::{RwHandle, RwLockFamily};
+use oll_telemetry::{LockEvent, Telemetry, Timer};
 use oll_util::backoff::{Backoff, BackoffPolicy};
 use oll_util::event::{Event, GroupEvent, WaitStrategy};
 use oll_util::slots::{SlotError, SlotGuard, SlotRegistry};
@@ -70,6 +71,7 @@ pub struct SolarisLikeRwLock {
     slots: SlotRegistry,
     strategy: WaitStrategy,
     backoff: BackoffPolicy,
+    telemetry: Telemetry,
 }
 
 impl SolarisLikeRwLock {
@@ -90,6 +92,7 @@ impl SolarisLikeRwLock {
             slots: SlotRegistry::new(capacity.max(1)),
             strategy,
             backoff: BackoffPolicy::default(),
+            telemetry: Telemetry::register("Solaris-like"),
         }
     }
 
@@ -172,6 +175,17 @@ enum HandoffSignal {
     Readers(Vec<Arc<GroupEvent>>),
 }
 
+impl SolarisLikeRwLock {
+    /// Counts a hand-off by the kind of successor it wakes.
+    fn note_handoff(&self, sig: &Option<HandoffSignal>) {
+        match sig {
+            None => {}
+            Some(HandoffSignal::Writer(_)) => self.telemetry.incr(LockEvent::HandoffToWriter),
+            Some(HandoffSignal::Readers(_)) => self.telemetry.incr(LockEvent::HandoffToReaders),
+        }
+    }
+}
+
 fn deliver(sig: Option<HandoffSignal>) {
     match sig {
         None => {}
@@ -189,7 +203,11 @@ impl RwLockFamily for SolarisLikeRwLock {
 
     fn handle(&self) -> Result<SolarisLikeHandle<'_>, SlotError> {
         let slot = SlotGuard::claim(&self.slots)?;
-        Ok(SolarisLikeHandle { lock: self, slot })
+        Ok(SolarisLikeHandle {
+            lock: self,
+            slot,
+            hold: Timer::inactive(),
+        })
     }
 
     fn capacity(&self) -> usize {
@@ -199,6 +217,10 @@ impl RwLockFamily for SolarisLikeRwLock {
     fn name(&self) -> &'static str {
         "Solaris-like"
     }
+
+    fn telemetry(&self) -> Telemetry {
+        self.telemetry.clone()
+    }
 }
 
 /// Per-thread handle for [`SolarisLikeRwLock`].
@@ -206,17 +228,23 @@ pub struct SolarisLikeHandle<'a> {
     lock: &'a SolarisLikeRwLock,
     #[allow(dead_code)]
     slot: SlotGuard<'a>,
+    /// Hold-time timer for the handle's outstanding acquisition.
+    hold: Timer,
 }
 
 impl RwHandle for SolarisLikeHandle<'_> {
     fn lock_read(&mut self) {
         let lock = self.lock;
+        let acquire = lock.telemetry.timer();
         let mut b = Backoff::with_policy(lock.backoff);
         loop {
             let w = lock.load();
             // Fast path: no conflicting request.
             if !w.write_locked() && !w.write_wanted() {
                 if lock.cas(w, Word(w.0 + READER_UNIT)) {
+                    lock.telemetry.incr(LockEvent::ReadFast);
+                    lock.telemetry.record_read_acquire(&acquire);
+                    self.hold = lock.telemetry.timer();
                     return;
                 }
                 b.backoff();
@@ -247,16 +275,20 @@ impl RwHandle for SolarisLikeHandle<'_> {
                     g
                 }
             };
+            lock.telemetry.incr(LockEvent::ReadSlow);
             drop(ts);
             group.wait();
             // Ownership was handed over: the releaser already counted us
             // into the lockword.
+            lock.telemetry.record_read_acquire(&acquire);
+            self.hold = lock.telemetry.timer();
             return;
         }
     }
 
     fn unlock_read(&mut self) {
         let lock = self.lock;
+        lock.telemetry.record_read_hold(&self.hold);
         loop {
             let w = lock.load();
             debug_assert!(w.readers() > 0, "unlock_read without read hold");
@@ -277,6 +309,7 @@ impl RwHandle for SolarisLikeHandle<'_> {
                 continue;
             }
             let sig = lock.handover(&mut ts, false);
+            lock.note_handoff(&sig);
             drop(ts);
             deliver(sig);
             return;
@@ -285,12 +318,16 @@ impl RwHandle for SolarisLikeHandle<'_> {
 
     fn lock_write(&mut self) {
         let lock = self.lock;
+        let acquire = lock.telemetry.timer();
         let mut b = Backoff::with_policy(lock.backoff);
         loop {
             let w = lock.load();
             if w.readers() == 0 && !w.write_locked() && !w.has_waiters() {
                 // Free (possibly with a stale writeWanted): take it.
                 if lock.cas(w, Word::make(0, true, false, false)) {
+                    lock.telemetry.incr(LockEvent::WriteFast);
+                    lock.telemetry.record_write_acquire(&acquire);
+                    self.hold = lock.telemetry.timer();
                     return;
                 }
                 b.backoff();
@@ -306,8 +343,11 @@ impl RwHandle for SolarisLikeHandle<'_> {
                 let ev = Arc::new(Event::new(lock.strategy));
                 ts.groups.push_back(Group::Writer(Arc::clone(&ev)));
                 ts.num_writers += 1;
+                lock.telemetry.incr(LockEvent::WriteSlow);
                 drop(ts);
                 ev.wait();
+                lock.telemetry.record_write_acquire(&acquire);
+                self.hold = lock.telemetry.timer();
                 return;
             }
             drop(ts);
@@ -316,6 +356,7 @@ impl RwHandle for SolarisLikeHandle<'_> {
 
     fn unlock_write(&mut self) {
         let lock = self.lock;
+        lock.telemetry.record_write_hold(&self.hold);
         loop {
             let w = lock.load();
             debug_assert!(w.write_locked(), "unlock_write without write hold");
@@ -332,6 +373,7 @@ impl RwHandle for SolarisLikeHandle<'_> {
                 continue;
             }
             let sig = lock.handover(&mut ts, true);
+            lock.note_handoff(&sig);
             drop(ts);
             deliver(sig);
             return;
@@ -340,15 +382,28 @@ impl RwHandle for SolarisLikeHandle<'_> {
 
     fn try_lock_read(&mut self) -> bool {
         let w = self.lock.load();
-        !w.write_locked() && !w.write_wanted() && self.lock.cas(w, Word(w.0 + READER_UNIT))
+        if !w.write_locked() && !w.write_wanted() && self.lock.cas(w, Word(w.0 + READER_UNIT)) {
+            self.lock.telemetry.incr(LockEvent::ReadFast);
+            self.hold = self.lock.telemetry.timer();
+            true
+        } else {
+            false
+        }
     }
 
     fn try_lock_write(&mut self) -> bool {
         let w = self.lock.load();
-        w.readers() == 0
+        if w.readers() == 0
             && !w.write_locked()
             && !w.has_waiters()
             && self.lock.cas(w, Word::make(0, true, false, false))
+        {
+            self.lock.telemetry.incr(LockEvent::WriteFast);
+            self.hold = self.lock.telemetry.timer();
+            true
+        } else {
+            false
+        }
     }
 }
 
@@ -365,20 +420,26 @@ impl oll_core::raw::TimedHandle for SolarisLikeHandle<'_> {
         deadline: std::time::Instant,
     ) -> Result<(), oll_core::TimedOut> {
         let lock = self.lock;
+        let acquire = lock.telemetry.timer();
         let mut b = Backoff::with_policy(lock.backoff);
         loop {
             let w = lock.load();
             if !w.write_locked() && !w.write_wanted() {
                 if lock.cas(w, Word(w.0 + READER_UNIT)) {
+                    lock.telemetry.incr(LockEvent::ReadFast);
+                    lock.telemetry.record_read_acquire(&acquire);
+                    self.hold = lock.telemetry.timer();
                     return Ok(());
                 }
                 b.backoff();
                 if std::time::Instant::now() >= deadline {
+                    lock.telemetry.incr(LockEvent::Timeout);
                     return Err(oll_core::TimedOut);
                 }
                 continue;
             }
             if std::time::Instant::now() >= deadline {
+                lock.telemetry.incr(LockEvent::Timeout);
                 return Err(oll_core::TimedOut);
             }
             let mut ts = lock.turnstile.lock();
@@ -404,9 +465,13 @@ impl oll_core::raw::TimedHandle for SolarisLikeHandle<'_> {
                     g
                 }
             };
+            lock.telemetry.incr(LockEvent::ReadSlow);
             drop(ts);
             if group.wait_deadline(deadline) {
-                return Ok(()); // handed over: already counted into the word
+                // Handed over: already counted into the word.
+                lock.telemetry.record_read_acquire(&acquire);
+                self.hold = lock.telemetry.timer();
+                return Ok(());
             }
             // Timed out: arbitrate against the hand-off under the mutex.
             let mut ts = lock.turnstile.lock();
@@ -420,6 +485,8 @@ impl oll_core::raw::TimedHandle for SolarisLikeHandle<'_> {
                     ts.groups.remove(idx);
                 }
                 drop(ts);
+                lock.telemetry.incr(LockEvent::Timeout);
+                lock.telemetry.incr(LockEvent::Cancel);
                 return Err(oll_core::TimedOut);
             }
             // A releaser dequeued the group — we are counted into the
@@ -427,7 +494,9 @@ impl oll_core::raw::TimedHandle for SolarisLikeHandle<'_> {
             // normal release path.
             drop(ts);
             group.wait();
+            self.hold = lock.telemetry.timer();
             self.unlock_read();
+            lock.telemetry.incr(LockEvent::Timeout);
             return Err(oll_core::TimedOut);
         }
     }
@@ -437,20 +506,26 @@ impl oll_core::raw::TimedHandle for SolarisLikeHandle<'_> {
         deadline: std::time::Instant,
     ) -> Result<(), oll_core::TimedOut> {
         let lock = self.lock;
+        let acquire = lock.telemetry.timer();
         let mut b = Backoff::with_policy(lock.backoff);
         loop {
             let w = lock.load();
             if w.readers() == 0 && !w.write_locked() && !w.has_waiters() {
                 if lock.cas(w, Word::make(0, true, false, false)) {
+                    lock.telemetry.incr(LockEvent::WriteFast);
+                    lock.telemetry.record_write_acquire(&acquire);
+                    self.hold = lock.telemetry.timer();
                     return Ok(());
                 }
                 b.backoff();
                 if std::time::Instant::now() >= deadline {
+                    lock.telemetry.incr(LockEvent::Timeout);
                     return Err(oll_core::TimedOut);
                 }
                 continue;
             }
             if std::time::Instant::now() >= deadline {
+                lock.telemetry.incr(LockEvent::Timeout);
                 return Err(oll_core::TimedOut);
             }
             let mut ts = lock.turnstile.lock();
@@ -463,8 +538,11 @@ impl oll_core::raw::TimedHandle for SolarisLikeHandle<'_> {
                 let ev = Arc::new(Event::new(lock.strategy));
                 ts.groups.push_back(Group::Writer(Arc::clone(&ev)));
                 ts.num_writers += 1;
+                lock.telemetry.incr(LockEvent::WriteSlow);
                 drop(ts);
                 if ev.wait_deadline(deadline) {
+                    lock.telemetry.record_write_acquire(&acquire);
+                    self.hold = lock.telemetry.timer();
                     return Ok(());
                 }
                 let mut ts = lock.turnstile.lock();
@@ -476,12 +554,16 @@ impl oll_core::raw::TimedHandle for SolarisLikeHandle<'_> {
                     ts.groups.remove(idx);
                     ts.num_writers -= 1;
                     drop(ts);
+                    lock.telemetry.incr(LockEvent::Timeout);
+                    lock.telemetry.incr(LockEvent::Cancel);
                     return Err(oll_core::TimedOut);
                 }
                 // Hand-off already made us the write holder.
                 drop(ts);
                 ev.wait();
+                self.hold = lock.telemetry.timer();
                 self.unlock_write();
+                lock.telemetry.incr(LockEvent::Timeout);
                 return Err(oll_core::TimedOut);
             }
             drop(ts);

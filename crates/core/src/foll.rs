@@ -16,6 +16,7 @@
 
 use crate::raw::{RwHandle, RwLockFamily};
 use oll_csnzi::{ArrivalPolicy, CSnzi, CancelOutcome, Ticket, TreeShape};
+use oll_telemetry::{LockEvent, Telemetry, Timer};
 use oll_util::backoff::{spin_until, Backoff, BackoffPolicy};
 use oll_util::fault;
 use oll_util::slots::{SlotError, SlotGuard, SlotRegistry};
@@ -137,14 +138,16 @@ pub(crate) struct ReaderNode {
 }
 
 impl ReaderNode {
-    fn new(shape: TreeShape, ring_next: usize, lazy_tree: bool) -> Self {
+    fn new(shape: TreeShape, ring_next: usize, lazy_tree: bool, telemetry: Telemetry) -> Self {
+        // "when just allocated, has a closed C-SNZI with no surplus"
+        let mut csnzi = if lazy_tree {
+            CSnzi::new_closed_lazy(shape)
+        } else {
+            CSnzi::new_closed(shape)
+        };
+        csnzi.attach_telemetry(telemetry);
         Self {
-            // "when just allocated, has a closed C-SNZI with no surplus"
-            csnzi: if lazy_tree {
-                CSnzi::new_closed_lazy(shape)
-            } else {
-                CSnzi::new_closed(shape)
-            },
+            csnzi,
             qnext: AtomicU32::new(NodeRef::NIL.raw()),
             state: AtomicU32::new(GRANTED),
             in_use: AtomicBool::new(false),
@@ -163,6 +166,7 @@ pub(crate) struct QueueCore {
     pub(crate) slots: SlotRegistry,
     pub(crate) backoff: BackoffPolicy,
     pub(crate) arrival_threshold: u32,
+    pub(crate) telemetry: Telemetry,
 }
 
 impl QueueCore {
@@ -172,6 +176,7 @@ impl QueueCore {
         backoff: BackoffPolicy,
         arrival_threshold: u32,
         lazy_tree: bool,
+        telemetry: Telemetry,
     ) -> Self {
         let capacity = capacity.max(1);
         Self {
@@ -180,12 +185,40 @@ impl QueueCore {
                 .map(|_| CachePadded::new(WriterNode::new()))
                 .collect(),
             reader_nodes: (0..capacity)
-                .map(|i| CachePadded::new(ReaderNode::new(shape, (i + 1) % capacity, lazy_tree)))
+                .map(|i| {
+                    CachePadded::new(ReaderNode::new(
+                        shape,
+                        (i + 1) % capacity,
+                        lazy_tree,
+                        telemetry.clone(),
+                    ))
+                })
                 .collect(),
             slots: SlotRegistry::new(capacity),
             backoff,
             arrival_threshold,
+            telemetry,
         }
+    }
+
+    /// Classifies a successful per-node C-SNZI arrival for telemetry.
+    #[inline]
+    pub(crate) fn note_arrival(&self, ticket: Ticket) {
+        self.telemetry.incr(if ticket.is_root() {
+            LockEvent::ArriveDirect
+        } else {
+            LockEvent::ArriveTree
+        });
+    }
+
+    /// Counts a release hand-off by what the lock was handed to.
+    #[inline]
+    fn note_handoff(&self, succ: NodeRef) {
+        self.telemetry.incr(if succ.is_reader() {
+            LockEvent::HandoffToReaders
+        } else {
+            LockEvent::HandoffToWriter
+        });
     }
 
     pub(crate) fn load_tail(&self) -> NodeRef {
@@ -246,6 +279,7 @@ impl QueueCore {
                 Ok(_) => return,
                 Err(observed) => {
                     debug_assert_eq!(observed, ABANDONED, "grant raced a non-cancel transition");
+                    self.telemetry.incr(LockEvent::GrantCascade);
                     if cur.is_reader() {
                         // An abandoned reader node is closed and empty with
                         // the closing writer already linked behind it (both
@@ -292,6 +326,7 @@ impl QueueCore {
     /// owes nothing; any hand-off obligation picked up in the race with a
     /// concurrent grant is discharged here.
     pub(crate) fn cancel_read_session(&self, idx: usize, ticket: Ticket) {
+        self.telemetry.incr(LockEvent::Cancel);
         let node = self.rnode(idx);
         match node.csnzi.cancel(ticket) {
             CancelOutcome::Undone => {
@@ -368,14 +403,18 @@ impl QueueCore {
     /// waits for the predecessor's readers to become active, which is what
     /// lets later readers overtake us and join them (§4.3).
     pub(crate) fn writer_lock(&self, slot: usize, wait_for_active: bool) {
+        let acquire = self.telemetry.timer();
         let me = NodeRef::writer(slot);
         let node = self.wnode(slot);
         node.qnext.store(NodeRef::NIL.raw(), Ordering::Relaxed);
         node.prev.store(NodeRef::NIL.raw(), Ordering::Relaxed);
         let pred = self.swap_tail(me);
         if pred.is_nil() {
+            self.telemetry.incr(LockEvent::WriteFast);
+            self.telemetry.record_write_acquire(&acquire);
             return; // lock acquired
         }
+        self.telemetry.incr(LockEvent::WriteSlow);
         // Set our state to WAITING *before* publishing the qNext link: our
         // predecessor finds us only through qNext, so it cannot grant us
         // before we start waiting.
@@ -421,6 +460,7 @@ impl QueueCore {
                 node.state.load(Ordering::Acquire) == GRANTED
             });
         }
+        self.telemetry.record_write_acquire(&acquire);
     }
 
     /// Timed [`writer_lock`](Self::writer_lock): gives up at `deadline`,
@@ -437,14 +477,18 @@ impl QueueCore {
     ) -> Result<(), WriteTimeout> {
         use oll_util::backoff::spin_until_deadline;
 
+        let acquire = self.telemetry.timer();
         let me = NodeRef::writer(slot);
         let node = self.wnode(slot);
         node.qnext.store(NodeRef::NIL.raw(), Ordering::Relaxed);
         node.prev.store(NodeRef::NIL.raw(), Ordering::Relaxed);
         let pred = self.swap_tail(me);
         if pred.is_nil() {
+            self.telemetry.incr(LockEvent::WriteFast);
+            self.telemetry.record_write_acquire(&acquire);
             return Ok(()); // lock acquired
         }
+        self.telemetry.incr(LockEvent::WriteSlow);
         node.state.store(WAITING, Ordering::Relaxed);
         node.prev.store(pred.raw(), Ordering::Release);
         self.set_qnext(pred, me);
@@ -467,6 +511,7 @@ impl QueueCore {
                     pnode.state.load(Ordering::Acquire) == GRANTED
                 }) {
                     self.free_reader_node(pred.index());
+                    self.telemetry.record_write_acquire(&acquire);
                     return Ok(());
                 }
                 // Timed out waiting for the takeover. Abandon *our own*
@@ -499,6 +544,7 @@ impl QueueCore {
                 if spin_until_deadline(self.backoff, deadline, || {
                     node.state.load(Ordering::Acquire) == GRANTED
                 }) {
+                    self.telemetry.record_write_acquire(&acquire);
                     return Ok(());
                 }
                 self.cancel_writer_wait(slot)
@@ -508,6 +554,7 @@ impl QueueCore {
             if spin_until_deadline(self.backoff, deadline, || {
                 node.state.load(Ordering::Acquire) == GRANTED
             }) {
+                self.telemetry.record_write_acquire(&acquire);
                 return Ok(());
             }
             self.cancel_writer_wait(slot)
@@ -547,6 +594,7 @@ impl QueueCore {
             });
         }
         let succ = NodeRef::from_raw(node.qnext.load(Ordering::Acquire));
+        self.note_handoff(succ);
         self.grant(succ);
         node.qnext.store(NodeRef::NIL.raw(), Ordering::Relaxed); // clean up
     }
@@ -563,6 +611,7 @@ impl QueueCore {
         let succ = NodeRef::from_raw(node.qnext.load(Ordering::Acquire));
         debug_assert!(!succ.is_nil(), "the closing writer linked in first");
         fault::inject("foll.read.handoff");
+        self.note_handoff(succ);
         self.grant(succ);
         node.qnext.store(NodeRef::NIL.raw(), Ordering::Relaxed); // clean up
         self.free_reader_node(depart_from);
@@ -577,6 +626,7 @@ pub struct FollBuilder {
     backoff: BackoffPolicy,
     arrival_threshold: u32,
     lazy_tree: bool,
+    telemetry_name: Option<String>,
 }
 
 impl FollBuilder {
@@ -589,7 +639,15 @@ impl FollBuilder {
             backoff: BackoffPolicy::default(),
             arrival_threshold: ArrivalPolicy::DEFAULT_THRESHOLD,
             lazy_tree: false,
+            telemetry_name: None,
         }
+    }
+
+    /// Names this lock's telemetry instance (default `"FOLL#<seq>"`).
+    /// No effect unless built with the `telemetry` feature.
+    pub fn telemetry_name(mut self, name: &str) -> Self {
+        self.telemetry_name = Some(name.to_string());
+        self
     }
 
     /// Defers each pooled reader node's C-SNZI tree allocation until the
@@ -623,6 +681,10 @@ impl FollBuilder {
     /// Builds the lock.
     pub fn build(self) -> FollLock {
         let capacity = self.capacity.max(1);
+        let telemetry = Telemetry::register("FOLL");
+        if let Some(name) = &self.telemetry_name {
+            telemetry.rename(name);
+        }
         FollLock {
             core: QueueCore::new(
                 capacity,
@@ -631,6 +693,7 @@ impl FollBuilder {
                 self.backoff,
                 self.arrival_threshold,
                 self.lazy_tree,
+                telemetry,
             ),
         }
     }
@@ -684,6 +747,7 @@ impl RwLockFamily for FollLock {
             session: None,
             write_held: false,
             pending_reclaim: false,
+            hold: Timer::inactive(),
         })
     }
 
@@ -693,6 +757,10 @@ impl RwLockFamily for FollLock {
 
     fn name(&self) -> &'static str {
         "FOLL"
+    }
+
+    fn telemetry(&self) -> Telemetry {
+        self.core.telemetry.clone()
     }
 }
 
@@ -707,6 +775,9 @@ pub struct FollHandle<'a> {
     /// A timed write abandoned this slot's writer node in the queue; it
     /// must be reclaimed before the node's next use.
     pending_reclaim: bool,
+    /// Started when an acquisition succeeds, recorded as hold time at
+    /// release. One outstanding acquisition per handle, so one timer.
+    hold: Timer,
 }
 
 impl FollHandle<'_> {
@@ -730,6 +801,7 @@ impl RwHandle for FollHandle<'_> {
         debug_assert!(self.session.is_none() && !self.write_held);
         let core = self.core;
         let slot = self.slot_idx();
+        let acquire = core.telemetry.timer();
         let mut rnode: Option<usize> = None;
         let mut backoff = Backoff::with_policy(core.backoff);
         loop {
@@ -747,6 +819,10 @@ impl RwHandle for FollHandle<'_> {
                     node.csnzi.open();
                     let ticket = node.csnzi.arrive(&mut self.policy, slot);
                     if ticket.arrived() {
+                        core.note_arrival(ticket);
+                        core.telemetry.incr(LockEvent::ReadFast);
+                        core.telemetry.record_read_acquire(&acquire);
+                        self.hold = core.telemetry.timer();
                         self.session = Some((r, ticket));
                         return;
                     }
@@ -769,11 +845,15 @@ impl RwHandle for FollHandle<'_> {
                     node.csnzi.open();
                     let ticket = node.csnzi.arrive(&mut self.policy, slot);
                     if ticket.arrived() {
+                        core.note_arrival(ticket);
+                        core.telemetry.incr(LockEvent::ReadSlow);
                         self.session = Some((r, ticket));
                         fault::inject("foll.read.waiting");
                         spin_until(core.backoff, || {
                             node.state.load(Ordering::Acquire) == GRANTED
                         });
+                        core.telemetry.record_read_acquire(&acquire);
+                        self.hold = core.telemetry.timer();
                         return;
                     }
                     rnode = None;
@@ -788,11 +868,24 @@ impl RwHandle for FollHandle<'_> {
                     if let Some(n) = rnode.take() {
                         core.free_reader_node(n);
                     }
+                    core.note_arrival(ticket);
+                    // Joining a node whose readers are already active is a
+                    // fast-path read (the spin below falls straight
+                    // through); a still-waiting node means we queued. The
+                    // classifying load is skipped entirely in
+                    // telemetry-free builds.
+                    if !Telemetry::enabled() || node.state.load(Ordering::Acquire) == GRANTED {
+                        core.telemetry.incr(LockEvent::ReadFast);
+                    } else {
+                        core.telemetry.incr(LockEvent::ReadSlow);
+                    }
                     self.session = Some((tail.index(), ticket));
                     fault::inject("foll.read.waiting");
                     spin_until(core.backoff, || {
                         node.state.load(Ordering::Acquire) == GRANTED
                     });
+                    core.telemetry.record_read_acquire(&acquire);
+                    self.hold = core.telemetry.timer();
                     return;
                 }
                 // C-SNZI closed ⇒ a writer queued behind that node ⇒ the
@@ -804,6 +897,7 @@ impl RwHandle for FollHandle<'_> {
 
     fn unlock_read(&mut self) {
         let (depart_from, ticket) = self.session.take().expect("unlock_read without read hold");
+        self.core.telemetry.record_read_hold(&self.hold);
         self.core.reader_unlock(depart_from, ticket);
     }
 
@@ -811,12 +905,14 @@ impl RwHandle for FollHandle<'_> {
         debug_assert!(self.session.is_none() && !self.write_held);
         self.ensure_writer_node();
         self.core.writer_lock(self.slot_idx(), false);
+        self.hold = self.core.telemetry.timer();
         self.write_held = true;
     }
 
     fn unlock_write(&mut self) {
         debug_assert!(self.write_held, "unlock_write without write hold");
         self.write_held = false;
+        self.core.telemetry.record_write_hold(&self.hold);
         self.core.writer_unlock(self.slot_idx());
     }
 
@@ -838,6 +934,9 @@ impl RwHandle for FollHandle<'_> {
                 node.csnzi.open();
                 let ticket = node.csnzi.arrive(&mut self.policy, slot);
                 if ticket.arrived() {
+                    core.note_arrival(ticket);
+                    core.telemetry.incr(LockEvent::ReadFast);
+                    self.hold = core.telemetry.timer();
                     self.session = Some((r, ticket));
                     return true;
                 }
@@ -860,6 +959,9 @@ impl RwHandle for FollHandle<'_> {
             }
             // An enqueued node never leaves GRANTED, so the acquisition is
             // immediate.
+            core.note_arrival(ticket);
+            core.telemetry.incr(LockEvent::ReadFast);
+            self.hold = core.telemetry.timer();
             self.session = Some((tail.index(), ticket));
             true
         } else {
@@ -877,6 +979,8 @@ impl RwHandle for FollHandle<'_> {
         node.qnext.store(NodeRef::NIL.raw(), Ordering::Relaxed);
         node.prev.store(NodeRef::NIL.raw(), Ordering::Relaxed);
         if core.cas_tail(NodeRef::NIL, NodeRef::writer(slot)) {
+            core.telemetry.incr(LockEvent::WriteFast);
+            self.hold = core.telemetry.timer();
             self.write_held = true;
             true
         } else {
@@ -902,6 +1006,7 @@ impl crate::raw::TimedHandle for FollHandle<'_> {
         debug_assert!(self.session.is_none() && !self.write_held);
         let core = self.core;
         let slot = self.slot_idx();
+        let acquire = core.telemetry.timer();
         let mut rnode: Option<usize> = None;
         let mut backoff = Backoff::with_policy(core.backoff);
         loop {
@@ -918,6 +1023,10 @@ impl crate::raw::TimedHandle for FollHandle<'_> {
                     if ticket.arrived() {
                         // Empty-queue enqueue grants immediately — no wait,
                         // so nothing left to time out on.
+                        core.note_arrival(ticket);
+                        core.telemetry.incr(LockEvent::ReadFast);
+                        core.telemetry.record_read_acquire(&acquire);
+                        self.hold = core.telemetry.timer();
                         self.session = Some((r, ticket));
                         return Ok(());
                     }
@@ -937,14 +1046,19 @@ impl crate::raw::TimedHandle for FollHandle<'_> {
                     node.csnzi.open();
                     let ticket = node.csnzi.arrive(&mut self.policy, slot);
                     if ticket.arrived() {
+                        core.note_arrival(ticket);
+                        core.telemetry.incr(LockEvent::ReadSlow);
                         fault::inject("foll.read.waiting");
                         if spin_until_deadline(core.backoff, deadline, || {
                             node.state.load(Ordering::Acquire) == GRANTED
                         }) {
+                            core.telemetry.record_read_acquire(&acquire);
+                            self.hold = core.telemetry.timer();
                             self.session = Some((r, ticket));
                             return Ok(());
                         }
                         fault::inject("foll.read.timeout");
+                        core.telemetry.incr(LockEvent::Timeout);
                         core.cancel_read_session(r, ticket);
                         return Err(crate::raw::TimedOut);
                     }
@@ -959,14 +1073,25 @@ impl crate::raw::TimedHandle for FollHandle<'_> {
                     if let Some(n) = rnode.take() {
                         core.free_reader_node(n);
                     }
+                    core.note_arrival(ticket);
+                    // Same fast/slow classification as the untimed path;
+                    // the extra load vanishes in telemetry-free builds.
+                    if !Telemetry::enabled() || node.state.load(Ordering::Acquire) == GRANTED {
+                        core.telemetry.incr(LockEvent::ReadFast);
+                    } else {
+                        core.telemetry.incr(LockEvent::ReadSlow);
+                    }
                     fault::inject("foll.read.waiting");
                     if spin_until_deadline(core.backoff, deadline, || {
                         node.state.load(Ordering::Acquire) == GRANTED
                     }) {
+                        core.telemetry.record_read_acquire(&acquire);
+                        self.hold = core.telemetry.timer();
                         self.session = Some((tail.index(), ticket));
                         return Ok(());
                     }
                     fault::inject("foll.read.timeout");
+                    core.telemetry.incr(LockEvent::Timeout);
                     core.cancel_read_session(tail.index(), ticket);
                     return Err(crate::raw::TimedOut);
                 }
@@ -979,6 +1104,7 @@ impl crate::raw::TimedHandle for FollHandle<'_> {
                 if let Some(n) = rnode.take() {
                     core.free_reader_node(n);
                 }
+                core.telemetry.incr(LockEvent::Timeout);
                 return Err(crate::raw::TimedOut);
             }
         }
@@ -995,11 +1121,17 @@ impl crate::raw::TimedHandle for FollHandle<'_> {
             .writer_lock_deadline(self.slot_idx(), false, deadline)
         {
             Ok(()) => {
+                self.hold = self.core.telemetry.timer();
                 self.write_held = true;
                 Ok(())
             }
-            Err(WriteTimeout::Clean) => Err(crate::raw::TimedOut),
+            Err(WriteTimeout::Clean) => {
+                self.core.telemetry.incr(LockEvent::Timeout);
+                Err(crate::raw::TimedOut)
+            }
             Err(WriteTimeout::Abandoned) => {
+                self.core.telemetry.incr(LockEvent::Timeout);
+                self.core.telemetry.incr(LockEvent::Cancel);
                 self.pending_reclaim = true;
                 Err(crate::raw::TimedOut)
             }

@@ -19,6 +19,7 @@
 
 use crate::raw::{RwHandle, RwLockFamily, UpgradableHandle};
 use oll_csnzi::{ArrivalPolicy, CSnzi, Ticket, TreeShape};
+use oll_telemetry::{LockEvent, Telemetry, Timer};
 use oll_util::event::{Event, GroupEvent, WaitStrategy};
 use oll_util::fault;
 use oll_util::slots::{SlotError, SlotGuard, SlotRegistry};
@@ -318,6 +319,7 @@ pub struct GollBuilder {
     policy: FairnessPolicy,
     arrival_threshold: u32,
     lazy_tree: bool,
+    telemetry_name: Option<String>,
 }
 
 impl GollBuilder {
@@ -331,7 +333,15 @@ impl GollBuilder {
             policy: FairnessPolicy::Alternating,
             arrival_threshold: ArrivalPolicy::DEFAULT_THRESHOLD,
             lazy_tree: false,
+            telemetry_name: None,
         }
+    }
+
+    /// Names this lock's telemetry instance (default `"GOLL#<seq>"`).
+    /// No effect unless built with the `telemetry` feature.
+    pub fn telemetry_name(mut self, name: &str) -> Self {
+        self.telemetry_name = Some(name.to_string());
+        self
     }
 
     /// Defers the C-SNZI tree allocation until the first contended
@@ -374,17 +384,24 @@ impl GollBuilder {
         let shape = self
             .shape
             .unwrap_or_else(|| TreeShape::for_threads(capacity));
+        let telemetry = Telemetry::register("GOLL");
+        if let Some(name) = &self.telemetry_name {
+            telemetry.rename(name);
+        }
+        let mut csnzi = if self.lazy_tree {
+            CSnzi::new_lazy(shape)
+        } else {
+            CSnzi::new(shape)
+        };
+        csnzi.attach_telemetry(telemetry.clone());
         GollLock {
-            csnzi: if self.lazy_tree {
-                CSnzi::new_lazy(shape)
-            } else {
-                CSnzi::new(shape)
-            },
+            csnzi,
             queue: CachePadded::new(SpinMutex::new(WaitQueue::new())),
             slots: SlotRegistry::new(capacity),
             strategy: self.strategy,
             policy: self.policy,
             arrival_threshold: self.arrival_threshold,
+            telemetry,
         }
     }
 }
@@ -415,6 +432,7 @@ pub struct GollLock {
     strategy: WaitStrategy,
     policy: FairnessPolicy,
     arrival_threshold: u32,
+    telemetry: Telemetry,
 }
 
 impl GollLock {
@@ -459,6 +477,7 @@ impl RwLockFamily for GollLock {
             read_ticket: None,
             write_held: false,
             priority: 0,
+            hold: Timer::inactive(),
         })
     }
 
@@ -468,6 +487,10 @@ impl RwLockFamily for GollLock {
 
     fn name(&self) -> &'static str {
         "GOLL"
+    }
+
+    fn telemetry(&self) -> Telemetry {
+        self.telemetry.clone()
     }
 }
 
@@ -480,6 +503,9 @@ pub struct GollHandle<'a> {
     read_ticket: Option<Ticket>,
     write_held: bool,
     priority: u8,
+    /// Started when an acquisition succeeds, recorded as hold time at
+    /// release. One outstanding acquisition per handle, so one timer.
+    hold: Timer,
 }
 
 impl GollHandle<'_> {
@@ -503,17 +529,33 @@ impl GollHandle<'_> {
     pub fn priority(&self) -> u8 {
         self.priority
     }
+
+    /// Classifies a successful C-SNZI arrival for telemetry: root-word
+    /// arrivals hit the shared line, tree arrivals a distributed one.
+    #[inline]
+    fn note_arrival(&self, ticket: Ticket) {
+        self.lock.telemetry.incr(if ticket.is_root() {
+            LockEvent::ArriveDirect
+        } else {
+            LockEvent::ArriveTree
+        });
+    }
 }
 
 impl RwHandle for GollHandle<'_> {
     fn lock_read(&mut self) {
         debug_assert!(self.read_ticket.is_none() && !self.write_held);
+        let acquire = self.lock.telemetry.timer();
         loop {
             // Fast path: in the absence of conflicting requests this is the
             // only step, and it never touches the queue mutex.
             let hint = self.leaf_hint();
             let ticket = self.lock.csnzi.arrive(&mut self.policy, hint);
             if ticket.arrived() {
+                self.note_arrival(ticket);
+                self.lock.telemetry.incr(LockEvent::ReadFast);
+                self.lock.telemetry.record_read_acquire(&acquire);
+                self.hold = self.lock.telemetry.timer();
                 self.read_ticket = Some(ticket);
                 return;
             }
@@ -526,10 +568,13 @@ impl RwHandle for GollHandle<'_> {
                 continue;
             }
             let group = q.join_readers(self.lock.strategy, self.priority);
+            self.lock.telemetry.incr(LockEvent::ReadSlow);
             drop(q);
             // The releasing thread pre-arrives at the root on our behalf
             // (OpenWithArrivals), so we depart directly from the root.
             group.wait();
+            self.lock.telemetry.record_read_acquire(&acquire);
+            self.hold = self.lock.telemetry.timer();
             self.read_ticket = Some(Ticket::ROOT);
             return;
         }
@@ -540,6 +585,7 @@ impl RwHandle for GollHandle<'_> {
             .read_ticket
             .take()
             .expect("unlock_read without read hold");
+        self.lock.telemetry.record_read_hold(&self.hold);
         if self.lock.csnzi.depart(ticket) {
             return;
         }
@@ -552,6 +598,7 @@ impl RwHandle for GollHandle<'_> {
             Handoff::Writer(_) => {
                 // Closed-and-empty is exactly the write-acquired state;
                 // nothing to change.
+                self.lock.telemetry.incr(LockEvent::HandoffToWriter);
                 drop(q);
             }
             Handoff::Readers {
@@ -559,6 +606,7 @@ impl RwHandle for GollHandle<'_> {
                 writers_remain,
                 ..
             } => {
+                self.lock.telemetry.incr(LockEvent::HandoffToReaders);
                 // Policy let readers overtake the writer that closed the
                 // C-SNZI (or that writer's timed acquisition was cancelled
                 // and only readers remain); reopen directly into the
@@ -580,8 +628,12 @@ impl RwHandle for GollHandle<'_> {
 
     fn lock_write(&mut self) {
         debug_assert!(self.read_ticket.is_none() && !self.write_held);
+        let acquire = self.lock.telemetry.timer();
         // Fast path: free lock.
         if self.lock.csnzi.close_if_empty() {
+            self.lock.telemetry.incr(LockEvent::WriteFast);
+            self.lock.telemetry.record_write_acquire(&acquire);
+            self.hold = self.lock.telemetry.timer();
             self.write_held = true;
             return;
         }
@@ -589,21 +641,28 @@ impl RwHandle for GollHandle<'_> {
         // Close (sets the "write wanted" state): if it returns true the
         // lock was free after all and we own it.
         if self.lock.csnzi.close() {
+            self.lock.telemetry.incr(LockEvent::WriteSlow);
             drop(q);
+            self.lock.telemetry.record_write_acquire(&acquire);
+            self.hold = self.lock.telemetry.timer();
             self.write_held = true;
             return;
         }
         let ev = q.enqueue_writer(self.lock.strategy, self.priority);
+        self.lock.telemetry.incr(LockEvent::WriteSlow);
         drop(q);
         // Whoever releases the lock hands it to us in the write-acquired
         // state before signaling.
         ev.wait();
+        self.lock.telemetry.record_write_acquire(&acquire);
+        self.hold = self.lock.telemetry.timer();
         self.write_held = true;
     }
 
     fn unlock_write(&mut self) {
         debug_assert!(self.write_held, "unlock_write without write hold");
         self.write_held = false;
+        self.lock.telemetry.record_write_hold(&self.hold);
         let mut q = self.lock.queue.lock();
         let handoff = q.dequeue_for_writer_release(self.lock.policy);
         match handoff {
@@ -614,6 +673,7 @@ impl RwHandle for GollHandle<'_> {
             Handoff::Writer(_) => {
                 // Lock stays closed-empty (write-acquired) for the next
                 // writer.
+                self.lock.telemetry.incr(LockEvent::HandoffToWriter);
                 drop(q);
             }
             Handoff::Readers {
@@ -621,6 +681,7 @@ impl RwHandle for GollHandle<'_> {
                 writers_remain,
                 ..
             } => {
+                self.lock.telemetry.incr(LockEvent::HandoffToReaders);
                 self.lock.csnzi.open_with_arrivals(total, writers_remain);
                 drop(q);
             }
@@ -633,6 +694,9 @@ impl RwHandle for GollHandle<'_> {
         let hint = self.leaf_hint();
         let ticket = self.lock.csnzi.arrive(&mut self.policy, hint);
         if ticket.arrived() {
+            self.note_arrival(ticket);
+            self.lock.telemetry.incr(LockEvent::ReadFast);
+            self.hold = self.lock.telemetry.timer();
             self.read_ticket = Some(ticket);
             true
         } else {
@@ -643,6 +707,8 @@ impl RwHandle for GollHandle<'_> {
     fn try_lock_write(&mut self) -> bool {
         debug_assert!(self.read_ticket.is_none() && !self.write_held);
         if self.lock.csnzi.close_if_empty() {
+            self.lock.telemetry.incr(LockEvent::WriteFast);
+            self.hold = self.lock.telemetry.timer();
             self.write_held = true;
             true
         } else {
@@ -655,15 +721,21 @@ impl RwHandle for GollHandle<'_> {
 impl crate::raw::TimedHandle for GollHandle<'_> {
     fn lock_read_deadline(&mut self, deadline: std::time::Instant) -> Result<(), crate::TimedOut> {
         debug_assert!(self.read_ticket.is_none() && !self.write_held);
+        let acquire = self.lock.telemetry.timer();
         loop {
             let hint = self.leaf_hint();
             let ticket = self.lock.csnzi.arrive(&mut self.policy, hint);
             if ticket.arrived() {
+                self.note_arrival(ticket);
+                self.lock.telemetry.incr(LockEvent::ReadFast);
+                self.lock.telemetry.record_read_acquire(&acquire);
+                self.hold = self.lock.telemetry.timer();
                 self.read_ticket = Some(ticket);
                 return Ok(());
             }
             // Closed; nothing is held yet, so a pre-queue timeout is free.
             if std::time::Instant::now() >= deadline {
+                self.lock.telemetry.incr(LockEvent::Timeout);
                 return Err(crate::TimedOut);
             }
             fault::inject("goll.read.before-queue-mutex");
@@ -673,9 +745,12 @@ impl crate::raw::TimedHandle for GollHandle<'_> {
                 continue;
             }
             let group = q.join_readers(self.lock.strategy, self.priority);
+            self.lock.telemetry.incr(LockEvent::ReadSlow);
             drop(q);
             fault::inject("goll.read.queued");
             if group.wait_deadline(deadline) {
+                self.lock.telemetry.record_read_acquire(&acquire);
+                self.hold = self.lock.telemetry.timer();
                 self.read_ticket = Some(Ticket::ROOT);
                 return Ok(());
             }
@@ -688,27 +763,38 @@ impl crate::raw::TimedHandle for GollHandle<'_> {
             let mut q = self.lock.queue.lock();
             if q.leave_reader_group(&group) {
                 drop(q);
+                self.lock.telemetry.incr(LockEvent::Timeout);
+                self.lock.telemetry.incr(LockEvent::Cancel);
                 return Err(crate::TimedOut);
             }
             drop(q);
             fault::inject("goll.read.cancel-vs-handoff");
             group.wait();
+            self.hold = self.lock.telemetry.timer();
             self.read_ticket = Some(Ticket::ROOT);
             self.unlock_read();
+            self.lock.telemetry.incr(LockEvent::Timeout);
             return Err(crate::TimedOut);
         }
     }
 
     fn lock_write_deadline(&mut self, deadline: std::time::Instant) -> Result<(), crate::TimedOut> {
         debug_assert!(self.read_ticket.is_none() && !self.write_held);
+        let acquire = self.lock.telemetry.timer();
         if self.lock.csnzi.close_if_empty() {
+            self.lock.telemetry.incr(LockEvent::WriteFast);
+            self.lock.telemetry.record_write_acquire(&acquire);
+            self.hold = self.lock.telemetry.timer();
             self.write_held = true;
             return Ok(());
         }
         fault::inject("goll.write.before-queue-mutex");
         let mut q = self.lock.queue.lock();
         if self.lock.csnzi.close() {
+            self.lock.telemetry.incr(LockEvent::WriteSlow);
             drop(q);
+            self.lock.telemetry.record_write_acquire(&acquire);
+            self.hold = self.lock.telemetry.timer();
             self.write_held = true;
             return Ok(());
         }
@@ -718,12 +804,16 @@ impl crate::raw::TimedHandle for GollHandle<'_> {
         // dequeue finds nothing and reopens).
         if std::time::Instant::now() >= deadline {
             drop(q);
+            self.lock.telemetry.incr(LockEvent::Timeout);
             return Err(crate::TimedOut);
         }
         let ev = q.enqueue_writer(self.lock.strategy, self.priority);
+        self.lock.telemetry.incr(LockEvent::WriteSlow);
         drop(q);
         fault::inject("goll.write.queued");
         if ev.wait_deadline(deadline) {
+            self.lock.telemetry.record_write_acquire(&acquire);
+            self.hold = self.lock.telemetry.timer();
             self.write_held = true;
             return Ok(());
         }
@@ -735,13 +825,17 @@ impl crate::raw::TimedHandle for GollHandle<'_> {
         let mut q = self.lock.queue.lock();
         if q.remove_writer(&ev) {
             drop(q);
+            self.lock.telemetry.incr(LockEvent::Timeout);
+            self.lock.telemetry.incr(LockEvent::Cancel);
             return Err(crate::TimedOut);
         }
         drop(q);
         fault::inject("goll.write.cancel-vs-handoff");
         ev.wait();
+        self.hold = self.lock.telemetry.timer();
         self.write_held = true;
         self.unlock_write();
+        self.lock.telemetry.incr(LockEvent::Timeout);
         Err(crate::TimedOut)
     }
 }
@@ -758,10 +852,14 @@ impl UpgradableHandle for GollHandle<'_> {
         // to closed-empty, consuming our arrival.
         let ticket = self.lock.csnzi.trade_to_direct(ticket);
         if self.lock.csnzi.try_upgrade_sole_direct() {
+            self.lock.telemetry.incr(LockEvent::Upgrade);
+            self.lock.telemetry.record_read_hold(&self.hold);
+            self.hold = self.lock.telemetry.timer();
             self.write_held = true;
             true
         } else {
             // Keep holding for reading (with the traded root ticket).
+            self.lock.telemetry.incr(LockEvent::UpgradeFail);
             self.read_ticket = Some(ticket);
             false
         }
@@ -770,6 +868,8 @@ impl UpgradableHandle for GollHandle<'_> {
     fn downgrade(&mut self) {
         debug_assert!(self.write_held, "downgrade without write hold");
         self.write_held = false;
+        self.lock.telemetry.incr(LockEvent::Downgrade);
+        self.lock.telemetry.record_write_hold(&self.hold);
         // Atomically become a reader, bringing any waiting readers along
         // (they would otherwise sit behind us even though the lock is now
         // read-held).
@@ -790,6 +890,7 @@ impl UpgradableHandle for GollHandle<'_> {
         };
         match &handoff {
             Handoff::Readers { total, .. } => {
+                self.lock.telemetry.incr(LockEvent::HandoffToReaders);
                 let close = !q.is_empty();
                 self.lock.csnzi.open_with_arrivals(total + 1, close);
             }
@@ -801,6 +902,7 @@ impl UpgradableHandle for GollHandle<'_> {
         }
         drop(q);
         self.lock.signal(handoff);
+        self.hold = self.lock.telemetry.timer();
         self.read_ticket = Some(Ticket::ROOT);
     }
 }

@@ -27,6 +27,14 @@ pub trait RwLockFamily: Send + Sync {
 
     /// A short, stable name for harness output (e.g. `"FOLL"`).
     fn name(&self) -> &'static str;
+
+    /// This lock's telemetry handle. Instrumented locks (GOLL, FOLL,
+    /// ROLL, the Solaris-like baseline) return their live handle when
+    /// built with the `telemetry` feature; the default is an inert
+    /// handle, so uninstrumented baselines need no code.
+    fn telemetry(&self) -> oll_telemetry::Telemetry {
+        oll_telemetry::Telemetry::disabled()
+    }
 }
 
 /// A registered thread's view of a reader-writer lock.

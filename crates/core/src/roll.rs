@@ -22,6 +22,7 @@ use crate::foll::node_state::{GRANTED, WAITING};
 use crate::foll::{NodeRef, QueueCore};
 use crate::raw::{RwHandle, RwLockFamily};
 use oll_csnzi::{ArrivalPolicy, Ticket, TreeShape};
+use oll_telemetry::{LockEvent, Telemetry, Timer};
 use oll_util::backoff::{spin_until, Backoff, BackoffPolicy};
 use oll_util::fault;
 use oll_util::slots::{SlotError, SlotGuard};
@@ -37,6 +38,7 @@ pub struct RollBuilder {
     arrival_threshold: u32,
     use_hint: bool,
     lazy_tree: bool,
+    telemetry_name: Option<String>,
 }
 
 impl RollBuilder {
@@ -50,6 +52,7 @@ impl RollBuilder {
             arrival_threshold: ArrivalPolicy::DEFAULT_THRESHOLD,
             use_hint: true,
             lazy_tree: false,
+            telemetry_name: None,
         }
     }
 
@@ -87,9 +90,20 @@ impl RollBuilder {
         self
     }
 
+    /// Names this lock's telemetry registration (telemetry builds only;
+    /// the default is `ROLL#<seq>`).
+    pub fn telemetry_name(mut self, name: &str) -> Self {
+        self.telemetry_name = Some(name.to_owned());
+        self
+    }
+
     /// Builds the lock.
     pub fn build(self) -> RollLock {
         let capacity = self.capacity.max(1);
+        let telemetry = Telemetry::register("ROLL");
+        if let Some(name) = &self.telemetry_name {
+            telemetry.rename(name);
+        }
         RollLock {
             core: QueueCore::new(
                 capacity,
@@ -98,6 +112,7 @@ impl RollBuilder {
                 self.backoff,
                 self.arrival_threshold,
                 self.lazy_tree,
+                telemetry,
             ),
             last_reader: CachePadded::new(AtomicU32::new(NodeRef::NIL.raw())),
             use_hint: self.use_hint,
@@ -180,6 +195,7 @@ impl RwLockFamily for RollLock {
             session: None,
             write_held: false,
             pending_reclaim: false,
+            hold: Timer::inactive(),
         })
     }
 
@@ -189,6 +205,10 @@ impl RwLockFamily for RollLock {
 
     fn name(&self) -> &'static str {
         "ROLL"
+    }
+
+    fn telemetry(&self) -> Telemetry {
+        self.core.telemetry.clone()
     }
 }
 
@@ -202,6 +222,8 @@ pub struct RollHandle<'a> {
     /// A timed write abandoned this slot's writer node in the queue; it
     /// must be reclaimed before the node's next use.
     pending_reclaim: bool,
+    /// Hold-time timer for the handle's outstanding acquisition.
+    hold: Timer,
 }
 
 impl RollHandle<'_> {
@@ -275,6 +297,7 @@ impl RwHandle for RollHandle<'_> {
         let lock = self.lock;
         let core = &lock.core;
         let slot = self.slot_idx();
+        let acquire = core.telemetry.timer();
         let mut rnode: Option<usize> = None;
         let mut backoff = Backoff::with_policy(core.backoff);
         loop {
@@ -289,6 +312,10 @@ impl RwHandle for RollHandle<'_> {
                     node.csnzi.open();
                     let ticket = node.csnzi.arrive(&mut self.policy, slot);
                     if ticket.arrived() {
+                        core.note_arrival(ticket);
+                        core.telemetry.incr(LockEvent::ReadFast);
+                        core.telemetry.record_read_acquire(&acquire);
+                        self.hold = core.telemetry.timer();
                         self.session = Some((r, ticket));
                         return;
                     }
@@ -304,11 +331,23 @@ impl RwHandle for RollHandle<'_> {
                     if let Some(n) = rnode.take() {
                         core.free_reader_node(n);
                     }
+                    core.note_arrival(ticket);
+                    // Joining an active (GRANTED) group is the fast path;
+                    // joining one still waiting behind a writer is slow.
+                    // The classification load exists only in telemetry
+                    // builds.
+                    if !Telemetry::enabled() || node.state.load(Ordering::Acquire) == GRANTED {
+                        core.telemetry.incr(LockEvent::ReadFast);
+                    } else {
+                        core.telemetry.incr(LockEvent::ReadSlow);
+                    }
                     self.session = Some((tail.index(), ticket));
                     fault::inject("roll.read.waiting");
                     spin_until(core.backoff, || {
                         node.state.load(Ordering::Acquire) == GRANTED
                     });
+                    core.telemetry.record_read_acquire(&acquire);
+                    self.hold = core.telemetry.timer();
                     return;
                 }
                 backoff.backoff();
@@ -321,11 +360,15 @@ impl RwHandle for RollHandle<'_> {
                         core.free_reader_node(n);
                     }
                     let node = core.rnode(idx);
+                    core.note_arrival(ticket);
+                    core.telemetry.incr(LockEvent::ReadSlow);
                     self.session = Some((idx, ticket));
                     fault::inject("roll.read.joined");
                     spin_until(core.backoff, || {
                         node.state.load(Ordering::Acquire) == GRANTED
                     });
+                    core.telemetry.record_read_acquire(&acquire);
+                    self.hold = core.telemetry.timer();
                     return;
                 }
                 // No waiting group: enqueue a fresh node behind the writer.
@@ -340,12 +383,16 @@ impl RwHandle for RollHandle<'_> {
                     node.csnzi.open();
                     let ticket = node.csnzi.arrive(&mut self.policy, slot);
                     if ticket.arrived() {
+                        core.note_arrival(ticket);
+                        core.telemetry.incr(LockEvent::ReadSlow);
                         lock.set_hint(NodeRef::reader(r));
                         self.session = Some((r, ticket));
                         fault::inject("roll.read.waiting");
                         spin_until(core.backoff, || {
                             node.state.load(Ordering::Acquire) == GRANTED
                         });
+                        core.telemetry.record_read_acquire(&acquire);
+                        self.hold = core.telemetry.timer();
                         return;
                     }
                     rnode = None;
@@ -358,6 +405,7 @@ impl RwHandle for RollHandle<'_> {
 
     fn unlock_read(&mut self) {
         let (depart_from, ticket) = self.session.take().expect("unlock_read without read hold");
+        self.lock.core.telemetry.record_read_hold(&self.hold);
         self.lock.core.reader_unlock(depart_from, ticket);
     }
 
@@ -367,12 +415,14 @@ impl RwHandle for RollHandle<'_> {
         // `wait_for_active = true`: do not close a waiting reader group's
         // C-SNZI — that group must stay joinable until it holds the lock.
         self.lock.core.writer_lock(self.slot_idx(), true);
+        self.hold = self.lock.core.telemetry.timer();
         self.write_held = true;
     }
 
     fn unlock_write(&mut self) {
         debug_assert!(self.write_held, "unlock_write without write hold");
         self.write_held = false;
+        self.lock.core.telemetry.record_write_hold(&self.hold);
         self.lock.core.writer_unlock(self.slot_idx());
     }
 
@@ -391,6 +441,9 @@ impl RwHandle for RollHandle<'_> {
                 node.csnzi.open();
                 let ticket = node.csnzi.arrive(&mut self.policy, slot);
                 if ticket.arrived() {
+                    core.note_arrival(ticket);
+                    core.telemetry.incr(LockEvent::ReadFast);
+                    self.hold = core.telemetry.timer();
                     self.session = Some((r, ticket));
                     return true;
                 }
@@ -407,6 +460,9 @@ impl RwHandle for RollHandle<'_> {
             if !ticket.arrived() {
                 return false;
             }
+            core.note_arrival(ticket);
+            core.telemetry.incr(LockEvent::ReadFast);
+            self.hold = core.telemetry.timer();
             self.session = Some((tail.index(), ticket));
             true
         } else {
@@ -423,6 +479,8 @@ impl RwHandle for RollHandle<'_> {
         node.qnext.store(NodeRef::NIL.raw(), Ordering::Relaxed);
         node.prev.store(NodeRef::NIL.raw(), Ordering::Relaxed);
         if core.cas_tail(NodeRef::NIL, NodeRef::writer(slot)) {
+            core.telemetry.incr(LockEvent::WriteFast);
+            self.hold = core.telemetry.timer();
             self.write_held = true;
             true
         } else {
@@ -447,6 +505,7 @@ impl crate::raw::TimedHandle for RollHandle<'_> {
         let lock = self.lock;
         let core = &lock.core;
         let slot = self.slot_idx();
+        let acquire = core.telemetry.timer();
         let mut rnode: Option<usize> = None;
         let mut backoff = Backoff::with_policy(core.backoff);
         loop {
@@ -461,6 +520,10 @@ impl crate::raw::TimedHandle for RollHandle<'_> {
                     node.csnzi.open();
                     let ticket = node.csnzi.arrive(&mut self.policy, slot);
                     if ticket.arrived() {
+                        core.note_arrival(ticket);
+                        core.telemetry.incr(LockEvent::ReadFast);
+                        core.telemetry.record_read_acquire(&acquire);
+                        self.hold = core.telemetry.timer();
                         self.session = Some((r, ticket));
                         return Ok(());
                     }
@@ -475,14 +538,25 @@ impl crate::raw::TimedHandle for RollHandle<'_> {
                     if let Some(n) = rnode.take() {
                         core.free_reader_node(n);
                     }
+                    core.note_arrival(ticket);
+                    // Same fast/slow split as the untimed join; the load
+                    // only exists in telemetry builds.
+                    if !Telemetry::enabled() || node.state.load(Ordering::Acquire) == GRANTED {
+                        core.telemetry.incr(LockEvent::ReadFast);
+                    } else {
+                        core.telemetry.incr(LockEvent::ReadSlow);
+                    }
                     fault::inject("roll.read.waiting");
                     if spin_until_deadline(core.backoff, deadline, || {
                         node.state.load(Ordering::Acquire) == GRANTED
                     }) {
+                        core.telemetry.record_read_acquire(&acquire);
+                        self.hold = core.telemetry.timer();
                         self.session = Some((tail.index(), ticket));
                         return Ok(());
                     }
                     fault::inject("roll.read.timeout");
+                    core.telemetry.incr(LockEvent::Timeout);
                     core.cancel_read_session(tail.index(), ticket);
                     return Err(crate::raw::TimedOut);
                 }
@@ -493,14 +567,19 @@ impl crate::raw::TimedHandle for RollHandle<'_> {
                         core.free_reader_node(n);
                     }
                     let node = core.rnode(idx);
+                    core.note_arrival(ticket);
+                    core.telemetry.incr(LockEvent::ReadSlow);
                     fault::inject("roll.read.joined");
                     if spin_until_deadline(core.backoff, deadline, || {
                         node.state.load(Ordering::Acquire) == GRANTED
                     }) {
+                        core.telemetry.record_read_acquire(&acquire);
+                        self.hold = core.telemetry.timer();
                         self.session = Some((idx, ticket));
                         return Ok(());
                     }
                     fault::inject("roll.read.timeout");
+                    core.telemetry.incr(LockEvent::Timeout);
                     core.cancel_read_session(idx, ticket);
                     return Err(crate::raw::TimedOut);
                 }
@@ -515,15 +594,20 @@ impl crate::raw::TimedHandle for RollHandle<'_> {
                     node.csnzi.open();
                     let ticket = node.csnzi.arrive(&mut self.policy, slot);
                     if ticket.arrived() {
+                        core.note_arrival(ticket);
+                        core.telemetry.incr(LockEvent::ReadSlow);
                         lock.set_hint(NodeRef::reader(r));
                         self.session = Some((r, ticket));
                         fault::inject("roll.read.waiting");
                         if spin_until_deadline(core.backoff, deadline, || {
                             node.state.load(Ordering::Acquire) == GRANTED
                         }) {
+                            core.telemetry.record_read_acquire(&acquire);
+                            self.hold = core.telemetry.timer();
                             return Ok(());
                         }
                         fault::inject("roll.read.timeout");
+                        core.telemetry.incr(LockEvent::Timeout);
                         let (idx, ticket) = self.session.take().expect("session was just stored");
                         core.cancel_read_session(idx, ticket);
                         return Err(crate::raw::TimedOut);
@@ -537,6 +621,7 @@ impl crate::raw::TimedHandle for RollHandle<'_> {
                 if let Some(n) = rnode.take() {
                     core.free_reader_node(n);
                 }
+                core.telemetry.incr(LockEvent::Timeout);
                 return Err(crate::raw::TimedOut);
             }
         }
@@ -556,11 +641,17 @@ impl crate::raw::TimedHandle for RollHandle<'_> {
             .writer_lock_deadline(self.slot_idx(), true, deadline)
         {
             Ok(()) => {
+                self.hold = self.lock.core.telemetry.timer();
                 self.write_held = true;
                 Ok(())
             }
-            Err(WriteTimeout::Clean) => Err(crate::raw::TimedOut),
+            Err(WriteTimeout::Clean) => {
+                self.lock.core.telemetry.incr(LockEvent::Timeout);
+                Err(crate::raw::TimedOut)
+            }
             Err(WriteTimeout::Abandoned) => {
+                self.lock.core.telemetry.incr(LockEvent::Timeout);
+                self.lock.core.telemetry.incr(LockEvent::Cancel);
                 self.pending_reclaim = true;
                 Err(crate::raw::TimedOut)
             }

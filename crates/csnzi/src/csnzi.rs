@@ -3,6 +3,7 @@
 use crate::node::{Parent, SnziNode, TreeShape};
 use crate::policy::ArrivalPolicy;
 use crate::root::RootWord;
+use oll_telemetry::{LockEvent, Telemetry};
 use oll_util::sync::{AtomicU64, Ordering};
 use oll_util::CachePadded;
 
@@ -83,6 +84,9 @@ pub struct CSnzi {
     root: CachePadded<AtomicU64>,
     nodes: NodeStorage,
     shape: TreeShape,
+    /// Owning lock's telemetry, if any (see [`CSnzi::attach_telemetry`]).
+    /// Zero-sized and inert without the `telemetry` feature.
+    telemetry: Telemetry,
     #[cfg(feature = "stats")]
     stats: crate::stats::CsnziStats,
 }
@@ -135,6 +139,7 @@ impl CSnzi {
             root: CachePadded::new(AtomicU64::new(RootWord::OPEN_EMPTY.pack())),
             nodes: NodeStorage::Eager(shape.alloc_nodes()),
             shape,
+            telemetry: Telemetry::disabled(),
             #[cfg(feature = "stats")]
             stats: crate::stats::CsnziStats::default(),
         }
@@ -153,6 +158,7 @@ impl CSnzi {
             #[cfg(loom)]
             nodes: NodeStorage::Eager(shape.alloc_nodes()),
             shape,
+            telemetry: Telemetry::disabled(),
             #[cfg(feature = "stats")]
             stats: crate::stats::CsnziStats::default(),
         }
@@ -169,6 +175,7 @@ impl CSnzi {
             #[cfg(loom)]
             nodes: NodeStorage::Eager(shape.alloc_nodes()),
             shape,
+            telemetry: Telemetry::disabled(),
             #[cfg(feature = "stats")]
             stats: crate::stats::CsnziStats::default(),
         }
@@ -187,6 +194,7 @@ impl CSnzi {
             root: CachePadded::new(AtomicU64::new(RootWord::CLOSED_EMPTY.pack())),
             nodes: NodeStorage::Eager(shape.alloc_nodes()),
             shape,
+            telemetry: Telemetry::disabled(),
             #[cfg(feature = "stats")]
             stats: crate::stats::CsnziStats::default(),
         }
@@ -198,20 +206,31 @@ impl CSnzi {
         &self.stats
     }
 
+    /// Routes this object's shared-write counts into an owning lock's
+    /// telemetry handle (as `csnzi_root_write` / `csnzi_node_write` /
+    /// `csnzi_root_cas_fail` events) in addition to the `stats` feature's
+    /// own counters. Locks attach at construction, before sharing.
+    pub fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
     #[inline]
     fn note_root_write(&self) {
+        self.telemetry.incr(LockEvent::CsnziRootWrite);
         #[cfg(feature = "stats")]
         self.stats.record_root_write();
     }
 
     #[inline]
     fn note_root_cas_failure(&self) {
+        self.telemetry.incr(LockEvent::CsnziRootCasFail);
         #[cfg(feature = "stats")]
         self.stats.record_root_cas_failure();
     }
 
     #[inline]
     fn note_node_write(&self) {
+        self.telemetry.incr(LockEvent::CsnziNodeWrite);
         #[cfg(feature = "stats")]
         self.stats.record_node_write();
     }

@@ -1,0 +1,130 @@
+//! The event taxonomy: every countable thing a lock slow path can do.
+//!
+//! The set follows §5 of the paper and the adaptive-lock literature
+//! (BRAVO, Fissile Locks): what a bias/adaptation policy needs to know is
+//! *where acquisitions land* (fast vs. slow path, direct vs. tree C-SNZI
+//! arrival), *how releases travel* (hand-offs, grant cascades), and *how
+//! often waits are abandoned* (timeouts, cancellations). Shared-write
+//! counters from `oll_csnzi::stats` are absorbed as first-class events so
+//! one snapshot carries the whole contention picture.
+
+/// One countable lock event. `repr(usize)` so an event doubles as an
+/// index into the per-shard counter array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum LockEvent {
+    /// A read acquisition completed on the fast path (no queueing, no
+    /// waiting on another thread).
+    ReadFast = 0,
+    /// A read acquisition entered the slow path (queued or waited).
+    ReadSlow,
+    /// A write acquisition completed on the fast path.
+    WriteFast,
+    /// A write acquisition entered the slow path.
+    WriteSlow,
+    /// A C-SNZI arrival landed directly on the shared root word.
+    ArriveDirect,
+    /// A C-SNZI arrival landed on a tree leaf (distributed cache line).
+    ArriveTree,
+    /// A release handed the lock to a waiting writer.
+    HandoffToWriter,
+    /// A release handed the lock to one or more waiting reader groups.
+    HandoffToReaders,
+    /// A grant skipped over an abandoned (cancelled) queue node and
+    /// released on its behalf (FOLL/ROLL cascade).
+    GrantCascade,
+    /// A timed acquisition gave up at its deadline.
+    Timeout,
+    /// A cancellation had to undo a partial acquisition (a queued waiter
+    /// was excised, a C-SNZI arrival departed, or a node was abandoned).
+    Cancel,
+    /// A sole-reader upgrade to a write hold succeeded.
+    Upgrade,
+    /// An upgrade attempt failed (other readers present).
+    UpgradeFail,
+    /// A write hold was downgraded to a read hold.
+    Downgrade,
+    /// The C-SNZI root word was successfully written (shared cache line).
+    CsnziRootWrite,
+    /// A C-SNZI tree node was successfully written (distributed line).
+    CsnziNodeWrite,
+    /// A CAS on the C-SNZI root word failed (wasted shared-line traffic).
+    CsnziRootCasFail,
+}
+
+impl LockEvent {
+    /// Number of event kinds (the counter-array length).
+    pub const COUNT: usize = 17;
+
+    /// Every event, in counter-index order.
+    pub const ALL: [LockEvent; Self::COUNT] = [
+        LockEvent::ReadFast,
+        LockEvent::ReadSlow,
+        LockEvent::WriteFast,
+        LockEvent::WriteSlow,
+        LockEvent::ArriveDirect,
+        LockEvent::ArriveTree,
+        LockEvent::HandoffToWriter,
+        LockEvent::HandoffToReaders,
+        LockEvent::GrantCascade,
+        LockEvent::Timeout,
+        LockEvent::Cancel,
+        LockEvent::Upgrade,
+        LockEvent::UpgradeFail,
+        LockEvent::Downgrade,
+        LockEvent::CsnziRootWrite,
+        LockEvent::CsnziNodeWrite,
+        LockEvent::CsnziRootCasFail,
+    ];
+
+    /// Stable snake_case name, used as the JSON key and the text-report
+    /// row label.
+    pub fn name(self) -> &'static str {
+        match self {
+            LockEvent::ReadFast => "read_fast",
+            LockEvent::ReadSlow => "read_slow",
+            LockEvent::WriteFast => "write_fast",
+            LockEvent::WriteSlow => "write_slow",
+            LockEvent::ArriveDirect => "arrive_direct",
+            LockEvent::ArriveTree => "arrive_tree",
+            LockEvent::HandoffToWriter => "handoff_to_writer",
+            LockEvent::HandoffToReaders => "handoff_to_readers",
+            LockEvent::GrantCascade => "grant_cascade",
+            LockEvent::Timeout => "timeout",
+            LockEvent::Cancel => "cancel",
+            LockEvent::Upgrade => "upgrade",
+            LockEvent::UpgradeFail => "upgrade_fail",
+            LockEvent::Downgrade => "downgrade",
+            LockEvent::CsnziRootWrite => "csnzi_root_write",
+            LockEvent::CsnziNodeWrite => "csnzi_node_write",
+            LockEvent::CsnziRootCasFail => "csnzi_root_cas_fail",
+        }
+    }
+
+    /// The counter-array index of this event.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_is_in_index_order_and_complete() {
+        assert_eq!(LockEvent::ALL.len(), LockEvent::COUNT);
+        for (i, e) in LockEvent::ALL.iter().enumerate() {
+            assert_eq!(e.index(), i, "{}", e.name());
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = LockEvent::ALL.iter().map(|e| e.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), LockEvent::COUNT);
+    }
+}

@@ -1,0 +1,244 @@
+//! Text and JSON renderers for telemetry snapshots.
+//!
+//! JSON is hand-rolled (the workspace carries no serialization
+//! dependency) and schema-versioned: consumers check `"schema"` /
+//! `"version"` before parsing. The same escape/format helpers back the
+//! workload bins' `--json` reports.
+
+use crate::event::LockEvent;
+use crate::hist::HistogramSnapshot;
+use crate::snapshot::LockSnapshot;
+use std::fmt::Write as _;
+
+/// Version of every JSON document this crate emits. Bump on any
+/// backwards-incompatible field change.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Escapes a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+fn render_hist_line(out: &mut String, label: &str, h: &HistogramSnapshot) {
+    if h.is_empty() {
+        let _ = writeln!(out, "  {label:<14} (no samples)");
+        return;
+    }
+    let _ = writeln!(
+        out,
+        "  {label:<14} n={:<10} p50={:<10} p99={:<10} max={}",
+        h.count,
+        fmt_ns(h.percentile_ns(0.50)),
+        fmt_ns(h.percentile_ns(0.99)),
+        fmt_ns(h.max_ns),
+    );
+}
+
+/// Renders one lock's profile as indented text (the `lockstat` /
+/// `fig5 --telemetry` block format).
+pub fn render_lock_text(s: &LockSnapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{} [{}]", s.name, s.kind);
+    let reads = s.reads();
+    let writes = s.writes();
+    let _ = writeln!(
+        out,
+        "  reads          {reads:<10} (fast {}, slow {})",
+        s.get(LockEvent::ReadFast),
+        s.get(LockEvent::ReadSlow),
+    );
+    let _ = writeln!(
+        out,
+        "  writes         {writes:<10} (fast {}, slow {})",
+        s.get(LockEvent::WriteFast),
+        s.get(LockEvent::WriteSlow),
+    );
+    for e in [
+        LockEvent::ArriveDirect,
+        LockEvent::ArriveTree,
+        LockEvent::HandoffToWriter,
+        LockEvent::HandoffToReaders,
+        LockEvent::GrantCascade,
+        LockEvent::Timeout,
+        LockEvent::Cancel,
+        LockEvent::Upgrade,
+        LockEvent::UpgradeFail,
+        LockEvent::Downgrade,
+        LockEvent::CsnziRootWrite,
+        LockEvent::CsnziNodeWrite,
+        LockEvent::CsnziRootCasFail,
+    ] {
+        let c = s.get(e);
+        if c != 0 {
+            let _ = writeln!(out, "  {:<14} {c}", e.name());
+        }
+    }
+    if let Some(rw) = s.root_writes_per_acquire() {
+        let _ = writeln!(out, "  root_writes/acquire {rw:.4}");
+    }
+    render_hist_line(&mut out, "read_acquire", &s.read_acquire);
+    render_hist_line(&mut out, "write_acquire", &s.write_acquire);
+    render_hist_line(&mut out, "read_hold", &s.read_hold);
+    render_hist_line(&mut out, "write_hold", &s.write_hold);
+    out
+}
+
+/// Renders a sweep of lock profiles as text, one block per lock.
+pub fn render_text(snaps: &[LockSnapshot]) -> String {
+    if snaps.is_empty() {
+        return "(no telemetry recorded)\n".to_string();
+    }
+    let mut out = String::new();
+    for (i, s) in snaps.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&render_lock_text(s));
+    }
+    out
+}
+
+fn json_hist(h: &HistogramSnapshot) -> String {
+    // Sparse bucket encoding: only non-zero buckets, as [index, count]
+    // pairs, so empty histograms stay tiny.
+    let mut buckets = String::from("[");
+    let mut first = true;
+    for (i, &c) in h.buckets.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        if !first {
+            buckets.push(',');
+        }
+        first = false;
+        let _ = write!(buckets, "[{i},{c}]");
+    }
+    buckets.push(']');
+    format!(
+        "{{\"count\":{},\"max_ns\":{},\"p50_ns\":{},\"p99_ns\":{},\"buckets\":{}}}",
+        h.count,
+        h.max_ns,
+        h.percentile_ns(0.50),
+        h.percentile_ns(0.99),
+        buckets
+    )
+}
+
+/// Renders one lock's profile as a JSON object (no trailing newline).
+pub fn render_lock_json(s: &LockSnapshot) -> String {
+    let mut events = String::from("{");
+    let mut first = true;
+    for e in LockEvent::ALL {
+        let c = s.get(e);
+        if c == 0 {
+            continue;
+        }
+        if !first {
+            events.push(',');
+        }
+        first = false;
+        let _ = write!(events, "\"{}\":{c}", e.name());
+    }
+    events.push('}');
+    format!(
+        "{{\"name\":\"{}\",\"kind\":\"{}\",\"events\":{},\"read_acquire\":{},\"write_acquire\":{},\"read_hold\":{},\"write_hold\":{}}}",
+        json_escape(&s.name),
+        json_escape(&s.kind),
+        events,
+        json_hist(&s.read_acquire),
+        json_hist(&s.write_acquire),
+        json_hist(&s.read_hold),
+        json_hist(&s.write_hold),
+    )
+}
+
+/// Renders a sweep of lock profiles as a schema-versioned JSON document.
+pub fn render_json(snaps: &[LockSnapshot]) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"schema\":\"oll.telemetry\",\"version\":{SCHEMA_VERSION},\"locks\":["
+    );
+    for (i, s) in snaps.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&render_lock_json(s));
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LockSnapshot {
+        let mut s = LockSnapshot::empty("fig5/GOLL \"x\"", "GOLL");
+        s.events[LockEvent::ReadFast.index()] = 100;
+        s.events[LockEvent::ReadSlow.index()] = 10;
+        s.events[LockEvent::HandoffToReaders.index()] = 3;
+        s.read_acquire.buckets[7] = 110;
+        s.read_acquire.count = 110;
+        s.read_acquire.max_ns = 200;
+        s
+    }
+
+    #[test]
+    fn text_report_mentions_counts() {
+        let txt = render_lock_text(&sample());
+        assert!(txt.contains("reads          110"));
+        assert!(txt.contains("handoff_to_readers 3"));
+        assert!(txt.contains("read_acquire"));
+    }
+
+    #[test]
+    fn json_is_escaped_and_versioned() {
+        let doc = render_json(&[sample()]);
+        assert!(doc.starts_with("{\"schema\":\"oll.telemetry\",\"version\":1,"));
+        assert!(doc.contains("fig5/GOLL \\\"x\\\""));
+        assert!(doc.contains("\"read_fast\":100"));
+        assert!(doc.contains("[[7,110]]"));
+        assert!(!doc.contains("write_fast\":0"), "zero events elided");
+    }
+
+    #[test]
+    fn escape_handles_controls() {
+        assert_eq!(json_escape("a\"b\\c\n\u{1}"), "a\\\"b\\\\c\\n\\u0001");
+    }
+
+    #[test]
+    fn empty_sweep_renders() {
+        assert_eq!(render_text(&[]), "(no telemetry recorded)\n");
+        assert_eq!(
+            render_json(&[]),
+            "{\"schema\":\"oll.telemetry\",\"version\":1,\"locks\":[]}"
+        );
+    }
+}

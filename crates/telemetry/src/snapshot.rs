@@ -1,0 +1,142 @@
+//! Point-in-time copies of a lock's telemetry, with `diff`/`merge`
+//! algebra for interval profiling.
+
+use crate::event::LockEvent;
+use crate::hist::HistogramSnapshot;
+
+/// Everything one lock's telemetry recorded, copied at one instant.
+///
+/// Snapshots support interval arithmetic: `later.diff(&earlier)` isolates
+/// the events of a measurement window (how `lockstat`-style live
+/// profiling works), and `merge` accumulates repeated runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockSnapshot {
+    /// Instance name (from registration / rename).
+    pub name: String,
+    /// Lock algorithm (e.g. `"FOLL"`).
+    pub kind: String,
+    /// Event counts, indexed by [`LockEvent::index`].
+    pub events: [u64; LockEvent::COUNT],
+    /// `lock_read` latency (entry to success), ns.
+    pub read_acquire: HistogramSnapshot,
+    /// `lock_write` latency (entry to success), ns.
+    pub write_acquire: HistogramSnapshot,
+    /// Read-hold time (success to release), ns.
+    pub read_hold: HistogramSnapshot,
+    /// Write-hold time (success to release), ns.
+    pub write_hold: HistogramSnapshot,
+}
+
+impl LockSnapshot {
+    /// An all-zero snapshot (useful as a `diff`/`merge` identity).
+    pub fn empty(name: &str, kind: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            kind: kind.to_string(),
+            events: [0; LockEvent::COUNT],
+            read_acquire: HistogramSnapshot::default(),
+            write_acquire: HistogramSnapshot::default(),
+            read_hold: HistogramSnapshot::default(),
+            write_hold: HistogramSnapshot::default(),
+        }
+    }
+
+    /// The count for one event.
+    #[inline]
+    pub fn get(&self, event: LockEvent) -> u64 {
+        self.events[event.index()]
+    }
+
+    /// Total read acquisitions recorded (fast + slow path).
+    pub fn reads(&self) -> u64 {
+        self.get(LockEvent::ReadFast) + self.get(LockEvent::ReadSlow)
+    }
+
+    /// Total write acquisitions recorded (fast + slow path).
+    pub fn writes(&self) -> u64 {
+        self.get(LockEvent::WriteFast) + self.get(LockEvent::WriteSlow)
+    }
+
+    /// Shared root writes per acquisition — the paper's §5 scalability
+    /// metric (lower is better; the C-SNZI tree policy drives it toward
+    /// zero on the read path). `None` if nothing was recorded.
+    pub fn root_writes_per_acquire(&self) -> Option<f64> {
+        let acquires = self.reads() + self.writes();
+        if acquires == 0 {
+            return None;
+        }
+        Some(self.get(LockEvent::CsnziRootWrite) as f64 / acquires as f64)
+    }
+
+    /// The events of the window between `earlier` and `self` (saturating;
+    /// histogram maxima are carried from `self`).
+    pub fn diff(&self, earlier: &LockSnapshot) -> LockSnapshot {
+        let mut out = self.clone();
+        for (a, b) in out.events.iter_mut().zip(earlier.events.iter()) {
+            *a = a.saturating_sub(*b);
+        }
+        out.read_acquire = self.read_acquire.diff(&earlier.read_acquire);
+        out.write_acquire = self.write_acquire.diff(&earlier.write_acquire);
+        out.read_hold = self.read_hold.diff(&earlier.read_hold);
+        out.write_hold = self.write_hold.diff(&earlier.write_hold);
+        out
+    }
+
+    /// Accumulates another snapshot into this one (event-wise and
+    /// bucket-wise addition; used to aggregate repeated benchmark runs).
+    pub fn merge(&mut self, other: &LockSnapshot) {
+        for (a, b) in self.events.iter_mut().zip(other.events.iter()) {
+            *a += b;
+        }
+        self.read_acquire.merge(&other.read_acquire);
+        self.write_acquire.merge(&other.write_acquire);
+        self.read_hold.merge(&other.read_hold);
+        self.write_hold.merge(&other.write_hold);
+    }
+
+    /// Whether nothing at all was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.iter().all(|&c| c == 0)
+            && self.read_acquire.is_empty()
+            && self.write_acquire.is_empty()
+            && self.read_hold.is_empty()
+            && self.write_hold.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diff_isolates_a_window() {
+        let mut a = LockSnapshot::empty("l", "TEST");
+        a.events[LockEvent::ReadFast.index()] = 10;
+        let mut b = a.clone();
+        b.events[LockEvent::ReadFast.index()] = 25;
+        b.events[LockEvent::Timeout.index()] = 2;
+        let d = b.diff(&a);
+        assert_eq!(d.get(LockEvent::ReadFast), 15);
+        assert_eq!(d.get(LockEvent::Timeout), 2);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = LockSnapshot::empty("l", "TEST");
+        a.events[LockEvent::WriteSlow.index()] = 1;
+        let mut b = LockSnapshot::empty("l", "TEST");
+        b.events[LockEvent::WriteSlow.index()] = 2;
+        a.merge(&b);
+        assert_eq!(a.writes(), 3);
+    }
+
+    #[test]
+    fn root_writes_per_acquire_metric() {
+        let mut s = LockSnapshot::empty("l", "TEST");
+        assert!(s.root_writes_per_acquire().is_none());
+        s.events[LockEvent::ReadFast.index()] = 8;
+        s.events[LockEvent::WriteFast.index()] = 2;
+        s.events[LockEvent::CsnziRootWrite.index()] = 5;
+        assert_eq!(s.root_writes_per_acquire(), Some(0.5));
+    }
+}

@@ -5,16 +5,21 @@
 //!   fig5 [--panel a|b|c|d|e|f|all] [--threads 1,2,4,8,16]
 //!        [--locks GOLL,FOLL,ROLL,KSUH,Solaris-Like,...|all]
 //!        [--acquisitions N] [--runs N] [--paper] [--verify]
-//!        [--csv PATH]
+//!        [--csv PATH] [--json PATH] [--telemetry]
 //! ```
 //!
 //! Defaults are scaled for a small machine; `--paper` switches to the
 //! paper's exact per-thread acquisition counts (100k, or 10k at ≤50%
-//! reads).
+//! reads). `--telemetry` prints each lock's contention profile (counts
+//! and histograms) after its panel; it needs a build with the
+//! `telemetry` cargo feature to record anything. `--json` writes the
+//! whole run as a schema-versioned `oll.fig5` document, including the
+//! profiles when collected.
 
 use oll_workloads::config::{Fig5Panel, LockKind, WorkloadConfig};
+use oll_workloads::json::render_fig5_json;
 use oll_workloads::report::{render_csv, render_table};
-use oll_workloads::sweep::{run_panel, SweepOptions};
+use oll_workloads::sweep::{run_panel, PanelResult, SweepOptions};
 use std::io::Write as _;
 use std::process::exit;
 
@@ -22,6 +27,8 @@ struct Args {
     panels: Vec<Fig5Panel>,
     opts: SweepOptions,
     csv: Option<String>,
+    json: Option<String>,
+    telemetry: bool,
 }
 
 fn usage(msg: &str) -> ! {
@@ -29,7 +36,7 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: fig5 [--panel a|b|c|d|e|f|all] [--threads 1,2,4]\n\
          \t[--locks name,...|all] [--acquisitions N] [--runs N]\n\
-         \t[--paper] [--verify] [--csv PATH]"
+         \t[--paper] [--verify] [--csv PATH] [--json PATH] [--telemetry]"
     );
     exit(2);
 }
@@ -39,6 +46,8 @@ fn parse_args() -> Args {
     let mut opts = SweepOptions::quick();
     opts.progress = true;
     let mut csv = None;
+    let mut json = None;
+    let mut telemetry = false;
     let mut paper = false;
 
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -111,6 +120,11 @@ fn parse_args() -> Args {
                 csv = Some(value(i));
                 i += 1;
             }
+            "--json" => {
+                json = Some(value(i));
+                i += 1;
+            }
+            "--telemetry" => telemetry = true,
             "--quiet" => opts.progress = false,
             "--help" | "-h" => usage("help requested"),
             other => usage(&format!("unknown flag `{other}`")),
@@ -124,11 +138,42 @@ fn parse_args() -> Args {
             ..WorkloadConfig::paper_fidelity(1, 100)
         };
     }
-    Args { panels, opts, csv }
+    // JSON consumers want the profiles too, so any --json run collects
+    // them when the build can record.
+    opts.collect_telemetry = telemetry || json.is_some();
+    Args {
+        panels,
+        opts,
+        csv,
+        json,
+        telemetry,
+    }
+}
+
+/// Prints the contention profiles of one panel's locks at the largest
+/// swept thread count (the full per-point set goes in the JSON report).
+fn print_panel_telemetry(result: &PanelResult) {
+    let profiles: Vec<_> = result
+        .series
+        .iter()
+        .filter_map(|s| s.profiles.last().cloned().flatten())
+        .collect();
+    println!(
+        "-- telemetry at {} thread(s) --",
+        result.thread_counts.last().copied().unwrap_or(0)
+    );
+    println!("{}", oll_telemetry::report::render_text(&profiles));
 }
 
 fn main() {
     let args = parse_args();
+    if args.telemetry && !oll_telemetry::Telemetry::enabled() {
+        eprintln!(
+            "warning: this binary was built without the `telemetry` feature; \
+             no profiles will be recorded. Rebuild with:\n  \
+             cargo run -p oll-workloads --release --features telemetry --bin fig5 -- --telemetry"
+        );
+    }
     eprintln!(
         "fig5: {} panel(s), threads {:?}, {} acquisitions/thread (/10 at <=50% reads), {} run(s) averaged",
         args.panels.len(),
@@ -138,19 +183,34 @@ fn main() {
     );
 
     let mut csv_body = String::new();
+    let mut results = Vec::with_capacity(args.panels.len());
     let mut first = true;
     for &panel in &args.panels {
         eprintln!("== {} ==", panel.caption());
         let result = run_panel(panel, &args.opts);
         println!("{}", render_table(&result));
+        if args.telemetry {
+            print_panel_telemetry(&result);
+        }
         csv_body.push_str(&render_csv(&result, first));
         first = false;
+        results.push(result);
     }
 
     if let Some(path) = args.csv {
         let mut f = std::fs::File::create(&path)
             .unwrap_or_else(|e| usage(&format!("cannot create {path}: {e}")));
         f.write_all(csv_body.as_bytes())
+            .unwrap_or_else(|e| usage(&format!("cannot write {path}: {e}")));
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = args.json {
+        let doc = render_fig5_json(&results);
+        let mut f = std::fs::File::create(&path)
+            .unwrap_or_else(|e| usage(&format!("cannot create {path}: {e}")));
+        f.write_all(doc.as_bytes())
+            .unwrap_or_else(|e| usage(&format!("cannot write {path}: {e}")));
+        f.write_all(b"\n")
             .unwrap_or_else(|e| usage(&format!("cannot write {path}: {e}")));
         eprintln!("wrote {path}");
     }

@@ -3,21 +3,25 @@
 //! ```text
 //! USAGE:
 //!   latency [--threads N] [--read-pct P] [--acquisitions N]
-//!           [--locks name,...|all]
+//!           [--locks name,...|all] [--json PATH] [--telemetry]
 //! ```
 //!
 //! Complements the throughput-oriented `fig5` binary with tail-latency
 //! visibility: how long can a single `lock_read` / `lock_write` stall
-//! under the given mix?
+//! under the given mix? `--telemetry` additionally prints each lock's
+//! contention profile (needs a `--features telemetry` build to record);
+//! `--json` writes a schema-versioned `oll.latency` document.
 
 use oll_workloads::config::{LockKind, WorkloadConfig};
-use oll_workloads::latency::run_latency;
+use oll_workloads::json::render_latency_json;
+use oll_workloads::latency::run_latency_profiled;
+use std::io::Write as _;
 use std::process::exit;
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: latency [--threads N] [--read-pct P] [--acquisitions N] [--locks name,...|all]"
+        "usage: latency [--threads N] [--read-pct P] [--acquisitions N] [--locks name,...|all] [--json PATH] [--telemetry]"
     );
     exit(2);
 }
@@ -37,6 +41,8 @@ fn main() {
     let mut read_pct = 95u32;
     let mut acquisitions = 10_000usize;
     let mut locks = LockKind::FIGURE5.to_vec();
+    let mut json: Option<String> = None;
+    let mut telemetry = false;
 
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -79,10 +85,23 @@ fn main() {
                         .collect();
                 }
             }
+            "--json" => {
+                json = Some(value(i));
+                i += 1;
+            }
+            "--telemetry" => telemetry = true,
             "--help" | "-h" => usage("help requested"),
             other => usage(&format!("unknown flag `{other}`")),
         }
         i += 1;
+    }
+
+    if telemetry && !oll_telemetry::Telemetry::enabled() {
+        eprintln!(
+            "warning: this binary was built without the `telemetry` feature; \
+             no profiles will be recorded. Rebuild with:\n  \
+             cargo run -p oll-workloads --release --features telemetry --bin latency -- --telemetry"
+        );
     }
 
     let config = WorkloadConfig {
@@ -101,8 +120,10 @@ fn main() {
         "{:<13} {:>8} {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8} {:>8}",
         "lock", "r.p50", "r.p99", "r.p999", "r.max", "w.p50", "w.p99", "w.p999", "w.max"
     );
+    let mut results = Vec::with_capacity(locks.len());
+    let mut profiles = Vec::with_capacity(locks.len());
     for kind in locks {
-        let r = run_latency(kind, &config);
+        let (r, profile) = run_latency_profiled(kind, &config);
         println!(
             "{:<13} {:>8} {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8} {:>8}",
             r.kind.name(),
@@ -115,5 +136,23 @@ fn main() {
             fmt_ns(r.write.p999_ns),
             fmt_ns(r.write.max_ns),
         );
+        results.push(r);
+        profiles.push(profile);
+    }
+
+    if telemetry {
+        let recorded: Vec<_> = profiles.iter().flatten().cloned().collect();
+        println!("\n-- telemetry --");
+        println!("{}", oll_telemetry::report::render_text(&recorded));
+    }
+    if let Some(path) = json {
+        let doc = render_latency_json(threads, read_pct, acquisitions, &results, &profiles);
+        let mut f = std::fs::File::create(&path)
+            .unwrap_or_else(|e| usage(&format!("cannot create {path}: {e}")));
+        f.write_all(doc.as_bytes())
+            .unwrap_or_else(|e| usage(&format!("cannot write {path}: {e}")));
+        f.write_all(b"\n")
+            .unwrap_or_else(|e| usage(&format!("cannot write {path}: {e}")));
+        eprintln!("wrote {path}");
     }
 }

@@ -73,6 +73,14 @@ impl LockKind {
         }
     }
 
+    /// Whether concurrent readers can hold this lock together. `false`
+    /// only for the mutual-exclusion baseline (the MCS mutex treats every
+    /// acquisition as exclusive); conformance tests use this to skip
+    /// reader-sharing assertions.
+    pub fn readers_share(self) -> bool {
+        !matches!(self, LockKind::McsMutex)
+    }
+
     /// Parses a CLI name (case-insensitive; accepts paper legend names).
     pub fn parse(s: &str) -> Option<LockKind> {
         let k = s.trim().to_ascii_lowercase().replace([' ', '_'], "-");
@@ -192,6 +200,19 @@ impl Fig5Panel {
             Fig5Panel::D => 80,
             Fig5Panel::E => 50,
             Fig5Panel::F => 0,
+        }
+    }
+
+    /// The panel's lowercase letter tag (`"a"`..`"f"`), as used in CSV
+    /// and JSON output.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Fig5Panel::A => "a",
+            Fig5Panel::B => "b",
+            Fig5Panel::C => "c",
+            Fig5Panel::D => "d",
+            Fig5Panel::E => "e",
+            Fig5Panel::F => "f",
         }
     }
 

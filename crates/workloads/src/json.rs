@@ -1,0 +1,187 @@
+//! Schema-versioned JSON reports for the workload binaries.
+//!
+//! Hand-rolled like `oll_telemetry::report` (the workspace carries no
+//! serialization dependency). Two document schemas:
+//!
+//! - `oll.fig5` — the panels of a `fig5` run: every (lock × threads)
+//!   point with throughput and, when collected, the lock's telemetry
+//!   profile.
+//! - `oll.latency` — a `latency` run: per-lock acquisition-latency
+//!   percentiles, plus telemetry profiles when collected.
+//!
+//! Consumers should check `"schema"` and `"version"` before parsing;
+//! [`oll_telemetry::report::SCHEMA_VERSION`] is bumped on any
+//! backwards-incompatible change across all OLL JSON documents.
+
+use crate::latency::{LatencyResult, LatencySummary};
+use crate::sweep::PanelResult;
+use oll_telemetry::report::{json_escape, render_lock_json, SCHEMA_VERSION};
+use oll_telemetry::LockSnapshot;
+use std::fmt::Write as _;
+
+fn json_telemetry(profile: &Option<LockSnapshot>) -> String {
+    match profile {
+        Some(s) => render_lock_json(s),
+        None => "null".to_string(),
+    }
+}
+
+/// Renders a set of regenerated Figure 5 panels as one `oll.fig5`
+/// document.
+pub fn render_fig5_json(panels: &[PanelResult]) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"schema\":\"oll.fig5\",\"version\":{SCHEMA_VERSION},\"panels\":["
+    );
+    for (pi, panel) in panels.iter().enumerate() {
+        if pi > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"panel\":\"{}\",\"read_pct\":{},\"thread_counts\":{:?},\"series\":[",
+            panel.panel.tag(),
+            panel.panel.read_pct(),
+            panel.thread_counts,
+        );
+        for (si, s) in panel.series.iter().enumerate() {
+            if si > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"lock\":\"{}\",\"points\":[",
+                json_escape(s.kind.name())
+            );
+            for (i, p) in s.points.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let profile = s.profiles.get(i).cloned().flatten();
+                let _ = write!(
+                    out,
+                    "{{\"threads\":{},\"acquires_per_sec\":{:.1},\"elapsed_secs\":{:.6},\"total_acquisitions\":{},\"telemetry\":{}}}",
+                    p.threads,
+                    p.acquires_per_sec,
+                    p.elapsed.as_secs_f64(),
+                    p.total_acquisitions,
+                    json_telemetry(&profile),
+                );
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+fn json_summary(s: &LatencySummary) -> String {
+    format!(
+        "{{\"count\":{},\"p50_ns\":{},\"p99_ns\":{},\"p999_ns\":{},\"max_ns\":{}}}",
+        s.count, s.p50_ns, s.p99_ns, s.p999_ns, s.max_ns
+    )
+}
+
+/// Renders a latency run as one `oll.latency` document. `profiles` must
+/// be parallel to `results` (pass an all-`None` slice when telemetry was
+/// not collected).
+pub fn render_latency_json(
+    threads: usize,
+    read_pct: u32,
+    acquisitions_per_thread: usize,
+    results: &[LatencyResult],
+    profiles: &[Option<LockSnapshot>],
+) -> String {
+    debug_assert_eq!(results.len(), profiles.len());
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"schema\":\"oll.latency\",\"version\":{SCHEMA_VERSION},\"threads\":{threads},\"read_pct\":{read_pct},\"acquisitions_per_thread\":{acquisitions_per_thread},\"locks\":["
+    );
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let profile = profiles.get(i).cloned().flatten();
+        let _ = write!(
+            out,
+            "{{\"lock\":\"{}\",\"read\":{},\"write\":{},\"telemetry\":{}}}",
+            json_escape(r.kind.name()),
+            json_summary(&r.read),
+            json_summary(&r.write),
+            json_telemetry(&profile),
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Fig5Panel, LockKind, WorkloadConfig};
+    use crate::latency::run_latency;
+    use crate::sweep::{run_panel, SweepOptions};
+
+    fn tiny_opts() -> SweepOptions {
+        SweepOptions {
+            thread_counts: vec![1, 2],
+            locks: vec![LockKind::Foll],
+            base: WorkloadConfig {
+                threads: 1,
+                read_pct: 99,
+                acquisitions_per_thread: 100,
+                critical_work: 0,
+                outside_work: 0,
+                seed: 3,
+                runs: 1,
+                verify: false,
+            },
+            progress: false,
+            collect_telemetry: true,
+        }
+    }
+
+    #[test]
+    fn fig5_document_shape() {
+        let panel = run_panel(Fig5Panel::B, &tiny_opts());
+        let doc = render_fig5_json(&[panel]);
+        assert!(doc.starts_with("{\"schema\":\"oll.fig5\",\"version\":1,"));
+        assert!(doc.contains("\"panel\":\"b\""));
+        assert!(doc.contains("\"read_pct\":99"));
+        assert!(doc.contains("\"lock\":\"FOLL\""));
+        assert!(doc.contains("\"threads\":1"));
+        assert!(doc.contains("\"telemetry\":"));
+        // Two points -> exactly two telemetry fields.
+        assert_eq!(doc.matches("\"telemetry\":").count(), 2);
+        // With the feature off, profiles must be null; with it on, FOLL
+        // records and its profile must carry the acquisition counts.
+        if oll_telemetry::Telemetry::enabled() {
+            assert!(doc.contains("\"read_fast\""), "doc: {doc}");
+        } else {
+            assert!(doc.contains("\"telemetry\":null"));
+        }
+    }
+
+    #[test]
+    fn latency_document_shape() {
+        let config = WorkloadConfig {
+            threads: 2,
+            read_pct: 80,
+            acquisitions_per_thread: 200,
+            critical_work: 0,
+            outside_work: 0,
+            seed: 7,
+            runs: 1,
+            verify: false,
+        };
+        let r = run_latency(LockKind::SolarisLike, &config);
+        let doc = render_latency_json(2, 80, 200, &[r], &[None]);
+        assert!(doc.starts_with("{\"schema\":\"oll.latency\",\"version\":1,"));
+        assert!(doc.contains("\"lock\":\"Solaris Like\""));
+        assert!(doc.contains("\"read\":{\"count\":"));
+        assert!(doc.contains("\"telemetry\":null"));
+    }
+}

@@ -15,6 +15,7 @@ use oll_baselines::{
     PerThreadRwLock, SolarisLikeRwLock, StdRwLock,
 };
 use oll_core::{FollLock, GollLock, RollLock, RwHandle, RwLockFamily};
+use oll_telemetry::LockSnapshot;
 use oll_util::XorShift64;
 use std::sync::Barrier;
 use std::time::Instant;
@@ -142,7 +143,7 @@ pub struct LatencyResult {
 fn measure_latency<L, F>(
     make_lock: F,
     config: &WorkloadConfig,
-) -> (LatencyHistogram, LatencyHistogram)
+) -> (LatencyHistogram, LatencyHistogram, Option<LockSnapshot>)
 where
     L: RwLockFamily,
     F: Fn(usize) -> L,
@@ -182,12 +183,24 @@ where
             });
         }
     });
-    merged.into_inner().unwrap()
+    let snap = lock.telemetry().snapshot();
+    let (reads, writes) = merged.into_inner().unwrap();
+    (reads, writes, snap)
 }
 
 /// Measures acquisition-latency distributions for `kind` under `config`.
 pub fn run_latency(kind: LockKind, config: &WorkloadConfig) -> LatencyResult {
-    let (reads, writes) = match kind {
+    run_latency_profiled(kind, config).0
+}
+
+/// Like [`run_latency`], additionally returning the lock's telemetry
+/// profile for the run (`None` unless built with the `telemetry`
+/// feature and the lock is instrumented).
+pub fn run_latency_profiled(
+    kind: LockKind,
+    config: &WorkloadConfig,
+) -> (LatencyResult, Option<LockSnapshot>) {
+    let (reads, writes, mut profile) = match kind {
         LockKind::Goll => measure_latency(GollLock::new, config),
         LockKind::Foll => measure_latency(FollLock::new, config),
         LockKind::Roll => measure_latency(RollLock::new, config),
@@ -201,13 +214,19 @@ pub fn run_latency(kind: LockKind, config: &WorkloadConfig) -> LatencyResult {
         LockKind::StdRw => measure_latency(StdRwLock::new, config),
         LockKind::McsMutex => measure_latency(McsMutex::new, config),
     };
-    LatencyResult {
-        kind,
-        threads: config.threads,
-        read_pct: config.read_pct,
-        read: LatencySummary::from(&reads),
-        write: LatencySummary::from(&writes),
+    if let Some(p) = &mut profile {
+        p.name = format!("{} t={}", kind.name(), config.threads);
     }
+    (
+        LatencyResult {
+            kind,
+            threads: config.threads,
+            read_pct: config.read_pct,
+            read: LatencySummary::from(&reads),
+            write: LatencySummary::from(&writes),
+        },
+        profile,
+    )
 }
 
 #[cfg(test)]

@@ -19,12 +19,15 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod json;
 pub mod latency;
 pub mod report;
 pub mod runner;
 pub mod sweep;
 
 pub use config::{Fig5Panel, LockKind, WorkloadConfig};
-pub use latency::{run_latency, LatencyHistogram, LatencyResult, LatencySummary};
-pub use runner::{run_throughput, ThroughputResult};
+pub use latency::{
+    run_latency, run_latency_profiled, LatencyHistogram, LatencyResult, LatencySummary,
+};
+pub use runner::{run_throughput, run_throughput_profiled, ThroughputResult};
 pub use sweep::{run_panel, PanelResult, Series, SweepOptions};

@@ -32,14 +32,7 @@ pub fn render_csv(panel: &PanelResult, include_header: bool) -> String {
     if include_header {
         out.push_str("panel,read_pct,lock,threads,acquires_per_sec,elapsed_secs\n");
     }
-    let tag = match panel.panel {
-        crate::config::Fig5Panel::A => "a",
-        crate::config::Fig5Panel::B => "b",
-        crate::config::Fig5Panel::C => "c",
-        crate::config::Fig5Panel::D => "d",
-        crate::config::Fig5Panel::E => "e",
-        crate::config::Fig5Panel::F => "f",
-    };
+    let tag = panel.panel.tag();
     for s in &panel.series {
         for p in &s.points {
             let _ = writeln!(
@@ -91,6 +84,7 @@ mod tests {
                     verify: false,
                 },
                 progress: false,
+                collect_telemetry: false,
             },
         )
     }

@@ -6,6 +6,7 @@ use oll_baselines::{
     PerThreadRwLock, SolarisLikeRwLock, StdRwLock,
 };
 use oll_core::{FollLock, GollLock, RollLock, RwHandle, RwLockFamily};
+use oll_telemetry::LockSnapshot;
 use oll_util::XorShift64;
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Barrier;
@@ -37,7 +38,9 @@ fn dummy_work(iters: u32) {
 }
 
 /// Measures one run: barrier-synchronized start, join-synchronized stop.
-fn measure<L, F>(make_lock: F, config: &WorkloadConfig) -> Duration
+/// The snapshot is the lock's full telemetry for the run (`None` unless
+/// built with the `telemetry` feature).
+fn measure<L, F>(make_lock: F, config: &WorkloadConfig) -> (Duration, Option<LockSnapshot>)
 where
     L: RwLockFamily,
     F: Fn(usize) -> L,
@@ -100,15 +103,29 @@ where
     let spans = spans.into_inner().unwrap();
     let first_start = spans.iter().map(|s| s.0).min().expect("threads ran");
     let last_end = spans.iter().map(|s| s.1).max().expect("threads ran");
-    last_end.duration_since(first_start)
+    let snap = lock.telemetry().snapshot();
+    (last_end.duration_since(first_start), snap)
 }
 
 /// Runs `config` against lock `kind`, averaging `config.runs` repetitions.
 pub fn run_throughput(kind: LockKind, config: &WorkloadConfig) -> ThroughputResult {
+    run_throughput_profiled(kind, config).0
+}
+
+/// Like [`run_throughput`], additionally returning the lock's telemetry
+/// profile accumulated over all runs. The profile is `None` unless the
+/// workspace was built with the `telemetry` feature (the instrumented
+/// locks record; uninstrumented baselines return an empty-handed
+/// snapshot of nothing and also yield `None`).
+pub fn run_throughput_profiled(
+    kind: LockKind,
+    config: &WorkloadConfig,
+) -> (ThroughputResult, Option<LockSnapshot>) {
     let mut total = Duration::ZERO;
+    let mut profile: Option<LockSnapshot> = None;
     let runs = config.runs.max(1);
     for _ in 0..runs {
-        let elapsed = match kind {
+        let (elapsed, snap) = match kind {
             LockKind::Goll => measure(GollLock::new, config),
             LockKind::Foll => measure(FollLock::new, config),
             LockKind::Roll => measure(RollLock::new, config),
@@ -123,17 +140,30 @@ pub fn run_throughput(kind: LockKind, config: &WorkloadConfig) -> ThroughputResu
             LockKind::McsMutex => measure(McsMutex::new, config),
         };
         total += elapsed;
+        match (&mut profile, snap) {
+            (Some(p), Some(s)) => p.merge(&s),
+            (p @ None, Some(s)) => *p = Some(s),
+            _ => {}
+        }
+    }
+    if let Some(p) = &mut profile {
+        // Each run registered a fresh lock under an auto-sequenced name;
+        // label the aggregate by what was measured instead.
+        p.name = format!("{} t={}", kind.name(), config.threads);
     }
     let mean = total / runs as u32;
     let total_acqs = config.total_acquisitions();
-    ThroughputResult {
-        kind,
-        threads: config.threads,
-        read_pct: config.read_pct,
-        acquires_per_sec: total_acqs as f64 / mean.as_secs_f64(),
-        elapsed: mean,
-        total_acquisitions: total_acqs,
-    }
+    (
+        ThroughputResult {
+            kind,
+            threads: config.threads,
+            read_pct: config.read_pct,
+            acquires_per_sec: total_acqs as f64 / mean.as_secs_f64(),
+            elapsed: mean,
+            total_acquisitions: total_acqs,
+        },
+        profile,
+    )
 }
 
 #[cfg(test)]

@@ -2,7 +2,8 @@
 //! (lock × thread-count) throughput points.
 
 use crate::config::{Fig5Panel, LockKind, WorkloadConfig};
-use crate::runner::{run_throughput, ThroughputResult};
+use crate::runner::{run_throughput, run_throughput_profiled, ThroughputResult};
+use oll_telemetry::LockSnapshot;
 
 /// One regenerated panel: a throughput series per lock.
 #[derive(Debug, Clone)]
@@ -22,6 +23,10 @@ pub struct Series {
     pub kind: LockKind,
     /// One point per swept thread count.
     pub points: Vec<ThroughputResult>,
+    /// One telemetry profile per point — `None` entries unless the sweep
+    /// requested telemetry, the build has the feature, and the lock is
+    /// instrumented.
+    pub profiles: Vec<Option<LockSnapshot>>,
 }
 
 /// Options for a sweep.
@@ -35,6 +40,10 @@ pub struct SweepOptions {
     pub base: WorkloadConfig,
     /// Print progress to stderr as points complete.
     pub progress: bool,
+    /// Collect per-lock telemetry profiles at every point (only
+    /// meaningful when the workspace is built with the `telemetry`
+    /// feature; otherwise every profile stays `None`).
+    pub collect_telemetry: bool,
 }
 
 impl SweepOptions {
@@ -46,6 +55,7 @@ impl SweepOptions {
             locks: LockKind::FIGURE5.to_vec(),
             base: WorkloadConfig::quick(1, 100),
             progress: false,
+            collect_telemetry: false,
         }
     }
 }
@@ -56,6 +66,7 @@ pub fn run_panel(panel: Fig5Panel, opts: &SweepOptions) -> PanelResult {
     let mut series = Vec::with_capacity(opts.locks.len());
     for &kind in &opts.locks {
         let mut points = Vec::with_capacity(opts.thread_counts.len());
+        let mut profiles = Vec::with_capacity(opts.thread_counts.len());
         for &threads in &opts.thread_counts {
             let config = WorkloadConfig {
                 threads,
@@ -69,7 +80,11 @@ pub fn run_panel(panel: Fig5Panel, opts: &SweepOptions) -> PanelResult {
                 },
                 ..opts.base
             };
-            let r = run_throughput(kind, &config);
+            let (r, profile) = if opts.collect_telemetry {
+                run_throughput_profiled(kind, &config)
+            } else {
+                (run_throughput(kind, &config), None)
+            };
             if opts.progress {
                 eprintln!(
                     "  {:<13} threads={:<3} -> {:>12.0} acquires/s",
@@ -79,8 +94,13 @@ pub fn run_panel(panel: Fig5Panel, opts: &SweepOptions) -> PanelResult {
                 );
             }
             points.push(r);
+            profiles.push(profile);
         }
-        series.push(Series { kind, points });
+        series.push(Series {
+            kind,
+            points,
+            profiles,
+        });
     }
     PanelResult {
         panel,
@@ -123,6 +143,7 @@ mod tests {
                 verify: false,
             },
             progress: false,
+            collect_telemetry: false,
         };
         let panel = run_panel(Fig5Panel::A, &opts);
         assert_eq!(panel.series.len(), 2);
@@ -156,6 +177,7 @@ mod tests {
                 verify: false,
             },
             progress: false,
+            collect_telemetry: false,
         };
         let panel = run_panel(Fig5Panel::F, &opts);
         let p = &panel.series[0].points[0];

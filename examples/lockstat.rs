@@ -1,0 +1,75 @@
+//! `lockstat` — run a mixed read/write workload over the instrumented
+//! locks and print every lock's contention profile from the global
+//! telemetry registry.
+//!
+//! ```sh
+//! cargo run --release --features telemetry --example lockstat
+//! cargo run --release --features telemetry --example lockstat -- --json
+//! ```
+//!
+//! Without the `telemetry` feature the example still runs, but every
+//! recording hook is a compiled-out no-op, so the report is empty — the
+//! point of the zero-cost facade.
+
+use oll::telemetry::{registry, report, Telemetry};
+use oll::util::XorShift64;
+use oll::{FollLock, GollLock, RollLock, RwHandle, RwLockFamily, SolarisLikeRwLock};
+
+const THREADS: usize = 4;
+const ACQUISITIONS: usize = 20_000;
+const READ_PCT: u32 = 95;
+
+/// The paper's §5.1 loop: each thread flips a per-thread PRNG coin and
+/// takes the lock for reading or writing with an empty critical section.
+fn hammer<L: RwLockFamily + Sync>(lock: &L, name: &str) {
+    lock.telemetry().rename(name);
+    std::thread::scope(|scope| {
+        for tid in 0..THREADS {
+            scope.spawn(move || {
+                let mut handle = lock.handle().expect("capacity covers every thread");
+                let mut rng = XorShift64::for_thread(0x10C5_7A75, tid);
+                for _ in 0..ACQUISITIONS {
+                    if rng.percent(READ_PCT) {
+                        handle.lock_read();
+                        handle.unlock_read();
+                    } else {
+                        handle.lock_write();
+                        handle.unlock_write();
+                    }
+                }
+            });
+        }
+    });
+}
+
+fn main() {
+    let json = std::env::args().skip(1).any(|a| a == "--json");
+    if !Telemetry::enabled() {
+        eprintln!(
+            "note: built without the `telemetry` feature, so nothing is \
+             recorded. Rebuild with:\n  \
+             cargo run --release --features telemetry --example lockstat"
+        );
+    }
+    eprintln!(
+        "lockstat: {THREADS} threads x {ACQUISITIONS} acquisitions, {READ_PCT}% reads, per lock"
+    );
+
+    // Keep the locks alive until after the sweep: the registry holds weak
+    // references and prunes dropped instances.
+    let goll = GollLock::new(THREADS);
+    let foll = FollLock::new(THREADS);
+    let roll = RollLock::new(THREADS);
+    let solaris = SolarisLikeRwLock::new(THREADS);
+    hammer(&goll, "lockstat/GOLL");
+    hammer(&foll, "lockstat/FOLL");
+    hammer(&roll, "lockstat/ROLL");
+    hammer(&solaris, "lockstat/Solaris-like");
+
+    let snaps = registry::snapshot_all();
+    if json {
+        println!("{}", report::render_json(&snaps));
+    } else {
+        print!("{}", report::render_text(&snaps));
+    }
+}

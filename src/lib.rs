@@ -45,11 +45,14 @@
 //! * [`baselines`] — KSUH, Solaris-like, MCS, MCS-RW, centralized,
 //!   per-thread, std (§1, §5).
 //! * [`workloads`] — the Figure 5 throughput harness (§5).
+//! * [`telemetry`] — per-lock contention profiling (build with the
+//!   `telemetry` feature to record; zero-cost no-ops otherwise).
 //! * [`util`] — backoff, cache padding, events, spin mutex, thread slots.
 
 pub use oll_baselines as baselines;
 pub use oll_core as core;
 pub use oll_csnzi as csnzi;
+pub use oll_telemetry as telemetry;
 pub use oll_util as util;
 pub use oll_workloads as workloads;
 

@@ -21,6 +21,7 @@ fn tiny_opts(locks: Vec<LockKind>) -> SweepOptions {
             verify: false,
         },
         progress: false,
+        collect_telemetry: false,
     }
 }
 

@@ -2,36 +2,42 @@
 //! the same contract — guard semantics, try-lock semantics, capacity
 //! accounting, and slot reuse — checked generically.
 
+use oll::workloads::LockKind;
 use oll::{
-    CentralizedRwLock, FollLock, GollLock, KsuhLock, McsRwLock, McsRwReaderPref, McsRwWriterPref,
-    PerThreadRwLock, RollLock, RwHandle, RwLockFamily, SolarisLikeRwLock, StdRwLock,
+    CentralizedRwLock, FollLock, GollLock, KsuhLock, McsMutex, McsRwLock, McsRwReaderPref,
+    McsRwWriterPref, PerThreadRwLock, RollLock, RwHandle, RwLockFamily, SolarisLikeRwLock,
+    StdRwLock,
 };
 
-fn for_each_lock(mut f: impl FnMut(&dyn Fn(usize) -> Box<dyn Tester + 'static>, &'static str)) {
-    // Each entry builds a fresh lock of the given capacity and wraps it in
-    // a trait object the generic checks can drive.
-    macro_rules! entry {
-        ($ctor:expr, $name:expr) => {
-            f(
-                &|cap| {
-                    let lock = Box::leak(Box::new($ctor(cap)));
-                    Box::new(LockTester { lock })
-                },
-                $name,
-            );
+fn tester<L: RwLockFamily + 'static>(lock: L) -> Box<dyn Tester + 'static> {
+    Box::new(LockTester {
+        lock: Box::leak(Box::new(lock)),
+    })
+}
+
+/// Runs `f` once per lock in [`LockKind::ALL`] — the exhaustive match
+/// keeps this suite in lockstep with the evaluation harness: adding a
+/// lock kind without conformance coverage fails to compile.
+fn for_each_lock(mut f: impl FnMut(&dyn Fn(usize) -> Box<dyn Tester + 'static>, LockKind)) {
+    for kind in LockKind::ALL {
+        let make = move |cap: usize| -> Box<dyn Tester + 'static> {
+            match kind {
+                LockKind::Goll => tester(GollLock::new(cap)),
+                LockKind::Foll => tester(FollLock::new(cap)),
+                LockKind::Roll => tester(RollLock::new(cap)),
+                LockKind::Ksuh => tester(KsuhLock::new(cap)),
+                LockKind::SolarisLike => tester(SolarisLikeRwLock::new(cap)),
+                LockKind::Centralized => tester(CentralizedRwLock::new(cap)),
+                LockKind::McsRw => tester(McsRwLock::new(cap)),
+                LockKind::McsRwReaderPref => tester(McsRwReaderPref::new(cap)),
+                LockKind::McsRwWriterPref => tester(McsRwWriterPref::new(cap)),
+                LockKind::PerThread => tester(PerThreadRwLock::new(cap)),
+                LockKind::StdRw => tester(StdRwLock::new(cap)),
+                LockKind::McsMutex => tester(McsMutex::new(cap)),
+            }
         };
+        f(&make, kind);
     }
-    entry!(GollLock::new, "GOLL");
-    entry!(FollLock::new, "FOLL");
-    entry!(RollLock::new, "ROLL");
-    entry!(KsuhLock::new, "KSUH");
-    entry!(SolarisLikeRwLock::new, "Solaris-like");
-    entry!(CentralizedRwLock::new, "Centralized");
-    entry!(McsRwLock::new, "MCS-RW");
-    entry!(McsRwReaderPref::new, "MCS-RW-rp");
-    entry!(McsRwWriterPref::new, "MCS-RW-wp");
-    entry!(PerThreadRwLock::new, "Per-thread");
-    entry!(StdRwLock::new, "std");
 }
 
 /// Type-erased view of a lock for the generic conformance checks.
@@ -78,9 +84,9 @@ impl<L: RwLockFamily> Tester for LockTester<L> {
 
 #[test]
 fn capacity_is_reported_and_enforced() {
-    for_each_lock(|make, name| {
+    for_each_lock(|make, kind| {
         let t = make(3);
-        assert_eq!(t.capacity(), 3, "{name}");
+        assert_eq!(t.capacity(), 3, "{}", kind.name());
         t.claim_all_then_fail();
     });
 }
@@ -95,16 +101,20 @@ fn slots_are_reusable_after_handle_drop() {
 
 #[test]
 fn readers_share_writers_exclude() {
-    for_each_lock(|make, name| {
+    for_each_lock(|make, kind| {
         let t = make(2);
+        let name = kind.name();
         t.with_two_handles(&mut |a, b| {
             a.lock_read();
             // A second reader must be admitted without blocking (KSUH and
             // MCS-RW admit a reader whose predecessor is an active reader
             // on their *blocking* path; their try paths are deliberately
-            // conservative).
-            b.lock_read();
-            b.unlock_read();
+            // conservative). The MCS mutex serves `lock_read` exclusively,
+            // so a concurrent reader would deadlock — skip that half.
+            if kind.readers_share() {
+                b.lock_read();
+                b.unlock_read();
+            }
             assert!(!b.try_lock_write(), "{name}: writer entered beside reader");
             a.unlock_read();
         });
@@ -113,8 +123,9 @@ fn readers_share_writers_exclude() {
 
 #[test]
 fn write_lock_is_exclusive() {
-    for_each_lock(|make, name| {
+    for_each_lock(|make, kind| {
         let t = make(2);
+        let name = kind.name();
         t.with_two_handles(&mut |a, b| {
             a.lock_write();
             assert!(!b.try_lock_read(), "{name}: reader entered beside writer");
@@ -128,8 +139,9 @@ fn write_lock_is_exclusive() {
 fn try_write_succeeds_on_free_lock_eventually() {
     // Conservative implementations may fail try_write while residual
     // queue nodes linger; a full write cycle must clear that state.
-    for_each_lock(|make, name| {
+    for_each_lock(|make, kind| {
         let t = make(2);
+        let name = kind.name();
         t.with_two_handles(&mut |a, _b| {
             a.lock_read();
             a.unlock_read();
@@ -143,8 +155,9 @@ fn try_write_succeeds_on_free_lock_eventually() {
 
 #[test]
 fn guards_unlock_on_drop_and_sequence_correctly() {
-    for_each_lock(|make, name| {
+    for_each_lock(|make, kind| {
         let t = make(2);
+        let name = kind.name();
         t.with_two_handles(&mut |a, b| {
             {
                 a.lock_read();
