@@ -176,12 +176,22 @@ enum HandoffSignal {
 }
 
 impl SolarisLikeRwLock {
-    /// Counts a hand-off by the kind of successor it wakes.
+    /// Counts a hand-off by the kind of successor it wakes. The wait-event
+    /// address doubles as the trace causality token, matching what each
+    /// waiter stamped on its `enqueued` marker.
     fn note_handoff(&self, sig: &Option<HandoffSignal>) {
         match sig {
             None => {}
-            Some(HandoffSignal::Writer(_)) => self.telemetry.incr(LockEvent::HandoffToWriter),
-            Some(HandoffSignal::Readers(_)) => self.telemetry.incr(LockEvent::HandoffToReaders),
+            Some(HandoffSignal::Writer(ev)) => {
+                self.telemetry.incr(LockEvent::HandoffToWriter);
+                self.telemetry.trace_granted(Arc::as_ptr(ev) as u64);
+            }
+            Some(HandoffSignal::Readers(groups)) => {
+                self.telemetry.incr(LockEvent::HandoffToReaders);
+                for g in groups {
+                    self.telemetry.trace_granted(Arc::as_ptr(g) as u64);
+                }
+            }
         }
     }
 }
@@ -235,7 +245,7 @@ pub struct SolarisLikeHandle<'a> {
 impl RwHandle for SolarisLikeHandle<'_> {
     fn lock_read(&mut self) {
         let lock = self.lock;
-        let acquire = lock.telemetry.timer();
+        let acquire = lock.telemetry.begin_read();
         let mut b = Backoff::with_policy(lock.backoff);
         loop {
             let w = lock.load();
@@ -276,6 +286,7 @@ impl RwHandle for SolarisLikeHandle<'_> {
                 }
             };
             lock.telemetry.incr(LockEvent::ReadSlow);
+            lock.telemetry.trace_enqueued(Arc::as_ptr(&group) as u64);
             drop(ts);
             group.wait();
             // Ownership was handed over: the releaser already counted us
@@ -318,7 +329,7 @@ impl RwHandle for SolarisLikeHandle<'_> {
 
     fn lock_write(&mut self) {
         let lock = self.lock;
-        let acquire = lock.telemetry.timer();
+        let acquire = lock.telemetry.begin_write();
         let mut b = Backoff::with_policy(lock.backoff);
         loop {
             let w = lock.load();
@@ -344,6 +355,7 @@ impl RwHandle for SolarisLikeHandle<'_> {
                 ts.groups.push_back(Group::Writer(Arc::clone(&ev)));
                 ts.num_writers += 1;
                 lock.telemetry.incr(LockEvent::WriteSlow);
+                lock.telemetry.trace_enqueued(Arc::as_ptr(&ev) as u64);
                 drop(ts);
                 ev.wait();
                 lock.telemetry.record_write_acquire(&acquire);
@@ -420,7 +432,7 @@ impl oll_core::raw::TimedHandle for SolarisLikeHandle<'_> {
         deadline: std::time::Instant,
     ) -> Result<(), oll_core::TimedOut> {
         let lock = self.lock;
-        let acquire = lock.telemetry.timer();
+        let acquire = lock.telemetry.begin_read();
         let mut b = Backoff::with_policy(lock.backoff);
         loop {
             let w = lock.load();
@@ -466,6 +478,7 @@ impl oll_core::raw::TimedHandle for SolarisLikeHandle<'_> {
                 }
             };
             lock.telemetry.incr(LockEvent::ReadSlow);
+            lock.telemetry.trace_enqueued(Arc::as_ptr(&group) as u64);
             drop(ts);
             if group.wait_deadline(deadline) {
                 // Handed over: already counted into the word.
@@ -506,7 +519,7 @@ impl oll_core::raw::TimedHandle for SolarisLikeHandle<'_> {
         deadline: std::time::Instant,
     ) -> Result<(), oll_core::TimedOut> {
         let lock = self.lock;
-        let acquire = lock.telemetry.timer();
+        let acquire = lock.telemetry.begin_write();
         let mut b = Backoff::with_policy(lock.backoff);
         loop {
             let w = lock.load();
@@ -539,6 +552,7 @@ impl oll_core::raw::TimedHandle for SolarisLikeHandle<'_> {
                 ts.groups.push_back(Group::Writer(Arc::clone(&ev)));
                 ts.num_writers += 1;
                 lock.telemetry.incr(LockEvent::WriteSlow);
+                lock.telemetry.trace_enqueued(Arc::as_ptr(&ev) as u64);
                 drop(ts);
                 if ev.wait_deadline(deadline) {
                     lock.telemetry.record_write_acquire(&acquire);

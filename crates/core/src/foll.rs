@@ -276,7 +276,13 @@ impl QueueCore {
                 Ordering::AcqRel,
                 Ordering::Acquire,
             ) {
-                Ok(_) => return,
+                Ok(_) => {
+                    // The node reference is the trace causality token the
+                    // waiter stamped on its `enqueued` marker; this joins
+                    // the hand-off edge from our side.
+                    self.telemetry.trace_granted(u64::from(cur.raw()));
+                    return;
+                }
                 Err(observed) => {
                     debug_assert_eq!(observed, ABANDONED, "grant raced a non-cancel transition");
                     self.telemetry.incr(LockEvent::GrantCascade);
@@ -403,7 +409,7 @@ impl QueueCore {
     /// waits for the predecessor's readers to become active, which is what
     /// lets later readers overtake us and join them (§4.3).
     pub(crate) fn writer_lock(&self, slot: usize, wait_for_active: bool) {
-        let acquire = self.telemetry.timer();
+        let acquire = self.telemetry.begin_write();
         let me = NodeRef::writer(slot);
         let node = self.wnode(slot);
         node.qnext.store(NodeRef::NIL.raw(), Ordering::Relaxed);
@@ -432,6 +438,7 @@ impl QueueCore {
                 // lock. The predecessor reader node cannot be ABANDONED
                 // here: its C-SNZI is still open, so no canceller ever saw
                 // `MustHandOff` on it.
+                self.telemetry.trace_enqueued(u64::from(pred.raw()));
                 spin_until(self.backoff, || {
                     pnode.state.load(Ordering::Acquire) == GRANTED
                 });
@@ -443,6 +450,7 @@ impl QueueCore {
                 // close saw surplus zero, so no arrived reader exists to
                 // cancel and abandon the node — it can only be GRANTED.)
                 fault::inject("foll.write.closed-empty");
+                self.telemetry.trace_enqueued(u64::from(pred.raw()));
                 spin_until(self.backoff, || {
                     pnode.state.load(Ordering::Acquire) == GRANTED
                 });
@@ -450,12 +458,14 @@ impl QueueCore {
             } else {
                 // The last departing reader will grant us.
                 fault::inject("foll.write.waiting");
+                self.telemetry.trace_enqueued(u64::from(me.raw()));
                 spin_until(self.backoff, || {
                     node.state.load(Ordering::Acquire) == GRANTED
                 });
             }
         } else {
             fault::inject("foll.write.waiting");
+            self.telemetry.trace_enqueued(u64::from(me.raw()));
             spin_until(self.backoff, || {
                 node.state.load(Ordering::Acquire) == GRANTED
             });
@@ -477,7 +487,7 @@ impl QueueCore {
     ) -> Result<(), WriteTimeout> {
         use oll_util::backoff::spin_until_deadline;
 
-        let acquire = self.telemetry.timer();
+        let acquire = self.telemetry.begin_write();
         let me = NodeRef::writer(slot);
         let node = self.wnode(slot);
         node.qnext.store(NodeRef::NIL.raw(), Ordering::Relaxed);
@@ -501,12 +511,14 @@ impl QueueCore {
             if wait_for_active {
                 // ROLL's courtesy wait; on timeout just close early — the
                 // acquisition degrades to FOLL behaviour but stays correct.
+                self.telemetry.trace_enqueued(u64::from(pred.raw()));
                 spin_until_deadline(self.backoff, deadline, || {
                     pnode.state.load(Ordering::Acquire) == GRANTED
                 });
             }
             if pnode.csnzi.close() {
                 fault::inject("foll.write.closed-empty");
+                self.telemetry.trace_enqueued(u64::from(pred.raw()));
                 if spin_until_deadline(self.backoff, deadline, || {
                     pnode.state.load(Ordering::Acquire) == GRANTED
                 }) {
@@ -541,6 +553,7 @@ impl QueueCore {
                 }
             } else {
                 fault::inject("foll.write.waiting");
+                self.telemetry.trace_enqueued(u64::from(me.raw()));
                 if spin_until_deadline(self.backoff, deadline, || {
                     node.state.load(Ordering::Acquire) == GRANTED
                 }) {
@@ -551,6 +564,7 @@ impl QueueCore {
             }
         } else {
             fault::inject("foll.write.waiting");
+            self.telemetry.trace_enqueued(u64::from(me.raw()));
             if spin_until_deadline(self.backoff, deadline, || {
                 node.state.load(Ordering::Acquire) == GRANTED
             }) {
@@ -801,7 +815,7 @@ impl RwHandle for FollHandle<'_> {
         debug_assert!(self.session.is_none() && !self.write_held);
         let core = self.core;
         let slot = self.slot_idx();
-        let acquire = core.telemetry.timer();
+        let acquire = core.telemetry.begin_read();
         let mut rnode: Option<usize> = None;
         let mut backoff = Backoff::with_policy(core.backoff);
         loop {
@@ -849,6 +863,8 @@ impl RwHandle for FollHandle<'_> {
                         core.telemetry.incr(LockEvent::ReadSlow);
                         self.session = Some((r, ticket));
                         fault::inject("foll.read.waiting");
+                        core.telemetry
+                            .trace_enqueued(u64::from(NodeRef::reader(r).raw()));
                         spin_until(core.backoff, || {
                             node.state.load(Ordering::Acquire) == GRANTED
                         });
@@ -878,6 +894,7 @@ impl RwHandle for FollHandle<'_> {
                         core.telemetry.incr(LockEvent::ReadFast);
                     } else {
                         core.telemetry.incr(LockEvent::ReadSlow);
+                        core.telemetry.trace_enqueued(u64::from(tail.raw()));
                     }
                     self.session = Some((tail.index(), ticket));
                     fault::inject("foll.read.waiting");
@@ -1006,7 +1023,7 @@ impl crate::raw::TimedHandle for FollHandle<'_> {
         debug_assert!(self.session.is_none() && !self.write_held);
         let core = self.core;
         let slot = self.slot_idx();
-        let acquire = core.telemetry.timer();
+        let acquire = core.telemetry.begin_read();
         let mut rnode: Option<usize> = None;
         let mut backoff = Backoff::with_policy(core.backoff);
         loop {
@@ -1049,6 +1066,8 @@ impl crate::raw::TimedHandle for FollHandle<'_> {
                         core.note_arrival(ticket);
                         core.telemetry.incr(LockEvent::ReadSlow);
                         fault::inject("foll.read.waiting");
+                        core.telemetry
+                            .trace_enqueued(u64::from(NodeRef::reader(r).raw()));
                         if spin_until_deadline(core.backoff, deadline, || {
                             node.state.load(Ordering::Acquire) == GRANTED
                         }) {
@@ -1080,6 +1099,7 @@ impl crate::raw::TimedHandle for FollHandle<'_> {
                         core.telemetry.incr(LockEvent::ReadFast);
                     } else {
                         core.telemetry.incr(LockEvent::ReadSlow);
+                        core.telemetry.trace_enqueued(u64::from(tail.raw()));
                     }
                     fault::inject("foll.read.waiting");
                     if spin_until_deadline(core.backoff, deadline, || {

@@ -453,11 +453,18 @@ impl GollLock {
     }
 
     fn signal(&self, handoff: Handoff) {
+        // The wait-event address doubles as the trace causality token:
+        // it is the one value both the granting and the woken thread
+        // share, so `granted` here joins the grantee's `enqueued`.
         match handoff {
             Handoff::None => {}
-            Handoff::Writer(ev) => ev.signal(),
+            Handoff::Writer(ev) => {
+                self.telemetry.trace_granted(Arc::as_ptr(&ev) as u64);
+                ev.signal();
+            }
             Handoff::Readers { groups, .. } => {
                 for g in groups {
+                    self.telemetry.trace_granted(Arc::as_ptr(&g) as u64);
                     g.signal_all();
                 }
             }
@@ -545,7 +552,7 @@ impl GollHandle<'_> {
 impl RwHandle for GollHandle<'_> {
     fn lock_read(&mut self) {
         debug_assert!(self.read_ticket.is_none() && !self.write_held);
-        let acquire = self.lock.telemetry.timer();
+        let acquire = self.lock.telemetry.begin_read();
         loop {
             // Fast path: in the absence of conflicting requests this is the
             // only step, and it never touches the queue mutex.
@@ -569,6 +576,9 @@ impl RwHandle for GollHandle<'_> {
             }
             let group = q.join_readers(self.lock.strategy, self.priority);
             self.lock.telemetry.incr(LockEvent::ReadSlow);
+            self.lock
+                .telemetry
+                .trace_enqueued(Arc::as_ptr(&group) as u64);
             drop(q);
             // The releasing thread pre-arrives at the root on our behalf
             // (OpenWithArrivals), so we depart directly from the root.
@@ -628,7 +638,7 @@ impl RwHandle for GollHandle<'_> {
 
     fn lock_write(&mut self) {
         debug_assert!(self.read_ticket.is_none() && !self.write_held);
-        let acquire = self.lock.telemetry.timer();
+        let acquire = self.lock.telemetry.begin_write();
         // Fast path: free lock.
         if self.lock.csnzi.close_if_empty() {
             self.lock.telemetry.incr(LockEvent::WriteFast);
@@ -650,6 +660,7 @@ impl RwHandle for GollHandle<'_> {
         }
         let ev = q.enqueue_writer(self.lock.strategy, self.priority);
         self.lock.telemetry.incr(LockEvent::WriteSlow);
+        self.lock.telemetry.trace_enqueued(Arc::as_ptr(&ev) as u64);
         drop(q);
         // Whoever releases the lock hands it to us in the write-acquired
         // state before signaling.
@@ -721,7 +732,7 @@ impl RwHandle for GollHandle<'_> {
 impl crate::raw::TimedHandle for GollHandle<'_> {
     fn lock_read_deadline(&mut self, deadline: std::time::Instant) -> Result<(), crate::TimedOut> {
         debug_assert!(self.read_ticket.is_none() && !self.write_held);
-        let acquire = self.lock.telemetry.timer();
+        let acquire = self.lock.telemetry.begin_read();
         loop {
             let hint = self.leaf_hint();
             let ticket = self.lock.csnzi.arrive(&mut self.policy, hint);
@@ -746,6 +757,9 @@ impl crate::raw::TimedHandle for GollHandle<'_> {
             }
             let group = q.join_readers(self.lock.strategy, self.priority);
             self.lock.telemetry.incr(LockEvent::ReadSlow);
+            self.lock
+                .telemetry
+                .trace_enqueued(Arc::as_ptr(&group) as u64);
             drop(q);
             fault::inject("goll.read.queued");
             if group.wait_deadline(deadline) {
@@ -780,7 +794,7 @@ impl crate::raw::TimedHandle for GollHandle<'_> {
 
     fn lock_write_deadline(&mut self, deadline: std::time::Instant) -> Result<(), crate::TimedOut> {
         debug_assert!(self.read_ticket.is_none() && !self.write_held);
-        let acquire = self.lock.telemetry.timer();
+        let acquire = self.lock.telemetry.begin_write();
         if self.lock.csnzi.close_if_empty() {
             self.lock.telemetry.incr(LockEvent::WriteFast);
             self.lock.telemetry.record_write_acquire(&acquire);
@@ -809,6 +823,7 @@ impl crate::raw::TimedHandle for GollHandle<'_> {
         }
         let ev = q.enqueue_writer(self.lock.strategy, self.priority);
         self.lock.telemetry.incr(LockEvent::WriteSlow);
+        self.lock.telemetry.trace_enqueued(Arc::as_ptr(&ev) as u64);
         drop(q);
         fault::inject("goll.write.queued");
         if ev.wait_deadline(deadline) {

@@ -297,7 +297,7 @@ impl RwHandle for RollHandle<'_> {
         let lock = self.lock;
         let core = &lock.core;
         let slot = self.slot_idx();
-        let acquire = core.telemetry.timer();
+        let acquire = core.telemetry.begin_read();
         let mut rnode: Option<usize> = None;
         let mut backoff = Backoff::with_policy(core.backoff);
         loop {
@@ -340,6 +340,7 @@ impl RwHandle for RollHandle<'_> {
                         core.telemetry.incr(LockEvent::ReadFast);
                     } else {
                         core.telemetry.incr(LockEvent::ReadSlow);
+                        core.telemetry.trace_enqueued(u64::from(tail.raw()));
                     }
                     self.session = Some((tail.index(), ticket));
                     fault::inject("roll.read.waiting");
@@ -362,6 +363,8 @@ impl RwHandle for RollHandle<'_> {
                     let node = core.rnode(idx);
                     core.note_arrival(ticket);
                     core.telemetry.incr(LockEvent::ReadSlow);
+                    core.telemetry
+                        .trace_enqueued(u64::from(NodeRef::reader(idx).raw()));
                     self.session = Some((idx, ticket));
                     fault::inject("roll.read.joined");
                     spin_until(core.backoff, || {
@@ -388,6 +391,8 @@ impl RwHandle for RollHandle<'_> {
                         lock.set_hint(NodeRef::reader(r));
                         self.session = Some((r, ticket));
                         fault::inject("roll.read.waiting");
+                        core.telemetry
+                            .trace_enqueued(u64::from(NodeRef::reader(r).raw()));
                         spin_until(core.backoff, || {
                             node.state.load(Ordering::Acquire) == GRANTED
                         });
@@ -505,7 +510,7 @@ impl crate::raw::TimedHandle for RollHandle<'_> {
         let lock = self.lock;
         let core = &lock.core;
         let slot = self.slot_idx();
-        let acquire = core.telemetry.timer();
+        let acquire = core.telemetry.begin_read();
         let mut rnode: Option<usize> = None;
         let mut backoff = Backoff::with_policy(core.backoff);
         loop {
@@ -545,6 +550,7 @@ impl crate::raw::TimedHandle for RollHandle<'_> {
                         core.telemetry.incr(LockEvent::ReadFast);
                     } else {
                         core.telemetry.incr(LockEvent::ReadSlow);
+                        core.telemetry.trace_enqueued(u64::from(tail.raw()));
                     }
                     fault::inject("roll.read.waiting");
                     if spin_until_deadline(core.backoff, deadline, || {
@@ -569,6 +575,8 @@ impl crate::raw::TimedHandle for RollHandle<'_> {
                     let node = core.rnode(idx);
                     core.note_arrival(ticket);
                     core.telemetry.incr(LockEvent::ReadSlow);
+                    core.telemetry
+                        .trace_enqueued(u64::from(NodeRef::reader(idx).raw()));
                     fault::inject("roll.read.joined");
                     if spin_until_deadline(core.backoff, deadline, || {
                         node.state.load(Ordering::Acquire) == GRANTED
@@ -599,6 +607,8 @@ impl crate::raw::TimedHandle for RollHandle<'_> {
                         lock.set_hint(NodeRef::reader(r));
                         self.session = Some((r, ticket));
                         fault::inject("roll.read.waiting");
+                        core.telemetry
+                            .trace_enqueued(u64::from(NodeRef::reader(r).raw()));
                         if spin_until_deadline(core.backoff, deadline, || {
                             node.state.load(Ordering::Acquire) == GRANTED
                         }) {

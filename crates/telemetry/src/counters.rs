@@ -57,6 +57,10 @@ pub struct LockTelemetry {
     name: Mutex<String>,
     /// The lock algorithm (e.g. `"GOLL"`).
     kind: &'static str,
+    /// This instance's id in the `oll_trace` lock registry, stamped on
+    /// every trace record the facade emits for it.
+    #[cfg(feature = "trace")]
+    trace_id: u32,
     shards: Box<[CachePadded<Shard>]>,
     /// `lock_read` wall time, entry to success.
     pub(crate) read_acquire: AtomicHistogram,
@@ -71,9 +75,13 @@ pub struct LockTelemetry {
 impl LockTelemetry {
     /// Creates empty state for a lock of algorithm `kind` named `name`.
     pub fn new(name: String, kind: &'static str) -> Self {
+        #[cfg(feature = "trace")]
+        let trace_id = oll_trace::register_lock(kind, &name);
         Self {
             name: Mutex::new(name),
             kind,
+            #[cfg(feature = "trace")]
+            trace_id,
             shards: (0..SHARDS)
                 .map(|_| CachePadded::new(Shard::new()))
                 .collect(),
@@ -97,6 +105,15 @@ impl LockTelemetry {
     /// Renames the instance (shows up in subsequent snapshots).
     pub fn set_name(&self, name: &str) {
         *self.name.lock().unwrap() = name.to_string();
+        #[cfg(feature = "trace")]
+        oll_trace::rename_lock(self.trace_id, name);
+    }
+
+    /// This instance's `oll_trace` lock id.
+    #[cfg(feature = "trace")]
+    #[inline]
+    pub(crate) fn trace_id(&self) -> u32 {
+        self.trace_id
     }
 
     /// Adds `n` to `event`'s counter on this thread's shard.

@@ -47,6 +47,18 @@ use counters::LockTelemetry;
 #[cfg(feature = "enabled")]
 use std::sync::Arc;
 
+#[cfg(feature = "trace")]
+use oll_trace::TraceKind;
+
+/// Maps a counted event onto its trace-record kind: the first 17
+/// `TraceKind` discriminants mirror [`LockEvent`] one-for-one (pinned
+/// by a test below).
+#[cfg(feature = "trace")]
+#[inline]
+fn trace_kind(event: LockEvent) -> TraceKind {
+    TraceKind::from_u8(event.index() as u8).expect("LockEvent taxonomy is a TraceKind prefix")
+}
+
 /// Handle to one lock's telemetry, embedded in the lock itself.
 ///
 /// With the `enabled` feature off this is a zero-sized type and every
@@ -136,17 +148,81 @@ impl Telemetry {
         self.add(event, 1);
     }
 
-    /// Counts `n` occurrences of `event`.
+    /// Counts `n` occurrences of `event`. With the `trace` feature, one
+    /// record of the matching kind also lands in the calling thread's
+    /// trace ring (a batched count is still a single occurrence in
+    /// time, so it traces as one record).
     #[inline]
     pub fn add(&self, event: LockEvent, n: u64) {
         #[cfg(feature = "enabled")]
         if let Some(t) = &self.inner {
             t.add(event, n);
+            #[cfg(feature = "trace")]
+            oll_trace::emit(t.trace_id(), trace_kind(event), 0);
         }
         #[cfg(not(feature = "enabled"))]
         {
             let _ = (event, n);
         }
+    }
+
+    /// This instance's `oll_trace` lock id, when tracing is compiled in
+    /// and the handle is active (tests use it to filter timelines).
+    pub fn trace_id(&self) -> Option<u32> {
+        #[cfg(feature = "trace")]
+        {
+            self.inner.as_ref().map(|t| t.trace_id())
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            None
+        }
+    }
+
+    /// Emits a bare trace marker of `kind` carrying `token` (no counter
+    /// touched). Empty inline no-op without the `trace` feature.
+    #[inline]
+    fn trace_mark(&self, kind: oll_trace::TraceKind, token: u64) {
+        #[cfg(feature = "trace")]
+        if let Some(t) = &self.inner {
+            oll_trace::emit(t.trace_id(), kind, token);
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            let _ = (kind, token);
+        }
+    }
+
+    /// Starts a read acquisition: a [`Telemetry::timer`] plus a
+    /// `read_begin` trace marker opening the acquisition span.
+    #[inline]
+    pub fn begin_read(&self) -> Timer {
+        self.trace_mark(oll_trace::TraceKind::ReadBegin, 0);
+        self.timer()
+    }
+
+    /// Starts a write acquisition: a [`Telemetry::timer`] plus a
+    /// `write_begin` trace marker opening the acquisition span.
+    #[inline]
+    pub fn begin_write(&self) -> Timer {
+        self.trace_mark(oll_trace::TraceKind::WriteBegin, 0);
+        self.timer()
+    }
+
+    /// Marks that the calling thread parked on `token` (a waiter-node
+    /// reference or wait-event address). The matching
+    /// [`Telemetry::trace_granted`] from the releasing thread stitches
+    /// the hand-off edge.
+    #[inline]
+    pub fn trace_enqueued(&self, token: u64) {
+        self.trace_mark(oll_trace::TraceKind::Enqueued, token);
+    }
+
+    /// Marks that the calling thread granted ownership to the waiter(s)
+    /// parked on `token`.
+    #[inline]
+    pub fn trace_granted(&self, token: u64) {
+        self.trace_mark(oll_trace::TraceKind::Granted, token);
     }
 
     /// Starts a timer if this handle is active (otherwise the timer is
@@ -165,52 +241,61 @@ impl Telemetry {
         }
     }
 
-    /// Records a completed `lock_read` latency sample from `timer`.
+    /// Records a completed `lock_read` latency sample from `timer`, and
+    /// (under `trace`) a `read_acquired` marker closing the span opened
+    /// by [`Telemetry::begin_read`].
     #[inline]
     pub fn record_read_acquire(&self, timer: &Timer) {
         #[cfg(feature = "enabled")]
         if let (Some(t), Some(ns)) = (&self.inner, timer.elapsed_ns()) {
             t.read_acquire.record(ns);
         }
+        self.trace_mark(oll_trace::TraceKind::ReadAcquired, 0);
         #[cfg(not(feature = "enabled"))]
         {
             let _ = timer;
         }
     }
 
-    /// Records a completed `lock_write` latency sample from `timer`.
+    /// Records a completed `lock_write` latency sample from `timer`,
+    /// and (under `trace`) a `write_acquired` marker.
     #[inline]
     pub fn record_write_acquire(&self, timer: &Timer) {
         #[cfg(feature = "enabled")]
         if let (Some(t), Some(ns)) = (&self.inner, timer.elapsed_ns()) {
             t.write_acquire.record(ns);
         }
+        self.trace_mark(oll_trace::TraceKind::WriteAcquired, 0);
         #[cfg(not(feature = "enabled"))]
         {
             let _ = timer;
         }
     }
 
-    /// Records a read-hold duration sample from `timer`.
+    /// Records a read-hold duration sample from `timer`, and (under
+    /// `trace`) a `read_release` marker closing the hold span.
     #[inline]
     pub fn record_read_hold(&self, timer: &Timer) {
         #[cfg(feature = "enabled")]
         if let (Some(t), Some(ns)) = (&self.inner, timer.elapsed_ns()) {
             t.read_hold.record(ns);
         }
+        self.trace_mark(oll_trace::TraceKind::ReadRelease, 0);
         #[cfg(not(feature = "enabled"))]
         {
             let _ = timer;
         }
     }
 
-    /// Records a write-hold duration sample from `timer`.
+    /// Records a write-hold duration sample from `timer`, and (under
+    /// `trace`) a `write_release` marker.
     #[inline]
     pub fn record_write_hold(&self, timer: &Timer) {
         #[cfg(feature = "enabled")]
         if let (Some(t), Some(ns)) = (&self.inner, timer.elapsed_ns()) {
             t.write_hold.record(ns);
         }
+        self.trace_mark(oll_trace::TraceKind::WriteRelease, 0);
         #[cfg(not(feature = "enabled"))]
         {
             let _ = timer;
@@ -313,6 +398,55 @@ mod tests {
         assert_eq!(s.write_acquire.count, 1);
         t.reset();
         assert!(t.snapshot().unwrap().is_empty());
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn lock_event_taxonomy_is_trace_kind_prefix() {
+        for e in LockEvent::ALL {
+            assert_eq!(trace_kind(e).name(), e.name());
+            assert_eq!(trace_kind(e).index(), e.index());
+        }
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn facade_emits_trace_records() {
+        let t = Telemetry::register("TEST");
+        let id = t.trace_id().expect("active traced handle has an id");
+        let session = oll_trace::TraceSession::begin();
+        let timer = t.begin_write();
+        t.incr(LockEvent::WriteSlow);
+        t.trace_enqueued(0xabc);
+        t.trace_granted(0xabc);
+        t.record_write_acquire(&timer);
+        let hold = t.timer();
+        t.record_write_hold(&hold);
+        let tl = session.collect().filter_lock(id);
+        let kinds: Vec<_> = tl.records.iter().map(|r| r.kind).collect();
+        use oll_trace::TraceKind as K;
+        assert_eq!(
+            kinds,
+            vec![
+                K::WriteBegin,
+                K::WriteSlow,
+                K::Enqueued,
+                K::Granted,
+                K::WriteAcquired,
+                K::WriteRelease,
+            ]
+        );
+        assert_eq!(tl.records[2].token, 0xabc);
+        // Rename propagates into the trace lock registry.
+        t.rename("facade/trace");
+        assert_eq!(oll_trace::capture_all().lock_name(id), "facade/trace");
+        // Inactive handles stay silent.
+        let quiet = Telemetry::disabled();
+        assert_eq!(quiet.trace_id(), None);
+        let before = session.collect().filter_lock(id).records.len();
+        quiet.trace_enqueued(1);
+        quiet.incr(LockEvent::ReadFast);
+        assert_eq!(session.collect().filter_lock(id).records.len(), before);
     }
 
     #[cfg(not(feature = "enabled"))]

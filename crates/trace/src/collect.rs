@@ -1,0 +1,416 @@
+//! The recorder's global side: ring/lock registries, the emit path, and
+//! the collector that drains every ring into a merged [`Timeline`].
+//!
+//! # Drain protocol
+//!
+//! A [`TraceSession`] snapshots each live ring's `written` cursor at
+//! [`TraceSession::begin`]. [`TraceSession::collect`] walks every ring
+//! (including rings born after `begin`, from position 0) over
+//! `[start, written_now)`, clamps the low end to the ring's retention
+//! window (`written_now - capacity`), and counts everything outside the
+//! window — plus any record the owner laps mid-copy — as **dropped**.
+//! Collection is non-destructive: cursors live in the session, not the
+//! ring, so concurrent sessions never steal each other's records.
+
+use crate::record::TraceRecord;
+
+#[cfg(feature = "enabled")]
+use crate::record::TraceKind;
+#[cfg(feature = "enabled")]
+use crate::ring::{Ring, DEFAULT_RING_CAPACITY};
+#[cfg(feature = "enabled")]
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+#[cfg(feature = "enabled")]
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// One lock instance in the timeline's header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockDescriptor {
+    /// The id carried by records (1-based; 0 = unattributed).
+    pub id: u32,
+    /// Lock algorithm (e.g. `"GOLL"`).
+    pub kind: String,
+    /// Instance name (tracks `Telemetry::rename`).
+    pub name: String,
+}
+
+/// One recording thread in the timeline's header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadDescriptor {
+    /// The dense id carried by records (1-based, first-emit order).
+    pub tid: u32,
+    /// OS thread name at first emit, if any.
+    pub name: String,
+}
+
+/// A merged, time-ordered drain of every ring.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    /// Records sorted by `(ts_ns, tid)`.
+    pub records: Vec<TraceRecord>,
+    /// Records lost to ring wrap-around (reported, never silent).
+    pub dropped: u64,
+    /// Known lock instances (header metadata).
+    pub locks: Vec<LockDescriptor>,
+    /// Known recording threads (header metadata).
+    pub threads: Vec<ThreadDescriptor>,
+}
+
+impl Timeline {
+    /// Whether any record was lost to ring wrap-around.
+    pub fn truncated(&self) -> bool {
+        self.dropped > 0
+    }
+
+    /// Display name for lock `id` (`"?"` if unregistered).
+    pub fn lock_name(&self, id: u32) -> &str {
+        self.locks
+            .iter()
+            .find(|l| l.id == id)
+            .map(|l| l.name.as_str())
+            .unwrap_or("?")
+    }
+
+    /// Display name for thread `tid`.
+    pub fn thread_name(&self, tid: u32) -> String {
+        self.threads
+            .iter()
+            .find(|t| t.tid == tid)
+            .filter(|t| !t.name.is_empty())
+            .map(|t| t.name.clone())
+            .unwrap_or_else(|| format!("thread-{tid}"))
+    }
+
+    /// A copy containing only records for lock `id` (header kept).
+    /// Handy for tests that must ignore other locks' concurrent noise.
+    pub fn filter_lock(&self, id: u32) -> Timeline {
+        Timeline {
+            records: self
+                .records
+                .iter()
+                .filter(|r| r.lock == id)
+                .copied()
+                .collect(),
+            dropped: self.dropped,
+            locks: self.locks.clone(),
+            threads: self.threads.clone(),
+        }
+    }
+}
+
+#[cfg(feature = "enabled")]
+mod recorder {
+    use super::*;
+
+    pub(super) fn rings() -> &'static Mutex<Vec<Arc<Ring>>> {
+        static RINGS: OnceLock<Mutex<Vec<Arc<Ring>>>> = OnceLock::new();
+        RINGS.get_or_init(|| Mutex::new(Vec::new()))
+    }
+
+    pub(super) struct LockEntry {
+        pub kind: String,
+        pub name: Mutex<String>,
+    }
+
+    pub(super) fn locks() -> &'static Mutex<Vec<Arc<LockEntry>>> {
+        static LOCKS: OnceLock<Mutex<Vec<Arc<LockEntry>>>> = OnceLock::new();
+        LOCKS.get_or_init(|| Mutex::new(Vec::new()))
+    }
+
+    pub(super) static RING_CAPACITY: AtomicUsize = AtomicUsize::new(DEFAULT_RING_CAPACITY);
+
+    /// Monotonic clock shared by every ring: nanoseconds since the first
+    /// call in the process.
+    pub(super) fn now_ns() -> u64 {
+        static EPOCH: OnceLock<std::time::Instant> = OnceLock::new();
+        let e = EPOCH.get_or_init(std::time::Instant::now).elapsed();
+        e.as_secs()
+            .saturating_mul(1_000_000_000)
+            .saturating_add(u64::from(e.subsec_nanos()))
+    }
+
+    fn install_ring() -> Arc<Ring> {
+        static NEXT_TID: AtomicU32 = AtomicU32::new(1);
+        let tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+        let name = std::thread::current().name().map(str::to_string);
+        let ring = Arc::new(Ring::new(tid, name, RING_CAPACITY.load(Ordering::Relaxed)));
+        rings().lock().unwrap().push(Arc::clone(&ring));
+        ring
+    }
+
+    thread_local! {
+        static RING: std::cell::OnceCell<Arc<Ring>> = const { std::cell::OnceCell::new() };
+    }
+
+    #[inline]
+    pub(super) fn emit(lock: u32, kind: TraceKind, token: u64) {
+        let r = TraceRecord {
+            ts_ns: now_ns(),
+            tid: 0, // filled from the ring below
+            lock,
+            kind,
+            token,
+        };
+        // Threads whose TLS is already tearing down lose the record;
+        // the flight recorder must never panic out of a lock path.
+        let _ = RING.try_with(|cell| {
+            let ring = cell.get_or_init(install_ring);
+            ring.push(&TraceRecord {
+                tid: ring.tid(),
+                ..r
+            });
+        });
+    }
+}
+
+/// Nanoseconds on the trace clock (monotonic, process-wide epoch).
+/// Always 0 when the `enabled` feature is off.
+#[inline]
+pub fn now_ns() -> u64 {
+    #[cfg(feature = "enabled")]
+    {
+        recorder::now_ns()
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        0
+    }
+}
+
+/// Appends a record to the calling thread's ring. Empty inline no-op
+/// without the `enabled` feature.
+#[inline]
+pub fn emit(lock: u32, kind: crate::record::TraceKind, token: u64) {
+    #[cfg(feature = "enabled")]
+    recorder::emit(lock, kind, token);
+    #[cfg(not(feature = "enabled"))]
+    {
+        let _ = (lock, kind, token);
+    }
+}
+
+/// Registers a lock instance; the returned id attributes its records.
+/// Returns 0 (the unattributed id) when tracing is compiled out.
+pub fn register_lock(kind: &str, name: &str) -> u32 {
+    #[cfg(feature = "enabled")]
+    {
+        let mut locks = recorder::locks().lock().unwrap();
+        locks.push(std::sync::Arc::new(recorder::LockEntry {
+            kind: kind.to_string(),
+            name: Mutex::new(name.to_string()),
+        }));
+        locks.len() as u32
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        let _ = (kind, name);
+        0
+    }
+}
+
+/// Renames a registered lock (shows up in subsequent collections).
+pub fn rename_lock(id: u32, name: &str) {
+    #[cfg(feature = "enabled")]
+    {
+        if id == 0 {
+            return;
+        }
+        let entry = recorder::locks()
+            .lock()
+            .unwrap()
+            .get(id as usize - 1)
+            .cloned();
+        if let Some(e) = entry {
+            *e.name.lock().unwrap() = name.to_string();
+        }
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        let _ = (id, name);
+    }
+}
+
+/// Sets the capacity (in records) of rings created *after* this call.
+/// Existing rings keep their size. No-op when tracing is compiled out.
+pub fn set_thread_ring_capacity(records: usize) {
+    #[cfg(feature = "enabled")]
+    recorder::RING_CAPACITY.store(records.max(1), std::sync::atomic::Ordering::Relaxed);
+    #[cfg(not(feature = "enabled"))]
+    {
+        let _ = records;
+    }
+}
+
+/// A collection window over the flight recorder.
+///
+/// Zero-sized when the `enabled` feature is off ([`TraceSession::begin`]
+/// and [`TraceSession::collect`] still exist; `collect` returns an empty
+/// [`Timeline`]), so tooling needs no `cfg` of its own.
+#[derive(Debug, Default)]
+pub struct TraceSession {
+    /// `(ring, written-at-begin)` for rings alive at `begin`.
+    #[cfg(feature = "enabled")]
+    marks: Vec<(Arc<Ring>, u64)>,
+}
+
+impl TraceSession {
+    /// Opens a window: subsequent [`TraceSession::collect`] calls return
+    /// records emitted from this point on (rings born later are included
+    /// from their first record).
+    pub fn begin() -> Self {
+        #[cfg(feature = "enabled")]
+        {
+            let marks = recorder::rings()
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|r| (Arc::clone(r), r.written()))
+                .collect();
+            Self { marks }
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            Self {}
+        }
+    }
+
+    /// Drains every ring into a merged, time-sorted [`Timeline`].
+    /// Non-destructive; callable repeatedly on one session.
+    pub fn collect(&self) -> Timeline {
+        #[cfg(feature = "enabled")]
+        {
+            let all: Vec<Arc<Ring>> = recorder::rings().lock().unwrap().clone();
+            let start_of = |ring: &Arc<Ring>| -> u64 {
+                self.marks
+                    .iter()
+                    .find(|(r, _)| Arc::ptr_eq(r, ring))
+                    .map(|(_, pos)| *pos)
+                    .unwrap_or(0)
+            };
+            let mut tl = Timeline::default();
+            for ring in &all {
+                let start = start_of(ring);
+                let end = ring.written();
+                let lo = start.max(end.saturating_sub(ring.capacity()));
+                tl.dropped += lo - start;
+                for pos in lo..end {
+                    match ring.read_at(pos) {
+                        Some(r) => tl.records.push(r),
+                        None => tl.dropped += 1,
+                    }
+                }
+                tl.threads.push(ThreadDescriptor {
+                    tid: ring.tid(),
+                    name: ring.thread_name().unwrap_or("").to_string(),
+                });
+            }
+            tl.records.sort_by_key(|r| (r.ts_ns, r.tid));
+            tl.threads.sort_by_key(|t| t.tid);
+            tl.locks = recorder::locks()
+                .lock()
+                .unwrap()
+                .iter()
+                .enumerate()
+                .map(|(i, e)| LockDescriptor {
+                    id: i as u32 + 1,
+                    kind: e.kind.clone(),
+                    name: e.name.lock().unwrap().clone(),
+                })
+                .collect();
+            tl
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            Timeline::default()
+        }
+    }
+}
+
+/// Everything still retained in every ring, since process start.
+pub fn capture_all() -> Timeline {
+    #[cfg(feature = "enabled")]
+    {
+        TraceSession { marks: Vec::new() }.collect()
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        Timeline::default()
+    }
+}
+
+#[cfg(all(test, feature = "enabled"))]
+mod tests {
+    use super::*;
+    use crate::record::TraceKind;
+
+    #[test]
+    fn session_scopes_and_merges() {
+        let lock = register_lock("TEST", "collect/session");
+        emit(lock, TraceKind::ReadFast, 0);
+        let session = TraceSession::begin();
+        let handle = std::thread::Builder::new()
+            .name("collector-worker".into())
+            .spawn(move || {
+                for i in 0..10 {
+                    emit(lock, TraceKind::WriteFast, i);
+                }
+            })
+            .unwrap();
+        handle.join().unwrap();
+        emit(lock, TraceKind::ReadSlow, 7);
+        let tl = session.collect().filter_lock(lock);
+        // The pre-session ReadFast is out of the window; this thread's
+        // ReadSlow and the worker's 10 WriteFasts are in.
+        let fast = tl
+            .records
+            .iter()
+            .filter(|r| r.kind == TraceKind::WriteFast)
+            .count();
+        assert_eq!(fast, 10);
+        assert!(tl.records.iter().any(|r| r.kind == TraceKind::ReadSlow));
+        assert!(!tl.records.iter().any(|r| r.kind == TraceKind::ReadFast));
+        // Sorted by time.
+        assert!(tl.records.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+        // The worker thread's name made it into the header.
+        let wtid = tl
+            .records
+            .iter()
+            .find(|r| r.kind == TraceKind::WriteFast)
+            .unwrap()
+            .tid;
+        assert_eq!(tl.thread_name(wtid), "collector-worker");
+        assert_eq!(tl.lock_name(lock), "collect/session");
+    }
+
+    #[test]
+    fn overflow_is_counted_not_silent() {
+        set_thread_ring_capacity(16);
+        let lock = register_lock("TEST", "collect/overflow");
+        let session = TraceSession::begin();
+        std::thread::spawn(move || {
+            for i in 0..100 {
+                emit(lock, TraceKind::ArriveTree, i);
+            }
+        })
+        .join()
+        .unwrap();
+        set_thread_ring_capacity(crate::ring::DEFAULT_RING_CAPACITY);
+        let tl = session.collect();
+        let mine = tl.filter_lock(lock);
+        // 100 written into a 16-slot ring: at least 84 dropped, the
+        // survivors are the newest, and truncation is flagged.
+        assert!(tl.dropped >= 84, "dropped = {}", tl.dropped);
+        assert!(tl.truncated());
+        assert!(mine.records.len() <= 16);
+        assert!(mine.records.iter().any(|r| r.token == 99));
+        assert!(!mine.records.iter().any(|r| r.token == 0));
+    }
+
+    #[test]
+    fn rename_shows_in_later_collections() {
+        let lock = register_lock("TEST", "before");
+        rename_lock(lock, "after");
+        let tl = capture_all();
+        assert_eq!(tl.lock_name(lock), "after");
+    }
+}

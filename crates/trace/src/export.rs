@@ -1,0 +1,201 @@
+//! Chrome Trace Event / Perfetto export.
+//!
+//! Emits the JSON object format (`{"traceEvents": [...]}`) that both
+//! `chrome://tracing` and [ui.perfetto.dev](https://ui.perfetto.dev)
+//! load directly. Every record becomes a thread-scoped instant event;
+//! on top of those, a pairing pass derives duration (`"ph":"X"`) events
+//! so acquisition waits (`read_begin → read_acquired`) and hold times
+//! (`read_acquired → read_release`) render as proper slices on each
+//! thread track. Timestamps are microseconds with the nanosecond kept
+//! as the fractional part. Ring overflow is surfaced, never hidden:
+//! `otherData` carries `dropped` and `truncated`.
+
+use crate::collect::Timeline;
+use crate::record::{TraceKind, TraceRecord};
+
+/// Escapes `s` as JSON string contents (no surrounding quotes).
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Nanoseconds → microsecond timestamp string with ns precision.
+fn us(ts_ns: u64) -> String {
+    format!("{}.{:03}", ts_ns / 1_000, ts_ns % 1_000)
+}
+
+fn instant_event(tl: &Timeline, r: &TraceRecord) -> String {
+    let mut args = format!("\"lock\":\"{}\"", json_escape(tl.lock_name(r.lock)));
+    if r.token != 0 {
+        args.push_str(&format!(",\"token\":\"{:#x}\"", r.token));
+    }
+    format!(
+        "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{},\"ts\":{},\"args\":{{{args}}}}}",
+        r.kind.name(),
+        r.tid,
+        us(r.ts_ns),
+    )
+}
+
+fn span_event(
+    tl: &Timeline,
+    name: &str,
+    tid: u32,
+    lock: u32,
+    start_ns: u64,
+    end_ns: u64,
+) -> String {
+    format!(
+        "{{\"name\":\"{name}\",\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{},\"dur\":{},\"args\":{{\"lock\":\"{}\"}}}}",
+        us(start_ns),
+        us(end_ns.saturating_sub(start_ns)),
+        json_escape(tl.lock_name(lock)),
+    )
+}
+
+/// Derives acquire/hold duration events by pairing the begin/acquired/
+/// release markers per `(tid, lock)`.
+fn derive_spans(tl: &Timeline, out: &mut Vec<String>) {
+    use std::collections::HashMap;
+    // (tid, lock) -> (wait_start, hold_start) per side.
+    let mut read: HashMap<(u32, u32), (Option<u64>, Option<u64>)> = HashMap::new();
+    let mut write: HashMap<(u32, u32), (Option<u64>, Option<u64>)> = HashMap::new();
+    for r in &tl.records {
+        let key = (r.tid, r.lock);
+        match r.kind {
+            TraceKind::ReadBegin => read.entry(key).or_default().0 = Some(r.ts_ns),
+            TraceKind::WriteBegin => write.entry(key).or_default().0 = Some(r.ts_ns),
+            TraceKind::ReadAcquired => {
+                let e = read.entry(key).or_default();
+                if let Some(b) = e.0.take() {
+                    out.push(span_event(tl, "acquire:read", r.tid, r.lock, b, r.ts_ns));
+                }
+                e.1 = Some(r.ts_ns);
+            }
+            TraceKind::WriteAcquired => {
+                let e = write.entry(key).or_default();
+                if let Some(b) = e.0.take() {
+                    out.push(span_event(tl, "acquire:write", r.tid, r.lock, b, r.ts_ns));
+                }
+                e.1 = Some(r.ts_ns);
+            }
+            TraceKind::ReadRelease => {
+                if let Some(a) = read.entry(key).or_default().1.take() {
+                    out.push(span_event(tl, "hold:read", r.tid, r.lock, a, r.ts_ns));
+                }
+            }
+            TraceKind::WriteRelease => {
+                if let Some(a) = write.entry(key).or_default().1.take() {
+                    out.push(span_event(tl, "hold:write", r.tid, r.lock, a, r.ts_ns));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Renders the whole timeline as a Chrome Trace Event / Perfetto JSON
+/// document.
+pub fn render_chrome_trace(tl: &Timeline) -> String {
+    let mut events: Vec<String> = Vec::with_capacity(tl.records.len() + tl.threads.len() + 8);
+    events.push(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"oll\"}}"
+            .to_string(),
+    );
+    for t in &tl.threads {
+        events.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\"args\":{{\"name\":\"{}\"}}}}",
+            t.tid,
+            json_escape(&tl.thread_name(t.tid)),
+        ));
+    }
+    for r in &tl.records {
+        events.push(instant_event(tl, r));
+    }
+    derive_spans(tl, &mut events);
+
+    let mut out = String::new();
+    out.push_str("{\n\"displayTimeUnit\":\"ns\",\n");
+    out.push_str(&format!(
+        "\"otherData\":{{\"schema\":\"oll.trace.chrome\",\"records\":{},\"dropped\":{},\"truncated\":{}}},\n",
+        tl.records.len(),
+        tl.dropped,
+        tl.truncated(),
+    ));
+    out.push_str("\"traceEvents\":[\n");
+    out.push_str(&events.join(",\n"));
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::{LockDescriptor, ThreadDescriptor};
+
+    fn rec(ts: u64, tid: u32, kind: TraceKind, token: u64) -> TraceRecord {
+        TraceRecord {
+            ts_ns: ts,
+            tid,
+            lock: 1,
+            kind,
+            token,
+        }
+    }
+
+    fn tiny_timeline() -> Timeline {
+        Timeline {
+            records: vec![
+                rec(100, 1, TraceKind::ReadBegin, 0),
+                rec(150, 1, TraceKind::ReadSlow, 0),
+                rec(151, 1, TraceKind::Enqueued, 0xbeef),
+                rec(400, 2, TraceKind::Granted, 0xbeef),
+                rec(450, 1, TraceKind::ReadAcquired, 0),
+                rec(900, 1, TraceKind::ReadRelease, 0),
+            ],
+            dropped: 3,
+            locks: vec![LockDescriptor {
+                id: 1,
+                kind: "GOLL".into(),
+                name: "export \"test\"".into(),
+            }],
+            threads: vec![
+                ThreadDescriptor {
+                    tid: 1,
+                    name: "reader".into(),
+                },
+                ThreadDescriptor {
+                    tid: 2,
+                    name: String::new(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn chrome_trace_shape() {
+        let doc = render_chrome_trace(&tiny_timeline());
+        assert!(doc.contains("\"traceEvents\":["));
+        assert!(doc.contains("\"dropped\":3"));
+        assert!(doc.contains("\"truncated\":true"));
+        // Escaped lock name, derived spans, fractional-µs timestamps.
+        assert!(doc.contains("export \\\"test\\\""));
+        assert!(doc.contains("\"name\":\"acquire:read\""));
+        assert!(doc.contains("\"name\":\"hold:read\""));
+        assert!(doc.contains("\"ts\":0.100"));
+        assert!(doc.contains("\"token\":\"0xbeef\""));
+        // Unnamed threads get a synthesized track name.
+        assert!(doc.contains("thread-2"));
+    }
+}

@@ -1,0 +1,228 @@
+//! The trace record: one timestamped event, packed to three words.
+//!
+//! A record is `(ts_ns, tid, lock, kind, token)`. The first seventeen
+//! [`TraceKind`]s mirror `oll_telemetry::LockEvent` one-for-one (same
+//! order, same `snake_case` names), so counter increments flow into the
+//! timeline without a translation table; the remaining kinds are
+//! trace-only *markers* that exist to give events structure in time:
+//! acquisition begin/end, queue entry, and ownership grants carrying a
+//! causality token (a waiter-node address or wait-event address) that
+//! lets the analyzer stitch a hand-off's grantor and grantee into an
+//! edge.
+
+/// What happened. Discriminants `0..17` mirror
+/// `oll_telemetry::LockEvent` exactly; `17..` are trace-only markers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum TraceKind {
+    /// Uncontended read acquisition.
+    ReadFast = 0,
+    /// Read acquisition that entered the slow path (queued or blocked).
+    ReadSlow = 1,
+    /// Uncontended write acquisition.
+    WriteFast = 2,
+    /// Write acquisition that entered the slow path.
+    WriteSlow = 3,
+    /// Reader arrival that hit the C-SNZI root directly.
+    ArriveDirect = 4,
+    /// Reader arrival absorbed by a C-SNZI tree node.
+    ArriveTree = 5,
+    /// Release handed the lock to a queued writer.
+    HandoffToWriter = 6,
+    /// Release handed the lock to queued reader(s).
+    HandoffToReaders = 7,
+    /// A grant skipped over an abandoned (timed-out) node.
+    GrantCascade = 8,
+    /// A timed acquisition gave up.
+    Timeout = 9,
+    /// A partial acquisition was undone (excision/abandonment).
+    Cancel = 10,
+    /// Successful read→write upgrade.
+    Upgrade = 11,
+    /// Failed read→write upgrade attempt.
+    UpgradeFail = 12,
+    /// Write→read downgrade.
+    Downgrade = 13,
+    /// A write landed on the shared C-SNZI root word.
+    CsnziRootWrite = 14,
+    /// A write landed on a C-SNZI tree node.
+    CsnziNodeWrite = 15,
+    /// A CAS on the C-SNZI root word failed and retried.
+    CsnziRootCasFail = 16,
+    /// `lock_read` entered (marker; opens a read acquisition span).
+    ReadBegin = 17,
+    /// `lock_write` entered (marker; opens a write acquisition span).
+    WriteBegin = 18,
+    /// The thread joined a wait queue; `token` names what it waits on.
+    Enqueued = 19,
+    /// A releasing thread granted ownership to the waiter(s) parked on
+    /// `token` (emitted by the *grantor*).
+    Granted = 20,
+    /// `lock_read` succeeded (marker; closes the read span).
+    ReadAcquired = 21,
+    /// `lock_write` succeeded (marker; closes the write span).
+    WriteAcquired = 22,
+    /// `unlock_read` entered (marker; closes the read hold span).
+    ReadRelease = 23,
+    /// `unlock_write` entered (marker; closes the write hold span).
+    WriteRelease = 24,
+}
+
+impl TraceKind {
+    /// Number of kinds.
+    pub const COUNT: usize = 25;
+
+    /// All kinds, in discriminant order.
+    pub const ALL: [TraceKind; TraceKind::COUNT] = [
+        TraceKind::ReadFast,
+        TraceKind::ReadSlow,
+        TraceKind::WriteFast,
+        TraceKind::WriteSlow,
+        TraceKind::ArriveDirect,
+        TraceKind::ArriveTree,
+        TraceKind::HandoffToWriter,
+        TraceKind::HandoffToReaders,
+        TraceKind::GrantCascade,
+        TraceKind::Timeout,
+        TraceKind::Cancel,
+        TraceKind::Upgrade,
+        TraceKind::UpgradeFail,
+        TraceKind::Downgrade,
+        TraceKind::CsnziRootWrite,
+        TraceKind::CsnziNodeWrite,
+        TraceKind::CsnziRootCasFail,
+        TraceKind::ReadBegin,
+        TraceKind::WriteBegin,
+        TraceKind::Enqueued,
+        TraceKind::Granted,
+        TraceKind::ReadAcquired,
+        TraceKind::WriteAcquired,
+        TraceKind::ReadRelease,
+        TraceKind::WriteRelease,
+    ];
+
+    /// Stable `snake_case` name (the first 17 match
+    /// `LockEvent::name()`).
+    pub const fn name(self) -> &'static str {
+        match self {
+            TraceKind::ReadFast => "read_fast",
+            TraceKind::ReadSlow => "read_slow",
+            TraceKind::WriteFast => "write_fast",
+            TraceKind::WriteSlow => "write_slow",
+            TraceKind::ArriveDirect => "arrive_direct",
+            TraceKind::ArriveTree => "arrive_tree",
+            TraceKind::HandoffToWriter => "handoff_to_writer",
+            TraceKind::HandoffToReaders => "handoff_to_readers",
+            TraceKind::GrantCascade => "grant_cascade",
+            TraceKind::Timeout => "timeout",
+            TraceKind::Cancel => "cancel",
+            TraceKind::Upgrade => "upgrade",
+            TraceKind::UpgradeFail => "upgrade_fail",
+            TraceKind::Downgrade => "downgrade",
+            TraceKind::CsnziRootWrite => "csnzi_root_write",
+            TraceKind::CsnziNodeWrite => "csnzi_node_write",
+            TraceKind::CsnziRootCasFail => "csnzi_root_cas_fail",
+            TraceKind::ReadBegin => "read_begin",
+            TraceKind::WriteBegin => "write_begin",
+            TraceKind::Enqueued => "enqueued",
+            TraceKind::Granted => "granted",
+            TraceKind::ReadAcquired => "read_acquired",
+            TraceKind::WriteAcquired => "write_acquired",
+            TraceKind::ReadRelease => "read_release",
+            TraceKind::WriteRelease => "write_release",
+        }
+    }
+
+    /// The discriminant as an index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Inverse of [`TraceKind::index`].
+    pub const fn from_u8(v: u8) -> Option<TraceKind> {
+        if (v as usize) < TraceKind::COUNT {
+            Some(TraceKind::ALL[v as usize])
+        } else {
+            None
+        }
+    }
+}
+
+/// Largest thread id a packed record can carry (24 bits).
+pub const MAX_TID: u32 = (1 << 24) - 1;
+
+/// One trace event. 29 bytes of payload, packed into three 64-bit words
+/// in the ring (`ts` · `token` · `lock:32 | tid:24 | kind:8`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Monotonic nanoseconds since the process trace epoch.
+    pub ts_ns: u64,
+    /// Recording thread (small dense ids assigned at first emit).
+    pub tid: u32,
+    /// Lock instance id from lock registration (0 = unattributed).
+    pub lock: u32,
+    /// What happened.
+    pub kind: TraceKind,
+    /// Causality token for [`TraceKind::Enqueued`]/[`TraceKind::Granted`]
+    /// (waiter-node address or wait-event address); 0 when unused.
+    pub token: u64,
+}
+
+// Only the (feature-gated) ring packs records; keep the pair compiled in
+// tests so the round-trip stays pinned even in disabled builds.
+#[cfg_attr(not(any(feature = "enabled", test)), allow(dead_code))]
+impl TraceRecord {
+    /// Packs to the ring's three-word slot payload.
+    #[inline]
+    pub(crate) fn pack(&self) -> [u64; 3] {
+        [
+            self.ts_ns,
+            self.token,
+            (u64::from(self.lock) << 32)
+                | (u64::from(self.tid & MAX_TID) << 8)
+                | self.kind.index() as u64,
+        ]
+    }
+
+    /// Unpacks a slot payload; `None` if the kind byte is invalid
+    /// (possible only on a torn read the sequence check then rejects).
+    #[inline]
+    pub(crate) fn unpack(w: [u64; 3]) -> Option<Self> {
+        let kind = TraceKind::from_u8((w[2] & 0xff) as u8)?;
+        Some(Self {
+            ts_ns: w[0],
+            token: w[1],
+            lock: (w[2] >> 32) as u32,
+            tid: ((w[2] >> 8) & u64::from(MAX_TID)) as u32,
+            kind,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_roundtrip_and_names() {
+        for (i, k) in TraceKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+            assert_eq!(TraceKind::from_u8(i as u8), Some(*k));
+            assert!(!k.name().is_empty());
+        }
+        assert_eq!(TraceKind::from_u8(TraceKind::COUNT as u8), None);
+    }
+
+    #[test]
+    fn record_pack_roundtrip() {
+        let r = TraceRecord {
+            ts_ns: 123_456_789_012,
+            tid: 0x00ab_cdef,
+            lock: 0xdead_beef,
+            kind: TraceKind::Granted,
+            token: 0x1234_5678_9abc_def0,
+        };
+        assert_eq!(TraceRecord::unpack(r.pack()), Some(r));
+    }
+}

@@ -6,6 +6,7 @@
 //!        [--locks GOLL,FOLL,ROLL,KSUH,Solaris-Like,...|all]
 //!        [--acquisitions N] [--runs N] [--paper] [--verify]
 //!        [--csv PATH] [--json PATH] [--telemetry]
+//!        [--trace PATH] [--trace-json PATH]
 //! ```
 //!
 //! Defaults are scaled for a small machine; `--paper` switches to the
@@ -14,12 +15,17 @@
 //! and histograms) after its panel; it needs a build with the
 //! `telemetry` cargo feature to record anything. `--json` writes the
 //! whole run as a schema-versioned `oll.fig5` document, including the
-//! profiles when collected.
+//! profiles when collected. `--trace` captures the run in the flight
+//! recorder and writes a Chrome Trace Event file that loads directly in
+//! Perfetto (needs a `--features trace` build); `--trace-json` also
+//! writes the raw capture as an `oll.trace` document.
 
+use oll_trace::TraceSession;
 use oll_workloads::config::{Fig5Panel, LockKind, WorkloadConfig};
 use oll_workloads::json::render_fig5_json;
 use oll_workloads::report::{render_csv, render_table};
 use oll_workloads::sweep::{run_panel, PanelResult, SweepOptions};
+use oll_workloads::traceio;
 use std::io::Write as _;
 use std::process::exit;
 
@@ -29,6 +35,8 @@ struct Args {
     csv: Option<String>,
     json: Option<String>,
     telemetry: bool,
+    trace: Option<String>,
+    trace_json: Option<String>,
 }
 
 fn usage(msg: &str) -> ! {
@@ -36,7 +44,8 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: fig5 [--panel a|b|c|d|e|f|all] [--threads 1,2,4]\n\
          \t[--locks name,...|all] [--acquisitions N] [--runs N]\n\
-         \t[--paper] [--verify] [--csv PATH] [--json PATH] [--telemetry]"
+         \t[--paper] [--verify] [--csv PATH] [--json PATH] [--telemetry]\n\
+         \t[--trace PATH] [--trace-json PATH]"
     );
     exit(2);
 }
@@ -49,6 +58,8 @@ fn parse_args() -> Args {
     let mut json = None;
     let mut telemetry = false;
     let mut paper = false;
+    let mut trace = None;
+    let mut trace_json = None;
 
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -125,6 +136,14 @@ fn parse_args() -> Args {
                 i += 1;
             }
             "--telemetry" => telemetry = true,
+            "--trace" => {
+                trace = Some(value(i));
+                i += 1;
+            }
+            "--trace-json" => {
+                trace_json = Some(value(i));
+                i += 1;
+            }
             "--quiet" => opts.progress = false,
             "--help" | "-h" => usage("help requested"),
             other => usage(&format!("unknown flag `{other}`")),
@@ -141,12 +160,17 @@ fn parse_args() -> Args {
     // JSON consumers want the profiles too, so any --json run collects
     // them when the build can record.
     opts.collect_telemetry = telemetry || json.is_some();
+    if trace.is_none() && trace_json.is_some() {
+        usage("--trace-json needs --trace");
+    }
     Args {
         panels,
         opts,
         csv,
         json,
         telemetry,
+        trace,
+        trace_json,
     }
 }
 
@@ -182,6 +206,11 @@ fn main() {
         args.opts.base.runs,
     );
 
+    if args.trace.is_some() {
+        traceio::warn_if_disabled("fig5");
+    }
+    let session = args.trace.as_ref().map(|_| TraceSession::begin());
+
     let mut csv_body = String::new();
     let mut results = Vec::with_capacity(args.panels.len());
     let mut first = true;
@@ -213,5 +242,15 @@ fn main() {
         f.write_all(b"\n")
             .unwrap_or_else(|e| usage(&format!("cannot write {path}: {e}")));
         eprintln!("wrote {path}");
+    }
+    if let (Some(path), Some(session)) = (&args.trace, session) {
+        let tl = session.collect();
+        let text = traceio::write_outputs(&tl, path, args.trace_json.as_deref())
+            .unwrap_or_else(|e| usage(&format!("cannot write trace: {e}")));
+        println!("-- flight recorder --\n{text}");
+        eprintln!("wrote {path}");
+        if let Some(doc) = &args.trace_json {
+            eprintln!("wrote {doc}");
+        }
     }
 }

@@ -4,24 +4,31 @@
 //! USAGE:
 //!   latency [--threads N] [--read-pct P] [--acquisitions N]
 //!           [--locks name,...|all] [--json PATH] [--telemetry]
+//!           [--trace PATH] [--trace-json PATH]
 //! ```
 //!
 //! Complements the throughput-oriented `fig5` binary with tail-latency
 //! visibility: how long can a single `lock_read` / `lock_write` stall
 //! under the given mix? `--telemetry` additionally prints each lock's
 //! contention profile (needs a `--features telemetry` build to record);
-//! `--json` writes a schema-versioned `oll.latency` document.
+//! `--json` writes a schema-versioned `oll.latency` document. `--trace`
+//! captures the run in the flight recorder and writes a Perfetto-loadable
+//! Chrome Trace Event file (needs a `--features trace` build);
+//! `--trace-json` also writes the raw capture as an `oll.trace` document.
 
+use oll_trace::TraceSession;
 use oll_workloads::config::{LockKind, WorkloadConfig};
 use oll_workloads::json::render_latency_json;
 use oll_workloads::latency::run_latency_profiled;
+use oll_workloads::traceio;
 use std::io::Write as _;
 use std::process::exit;
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: latency [--threads N] [--read-pct P] [--acquisitions N] [--locks name,...|all] [--json PATH] [--telemetry]"
+        "usage: latency [--threads N] [--read-pct P] [--acquisitions N] [--locks name,...|all] \
+         [--json PATH] [--telemetry] [--trace PATH] [--trace-json PATH]"
     );
     exit(2);
 }
@@ -43,6 +50,8 @@ fn main() {
     let mut locks = LockKind::FIGURE5.to_vec();
     let mut json: Option<String> = None;
     let mut telemetry = false;
+    let mut trace: Option<String> = None;
+    let mut trace_json: Option<String> = None;
 
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -90,6 +99,14 @@ fn main() {
                 i += 1;
             }
             "--telemetry" => telemetry = true,
+            "--trace" => {
+                trace = Some(value(i));
+                i += 1;
+            }
+            "--trace-json" => {
+                trace_json = Some(value(i));
+                i += 1;
+            }
             "--help" | "-h" => usage("help requested"),
             other => usage(&format!("unknown flag `{other}`")),
         }
@@ -103,6 +120,13 @@ fn main() {
              cargo run -p oll-workloads --release --features telemetry --bin latency -- --telemetry"
         );
     }
+    if trace.is_none() && trace_json.is_some() {
+        usage("--trace-json needs --trace");
+    }
+    if trace.is_some() {
+        traceio::warn_if_disabled("latency");
+    }
+    let session = trace.as_ref().map(|_| TraceSession::begin());
 
     let config = WorkloadConfig {
         threads,
@@ -154,5 +178,15 @@ fn main() {
         f.write_all(b"\n")
             .unwrap_or_else(|e| usage(&format!("cannot write {path}: {e}")));
         eprintln!("wrote {path}");
+    }
+    if let (Some(path), Some(session)) = (&trace, session) {
+        let tl = session.collect();
+        let text = traceio::write_outputs(&tl, path, trace_json.as_deref())
+            .unwrap_or_else(|e| usage(&format!("cannot write trace: {e}")));
+        println!("-- flight recorder --\n{text}");
+        eprintln!("wrote {path}");
+        if let Some(doc) = &trace_json {
+            eprintln!("wrote {doc}");
+        }
     }
 }

@@ -24,6 +24,7 @@ pub mod latency;
 pub mod report;
 pub mod runner;
 pub mod sweep;
+pub mod traceio;
 
 pub use config::{Fig5Panel, LockKind, WorkloadConfig};
 pub use latency::{

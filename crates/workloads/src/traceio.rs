@@ -1,0 +1,45 @@
+//! `--trace` plumbing shared by the workload binaries.
+//!
+//! Both `fig5` and `latency` (and `examples/lockstat.rs`) offer a
+//! `--trace PATH` flag: start a [`TraceSession`] before the runs, then
+//! hand the collected [`Timeline`] here to write the Chrome Trace Event
+//! file (loadable in Perfetto or `chrome://tracing`), optionally an
+//! `oll.trace` document, and get back the analyzer's text report.
+
+use crate::json::render_trace_json;
+use oll_trace::{analyze, render_chrome_trace, render_report_text, AnalyzerConfig, Timeline};
+use std::io::Write as _;
+
+/// Warns when a `--trace` flag can record nothing in this build.
+pub fn warn_if_disabled(bin: &str) {
+    if !oll_trace::enabled() {
+        eprintln!(
+            "warning: this binary was built without the `trace` feature; the \
+             flight recorder is compiled out and the trace will be empty. \
+             Rebuild with:\n  \
+             cargo run -p oll-workloads --release --features trace --bin {bin} -- --trace out.json"
+        );
+    }
+}
+
+fn write_file(path: &str, contents: &str) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(contents.as_bytes())?;
+    f.write_all(b"\n")
+}
+
+/// Writes the Perfetto JSON to `perfetto_path` (and, when given, the
+/// `oll.trace` document to `doc_path`), returning the analyzer's text
+/// report for printing.
+pub fn write_outputs(
+    tl: &Timeline,
+    perfetto_path: &str,
+    doc_path: Option<&str>,
+) -> std::io::Result<String> {
+    let report = analyze(tl, &AnalyzerConfig::default());
+    write_file(perfetto_path, &render_chrome_trace(tl))?;
+    if let Some(path) = doc_path {
+        write_file(path, &render_trace_json(tl, &report))?;
+    }
+    Ok(render_report_text(tl, &report))
+}

@@ -5,14 +5,19 @@
 //! ```sh
 //! cargo run --release --features telemetry --example lockstat
 //! cargo run --release --features telemetry --example lockstat -- --json
+//! cargo run --release --features trace --example lockstat -- --trace out.json
 //! ```
 //!
 //! Without the `telemetry` feature the example still runs, but every
 //! recording hook is a compiled-out no-op, so the report is empty — the
-//! point of the zero-cost facade.
+//! point of the zero-cost facade. `--trace PATH` additionally captures
+//! the run in the flight recorder and writes a Perfetto-loadable Chrome
+//! Trace Event file (needs a `--features trace` build).
 
 use oll::telemetry::{registry, report, Telemetry};
+use oll::trace::TraceSession;
 use oll::util::XorShift64;
+use oll::workloads::traceio;
 use oll::{FollLock, GollLock, RollLock, RwHandle, RwLockFamily, SolarisLikeRwLock};
 
 const THREADS: usize = 4;
@@ -43,7 +48,12 @@ fn hammer<L: RwLockFamily + Sync>(lock: &L, name: &str) {
 }
 
 fn main() {
-    let json = std::env::args().skip(1).any(|a| a == "--json");
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let json = argv.iter().any(|a| a == "--json");
+    let trace = argv
+        .iter()
+        .position(|a| a == "--trace")
+        .map(|i| argv.get(i + 1).expect("--trace needs a PATH").clone());
     if !Telemetry::enabled() {
         eprintln!(
             "note: built without the `telemetry` feature, so nothing is \
@@ -51,6 +61,10 @@ fn main() {
              cargo run --release --features telemetry --example lockstat"
         );
     }
+    if trace.is_some() {
+        traceio::warn_if_disabled("lockstat");
+    }
+    let session = trace.as_ref().map(|_| TraceSession::begin());
     eprintln!(
         "lockstat: {THREADS} threads x {ACQUISITIONS} acquisitions, {READ_PCT}% reads, per lock"
     );
@@ -71,5 +85,11 @@ fn main() {
         println!("{}", report::render_json(&snaps));
     } else {
         print!("{}", report::render_text(&snaps));
+    }
+    if let (Some(path), Some(session)) = (&trace, session) {
+        let tl = session.collect();
+        let text = traceio::write_outputs(&tl, path, None).expect("trace file is writable");
+        println!("-- flight recorder --\n{text}");
+        eprintln!("wrote {path}");
     }
 }

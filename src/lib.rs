@@ -47,12 +47,15 @@
 //! * [`workloads`] — the Figure 5 throughput harness (§5).
 //! * [`telemetry`] — per-lock contention profiling (build with the
 //!   `telemetry` feature to record; zero-cost no-ops otherwise).
+//! * [`trace`] — flight-recorder event tracing with Perfetto export and
+//!   wait-chain analysis (build with the `trace` feature to record).
 //! * [`util`] — backoff, cache padding, events, spin mutex, thread slots.
 
 pub use oll_baselines as baselines;
 pub use oll_core as core;
 pub use oll_csnzi as csnzi;
 pub use oll_telemetry as telemetry;
+pub use oll_trace as trace;
 pub use oll_util as util;
 pub use oll_workloads as workloads;
 
