@@ -10,6 +10,9 @@
 //! * `ablation_node_pool` — FOLL reader-node allocate/free (§4.2.1).
 //! * `ablation_roll_hint` — ROLL with and without the cached
 //!   last-reader-node pointer (§4.3).
+//! * `ablation_adaptive_inflation` — adaptive (root-only-until-contended)
+//!   C-SNZI vs. the statically built tree, uncontended and inflated
+//!   (DESIGN.md §10).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use oll_core::{FairnessPolicy, FollLock, GollLock, RollLock, RwHandle, RwLockFamily};
@@ -288,6 +291,86 @@ fn ablation_lazy_tree(c: &mut Criterion) {
     g.finish();
 }
 
+fn ablation_adaptive_inflation(c: &mut Criterion) {
+    // DESIGN.md §10: an adaptive C-SNZI starts root-only and inflates
+    // under measured contention. The interesting costs are (a) the
+    // uncontended root-only path, which must track the eager tree's
+    // direct-arrival cost (no tree nodes are even allocated), and
+    // (b) post-inflation tree traffic, which must recover the static
+    // tree's multi-thread arrival throughput.
+    let mut g = short(c, "ablation_adaptive_inflation");
+
+    g.bench_function("root_only/1thread", |b| {
+        let cs = CSnzi::new_adaptive(THREADS);
+        let mut p = ArrivalPolicy::default();
+        b.iter(|| {
+            let t = cs.arrive(&mut p, 0);
+            cs.depart(t);
+        });
+    });
+
+    // Pinning arrivals to the tree inflates the adaptive C-SNZI on the
+    // first arrival, so the whole measurement runs on the inflated tree.
+    for (name, adaptive) in [("static_tree", false), ("adaptive_inflated", true)] {
+        g.bench_function(
+            BenchmarkId::new("tree_arrivals", format!("{name}_{THREADS}threads")),
+            |b| {
+                b.iter_custom(|iters| {
+                    let cs = if adaptive {
+                        CSnzi::new_adaptive(THREADS)
+                    } else {
+                        CSnzi::new(TreeShape::flat(THREADS))
+                    };
+                    parallel_time(iters, |tid, n| {
+                        let mut p = ArrivalPolicy::always_tree();
+                        for _ in 0..n {
+                            let t = cs.arrive(&mut p, tid);
+                            cs.depart(t);
+                        }
+                    })
+                });
+            },
+        );
+    }
+
+    // Lock level: the fig5 `--adaptive` path. Uncontended reads stay on
+    // the root in adaptive mode; the contended mix pays the inflation
+    // once and then runs on the tree like the eager build.
+    for (name, adaptive) in [("eager", false), ("adaptive", true)] {
+        g.bench_function(BenchmarkId::new("goll_read_1thread", name), |b| {
+            let lock = GollLock::builder(THREADS).adaptive(adaptive).build();
+            let mut h = lock.handle().unwrap();
+            b.iter(|| {
+                h.lock_read();
+                h.unlock_read();
+            });
+        });
+        g.bench_function(
+            BenchmarkId::new("goll_read90", format!("{name}_{THREADS}threads")),
+            |b| {
+                b.iter_custom(|iters| {
+                    let lock = GollLock::builder(THREADS).adaptive(adaptive).build();
+                    let per_thread = (iters as usize / THREADS).max(1);
+                    parallel_time(iters, |tid, _n| {
+                        let mut h = lock.handle().unwrap();
+                        let mut rng = oll_util::XorShift64::for_thread(31, tid);
+                        for _ in 0..per_thread {
+                            if rng.percent(90) {
+                                h.lock_read();
+                                h.unlock_read();
+                            } else {
+                                h.lock_write();
+                                h.unlock_write();
+                            }
+                        }
+                    })
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
 /// Plot generation dominates wall time on small machines; see fig5.rs.
 fn plain() -> Criterion {
     Criterion::default().without_plots()
@@ -302,6 +385,7 @@ criterion_group! {
         ablation_node_pool,
         ablation_roll_hint,
         ablation_goll_policy,
-        ablation_lazy_tree
+        ablation_lazy_tree,
+        ablation_adaptive_inflation
 }
 criterion_main!(ablations);

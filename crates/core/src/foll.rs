@@ -15,7 +15,7 @@
 //! is exactly the ring discipline the paper's recycling argument assumes.
 
 use crate::raw::{RwHandle, RwLockFamily};
-use oll_csnzi::{ArrivalPolicy, CSnzi, CancelOutcome, Ticket, TreeShape};
+use oll_csnzi::{ArrivalPolicy, CSnzi, CancelOutcome, LeafCursor, Ticket, TreeShape};
 use oll_telemetry::{LockEvent, Telemetry, Timer};
 use oll_util::backoff::{spin_until, Backoff, BackoffPolicy};
 use oll_util::fault;
@@ -137,13 +137,27 @@ pub(crate) struct ReaderNode {
     pub(crate) prev: AtomicU32,
 }
 
+/// How each pooled reader node materializes its C-SNZI tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TreeMode {
+    /// Allocate the full tree up front (the paper's default).
+    Eager,
+    /// Defer allocation until the node's first tree arrival (§2.2).
+    Lazy,
+    /// Start root-only and let measured contention inflate (and quiet
+    /// spells deflate) the tree at runtime.
+    Adaptive,
+}
+
 impl ReaderNode {
-    fn new(shape: TreeShape, ring_next: usize, lazy_tree: bool, telemetry: Telemetry) -> Self {
+    fn new(shape: TreeShape, ring_next: usize, mode: TreeMode, telemetry: Telemetry) -> Self {
         // "when just allocated, has a closed C-SNZI with no surplus"
-        let mut csnzi = if lazy_tree {
-            CSnzi::new_closed_lazy(shape)
-        } else {
-            CSnzi::new_closed(shape)
+        let mut csnzi = match mode {
+            TreeMode::Eager => CSnzi::new_closed(shape),
+            TreeMode::Lazy => CSnzi::new_closed_lazy(shape),
+            // The configured shape caps the inflated tree; the adaptive
+            // constructor shrinks it further to the detected parallelism.
+            TreeMode::Adaptive => CSnzi::new_closed_adaptive(shape.leaf_count().max(1)),
         };
         csnzi.attach_telemetry(telemetry);
         Self {
@@ -175,7 +189,7 @@ impl QueueCore {
         shape: TreeShape,
         backoff: BackoffPolicy,
         arrival_threshold: u32,
-        lazy_tree: bool,
+        tree_mode: TreeMode,
         telemetry: Telemetry,
     ) -> Self {
         let capacity = capacity.max(1);
@@ -189,7 +203,7 @@ impl QueueCore {
                     CachePadded::new(ReaderNode::new(
                         shape,
                         (i + 1) % capacity,
-                        lazy_tree,
+                        tree_mode,
                         telemetry.clone(),
                     ))
                 })
@@ -640,6 +654,7 @@ pub struct FollBuilder {
     backoff: BackoffPolicy,
     arrival_threshold: u32,
     lazy_tree: bool,
+    adaptive: bool,
     telemetry_name: Option<String>,
 }
 
@@ -653,6 +668,7 @@ impl FollBuilder {
             backoff: BackoffPolicy::default(),
             arrival_threshold: ArrivalPolicy::DEFAULT_THRESHOLD,
             lazy_tree: false,
+            adaptive: false,
             telemetry_name: None,
         }
     }
@@ -669,6 +685,16 @@ impl FollBuilder {
     /// that never experiences read contention allocates no trees at all.
     pub fn lazy_tree(mut self, lazy: bool) -> Self {
         self.lazy_tree = lazy;
+        self
+    }
+
+    /// Makes every pooled reader node's C-SNZI *adaptive*: arrivals start
+    /// root-only and the tree inflates only once root CAS failures prove
+    /// contention, deflating back after a quiet spell. Supersedes
+    /// [`lazy_tree`](Self::lazy_tree); an explicit
+    /// [`tree_shape`](Self::tree_shape) caps the inflated leaf count.
+    pub fn adaptive(mut self, adaptive: bool) -> Self {
+        self.adaptive = adaptive;
         self
     }
 
@@ -706,7 +732,13 @@ impl FollBuilder {
                     .unwrap_or_else(|| TreeShape::for_threads(capacity)),
                 self.backoff,
                 self.arrival_threshold,
-                self.lazy_tree,
+                if self.adaptive {
+                    TreeMode::Adaptive
+                } else if self.lazy_tree {
+                    TreeMode::Lazy
+                } else {
+                    TreeMode::Eager
+                },
                 telemetry,
             ),
         }
@@ -746,6 +778,18 @@ impl FollLock {
     pub fn is_queue_empty(&self) -> bool {
         self.core.load_tail().is_nil()
     }
+
+    /// Whether this lock's reader-node C-SNZIs resize themselves at
+    /// runtime (built with [`FollBuilder::adaptive`]).
+    pub fn is_adaptive(&self) -> bool {
+        self.core.reader_nodes[0].csnzi.is_adaptive()
+    }
+
+    /// Whether any pooled reader node's C-SNZI currently routes arrivals
+    /// through its tree (racy; for diagnostics and tests).
+    pub fn is_inflated(&self) -> bool {
+        self.core.reader_nodes.iter().any(|n| n.csnzi.is_inflated())
+    }
 }
 
 impl RwLockFamily for FollLock {
@@ -758,6 +802,7 @@ impl RwLockFamily for FollLock {
             core: &self.core,
             slot,
             policy,
+            cursor: LeafCursor::new(),
             session: None,
             write_held: false,
             pending_reclaim: false,
@@ -783,6 +828,10 @@ pub struct FollHandle<'a> {
     core: &'a QueueCore,
     slot: SlotGuard<'a>,
     policy: ArrivalPolicy,
+    /// Cached C-SNZI leaf: topology-placed on first tree arrival, then
+    /// sticky until a leaf-level CAS failure migrates it. Reader nodes all
+    /// share one tree shape, so the cursor carries across pooled nodes.
+    cursor: LeafCursor,
     /// `(depart_from, ticket)` while holding for reading.
     session: Option<(usize, Ticket)>,
     write_held: bool,
@@ -831,7 +880,7 @@ impl RwHandle for FollHandle<'_> {
                     // Only now that the node is enqueued may its C-SNZI
                     // open (§4.2 explains why this ordering is vital).
                     node.csnzi.open();
-                    let ticket = node.csnzi.arrive(&mut self.policy, slot);
+                    let ticket = node.csnzi.arrive_cached(&mut self.policy, &mut self.cursor);
                     if ticket.arrived() {
                         core.note_arrival(ticket);
                         core.telemetry.incr(LockEvent::ReadFast);
@@ -857,7 +906,7 @@ impl RwHandle for FollHandle<'_> {
                     node.prev.store(tail.raw(), Ordering::Release);
                     core.set_qnext(tail, NodeRef::reader(r));
                     node.csnzi.open();
-                    let ticket = node.csnzi.arrive(&mut self.policy, slot);
+                    let ticket = node.csnzi.arrive_cached(&mut self.policy, &mut self.cursor);
                     if ticket.arrived() {
                         core.note_arrival(ticket);
                         core.telemetry.incr(LockEvent::ReadSlow);
@@ -879,7 +928,7 @@ impl RwHandle for FollHandle<'_> {
             } else {
                 // Tail is a reader node: share it via its C-SNZI.
                 let node = core.rnode(tail.index());
-                let ticket = node.csnzi.arrive(&mut self.policy, slot);
+                let ticket = node.csnzi.arrive_cached(&mut self.policy, &mut self.cursor);
                 if ticket.arrived() {
                     if let Some(n) = rnode.take() {
                         core.free_reader_node(n);
@@ -949,7 +998,7 @@ impl RwHandle for FollHandle<'_> {
             node.prev.store(NodeRef::NIL.raw(), Ordering::Relaxed);
             if core.cas_tail(NodeRef::NIL, NodeRef::reader(r)) {
                 node.csnzi.open();
-                let ticket = node.csnzi.arrive(&mut self.policy, slot);
+                let ticket = node.csnzi.arrive_cached(&mut self.policy, &mut self.cursor);
                 if ticket.arrived() {
                     core.note_arrival(ticket);
                     core.telemetry.incr(LockEvent::ReadFast);
@@ -970,7 +1019,7 @@ impl RwHandle for FollHandle<'_> {
             if node.state.load(Ordering::Acquire) != GRANTED {
                 return false;
             }
-            let ticket = node.csnzi.arrive(&mut self.policy, slot);
+            let ticket = node.csnzi.arrive_cached(&mut self.policy, &mut self.cursor);
             if !ticket.arrived() {
                 return false;
             }
@@ -1036,7 +1085,7 @@ impl crate::raw::TimedHandle for FollHandle<'_> {
                 node.prev.store(NodeRef::NIL.raw(), Ordering::Relaxed);
                 if core.cas_tail(NodeRef::NIL, NodeRef::reader(r)) {
                     node.csnzi.open();
-                    let ticket = node.csnzi.arrive(&mut self.policy, slot);
+                    let ticket = node.csnzi.arrive_cached(&mut self.policy, &mut self.cursor);
                     if ticket.arrived() {
                         // Empty-queue enqueue grants immediately — no wait,
                         // so nothing left to time out on.
@@ -1061,7 +1110,7 @@ impl crate::raw::TimedHandle for FollHandle<'_> {
                     node.prev.store(tail.raw(), Ordering::Release);
                     core.set_qnext(tail, NodeRef::reader(r));
                     node.csnzi.open();
-                    let ticket = node.csnzi.arrive(&mut self.policy, slot);
+                    let ticket = node.csnzi.arrive_cached(&mut self.policy, &mut self.cursor);
                     if ticket.arrived() {
                         core.note_arrival(ticket);
                         core.telemetry.incr(LockEvent::ReadSlow);
@@ -1087,7 +1136,7 @@ impl crate::raw::TimedHandle for FollHandle<'_> {
                 }
             } else {
                 let node = core.rnode(tail.index());
-                let ticket = node.csnzi.arrive(&mut self.policy, slot);
+                let ticket = node.csnzi.arrive_cached(&mut self.policy, &mut self.cursor);
                 if ticket.arrived() {
                     if let Some(n) = rnode.take() {
                         core.free_reader_node(n);

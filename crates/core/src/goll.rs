@@ -18,7 +18,7 @@
 //! a woken thread already owns the lock.
 
 use crate::raw::{RwHandle, RwLockFamily, UpgradableHandle};
-use oll_csnzi::{ArrivalPolicy, CSnzi, Ticket, TreeShape};
+use oll_csnzi::{ArrivalPolicy, CSnzi, LeafCursor, Ticket, TreeShape};
 use oll_telemetry::{LockEvent, Telemetry, Timer};
 use oll_util::event::{Event, GroupEvent, WaitStrategy};
 use oll_util::fault;
@@ -319,6 +319,7 @@ pub struct GollBuilder {
     policy: FairnessPolicy,
     arrival_threshold: u32,
     lazy_tree: bool,
+    adaptive: bool,
     telemetry_name: Option<String>,
 }
 
@@ -333,6 +334,7 @@ impl GollBuilder {
             policy: FairnessPolicy::Alternating,
             arrival_threshold: ArrivalPolicy::DEFAULT_THRESHOLD,
             lazy_tree: false,
+            adaptive: false,
             telemetry_name: None,
         }
     }
@@ -355,6 +357,16 @@ impl GollBuilder {
     /// Overrides the C-SNZI tree shape (default: one leaf per thread).
     pub fn tree_shape(mut self, shape: TreeShape) -> Self {
         self.shape = Some(shape);
+        self
+    }
+
+    /// Makes the C-SNZI adaptive: it starts root-only (one cache line,
+    /// no tree), inflates a topology-sized tree when arrivals measure
+    /// contention, and deflates back to root-only routing after a quiet
+    /// spell. Supersedes [`lazy_tree`](Self::lazy_tree); an explicit
+    /// [`tree_shape`](Self::tree_shape) caps the inflated leaf count.
+    pub fn adaptive(mut self, adaptive: bool) -> Self {
+        self.adaptive = adaptive;
         self
     }
 
@@ -388,7 +400,10 @@ impl GollBuilder {
         if let Some(name) = &self.telemetry_name {
             telemetry.rename(name);
         }
-        let mut csnzi = if self.lazy_tree {
+        let mut csnzi = if self.adaptive {
+            let max_leaves = self.shape.map_or(capacity, |s| s.leaf_count().max(1));
+            CSnzi::new_adaptive(max_leaves)
+        } else if self.lazy_tree {
             CSnzi::new_lazy(shape)
         } else {
             CSnzi::new(shape)
@@ -452,6 +467,17 @@ impl GollLock {
         self.csnzi.root_snapshot()
     }
 
+    /// Whether this lock's C-SNZI adapts its tree at runtime.
+    pub fn is_adaptive(&self) -> bool {
+        self.csnzi.is_adaptive()
+    }
+
+    /// Whether reader arrivals may currently be routed to the C-SNZI tree
+    /// (tracks inflation state on an adaptive lock).
+    pub fn is_inflated(&self) -> bool {
+        self.csnzi.is_inflated()
+    }
+
     fn signal(&self, handoff: Handoff) {
         // The wait-event address doubles as the trace causality token:
         // it is the one value both the granting and the woken thread
@@ -479,8 +505,9 @@ impl RwLockFamily for GollLock {
         let slot = SlotGuard::claim(&self.slots)?;
         Ok(GollHandle {
             lock: self,
-            slot,
+            _slot: slot,
             policy: ArrivalPolicy::new(self.arrival_threshold),
+            cursor: LeafCursor::new(),
             read_ticket: None,
             write_held: false,
             priority: 0,
@@ -505,8 +532,13 @@ impl RwLockFamily for GollLock {
 /// thread's arrival policy).
 pub struct GollHandle<'a> {
     lock: &'a GollLock,
-    slot: SlotGuard<'a>,
+    /// Capacity reservation: held purely for its RAII release (the leaf
+    /// cursor, not the slot index, now drives C-SNZI placement).
+    _slot: SlotGuard<'a>,
     policy: ArrivalPolicy,
+    /// Cached C-SNZI leaf: topology-placed on first tree arrival, then
+    /// sticky until a leaf-level CAS failure migrates it.
+    cursor: LeafCursor,
     read_ticket: Option<Ticket>,
     write_held: bool,
     priority: u8,
@@ -516,11 +548,6 @@ pub struct GollHandle<'a> {
 }
 
 impl GollHandle<'_> {
-    #[inline]
-    fn leaf_hint(&self) -> usize {
-        self.slot.slot()
-    }
-
     /// Sets this thread's queuing priority (default 0). Under the
     /// [`Alternating`](FairnessPolicy::Alternating) policy, a releasing
     /// writer hands the lock to waiting readers *unless a strictly
@@ -556,8 +583,10 @@ impl RwHandle for GollHandle<'_> {
         loop {
             // Fast path: in the absence of conflicting requests this is the
             // only step, and it never touches the queue mutex.
-            let hint = self.leaf_hint();
-            let ticket = self.lock.csnzi.arrive(&mut self.policy, hint);
+            let ticket = self
+                .lock
+                .csnzi
+                .arrive_cached(&mut self.policy, &mut self.cursor);
             if ticket.arrived() {
                 self.note_arrival(ticket);
                 self.lock.telemetry.incr(LockEvent::ReadFast);
@@ -702,8 +731,10 @@ impl RwHandle for GollHandle<'_> {
 
     fn try_lock_read(&mut self) -> bool {
         debug_assert!(self.read_ticket.is_none() && !self.write_held);
-        let hint = self.leaf_hint();
-        let ticket = self.lock.csnzi.arrive(&mut self.policy, hint);
+        let ticket = self
+            .lock
+            .csnzi
+            .arrive_cached(&mut self.policy, &mut self.cursor);
         if ticket.arrived() {
             self.note_arrival(ticket);
             self.lock.telemetry.incr(LockEvent::ReadFast);
@@ -734,8 +765,10 @@ impl crate::raw::TimedHandle for GollHandle<'_> {
         debug_assert!(self.read_ticket.is_none() && !self.write_held);
         let acquire = self.lock.telemetry.begin_read();
         loop {
-            let hint = self.leaf_hint();
-            let ticket = self.lock.csnzi.arrive(&mut self.policy, hint);
+            let ticket = self
+                .lock
+                .csnzi
+                .arrive_cached(&mut self.policy, &mut self.cursor);
             if ticket.arrived() {
                 self.note_arrival(ticket);
                 self.lock.telemetry.incr(LockEvent::ReadFast);

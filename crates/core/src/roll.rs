@@ -19,9 +19,9 @@
 //! searches (the §4.3 optimization; `ablation_roll_hint` measures it).
 
 use crate::foll::node_state::{GRANTED, WAITING};
-use crate::foll::{NodeRef, QueueCore};
+use crate::foll::{NodeRef, QueueCore, TreeMode};
 use crate::raw::{RwHandle, RwLockFamily};
-use oll_csnzi::{ArrivalPolicy, Ticket, TreeShape};
+use oll_csnzi::{ArrivalPolicy, LeafCursor, Ticket, TreeShape};
 use oll_telemetry::{LockEvent, Telemetry, Timer};
 use oll_util::backoff::{spin_until, Backoff, BackoffPolicy};
 use oll_util::fault;
@@ -38,6 +38,7 @@ pub struct RollBuilder {
     arrival_threshold: u32,
     use_hint: bool,
     lazy_tree: bool,
+    adaptive: bool,
     telemetry_name: Option<String>,
 }
 
@@ -52,6 +53,7 @@ impl RollBuilder {
             arrival_threshold: ArrivalPolicy::DEFAULT_THRESHOLD,
             use_hint: true,
             lazy_tree: false,
+            adaptive: false,
             telemetry_name: None,
         }
     }
@@ -60,6 +62,16 @@ impl RollBuilder {
     /// first use (§2.2's space optimization).
     pub fn lazy_tree(mut self, lazy: bool) -> Self {
         self.lazy_tree = lazy;
+        self
+    }
+
+    /// Makes every pooled reader node's C-SNZI *adaptive*: arrivals start
+    /// root-only and the tree inflates only once root CAS failures prove
+    /// contention, deflating back after a quiet spell. Supersedes
+    /// [`lazy_tree`](Self::lazy_tree); an explicit
+    /// [`tree_shape`](Self::tree_shape) caps the inflated leaf count.
+    pub fn adaptive(mut self, adaptive: bool) -> Self {
+        self.adaptive = adaptive;
         self
     }
 
@@ -111,7 +123,13 @@ impl RollBuilder {
                     .unwrap_or_else(|| TreeShape::for_threads(capacity)),
                 self.backoff,
                 self.arrival_threshold,
-                self.lazy_tree,
+                if self.adaptive {
+                    TreeMode::Adaptive
+                } else if self.lazy_tree {
+                    TreeMode::Lazy
+                } else {
+                    TreeMode::Eager
+                },
                 telemetry,
             ),
             last_reader: CachePadded::new(AtomicU32::new(NodeRef::NIL.raw())),
@@ -154,6 +172,18 @@ impl RollLock {
         self.core.load_tail().is_nil()
     }
 
+    /// Whether this lock's reader-node C-SNZIs resize themselves at
+    /// runtime (built with [`RollBuilder::adaptive`]).
+    pub fn is_adaptive(&self) -> bool {
+        self.core.reader_nodes[0].csnzi.is_adaptive()
+    }
+
+    /// Whether any pooled reader node's C-SNZI currently routes arrivals
+    /// through its tree (racy; for diagnostics and tests).
+    pub fn is_inflated(&self) -> bool {
+        self.core.reader_nodes.iter().any(|n| n.csnzi.is_inflated())
+    }
+
     fn set_hint(&self, node: NodeRef) {
         if self.use_hint {
             self.last_reader.store(node.raw(), Ordering::Release);
@@ -192,6 +222,7 @@ impl RwLockFamily for RollLock {
             lock: self,
             slot,
             policy,
+            cursor: LeafCursor::new(),
             session: None,
             write_held: false,
             pending_reclaim: false,
@@ -217,6 +248,10 @@ pub struct RollHandle<'a> {
     lock: &'a RollLock,
     slot: SlotGuard<'a>,
     policy: ArrivalPolicy,
+    /// Cached C-SNZI leaf: topology-placed on first tree arrival, then
+    /// sticky until a leaf-level CAS failure migrates it. Reader nodes all
+    /// share one tree shape, so the cursor carries across pooled nodes.
+    cursor: LeafCursor,
     session: Option<(usize, Ticket)>,
     write_held: bool,
     /// A timed write abandoned this slot's writer node in the queue; it
@@ -246,14 +281,13 @@ impl RollHandle<'_> {
     fn try_join_waiting_reader(&mut self, tail: NodeRef) -> Option<(usize, Ticket)> {
         let lock = self.lock;
         let core = &lock.core;
-        let slot = self.slot_idx();
 
         // 1. Hint path: one load instead of a queue traversal.
         let hint = lock.load_hint();
         if hint.is_reader() {
             let node = core.rnode(hint.index());
             if node.state.load(Ordering::Acquire) == WAITING {
-                let ticket = node.csnzi.arrive(&mut self.policy, slot);
+                let ticket = node.csnzi.arrive_cached(&mut self.policy, &mut self.cursor);
                 if ticket.arrived() {
                     return Some((hint.index(), ticket));
                 }
@@ -273,7 +307,7 @@ impl RollHandle<'_> {
             if cur.is_reader() {
                 let node = core.rnode(cur.index());
                 if node.state.load(Ordering::Acquire) == WAITING {
-                    let ticket = node.csnzi.arrive(&mut self.policy, slot);
+                    let ticket = node.csnzi.arrive_cached(&mut self.policy, &mut self.cursor);
                     if ticket.arrived() {
                         lock.set_hint(cur);
                         return Some((cur.index(), ticket));
@@ -310,7 +344,7 @@ impl RwHandle for RollHandle<'_> {
                 node.prev.store(NodeRef::NIL.raw(), Ordering::Relaxed);
                 if core.cas_tail(NodeRef::NIL, NodeRef::reader(r)) {
                     node.csnzi.open();
-                    let ticket = node.csnzi.arrive(&mut self.policy, slot);
+                    let ticket = node.csnzi.arrive_cached(&mut self.policy, &mut self.cursor);
                     if ticket.arrived() {
                         core.note_arrival(ticket);
                         core.telemetry.incr(LockEvent::ReadFast);
@@ -326,7 +360,7 @@ impl RwHandle for RollHandle<'_> {
             } else if tail.is_reader() {
                 // Tail is a reader node: join it directly, as in FOLL.
                 let node = core.rnode(tail.index());
-                let ticket = node.csnzi.arrive(&mut self.policy, slot);
+                let ticket = node.csnzi.arrive_cached(&mut self.policy, &mut self.cursor);
                 if ticket.arrived() {
                     if let Some(n) = rnode.take() {
                         core.free_reader_node(n);
@@ -384,7 +418,7 @@ impl RwHandle for RollHandle<'_> {
                     node.prev.store(tail.raw(), Ordering::Release);
                     core.set_qnext(tail, NodeRef::reader(r));
                     node.csnzi.open();
-                    let ticket = node.csnzi.arrive(&mut self.policy, slot);
+                    let ticket = node.csnzi.arrive_cached(&mut self.policy, &mut self.cursor);
                     if ticket.arrived() {
                         core.note_arrival(ticket);
                         core.telemetry.incr(LockEvent::ReadSlow);
@@ -444,7 +478,7 @@ impl RwHandle for RollHandle<'_> {
             node.prev.store(NodeRef::NIL.raw(), Ordering::Relaxed);
             if core.cas_tail(NodeRef::NIL, NodeRef::reader(r)) {
                 node.csnzi.open();
-                let ticket = node.csnzi.arrive(&mut self.policy, slot);
+                let ticket = node.csnzi.arrive_cached(&mut self.policy, &mut self.cursor);
                 if ticket.arrived() {
                     core.note_arrival(ticket);
                     core.telemetry.incr(LockEvent::ReadFast);
@@ -461,7 +495,7 @@ impl RwHandle for RollHandle<'_> {
             if node.state.load(Ordering::Acquire) != GRANTED {
                 return false;
             }
-            let ticket = node.csnzi.arrive(&mut self.policy, slot);
+            let ticket = node.csnzi.arrive_cached(&mut self.policy, &mut self.cursor);
             if !ticket.arrived() {
                 return false;
             }
@@ -523,7 +557,7 @@ impl crate::raw::TimedHandle for RollHandle<'_> {
                 node.prev.store(NodeRef::NIL.raw(), Ordering::Relaxed);
                 if core.cas_tail(NodeRef::NIL, NodeRef::reader(r)) {
                     node.csnzi.open();
-                    let ticket = node.csnzi.arrive(&mut self.policy, slot);
+                    let ticket = node.csnzi.arrive_cached(&mut self.policy, &mut self.cursor);
                     if ticket.arrived() {
                         core.note_arrival(ticket);
                         core.telemetry.incr(LockEvent::ReadFast);
@@ -538,7 +572,7 @@ impl crate::raw::TimedHandle for RollHandle<'_> {
                 }
             } else if tail.is_reader() {
                 let node = core.rnode(tail.index());
-                let ticket = node.csnzi.arrive(&mut self.policy, slot);
+                let ticket = node.csnzi.arrive_cached(&mut self.policy, &mut self.cursor);
                 if ticket.arrived() {
                     if let Some(n) = rnode.take() {
                         core.free_reader_node(n);
@@ -600,7 +634,7 @@ impl crate::raw::TimedHandle for RollHandle<'_> {
                     node.prev.store(tail.raw(), Ordering::Release);
                     core.set_qnext(tail, NodeRef::reader(r));
                     node.csnzi.open();
-                    let ticket = node.csnzi.arrive(&mut self.policy, slot);
+                    let ticket = node.csnzi.arrive_cached(&mut self.policy, &mut self.cursor);
                     if ticket.arrived() {
                         core.note_arrival(ticket);
                         core.telemetry.incr(LockEvent::ReadSlow);

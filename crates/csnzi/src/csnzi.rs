@@ -69,6 +69,60 @@ impl Ticket {
     }
 }
 
+/// A handle-owned cursor remembering the last C-SNZI leaf this thread
+/// arrived at successfully.
+///
+/// The paper's `GetLeafForThread` re-hashes a thread identity on every
+/// arrival; the cursor instead starts from a topology-derived leaf
+/// (threads sharing a core or package start on the same or neighbouring
+/// leaves — see [`oll_util::topology`]) and then *stays put*, migrating
+/// to the next leaf only when a leaf-level CAS actually fails. A stable
+/// leaf means a stable cache line in the common case.
+#[derive(Debug, Clone, Default)]
+pub struct LeafCursor {
+    ordinal: usize,
+    placed: bool,
+}
+
+impl LeafCursor {
+    /// A cursor that picks its initial leaf from the machine topology on
+    /// first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A cursor pinned to an explicit identity hint (the legacy
+    /// `hint % leaf_count` placement of Figure 2's `GetLeafForThread`);
+    /// used by [`CSnzi::arrive`] and the ablation benches.
+    pub fn pinned(hint: usize) -> Self {
+        Self {
+            ordinal: hint,
+            placed: true,
+        }
+    }
+
+    /// Current leaf ordinal in `0..leaf_count`, choosing the topology
+    /// placement on first use.
+    fn ordinal(&mut self, leaf_count: usize) -> usize {
+        if !self.placed {
+            self.ordinal = oll_util::topology::preferred_leaf(
+                oll_util::topology::dense_thread_id(),
+                leaf_count,
+            );
+            self.placed = true;
+        }
+        self.ordinal % leaf_count
+    }
+
+    fn migrate(&mut self, leaf_count: usize) {
+        self.ordinal = (self.ordinal % leaf_count + 1) % leaf_count;
+    }
+
+    fn commit(&mut self, ordinal: usize) {
+        self.ordinal = ordinal;
+    }
+}
+
 /// A closable scalable nonzero indicator.
 ///
 /// Supports the full interface of Figures 1–2 plus the §2.1 variations and
@@ -106,6 +160,28 @@ enum NodeStorage {
     // so loom builds are always eager.
     #[cfg(not(loom))]
     Lazy(std::sync::OnceLock<Box<[CachePadded<SnziNode>]>>),
+    // Contention-driven: allocated lazily *and* routed dynamically — the
+    // tree receives arrivals only while inflated, and a sustained quiet
+    // spell deflates routing back to the root (BRAVO/Fissile-style
+    // adaptation). Loom builds fall back to Eager.
+    #[cfg(not(loom))]
+    Adaptive(AdaptiveTree),
+}
+
+/// State of an adaptive tree beyond the shared node array.
+#[cfg(not(loom))]
+#[derive(Debug)]
+struct AdaptiveTree {
+    nodes: std::sync::OnceLock<Box<[CachePadded<SnziNode>]>>,
+    /// Routing flag: arrivals may use the tree. Once allocated the node
+    /// array is never freed — deflation only clears this flag — so
+    /// outstanding tree tickets stay departable with no reclamation
+    /// protocol.
+    active: std::sync::atomic::AtomicBool,
+    /// Consecutive successful direct root arrivals that observed zero
+    /// tree surplus while inflated; reaching [`CSnzi::DEFLATE_AFTER`]
+    /// deflates.
+    quiet: std::sync::atomic::AtomicU32,
 }
 
 impl NodeStorage {
@@ -114,6 +190,8 @@ impl NodeStorage {
             NodeStorage::Eager(nodes) => nodes,
             #[cfg(not(loom))]
             NodeStorage::Lazy(cell) => cell.get_or_init(|| shape.alloc_nodes()),
+            #[cfg(not(loom))]
+            NodeStorage::Adaptive(a) => a.nodes.get_or_init(|| shape.alloc_nodes()),
         }
     }
 
@@ -122,6 +200,8 @@ impl NodeStorage {
             NodeStorage::Eager(_) => true,
             #[cfg(not(loom))]
             NodeStorage::Lazy(cell) => cell.get().is_some(),
+            #[cfg(not(loom))]
+            NodeStorage::Adaptive(a) => a.nodes.get().is_some(),
         }
     }
 }
@@ -181,10 +261,76 @@ impl CSnzi {
         }
     }
 
+    /// Creates an open, empty, *adaptive* C-SNZI: it starts root-only
+    /// (one cache line, no tree allocation) and inflates to a tree shaped
+    /// for `min(detected CPUs, max_leaves)` threads when its arrival
+    /// policy reports contention — a root-CAS failure streak or observed
+    /// tree surplus. After [`DEFLATE_AFTER`](Self::DEFLATE_AFTER)
+    /// consecutive uncontended direct arrivals it deflates: routing
+    /// returns to the root while the allocation (if any) is kept for the
+    /// next inflation.
+    ///
+    /// Under loom (`--cfg loom`) this falls back to an eager tree of the
+    /// same shape.
+    pub fn new_adaptive(max_leaves: usize) -> Self {
+        Self::adaptive_with_state(max_leaves, RootWord::OPEN_EMPTY)
+    }
+
+    /// Like [`new_adaptive`](Self::new_adaptive), but starting closed —
+    /// the pooled FOLL/ROLL reader-node configuration.
+    pub fn new_closed_adaptive(max_leaves: usize) -> Self {
+        Self::adaptive_with_state(max_leaves, RootWord::CLOSED_EMPTY)
+    }
+
+    fn adaptive_with_state(max_leaves: usize, word: RootWord) -> Self {
+        let cpus = oll_util::topology::Topology::get().cpus();
+        let shape = TreeShape::for_threads(cpus.min(max_leaves.max(1)));
+        Self {
+            root: CachePadded::new(AtomicU64::new(word.pack())),
+            #[cfg(not(loom))]
+            nodes: NodeStorage::Adaptive(AdaptiveTree {
+                nodes: std::sync::OnceLock::new(),
+                active: std::sync::atomic::AtomicBool::new(false),
+                quiet: std::sync::atomic::AtomicU32::new(0),
+            }),
+            #[cfg(loom)]
+            nodes: NodeStorage::Eager(shape.alloc_nodes()),
+            shape,
+            telemetry: Telemetry::disabled(),
+            #[cfg(feature = "stats")]
+            stats: crate::stats::CsnziStats::default(),
+        }
+    }
+
     /// Whether the tree's node array has been allocated yet (always true
     /// for eagerly constructed objects).
     pub fn is_tree_allocated(&self) -> bool {
         self.nodes.is_allocated()
+    }
+
+    /// Whether this C-SNZI adapts its tree routing at runtime.
+    pub fn is_adaptive(&self) -> bool {
+        #[cfg(not(loom))]
+        {
+            matches!(self.nodes, NodeStorage::Adaptive(_))
+        }
+        #[cfg(loom)]
+        {
+            false
+        }
+    }
+
+    /// Whether arrivals may currently be routed to the tree: always true
+    /// for a static tree with `depth > 0`, and tracks the inflation state
+    /// of an adaptive object.
+    pub fn is_inflated(&self) -> bool {
+        match &self.nodes {
+            NodeStorage::Eager(_) => self.shape.depth > 0,
+            #[cfg(not(loom))]
+            NodeStorage::Lazy(_) => self.shape.depth > 0,
+            #[cfg(not(loom))]
+            NodeStorage::Adaptive(a) => a.active.load(Ordering::Acquire),
+        }
     }
 
     /// Creates a closed, empty C-SNZI (FOLL reader nodes start this way:
@@ -259,6 +405,16 @@ impl CSnzi {
         ok
     }
 
+    /// Number of consecutive direct root arrivals that must observe zero
+    /// tree surplus before an inflated adaptive C-SNZI deflates.
+    /// Hysteresis: one quiet arrival is noise, sixty-four in a row is a
+    /// regime change.
+    pub const DEFLATE_AFTER: u32 = 64;
+
+    /// Max cached-leaf migrations per arrival; past this the cursor stops
+    /// chasing quiet cache lines and rides out the CAS loop where it is.
+    const MAX_MIGRATIONS_PER_ARRIVAL: u32 = 2;
+
     /// `Arrive` (Figure 2): if open, increments the surplus — directly at
     /// the root or at this thread's leaf, per `policy` — and returns a
     /// ticket for the node arrived at. If closed, changes nothing and
@@ -266,26 +422,142 @@ impl CSnzi {
     ///
     /// `leaf_hint` identifies the calling thread (`GetLeafForThread`);
     /// lock handles pass their slot index so distinct threads default to
-    /// distinct leaves.
+    /// distinct leaves. Handles that keep per-object state should prefer
+    /// [`arrive_cached`](Self::arrive_cached), which replaces the
+    /// per-arrival re-hash with a remembered leaf.
     pub fn arrive(&self, policy: &mut ArrivalPolicy, leaf_hint: usize) -> Ticket {
+        self.arrive_cached(policy, &mut LeafCursor::pinned(leaf_hint))
+    }
+
+    /// [`arrive`](Self::arrive) with a handle-owned [`LeafCursor`]: the
+    /// tree path starts at the cursor's cached leaf (topology-placed on
+    /// first use) and migrates to a neighbouring leaf only when a
+    /// leaf-level CAS fails. On an adaptive object this is also where
+    /// inflation and deflation are decided.
+    pub fn arrive_cached(&self, policy: &mut ArrivalPolicy, cursor: &mut LeafCursor) -> Ticket {
         loop {
             let old = self.load_root();
             if !old.open {
                 return Ticket::FAILED;
             }
-            if self.shape.depth == 0 || !policy.should_arrive_at_tree(old) {
-                if self.cas_root(old, old.with_direct_arrival()) {
-                    policy.record_success();
-                    return Ticket::ROOT;
-                }
-                policy.record_failure();
-            } else {
-                let leaf = self.shape.leaf_for(leaf_hint);
-                return if self.tree_arrive(leaf) {
-                    Ticket::node(leaf)
+            if self.shape.depth > 0 && policy.should_arrive_at_tree(old) && self.tree_route() {
+                return self.tree_arrive_cursor(cursor);
+            }
+            if self.cas_root(old, old.with_direct_arrival()) {
+                policy.record_success();
+                self.note_direct_success(old);
+                return Ticket::ROOT;
+            }
+            policy.record_failure();
+        }
+    }
+
+    /// Whether the tree path is open for this arrival, inflating an
+    /// adaptive object on the way: by the time the policy asks for the
+    /// tree it has accumulated the contention evidence (a failure streak
+    /// or observed tree surplus) that justifies building one.
+    #[inline]
+    fn tree_route(&self) -> bool {
+        #[cfg(not(loom))]
+        if let Some(a) = self.adaptive() {
+            if !a.active.load(Ordering::Acquire) {
+                self.inflate(a);
+            }
+            // Tree in use: push the deflation epoch back out.
+            a.quiet.store(0, Ordering::Relaxed);
+        }
+        true
+    }
+
+    #[cfg(not(loom))]
+    #[inline]
+    fn adaptive(&self) -> Option<&AdaptiveTree> {
+        match &self.nodes {
+            NodeStorage::Adaptive(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Allocates (once) and activates an adaptive object's tree.
+    #[cfg(not(loom))]
+    fn inflate(&self, a: &AdaptiveTree) {
+        // Sync point for the first-inflation race tests: fault plans can
+        // perturb schedules right before the tree is published.
+        oll_util::fault::inject("csnzi.inflate");
+        a.nodes.get_or_init(|| self.shape.alloc_nodes());
+        if !a.active.swap(true, Ordering::AcqRel) {
+            self.telemetry.incr(LockEvent::CsnziInflate);
+        }
+        a.quiet.store(0, Ordering::Relaxed);
+    }
+
+    /// Deflation bookkeeping after a successful direct root arrival: a
+    /// run of [`DEFLATE_AFTER`](Self::DEFLATE_AFTER) direct arrivals that
+    /// all saw zero tree surplus deflates an inflated adaptive object.
+    /// Any observed tree surplus resets the run — deflation never races
+    /// outstanding tree tickets, because leaf surplus propagates to the
+    /// root's tree counter until the last tree holder departs.
+    #[inline]
+    fn note_direct_success(&self, old: RootWord) {
+        #[cfg(not(loom))]
+        if let Some(a) = self.adaptive() {
+            if a.active.load(Ordering::Relaxed) {
+                if old.tree == 0 {
+                    let quiet = a.quiet.fetch_add(1, Ordering::Relaxed) + 1;
+                    if quiet >= Self::DEFLATE_AFTER && a.active.swap(false, Ordering::AcqRel) {
+                        a.quiet.store(0, Ordering::Relaxed);
+                        self.telemetry.incr(LockEvent::CsnziDeflate);
+                    }
                 } else {
-                    Ticket::FAILED
-                };
+                    a.quiet.store(0, Ordering::Relaxed);
+                }
+            }
+        }
+        #[cfg(loom)]
+        let _ = old;
+    }
+
+    /// The tree-path arrival for [`arrive_cached`](Self::arrive_cached):
+    /// [`tree_arrive`](Self::tree_arrive) specialised to the entry leaf,
+    /// with cursor migration on leaf-level CAS failure.
+    fn tree_arrive_cursor(&self, cursor: &mut LeafCursor) -> Ticket {
+        let leaf_count = self.shape.leaf_count();
+        let mut migrations = 0;
+        let mut idx = self.shape.first_leaf() + cursor.ordinal(leaf_count);
+        let mut parent = self.shape.parent_of(idx);
+        let mut arrived_at_parent = false;
+        loop {
+            let node = self.node(idx);
+            let x = node.cnt.load(Ordering::Acquire);
+            if x == 0 && !arrived_at_parent {
+                if self.parent_arrive(parent) {
+                    arrived_at_parent = true;
+                    continue;
+                }
+                return Ticket::FAILED;
+            }
+            if node
+                .cnt
+                .compare_exchange(x, x + 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                self.note_node_write();
+                if arrived_at_parent && x != 0 {
+                    self.parent_depart(parent);
+                }
+                cursor.commit(idx - self.shape.first_leaf());
+                return Ticket::node(idx);
+            }
+            // The cached leaf's line is hot: migrate to the next leaf —
+            // but only while holding no parent pre-arrival, since undoing
+            // one here could zero a closed C-SNZI and silently make this
+            // thread the lock owner.
+            if !arrived_at_parent && migrations < Self::MAX_MIGRATIONS_PER_ARRIVAL {
+                migrations += 1;
+                cursor.migrate(leaf_count);
+                idx = self.shape.first_leaf() + cursor.ordinal(leaf_count);
+                parent = self.shape.parent_of(idx);
+                self.telemetry.incr(LockEvent::CsnziLeafMigrate);
             }
         }
     }
@@ -1011,6 +1283,185 @@ mod lazy_tests {
         // Both drained: closing an empty, open object succeeds.
         assert!(lazy.close());
         assert!(eager.close());
+    }
+
+    #[test]
+    fn adaptive_starts_root_only_and_unallocated() {
+        let c = CSnzi::new_adaptive(8);
+        assert!(c.is_adaptive());
+        assert!(!c.is_inflated());
+        assert!(!c.is_tree_allocated());
+        assert!(c.shape().depth > 0, "target shape is sized, not ROOT_ONLY");
+
+        // Uncontended traffic stays on the root and never allocates.
+        let mut p = ArrivalPolicy::default();
+        let mut cursor = LeafCursor::new();
+        for _ in 0..100 {
+            let t = c.arrive_cached(&mut p, &mut cursor);
+            assert!(t.is_root());
+            assert!(c.depart(t));
+        }
+        assert!(!c.is_inflated());
+        assert!(!c.is_tree_allocated());
+    }
+
+    #[test]
+    fn adaptive_inflates_on_failure_streak() {
+        let c = CSnzi::new_adaptive(8);
+        let mut p = ArrivalPolicy::default();
+        // Simulate the contention evidence a real failure streak leaves.
+        p.record_failure();
+        p.record_failure();
+        let mut cursor = LeafCursor::new();
+        let t = c.arrive_cached(&mut p, &mut cursor);
+        assert!(t.arrived());
+        assert!(!t.is_root(), "contended arrival lands on the tree");
+        assert!(c.is_inflated());
+        assert!(c.is_tree_allocated());
+        assert!(c.query().nonzero);
+        assert!(c.depart(t));
+    }
+
+    #[test]
+    fn adaptive_deflates_after_quiet_spell_and_reinflates() {
+        let c = CSnzi::new_adaptive(4);
+        let mut hot = ArrivalPolicy::default();
+        hot.record_failure();
+        hot.record_failure();
+        let mut cursor = LeafCursor::new();
+        let t = c.arrive_cached(&mut hot, &mut cursor);
+        assert!(c.is_inflated());
+
+        // A held tree ticket keeps root tree surplus nonzero, which
+        // blocks deflation no matter how many quiet arrivals pass.
+        let mut probe = ArrivalPolicy::always_direct();
+        for _ in 0..(CSnzi::DEFLATE_AFTER * 2) {
+            let d = c.arrive_cached(&mut probe, &mut LeafCursor::new());
+            assert!(d.is_root());
+            assert!(c.depart(d));
+        }
+        assert!(c.is_inflated(), "tree surplus must hold off deflation");
+
+        assert!(c.depart(t));
+        // With the tree drained, a quiet spell deflates.
+        let mut calm = ArrivalPolicy::default();
+        for _ in 0..CSnzi::DEFLATE_AFTER {
+            let d = c.arrive_cached(&mut calm, &mut cursor);
+            assert!(d.is_root());
+            assert!(c.depart(d));
+        }
+        assert!(!c.is_inflated());
+        assert!(c.is_tree_allocated(), "deflation keeps the allocation");
+
+        // Fresh contention evidence re-inflates (reusing the allocation).
+        let mut hot2 = ArrivalPolicy::default();
+        hot2.record_failure();
+        hot2.record_failure();
+        let t2 = c.arrive_cached(&mut hot2, &mut cursor);
+        assert!(!t2.is_root());
+        assert!(c.is_inflated());
+        assert!(c.depart(t2));
+    }
+
+    #[test]
+    fn adaptive_closed_variant_rejects_arrivals() {
+        let c = CSnzi::new_closed_adaptive(4);
+        assert!(!c.arrive(&mut ArrivalPolicy::default(), 0).arrived());
+        assert!(!c.is_tree_allocated());
+        c.open();
+        let t = c.arrive(&mut ArrivalPolicy::default(), 0);
+        assert!(t.is_root());
+        assert!(c.depart(t));
+    }
+
+    #[test]
+    fn adaptive_full_protocol_once_inflated() {
+        // close/open/open_with_arrivals/trade/upgrade all behave like a
+        // static tree once the adaptive object is inflated.
+        let c = CSnzi::new_adaptive(4);
+        let mut hot = ArrivalPolicy::default();
+        hot.record_failure();
+        hot.record_failure();
+        let mut cursor = LeafCursor::new();
+        let t = c.arrive_cached(&mut hot, &mut cursor);
+        assert!(!t.is_root());
+        assert!(!c.close());
+        assert!(!c.arrive(&mut ArrivalPolicy::default(), 0).arrived());
+        assert!(!c.depart(t), "last departer of a closed object hands off");
+        c.open_with_arrivals(1, false);
+        assert!(c.depart(Ticket::ROOT));
+        let t = c.arrive_cached(&mut hot, &mut cursor);
+        let t = c.trade_to_direct(t);
+        assert!(c.is_sole_direct());
+        assert!(c.try_upgrade_sole_direct());
+        c.open();
+        let _ = t;
+    }
+
+    #[test]
+    fn cursor_reuses_committed_leaf() {
+        let c = CSnzi::new(TreeShape::flat(8));
+        let mut p = ArrivalPolicy::always_tree();
+        let mut cursor = LeafCursor::pinned(3);
+        let t1 = c.arrive_cached(&mut p, &mut cursor);
+        let t2 = c.arrive_cached(&mut p, &mut cursor);
+        // Same cursor, no leaf CAS failures: both arrivals share a leaf.
+        assert_eq!(t1, t2);
+        assert!(c.depart(t1));
+        assert!(c.depart(t2));
+    }
+
+    #[test]
+    fn pinned_cursor_matches_leaf_for_hint() {
+        let shape = TreeShape::flat(4);
+        let c = CSnzi::new(shape);
+        for hint in 0..8 {
+            let mut p = ArrivalPolicy::always_tree();
+            let t = c.arrive_cached(&mut p, &mut LeafCursor::pinned(hint));
+            let expected = c.arrive_tree(hint);
+            assert_eq!(t, expected, "hint {hint}");
+            assert!(c.depart(t));
+            assert!(c.depart(expected));
+        }
+    }
+
+    #[test]
+    fn adaptive_concurrent_stress_with_inflation_and_deflation() {
+        use std::sync::atomic::{AtomicI64, Ordering as O};
+        use std::sync::Arc;
+
+        const THREADS: usize = 8;
+        const OPS: usize = 2_000;
+        let c = Arc::new(CSnzi::new_adaptive(THREADS));
+        let oracle = Arc::new(AtomicI64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..THREADS {
+            let c = Arc::clone(&c);
+            let oracle = Arc::clone(&oracle);
+            handles.push(std::thread::spawn(move || {
+                let mut p = ArrivalPolicy::default();
+                let mut cursor = LeafCursor::new();
+                for i in 0..OPS {
+                    let t = c.arrive_cached(&mut p, &mut cursor);
+                    assert!(t.arrived(), "object is never closed in this test");
+                    oracle.fetch_add(1, O::SeqCst);
+                    assert!(c.query().nonzero);
+                    oracle.fetch_sub(1, O::SeqCst);
+                    assert!(c.depart(t));
+                    if i % 7 == 0 {
+                        std::thread::yield_now();
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(oracle.load(O::SeqCst), 0);
+        assert!(!c.query().nonzero);
+        assert!(c.query().open);
+        let w = c.root_snapshot();
+        assert_eq!((w.direct, w.tree), (0, 0));
     }
 
     #[test]

@@ -45,9 +45,9 @@ pub mod spec;
 #[cfg(feature = "stats")]
 pub mod stats;
 
-pub use crate::csnzi::{CSnzi, CancelOutcome, Query, Ticket};
+pub use crate::csnzi::{CSnzi, CancelOutcome, LeafCursor, Query, Ticket};
 pub use node::TreeShape;
-pub use policy::ArrivalPolicy;
+pub use policy::{ArrivalMode, ArrivalPolicy};
 pub use root::RootWord;
 pub use snzi::Snzi;
 pub use spec::SpecCsnzi;

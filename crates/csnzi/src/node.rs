@@ -100,25 +100,26 @@ impl TreeShape {
     }
 
     /// The parent of node `idx` in the flat node array.
+    ///
+    /// Closed form, O(1): level `k` (1-indexed) occupies indices
+    /// `[(f^k - f)/(f - 1), (f^(k+1) - f)/(f - 1))`, so the level of
+    /// `idx` is recovered as `k = ilog_f(idx·(f-1) + f)` and the parent
+    /// is the node `(idx - level_start) / f` positions into level `k-1`.
     pub(crate) fn parent_of(&self, idx: usize) -> Parent {
-        if idx < self.fanout {
+        debug_assert!(idx < self.node_count());
+        let f = self.fanout;
+        if idx < f {
             // Level 1 propagates to the root word.
-            Parent::Root
-        } else {
-            // Find the level containing idx, then map to the level above.
-            let mut level_start = 0usize;
-            let mut level_size = self.fanout;
-            loop {
-                let next_start = level_start + level_size;
-                if idx < next_start {
-                    let pos = idx - level_start;
-                    let parent_level_start = level_start - level_size / self.fanout;
-                    return Parent::Node(parent_level_start + pos / self.fanout);
-                }
-                level_start = next_start;
-                level_size *= self.fanout;
-            }
+            return Parent::Root;
         }
+        if f == 1 {
+            // Unary chain: one node per level.
+            return Parent::Node(idx - 1);
+        }
+        let k = (idx * (f - 1) + f).ilog(f);
+        let level_start = (f.pow(k) - f) / (f - 1);
+        let parent_level_start = (f.pow(k - 1) - f) / (f - 1);
+        Parent::Node(parent_level_start + (idx - level_start) / f)
     }
 
     /// Allocates the node array for this shape.
@@ -201,5 +202,62 @@ mod tests {
     fn for_threads_never_zero() {
         assert_eq!(TreeShape::for_threads(0).leaf_count(), 1);
         assert_eq!(TreeShape::for_threads(16).leaf_count(), 16);
+    }
+
+    /// The original O(depth) level walk, kept as the oracle for the
+    /// closed-form `parent_of`.
+    fn parent_of_by_walk(s: &TreeShape, idx: usize) -> Parent {
+        if idx < s.fanout {
+            return Parent::Root;
+        }
+        let mut level_start = 0usize;
+        let mut level_size = s.fanout;
+        loop {
+            let next_start = level_start + level_size;
+            if idx < next_start {
+                let pos = idx - level_start;
+                let parent_level_start = level_start - level_size / s.fanout;
+                return Parent::Node(parent_level_start + pos / s.fanout);
+            }
+            level_start = next_start;
+            level_size *= s.fanout;
+        }
+    }
+
+    #[test]
+    fn closed_form_parent_matches_walk_exhaustively() {
+        for fanout in 1..=9 {
+            for depth in 1..=4 {
+                let s = TreeShape { fanout, depth };
+                for idx in 0..s.node_count() {
+                    assert_eq!(
+                        s.parent_of(idx),
+                        parent_of_by_walk(&s, idx),
+                        "fanout={fanout} depth={depth} idx={idx}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[cfg(feature = "proptest")]
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn closed_form_parent_matches_walk(
+                fanout in 1usize..65,
+                depth in 1usize..5,
+                idx_seed in 0usize..usize::MAX,
+            ) {
+                // Cap the node count so deep wide shapes stay cheap.
+                let depth = if fanout > 8 { depth.min(2) } else { depth };
+                let s = TreeShape { fanout, depth };
+                let idx = idx_seed % s.node_count();
+                assert_eq!(s.parent_of(idx), parent_of_by_walk(&s, idx));
+            }
+        }
     }
 }

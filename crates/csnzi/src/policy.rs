@@ -9,15 +9,34 @@
 //! thread."
 //!
 //! The policy is *per-thread* state (a failure counter); lock handles own
-//! one per C-SNZI they use.
+//! one per C-SNZI they use. Pinned policies (always root, always tree)
+//! are explicit [`ArrivalMode`] variants rather than sentinel thresholds:
+//! an earlier encoding used `threshold == u32::MAX` to mean "pinned to
+//! root" and had to special-case the tree-surplus clause so a saturated
+//! failure counter could not defeat the pin — the variant makes both
+//! impossible by construction.
 
 use crate::root::RootWord;
+
+/// How a policy decides between root and tree arrivals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalMode {
+    /// Paper policy: arrive at the root until `threshold` consecutive
+    /// root CASes fail or the root shows tree surplus.
+    Threshold(u32),
+    /// Every arrival goes directly to the root, even when other threads
+    /// use the tree (root arrival stays correct regardless, so this
+    /// truly pins to the root).
+    PinnedRoot,
+    /// Every arrival goes to the tree.
+    PinnedTree,
+}
 
 /// Per-thread decision state for [`CSnzi::arrive`](crate::CSnzi::arrive).
 #[derive(Debug, Clone)]
 pub struct ArrivalPolicy {
     failures: u32,
-    threshold: u32,
+    mode: ArrivalMode,
 }
 
 impl Default for ArrivalPolicy {
@@ -32,32 +51,52 @@ impl ArrivalPolicy {
     pub const DEFAULT_THRESHOLD: u32 = 2;
 
     /// Creates a policy that tolerates `threshold` consecutive failed root
-    /// CASes before moving to the tree. A threshold of `u32::MAX`
-    /// effectively pins arrivals to the root; `0` pins them to the tree.
+    /// CASes before moving to the tree. The legacy sentinel values still
+    /// map to the pinned modes (`u32::MAX` pins arrivals to the root, `0`
+    /// pins them to the tree) so stored thresholds keep their meaning.
     pub fn new(threshold: u32) -> Self {
-        Self {
-            failures: 0,
-            threshold,
-        }
+        let mode = match threshold {
+            0 => ArrivalMode::PinnedTree,
+            u32::MAX => ArrivalMode::PinnedRoot,
+            t => ArrivalMode::Threshold(t),
+        };
+        Self::with_mode(mode)
     }
 
-    /// A policy that always arrives directly at the root (unless another
-    /// thread is already using the tree, which tree-surplus correctness
-    /// does not require us to follow — root arrival stays correct, so this
-    /// truly pins to the root).
+    /// Creates a policy with an explicit decision mode.
+    pub fn with_mode(mode: ArrivalMode) -> Self {
+        Self { failures: 0, mode }
+    }
+
+    /// A policy that always arrives directly at the root.
     pub fn always_direct() -> Self {
-        Self::new(u32::MAX)
+        Self::with_mode(ArrivalMode::PinnedRoot)
     }
 
     /// A policy that always arrives at the tree.
     pub fn always_tree() -> Self {
-        Self::new(0)
+        Self::with_mode(ArrivalMode::PinnedTree)
+    }
+
+    /// The decision mode this policy runs.
+    pub fn mode(&self) -> ArrivalMode {
+        self.mode
+    }
+
+    /// Current consecutive-failure credit (contention evidence an
+    /// adaptive C-SNZI consults when deciding to inflate).
+    pub fn failure_streak(&self) -> u32 {
+        self.failures
     }
 
     /// Decides where the next arrival should go, given the freshly loaded
     /// root word.
     pub fn should_arrive_at_tree(&self, root: RootWord) -> bool {
-        self.failures >= self.threshold || (self.threshold != u32::MAX && root.tree > 0)
+        match self.mode {
+            ArrivalMode::PinnedRoot => false,
+            ArrivalMode::PinnedTree => true,
+            ArrivalMode::Threshold(t) => self.failures >= t || root.tree > 0,
+        }
     }
 
     /// Records a failed CAS on the root (contention evidence).
@@ -119,12 +158,40 @@ mod tests {
     }
 
     #[test]
+    fn sentinel_thresholds_map_to_pinned_modes() {
+        assert_eq!(ArrivalPolicy::new(u32::MAX).mode(), ArrivalMode::PinnedRoot);
+        assert_eq!(ArrivalPolicy::new(0).mode(), ArrivalMode::PinnedTree);
+        assert_eq!(ArrivalPolicy::new(3).mode(), ArrivalMode::Threshold(3));
+    }
+
+    #[test]
+    fn pinned_root_survives_saturated_failures() {
+        let mut p = ArrivalPolicy::always_direct();
+        for _ in 0..100 {
+            p.record_failure();
+        }
+        // Pinned means pinned: no failure streak or tree surplus moves it.
+        assert!(!p.should_arrive_at_tree(tree_busy_root()));
+    }
+
+    #[test]
+    fn failure_streak_is_observable() {
+        let mut p = ArrivalPolicy::default();
+        assert_eq!(p.failure_streak(), 0);
+        p.record_failure();
+        p.record_failure();
+        assert_eq!(p.failure_streak(), 2);
+        p.record_success();
+        assert_eq!(p.failure_streak(), 1);
+    }
+
+    #[test]
     fn failure_counter_saturates() {
-        let mut p = ArrivalPolicy::new(u32::MAX);
+        let mut p = ArrivalPolicy::with_mode(ArrivalMode::Threshold(u32::MAX - 1));
         for _ in 0..10 {
             p.record_failure();
         }
-        // Saturating, no overflow; still short of u32::MAX threshold.
+        // Saturating, no overflow; still short of the huge threshold.
         assert!(!p.should_arrive_at_tree(quiet_root()));
     }
 }

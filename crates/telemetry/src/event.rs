@@ -50,11 +50,20 @@ pub enum LockEvent {
     CsnziNodeWrite,
     /// A CAS on the C-SNZI root word failed (wasted shared-line traffic).
     CsnziRootCasFail,
+    /// An adaptive C-SNZI inflated: built (or re-activated) its tree
+    /// after measuring root contention.
+    CsnziInflate,
+    /// An adaptive C-SNZI deflated back to root-only arrivals after a
+    /// quiet period with no tree surplus.
+    CsnziDeflate,
+    /// A handle's cached C-SNZI leaf missed (leaf-level CAS failed) and
+    /// the handle migrated to a neighbouring leaf.
+    CsnziLeafMigrate,
 }
 
 impl LockEvent {
     /// Number of event kinds (the counter-array length).
-    pub const COUNT: usize = 17;
+    pub const COUNT: usize = 20;
 
     /// Every event, in counter-index order.
     pub const ALL: [LockEvent; Self::COUNT] = [
@@ -75,6 +84,9 @@ impl LockEvent {
         LockEvent::CsnziRootWrite,
         LockEvent::CsnziNodeWrite,
         LockEvent::CsnziRootCasFail,
+        LockEvent::CsnziInflate,
+        LockEvent::CsnziDeflate,
+        LockEvent::CsnziLeafMigrate,
     ];
 
     /// Stable snake_case name, used as the JSON key and the text-report
@@ -98,6 +110,9 @@ impl LockEvent {
             LockEvent::CsnziRootWrite => "csnzi_root_write",
             LockEvent::CsnziNodeWrite => "csnzi_node_write",
             LockEvent::CsnziRootCasFail => "csnzi_root_cas_fail",
+            LockEvent::CsnziInflate => "csnzi_inflate",
+            LockEvent::CsnziDeflate => "csnzi_deflate",
+            LockEvent::CsnziLeafMigrate => "csnzi_leaf_migrate",
         }
     }
 

@@ -1,6 +1,6 @@
 //! The trace record: one timestamped event, packed to three words.
 //!
-//! A record is `(ts_ns, tid, lock, kind, token)`. The first seventeen
+//! A record is `(ts_ns, tid, lock, kind, token)`. The first twenty
 //! [`TraceKind`]s mirror `oll_telemetry::LockEvent` one-for-one (same
 //! order, same `snake_case` names), so counter increments flow into the
 //! timeline without a translation table; the remaining kinds are
@@ -10,8 +10,8 @@
 //! lets the analyzer stitch a hand-off's grantor and grantee into an
 //! edge.
 
-/// What happened. Discriminants `0..17` mirror
-/// `oll_telemetry::LockEvent` exactly; `17..` are trace-only markers.
+/// What happened. Discriminants `0..20` mirror
+/// `oll_telemetry::LockEvent` exactly; `20..` are trace-only markers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[repr(u8)]
 pub enum TraceKind {
@@ -49,28 +49,34 @@ pub enum TraceKind {
     CsnziNodeWrite = 15,
     /// A CAS on the C-SNZI root word failed and retried.
     CsnziRootCasFail = 16,
+    /// An adaptive C-SNZI inflated its tree under measured contention.
+    CsnziInflate = 17,
+    /// An adaptive C-SNZI deflated back to root-only arrivals.
+    CsnziDeflate = 18,
+    /// A handle's cached leaf missed and it migrated to a neighbour.
+    CsnziLeafMigrate = 19,
     /// `lock_read` entered (marker; opens a read acquisition span).
-    ReadBegin = 17,
+    ReadBegin = 20,
     /// `lock_write` entered (marker; opens a write acquisition span).
-    WriteBegin = 18,
+    WriteBegin = 21,
     /// The thread joined a wait queue; `token` names what it waits on.
-    Enqueued = 19,
+    Enqueued = 22,
     /// A releasing thread granted ownership to the waiter(s) parked on
     /// `token` (emitted by the *grantor*).
-    Granted = 20,
+    Granted = 23,
     /// `lock_read` succeeded (marker; closes the read span).
-    ReadAcquired = 21,
+    ReadAcquired = 24,
     /// `lock_write` succeeded (marker; closes the write span).
-    WriteAcquired = 22,
+    WriteAcquired = 25,
     /// `unlock_read` entered (marker; closes the read hold span).
-    ReadRelease = 23,
+    ReadRelease = 26,
     /// `unlock_write` entered (marker; closes the write hold span).
-    WriteRelease = 24,
+    WriteRelease = 27,
 }
 
 impl TraceKind {
     /// Number of kinds.
-    pub const COUNT: usize = 25;
+    pub const COUNT: usize = 28;
 
     /// All kinds, in discriminant order.
     pub const ALL: [TraceKind; TraceKind::COUNT] = [
@@ -91,6 +97,9 @@ impl TraceKind {
         TraceKind::CsnziRootWrite,
         TraceKind::CsnziNodeWrite,
         TraceKind::CsnziRootCasFail,
+        TraceKind::CsnziInflate,
+        TraceKind::CsnziDeflate,
+        TraceKind::CsnziLeafMigrate,
         TraceKind::ReadBegin,
         TraceKind::WriteBegin,
         TraceKind::Enqueued,
@@ -101,7 +110,7 @@ impl TraceKind {
         TraceKind::WriteRelease,
     ];
 
-    /// Stable `snake_case` name (the first 17 match
+    /// Stable `snake_case` name (the first 20 match
     /// `LockEvent::name()`).
     pub const fn name(self) -> &'static str {
         match self {
@@ -122,6 +131,9 @@ impl TraceKind {
             TraceKind::CsnziRootWrite => "csnzi_root_write",
             TraceKind::CsnziNodeWrite => "csnzi_node_write",
             TraceKind::CsnziRootCasFail => "csnzi_root_cas_fail",
+            TraceKind::CsnziInflate => "csnzi_inflate",
+            TraceKind::CsnziDeflate => "csnzi_deflate",
+            TraceKind::CsnziLeafMigrate => "csnzi_leaf_migrate",
             TraceKind::ReadBegin => "read_begin",
             TraceKind::WriteBegin => "write_begin",
             TraceKind::Enqueued => "enqueued",

@@ -32,6 +32,7 @@ pub mod rng;
 pub mod slots;
 pub mod spin_mutex;
 pub mod sync;
+pub mod topology;
 
 pub use backoff::Backoff;
 pub use cache_padded::CachePadded;

@@ -5,6 +5,7 @@
 //!   fig5 [--panel a|b|c|d|e|f|all] [--threads 1,2,4,8,16]
 //!        [--locks GOLL,FOLL,ROLL,KSUH,Solaris-Like,...|all]
 //!        [--acquisitions N] [--runs N] [--paper] [--verify]
+//!        [--adaptive] [--shape N]
 //!        [--csv PATH] [--json PATH] [--telemetry]
 //!        [--trace PATH] [--trace-json PATH]
 //! ```
@@ -19,6 +20,11 @@
 //! recorder and writes a Chrome Trace Event file that loads directly in
 //! Perfetto (needs a `--features trace` build); `--trace-json` also
 //! writes the raw capture as an `oll.trace` document.
+//!
+//! `--adaptive` builds the OLL locks (GOLL/FOLL/ROLL) with adaptive
+//! C-SNZIs — root-only until contention inflates the tree — and
+//! `--shape N` overrides the tree shape to one sized for N threads
+//! (capping the adaptive tree). Both are recorded in the JSON report.
 
 use oll_trace::TraceSession;
 use oll_workloads::config::{Fig5Panel, LockKind, WorkloadConfig};
@@ -44,7 +50,8 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: fig5 [--panel a|b|c|d|e|f|all] [--threads 1,2,4]\n\
          \t[--locks name,...|all] [--acquisitions N] [--runs N]\n\
-         \t[--paper] [--verify] [--csv PATH] [--json PATH] [--telemetry]\n\
+         \t[--paper] [--verify] [--adaptive] [--shape N]\n\
+         \t[--csv PATH] [--json PATH] [--telemetry]\n\
          \t[--trace PATH] [--trace-json PATH]"
     );
     exit(2);
@@ -127,6 +134,15 @@ fn parse_args() -> Args {
             }
             "--paper" => paper = true,
             "--verify" => opts.base.verify = true,
+            "--adaptive" => opts.lock_options.adaptive = true,
+            "--shape" => {
+                let n: usize = value(i).parse().unwrap_or_else(|_| usage("bad --shape"));
+                if n == 0 {
+                    usage("--shape needs a positive thread count");
+                }
+                opts.lock_options.shape_threads = Some(n);
+                i += 1;
+            }
             "--csv" => {
                 csv = Some(value(i));
                 i += 1;
@@ -205,6 +221,12 @@ fn main() {
         args.opts.base.acquisitions_per_thread,
         args.opts.base.runs,
     );
+    if args.opts.lock_options.adaptive || args.opts.lock_options.shape_threads.is_some() {
+        eprintln!(
+            "fig5: OLL lock options: adaptive={} shape_threads={:?}",
+            args.opts.lock_options.adaptive, args.opts.lock_options.shape_threads,
+        );
+    }
 
     if args.trace.is_some() {
         traceio::warn_if_disabled("fig5");

@@ -1,0 +1,132 @@
+//! `fig5check` — validate an `oll.fig5` JSON document.
+//!
+//! ```text
+//! USAGE:
+//!   fig5check PATH [--expect-adaptive] [--expect-shape N]
+//! ```
+//!
+//! Parses the document with the in-tree parser (`oll_workloads::json`),
+//! checks the schema shape the renderer promises (every panel carries
+//! `adaptive`/`shape_threads`, every point a positive throughput), and
+//! exits nonzero with a diagnostic on the first violation. CI's
+//! bench-smoke lane runs it against a short `fig5 --adaptive --json`
+//! sweep so the adaptive plumbing is validated end to end: CLI flag →
+//! lock builders → sweep → JSON report → parser.
+
+use oll_workloads::json::parse::{self, Value};
+use std::process::exit;
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: fig5check PATH [--expect-adaptive] [--expect-shape N]");
+    exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("fig5check: FAIL: {msg}");
+    exit(1);
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut path = None;
+    let mut expect_adaptive = false;
+    let mut expect_shape = None;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--expect-adaptive" => expect_adaptive = true,
+            "--expect-shape" => {
+                let v = argv
+                    .get(i + 1)
+                    .unwrap_or_else(|| usage("missing value for --expect-shape"));
+                expect_shape = Some(
+                    v.parse::<u64>()
+                        .unwrap_or_else(|_| usage("bad --expect-shape")),
+                );
+                i += 1;
+            }
+            "--help" | "-h" => usage("help requested"),
+            other if path.is_none() => path = Some(other.to_string()),
+            other => usage(&format!("unexpected argument `{other}`")),
+        }
+        i += 1;
+    }
+    let path = path.unwrap_or_else(|| usage("missing PATH"));
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| usage(&format!("cannot read {path}: {e}")));
+    let doc = parse::parse(&text).unwrap_or_else(|e| fail(&format!("{path}: not valid JSON: {e}")));
+
+    if doc.get("schema").and_then(Value::as_str) != Some("oll.fig5") {
+        fail("schema is not \"oll.fig5\"");
+    }
+    let panels = doc
+        .get("panels")
+        .and_then(Value::as_arr)
+        .unwrap_or_else(|| fail("missing panels array"));
+    if panels.is_empty() {
+        fail("no panels");
+    }
+    let mut points = 0usize;
+    for (pi, panel) in panels.iter().enumerate() {
+        let tag = panel
+            .get("panel")
+            .and_then(Value::as_str)
+            .unwrap_or_else(|| fail(&format!("panel[{pi}]: missing tag")));
+        let adaptive = panel
+            .get("adaptive")
+            .and_then(Value::as_bool)
+            .unwrap_or_else(|| fail(&format!("panel {tag}: missing adaptive flag")));
+        if expect_adaptive && !adaptive {
+            fail(&format!("panel {tag}: adaptive=false, expected true"));
+        }
+        let shape = panel.get("shape_threads");
+        match (expect_shape, shape.and_then(Value::as_u64)) {
+            (Some(want), Some(got)) if want != got => fail(&format!(
+                "panel {tag}: shape_threads={got}, expected {want}"
+            )),
+            (Some(want), None) => {
+                fail(&format!("panel {tag}: shape_threads=null, expected {want}"))
+            }
+            _ => {}
+        }
+        let series = panel
+            .get("series")
+            .and_then(Value::as_arr)
+            .unwrap_or_else(|| fail(&format!("panel {tag}: missing series")));
+        if series.is_empty() {
+            fail(&format!("panel {tag}: no series"));
+        }
+        for s in series {
+            let lock = s
+                .get("lock")
+                .and_then(Value::as_str)
+                .unwrap_or_else(|| fail(&format!("panel {tag}: series missing lock name")));
+            let pts = s
+                .get("points")
+                .and_then(Value::as_arr)
+                .unwrap_or_else(|| fail(&format!("panel {tag}/{lock}: missing points")));
+            for p in pts {
+                let rate = p
+                    .get("acquires_per_sec")
+                    .and_then(Value::as_f64)
+                    .unwrap_or_else(|| fail(&format!("panel {tag}/{lock}: missing throughput")));
+                if !(rate.is_finite() && rate > 0.0) {
+                    fail(&format!(
+                        "panel {tag}/{lock}: non-positive throughput {rate}"
+                    ));
+                }
+                points += 1;
+            }
+        }
+    }
+    println!(
+        "fig5check: OK: {path}: {} panel(s), {points} point(s){}{}",
+        panels.len(),
+        if expect_adaptive { ", adaptive" } else { "" },
+        match expect_shape {
+            Some(n) => format!(", shape_threads={n}"),
+            None => String::new(),
+        },
+    );
+}

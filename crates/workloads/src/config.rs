@@ -102,6 +102,28 @@ impl LockKind {
     }
 }
 
+/// Construction options for the OLL locks (GOLL/FOLL/ROLL). The
+/// baselines have no C-SNZI tree to configure and ignore these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LockOptions {
+    /// Build the OLL locks with adaptive C-SNZIs: arrivals stay root-only
+    /// until measured contention inflates the tree, and a quiet spell
+    /// deflates it again.
+    pub adaptive: bool,
+    /// Override the C-SNZI tree shape to one sized for this many threads
+    /// (for adaptive locks this caps the inflated leaf count). `None`
+    /// keeps the default one-leaf-per-thread shape.
+    pub shape_threads: Option<usize>,
+}
+
+impl LockOptions {
+    /// True when every field is at its default (the JSON reports omit
+    /// nothing, but sweeps use this to label runs).
+    pub fn is_default(&self) -> bool {
+        *self == Self::default()
+    }
+}
+
 /// One throughput measurement's parameters.
 ///
 /// The paper's harness: "threads repeatedly acquire and release the lock

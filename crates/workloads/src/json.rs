@@ -45,11 +45,17 @@ pub fn render_fig5_json(panels: &[PanelResult]) -> String {
         if pi > 0 {
             out.push(',');
         }
+        let shape = match panel.options.shape_threads {
+            Some(n) => n.to_string(),
+            None => "null".to_string(),
+        };
         let _ = write!(
             out,
-            "{{\"panel\":\"{}\",\"read_pct\":{},\"thread_counts\":{:?},\"series\":[",
+            "{{\"panel\":\"{}\",\"read_pct\":{},\"adaptive\":{},\"shape_threads\":{},\"thread_counts\":{:?},\"series\":[",
             panel.panel.tag(),
             panel.panel.read_pct(),
+            panel.options.adaptive,
+            shape,
             panel.thread_counts,
         );
         for (si, s) in panel.series.iter().enumerate() {
@@ -595,7 +601,7 @@ pub mod parse {
 mod tests {
     use super::parse::Value;
     use super::*;
-    use crate::config::{Fig5Panel, LockKind, WorkloadConfig};
+    use crate::config::{Fig5Panel, LockKind, LockOptions, WorkloadConfig};
     use crate::latency::run_latency;
     use crate::sweep::{run_panel, SweepOptions};
 
@@ -615,6 +621,7 @@ mod tests {
             },
             progress: false,
             collect_telemetry: true,
+            lock_options: LockOptions::default(),
         }
     }
 
@@ -637,6 +644,29 @@ mod tests {
         } else {
             assert!(doc.contains("\"telemetry\":null"));
         }
+    }
+
+    #[test]
+    fn fig5_adaptive_options_round_trip() {
+        let mut opts = tiny_opts();
+        opts.lock_options = LockOptions {
+            adaptive: true,
+            shape_threads: Some(4),
+        };
+        let panel = run_panel(Fig5Panel::A, &opts);
+        let doc = render_fig5_json(&[panel]);
+        let v = parse::parse(&doc).expect("adaptive fig5 doc must parse");
+        let p = v.get("panels").and_then(|p| p.idx(0)).expect("one panel");
+        assert_eq!(p.get("adaptive").and_then(Value::as_bool), Some(true));
+        assert_eq!(p.get("shape_threads").and_then(Value::as_u64), Some(4));
+
+        // Default options serialize as non-adaptive with a null shape.
+        let panel = run_panel(Fig5Panel::A, &tiny_opts());
+        let doc = render_fig5_json(&[panel]);
+        let v = parse::parse(&doc).unwrap();
+        let p = v.get("panels").and_then(|p| p.idx(0)).unwrap();
+        assert_eq!(p.get("adaptive").and_then(Value::as_bool), Some(false));
+        assert_eq!(p.get("shape_threads"), Some(&Value::Null));
     }
 
     #[test]

@@ -64,7 +64,7 @@ pub fn factor_at_peak(panel: &PanelResult, a: LockKind, b: LockKind) -> Option<f
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{Fig5Panel, WorkloadConfig};
+    use crate::config::{Fig5Panel, LockOptions, WorkloadConfig};
     use crate::sweep::{run_panel, SweepOptions};
 
     fn tiny_panel() -> PanelResult {
@@ -85,6 +85,7 @@ mod tests {
                 },
                 progress: false,
                 collect_telemetry: false,
+                lock_options: LockOptions::default(),
             },
         )
     }

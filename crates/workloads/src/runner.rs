@@ -1,11 +1,12 @@
 //! The throughput runner: the paper's tight acquire/release loop (§5.1).
 
-use crate::config::{LockKind, WorkloadConfig};
+use crate::config::{LockKind, LockOptions, WorkloadConfig};
 use oll_baselines::{
     CentralizedRwLock, KsuhLock, McsMutex, McsRwLock, McsRwReaderPref, McsRwWriterPref,
     PerThreadRwLock, SolarisLikeRwLock, StdRwLock,
 };
 use oll_core::{FollLock, GollLock, RollLock, RwHandle, RwLockFamily};
+use oll_csnzi::TreeShape;
 use oll_telemetry::LockSnapshot;
 use oll_util::XorShift64;
 use std::sync::atomic::{AtomicI64, Ordering};
@@ -121,14 +122,53 @@ pub fn run_throughput_profiled(
     kind: LockKind,
     config: &WorkloadConfig,
 ) -> (ThroughputResult, Option<LockSnapshot>) {
+    run_throughput_profiled_with(kind, config, &LockOptions::default())
+}
+
+/// Like [`run_throughput_profiled`], applying `opts` when constructing
+/// the OLL locks (adaptive C-SNZIs, explicit tree shapes). Baseline
+/// locks have nothing to configure and ignore `opts`.
+pub fn run_throughput_profiled_with(
+    kind: LockKind,
+    config: &WorkloadConfig,
+    opts: &LockOptions,
+) -> (ThroughputResult, Option<LockSnapshot>) {
+    let shape = opts.shape_threads.map(TreeShape::for_threads);
     let mut total = Duration::ZERO;
     let mut profile: Option<LockSnapshot> = None;
     let runs = config.runs.max(1);
     for _ in 0..runs {
         let (elapsed, snap) = match kind {
-            LockKind::Goll => measure(GollLock::new, config),
-            LockKind::Foll => measure(FollLock::new, config),
-            LockKind::Roll => measure(RollLock::new, config),
+            LockKind::Goll => measure(
+                |cap| {
+                    let mut b = GollLock::builder(cap).adaptive(opts.adaptive);
+                    if let Some(s) = shape {
+                        b = b.tree_shape(s);
+                    }
+                    b.build()
+                },
+                config,
+            ),
+            LockKind::Foll => measure(
+                |cap| {
+                    let mut b = FollLock::builder(cap).adaptive(opts.adaptive);
+                    if let Some(s) = shape {
+                        b = b.tree_shape(s);
+                    }
+                    b.build()
+                },
+                config,
+            ),
+            LockKind::Roll => measure(
+                |cap| {
+                    let mut b = RollLock::builder(cap).adaptive(opts.adaptive);
+                    if let Some(s) = shape {
+                        b = b.tree_shape(s);
+                    }
+                    b.build()
+                },
+                config,
+            ),
             LockKind::Ksuh => measure(KsuhLock::new, config),
             LockKind::SolarisLike => measure(SolarisLikeRwLock::new, config),
             LockKind::Centralized => measure(CentralizedRwLock::new, config),
@@ -201,6 +241,22 @@ mod tests {
         for kind in LockKind::FIGURE5 {
             run_throughput(kind, &tiny(100));
             run_throughput(kind, &tiny(0));
+        }
+    }
+
+    #[test]
+    fn adaptive_options_produce_working_oll_locks() {
+        let opts = LockOptions {
+            adaptive: true,
+            shape_threads: Some(2),
+        };
+        for kind in [LockKind::Goll, LockKind::Foll, LockKind::Roll] {
+            let (r, _) = run_throughput_profiled_with(kind, &tiny(90), &opts);
+            assert!(
+                r.acquires_per_sec > 0.0,
+                "{}: nonpositive adaptive throughput",
+                kind.name()
+            );
         }
     }
 

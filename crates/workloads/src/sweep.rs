@@ -1,8 +1,8 @@
 //! Parameter sweeps: regenerate a Figure 5 panel as a table of
 //! (lock × thread-count) throughput points.
 
-use crate::config::{Fig5Panel, LockKind, WorkloadConfig};
-use crate::runner::{run_throughput, run_throughput_profiled, ThroughputResult};
+use crate::config::{Fig5Panel, LockKind, LockOptions, WorkloadConfig};
+use crate::runner::{run_throughput_profiled_with, ThroughputResult};
 use oll_telemetry::LockSnapshot;
 
 /// One regenerated panel: a throughput series per lock.
@@ -14,6 +14,8 @@ pub struct PanelResult {
     pub thread_counts: Vec<usize>,
     /// One series per lock, in the order requested.
     pub series: Vec<Series>,
+    /// The OLL lock construction options the panel ran with.
+    pub options: LockOptions,
 }
 
 /// A single lock's throughput curve.
@@ -44,6 +46,9 @@ pub struct SweepOptions {
     /// meaningful when the workspace is built with the `telemetry`
     /// feature; otherwise every profile stays `None`).
     pub collect_telemetry: bool,
+    /// Construction options applied to the OLL locks at every point
+    /// (adaptive C-SNZIs, explicit tree shapes).
+    pub lock_options: LockOptions,
 }
 
 impl SweepOptions {
@@ -56,6 +61,7 @@ impl SweepOptions {
             base: WorkloadConfig::quick(1, 100),
             progress: false,
             collect_telemetry: false,
+            lock_options: LockOptions::default(),
         }
     }
 }
@@ -80,10 +86,9 @@ pub fn run_panel(panel: Fig5Panel, opts: &SweepOptions) -> PanelResult {
                 },
                 ..opts.base
             };
-            let (r, profile) = if opts.collect_telemetry {
-                run_throughput_profiled(kind, &config)
-            } else {
-                (run_throughput(kind, &config), None)
+            let (r, profile) = {
+                let (r, p) = run_throughput_profiled_with(kind, &config, &opts.lock_options);
+                (r, if opts.collect_telemetry { p } else { None })
             };
             if opts.progress {
                 eprintln!(
@@ -106,6 +111,7 @@ pub fn run_panel(panel: Fig5Panel, opts: &SweepOptions) -> PanelResult {
         panel,
         thread_counts: opts.thread_counts.clone(),
         series,
+        options: opts.lock_options,
     }
 }
 
@@ -144,6 +150,7 @@ mod tests {
             },
             progress: false,
             collect_telemetry: false,
+            lock_options: LockOptions::default(),
         };
         let panel = run_panel(Fig5Panel::A, &opts);
         assert_eq!(panel.series.len(), 2);
@@ -178,6 +185,7 @@ mod tests {
             },
             progress: false,
             collect_telemetry: false,
+            lock_options: LockOptions::default(),
         };
         let panel = run_panel(Fig5Panel::F, &opts);
         let p = &panel.series[0].points[0];

@@ -66,7 +66,9 @@ pub use oll_baselines::{
 #[cfg(not(loom))]
 pub use oll_core::TimedHandle;
 pub use oll_core::{
-    FairnessPolicy, FollLock, GollLock, RollLock, RwHandle, RwLock, RwLockFamily, TimedOut,
-    UpgradableHandle,
+    FairnessPolicy, FollBuilder, FollLock, GollBuilder, GollLock, RollBuilder, RollLock, RwHandle,
+    RwLock, RwLockFamily, TimedOut, UpgradableHandle,
 };
-pub use oll_csnzi::{ArrivalPolicy, CSnzi, CancelOutcome, Snzi, TreeShape};
+pub use oll_csnzi::{
+    ArrivalMode, ArrivalPolicy, CSnzi, CancelOutcome, LeafCursor, Snzi, TreeShape,
+};

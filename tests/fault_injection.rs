@@ -199,3 +199,62 @@ fn roll_abandoned_writer_churn() {
 fn goll_writer_cancel_churn() {
     abandoned_writer_churn(GollLock::new(8), "goll.write", 0x5EED_0007);
 }
+
+/// The tentpole's directed race: N threads simultaneously route their
+/// first arrival through an adaptive C-SNZI that has never built its
+/// tree. The injected yields at the `csnzi.inflate` sync point widen the
+/// window in which several threads observe the tree as inactive; only
+/// one may win the activation, every arrival must still land, and no
+/// surplus may be lost across the race.
+#[test]
+fn first_inflation_race_builds_one_tree_and_loses_no_arrivals() {
+    use oll::csnzi::{ArrivalPolicy, CSnzi};
+
+    const THREADS: usize = 8;
+    const ROUNDS: usize = 50;
+    let _guard = serial();
+    let _plan = FaultPlan::every(0x1F1A7E, "csnzi.inflate", 6).install();
+    for round in 0..ROUNDS {
+        let telemetry = oll::telemetry::Telemetry::register("CSNZI");
+        let c = {
+            let mut c = CSnzi::new_adaptive(THREADS);
+            c.attach_telemetry(telemetry.clone());
+            Arc::new(c)
+        };
+        assert!(!c.is_inflated(), "round {round}: starts root-only");
+        let barrier = Arc::new(std::sync::Barrier::new(THREADS));
+        let mut joins = Vec::new();
+        for t in 0..THREADS {
+            let c = Arc::clone(&c);
+            let barrier = Arc::clone(&barrier);
+            joins.push(std::thread::spawn(move || {
+                let mut p = ArrivalPolicy::always_tree();
+                barrier.wait();
+                let ticket = c.arrive(&mut p, t);
+                assert!(ticket.arrived(), "arrival lost in inflation race");
+                ticket
+            }));
+        }
+        let tickets: Vec<_> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+        assert!(c.is_inflated(), "round {round}: tree not activated");
+        assert!(c.query().nonzero, "round {round}: surplus lost");
+        for t in tickets {
+            c.depart(t);
+        }
+        assert!(!c.query().nonzero, "round {round}: departures unbalanced");
+        // In telemetry builds, pin "exactly one tree built": only the
+        // activation winner records the inflation.
+        if let Some(s) = telemetry.snapshot() {
+            use oll::telemetry::LockEvent;
+            assert_eq!(
+                s.get(LockEvent::CsnziInflate),
+                1,
+                "round {round}: exactly one tree built"
+            );
+            assert!(
+                s.get(LockEvent::CsnziNodeWrite) > 0,
+                "round {round}: no tree RMWs"
+            );
+        }
+    }
+}

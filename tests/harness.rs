@@ -2,7 +2,7 @@
 //! complete, well-formed output, and the relationships that should hold
 //! on *any* machine (not just the paper's 256-thread T5440) do hold.
 
-use oll::workloads::config::{Fig5Panel, LockKind, WorkloadConfig};
+use oll::workloads::config::{Fig5Panel, LockKind, LockOptions, WorkloadConfig};
 use oll::workloads::report::{factor_at_peak, render_csv, render_table};
 use oll::workloads::sweep::{run_panel, SweepOptions};
 
@@ -22,6 +22,7 @@ fn tiny_opts(locks: Vec<LockKind>) -> SweepOptions {
         },
         progress: false,
         collect_telemetry: false,
+        lock_options: LockOptions::default(),
     }
 }
 

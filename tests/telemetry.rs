@@ -276,6 +276,55 @@ fn tree_arrivals_write_the_root_less_than_centralized() {
     assert!(tree < 0.1, "tree = {tree}");
 }
 
+/// The adaptive tentpole's zero-overhead pin: an uncontended single
+/// reader on an adaptive lock must cost exactly one root CAS per acquire
+/// and one per release, with zero tree-node RMWs and no inflation —
+/// byte-for-byte the centralized fast path.
+#[test]
+fn adaptive_uncontended_reader_touches_only_the_root() {
+    let lock = GollLock::builder(2).adaptive(true).build();
+    assert!(lock.is_adaptive());
+    let mut h = lock.handle().unwrap();
+    for _ in 0..READS {
+        h.lock_read();
+        h.unlock_read();
+    }
+    drop(h);
+    assert!(!lock.is_inflated(), "uncontended run must stay root-only");
+    let s = lock.telemetry().snapshot().expect("instrumented lock");
+    assert_eq!(s.get(LockEvent::ArriveDirect), READS);
+    assert_eq!(s.get(LockEvent::ArriveTree), 0);
+    // Exactly one successful root CAS per acquire and one per release.
+    assert_eq!(s.get(LockEvent::CsnziRootWrite), 2 * READS);
+    assert_eq!(s.get(LockEvent::CsnziRootCasFail), 0);
+    assert_eq!(s.get(LockEvent::CsnziNodeWrite), 0);
+    assert_eq!(s.get(LockEvent::CsnziInflate), 0);
+    assert_eq!(s.get(LockEvent::CsnziDeflate), 0);
+    assert_eq!(s.get(LockEvent::CsnziLeafMigrate), 0);
+}
+
+/// Forced tree routing on an adaptive lock records the inflation and the
+/// tree arrivals it unlocks.
+#[test]
+fn adaptive_inflation_is_counted() {
+    let lock = GollLock::builder(2)
+        .adaptive(true)
+        .arrival_threshold(0)
+        .build();
+    let mut h = lock.handle().unwrap();
+    for _ in 0..READS {
+        h.lock_read();
+        h.unlock_read();
+    }
+    drop(h);
+    assert!(lock.is_inflated());
+    let s = lock.telemetry().snapshot().expect("instrumented lock");
+    assert_eq!(s.get(LockEvent::CsnziInflate), 1, "one tree built");
+    assert_eq!(s.get(LockEvent::ArriveTree), READS);
+    assert_eq!(s.get(LockEvent::ArriveDirect), 0);
+    assert!(s.get(LockEvent::CsnziNodeWrite) > 0);
+}
+
 #[test]
 fn registry_sweeps_and_renames() {
     let lock = GollLock::builder(2)
