@@ -13,6 +13,10 @@
 //! * `ablation_adaptive_inflation` — adaptive (root-only-until-contended)
 //!   C-SNZI vs. the statically built tree, uncontended and inflated
 //!   (DESIGN.md §10).
+//! * `ablation_bravo_bias` — the BRAVO reader-biasing layer vs. the
+//!   adaptive and static GOLL builds across write mixes (DESIGN.md §11):
+//!   biased reads should win at 0–1% writes and the revocation cost must
+//!   not sink the 50%-writes mix.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use oll_core::{FairnessPolicy, FollLock, GollLock, RollLock, RwHandle, RwLockFamily};
@@ -371,6 +375,59 @@ fn ablation_adaptive_inflation(c: &mut Criterion) {
     g.finish();
 }
 
+fn ablation_bravo_bias(c: &mut Criterion) {
+    // DESIGN.md §11: with the bias armed, a read acquisition is one CAS
+    // on an effectively-private visible-readers slot — zero shared-memory
+    // RMWs. Sweep write fractions to show where the bias pays (read-only
+    // and read-mostly) and what revocation costs as writes grow. Each
+    // lock gets a private table so concurrently running benches cannot
+    // collide in the process-global one.
+    fn mixed<L: RwLockFamily + Sync>(lock: &L, read_pct: u32, iters: u64) -> Duration {
+        let per_thread = (iters as usize / THREADS).max(1);
+        parallel_time(iters, |tid, _n| {
+            let mut h = lock.handle().unwrap();
+            let mut rng = oll_util::XorShift64::for_thread(41, tid);
+            for _ in 0..per_thread {
+                if rng.percent(read_pct) {
+                    h.lock_read();
+                    h.unlock_read();
+                } else {
+                    h.lock_write();
+                    h.unlock_write();
+                }
+            }
+        })
+    }
+
+    let mut g = short(c, "ablation_bravo_bias");
+    for write_pct in [0u32, 1, 10, 50] {
+        let read_pct = 100 - write_pct;
+        let tag = format!("write{write_pct}_{THREADS}threads");
+        g.bench_function(BenchmarkId::new("biased", &tag), |b| {
+            b.iter_custom(|iters| {
+                let lock = GollLock::builder(THREADS)
+                    .biased(true)
+                    .build_biased()
+                    .private_table(64);
+                mixed(&lock, read_pct, iters)
+            });
+        });
+        g.bench_function(BenchmarkId::new("adaptive", &tag), |b| {
+            b.iter_custom(|iters| {
+                let lock = GollLock::builder(THREADS).adaptive(true).build();
+                mixed(&lock, read_pct, iters)
+            });
+        });
+        g.bench_function(BenchmarkId::new("static", &tag), |b| {
+            b.iter_custom(|iters| {
+                let lock = GollLock::builder(THREADS).build();
+                mixed(&lock, read_pct, iters)
+            });
+        });
+    }
+    g.finish();
+}
+
 /// Plot generation dominates wall time on small machines; see fig5.rs.
 fn plain() -> Criterion {
     Criterion::default().without_plots()
@@ -386,6 +443,7 @@ criterion_group! {
         ablation_roll_hint,
         ablation_goll_policy,
         ablation_lazy_tree,
-        ablation_adaptive_inflation
+        ablation_adaptive_inflation,
+        ablation_bravo_bias
 }
 criterion_main!(ablations);

@@ -320,6 +320,8 @@ pub struct GollBuilder {
     arrival_threshold: u32,
     lazy_tree: bool,
     adaptive: bool,
+    #[cfg(not(loom))]
+    biased: bool,
     telemetry_name: Option<String>,
 }
 
@@ -335,8 +337,30 @@ impl GollBuilder {
             arrival_threshold: ArrivalPolicy::DEFAULT_THRESHOLD,
             lazy_tree: false,
             adaptive: false,
+            #[cfg(not(loom))]
+            biased: false,
             telemetry_name: None,
         }
+    }
+
+    /// Enables BRAVO-style reader biasing for
+    /// [`build_biased`](Self::build_biased): biased reads bypass the lock
+    /// through the process-global visible-readers table (zero shared
+    /// RMWs) until a writer revokes the bias.
+    #[cfg(not(loom))]
+    pub fn biased(mut self, biased: bool) -> Self {
+        self.biased = biased;
+        self
+    }
+
+    /// Builds the lock wrapped in the [`Bravo`](crate::Bravo) biasing
+    /// layer. The wrapper passes straight through unless
+    /// [`biased(true)`](Self::biased) was set, so one call site serves
+    /// both configurations.
+    #[cfg(not(loom))]
+    pub fn build_biased(self) -> crate::Bravo<GollLock> {
+        let biased = self.biased;
+        crate::Bravo::wrapping(self.build(), biased)
     }
 
     /// Names this lock's telemetry instance (default `"GOLL#<seq>"`).

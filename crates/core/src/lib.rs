@@ -16,7 +16,9 @@
 //!
 //! All locks (including the baselines in `oll-baselines`) implement
 //! [`RwLockFamily`]: register a per-thread handle, then acquire through it.
-//! [`RwLock`] wraps a value for guard-deref ergonomics.
+//! [`RwLock`] wraps a value for guard-deref ergonomics. [`Bravo`] layers
+//! BRAVO-style reader biasing over any of them, giving read-mostly
+//! workloads a fast path with zero shared-memory RMWs per acquisition.
 //!
 //! ```
 //! use oll_core::{RollLock, RwHandle, RwLockFamily};
@@ -35,12 +37,16 @@
 
 #![warn(missing_docs)]
 
+#[cfg(not(loom))]
+pub mod bravo;
 pub mod foll;
 pub mod goll;
 pub mod raw;
 pub mod roll;
 pub mod rwlock;
 
+#[cfg(not(loom))]
+pub use bravo::{Bravo, BravoHandle, DEFAULT_REARM_MULTIPLIER};
 pub use foll::{FollBuilder, FollLock};
 pub use goll::{FairnessPolicy, GollBuilder, GollLock};
 #[cfg(not(loom))]

@@ -39,6 +39,8 @@ pub struct RollBuilder {
     use_hint: bool,
     lazy_tree: bool,
     adaptive: bool,
+    #[cfg(not(loom))]
+    biased: bool,
     telemetry_name: Option<String>,
 }
 
@@ -54,8 +56,30 @@ impl RollBuilder {
             use_hint: true,
             lazy_tree: false,
             adaptive: false,
+            #[cfg(not(loom))]
+            biased: false,
             telemetry_name: None,
         }
+    }
+
+    /// Enables BRAVO-style reader biasing for
+    /// [`build_biased`](Self::build_biased): biased reads bypass the lock
+    /// through the process-global visible-readers table (zero shared
+    /// RMWs) until a writer revokes the bias.
+    #[cfg(not(loom))]
+    pub fn biased(mut self, biased: bool) -> Self {
+        self.biased = biased;
+        self
+    }
+
+    /// Builds the lock wrapped in the [`Bravo`](crate::Bravo) biasing
+    /// layer. The wrapper passes straight through unless
+    /// [`biased(true)`](Self::biased) was set, so one call site serves
+    /// both configurations.
+    #[cfg(not(loom))]
+    pub fn build_biased(self) -> crate::Bravo<RollLock> {
+        let biased = self.biased;
+        crate::Bravo::wrapping(self.build(), biased)
     }
 
     /// Defers each pooled reader node's C-SNZI tree allocation until

@@ -59,11 +59,22 @@ pub enum LockEvent {
     /// A handle's cached C-SNZI leaf missed (leaf-level CAS failed) and
     /// the handle migrated to a neighbouring leaf.
     CsnziLeafMigrate,
+    /// A biased (BRAVO) read acquisition completed through the global
+    /// visible-readers table, bypassing the underlying lock entirely.
+    BiasGrant,
+    /// A writer revoked reader bias: cleared `rbias` and waited out every
+    /// published slot before proceeding.
+    BiasRevoke,
+    /// A biased reader found its hashed slot occupied and fell back to
+    /// the underlying lock.
+    BiasSlotCollision,
+    /// Reader bias re-armed after the adaptive inhibit window elapsed.
+    BiasRearm,
 }
 
 impl LockEvent {
     /// Number of event kinds (the counter-array length).
-    pub const COUNT: usize = 20;
+    pub const COUNT: usize = 24;
 
     /// Every event, in counter-index order.
     pub const ALL: [LockEvent; Self::COUNT] = [
@@ -87,6 +98,10 @@ impl LockEvent {
         LockEvent::CsnziInflate,
         LockEvent::CsnziDeflate,
         LockEvent::CsnziLeafMigrate,
+        LockEvent::BiasGrant,
+        LockEvent::BiasRevoke,
+        LockEvent::BiasSlotCollision,
+        LockEvent::BiasRearm,
     ];
 
     /// Stable snake_case name, used as the JSON key and the text-report
@@ -113,6 +128,10 @@ impl LockEvent {
             LockEvent::CsnziInflate => "csnzi_inflate",
             LockEvent::CsnziDeflate => "csnzi_deflate",
             LockEvent::CsnziLeafMigrate => "csnzi_leaf_migrate",
+            LockEvent::BiasGrant => "bias_grant",
+            LockEvent::BiasRevoke => "bias_revoke",
+            LockEvent::BiasSlotCollision => "bias_slot_collision",
+            LockEvent::BiasRearm => "bias_rearm",
         }
     }
 

@@ -93,6 +93,13 @@ pub fn render_lock_text(s: &LockSnapshot) -> String {
         LockEvent::CsnziRootWrite,
         LockEvent::CsnziNodeWrite,
         LockEvent::CsnziRootCasFail,
+        LockEvent::CsnziInflate,
+        LockEvent::CsnziDeflate,
+        LockEvent::CsnziLeafMigrate,
+        LockEvent::BiasGrant,
+        LockEvent::BiasRevoke,
+        LockEvent::BiasSlotCollision,
+        LockEvent::BiasRearm,
     ] {
         let c = s.get(e);
         if c != 0 {

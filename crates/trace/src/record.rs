@@ -1,6 +1,6 @@
 //! The trace record: one timestamped event, packed to three words.
 //!
-//! A record is `(ts_ns, tid, lock, kind, token)`. The first twenty
+//! A record is `(ts_ns, tid, lock, kind, token)`. The first twenty-four
 //! [`TraceKind`]s mirror `oll_telemetry::LockEvent` one-for-one (same
 //! order, same `snake_case` names), so counter increments flow into the
 //! timeline without a translation table; the remaining kinds are
@@ -10,8 +10,8 @@
 //! lets the analyzer stitch a hand-off's grantor and grantee into an
 //! edge.
 
-/// What happened. Discriminants `0..20` mirror
-/// `oll_telemetry::LockEvent` exactly; `20..` are trace-only markers.
+/// What happened. Discriminants `0..24` mirror
+/// `oll_telemetry::LockEvent` exactly; `24..` are trace-only markers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[repr(u8)]
 pub enum TraceKind {
@@ -55,28 +55,36 @@ pub enum TraceKind {
     CsnziDeflate = 18,
     /// A handle's cached leaf missed and it migrated to a neighbour.
     CsnziLeafMigrate = 19,
+    /// A biased (BRAVO) read completed via the visible-readers table.
+    BiasGrant = 20,
+    /// A writer revoked reader bias (cleared `rbias`, drained the table).
+    BiasRevoke = 21,
+    /// A biased reader's hashed slot was occupied; fell back to the lock.
+    BiasSlotCollision = 22,
+    /// Reader bias re-armed after the inhibit window elapsed.
+    BiasRearm = 23,
     /// `lock_read` entered (marker; opens a read acquisition span).
-    ReadBegin = 20,
+    ReadBegin = 24,
     /// `lock_write` entered (marker; opens a write acquisition span).
-    WriteBegin = 21,
+    WriteBegin = 25,
     /// The thread joined a wait queue; `token` names what it waits on.
-    Enqueued = 22,
+    Enqueued = 26,
     /// A releasing thread granted ownership to the waiter(s) parked on
     /// `token` (emitted by the *grantor*).
-    Granted = 23,
+    Granted = 27,
     /// `lock_read` succeeded (marker; closes the read span).
-    ReadAcquired = 24,
+    ReadAcquired = 28,
     /// `lock_write` succeeded (marker; closes the write span).
-    WriteAcquired = 25,
+    WriteAcquired = 29,
     /// `unlock_read` entered (marker; closes the read hold span).
-    ReadRelease = 26,
+    ReadRelease = 30,
     /// `unlock_write` entered (marker; closes the write hold span).
-    WriteRelease = 27,
+    WriteRelease = 31,
 }
 
 impl TraceKind {
     /// Number of kinds.
-    pub const COUNT: usize = 28;
+    pub const COUNT: usize = 32;
 
     /// All kinds, in discriminant order.
     pub const ALL: [TraceKind; TraceKind::COUNT] = [
@@ -100,6 +108,10 @@ impl TraceKind {
         TraceKind::CsnziInflate,
         TraceKind::CsnziDeflate,
         TraceKind::CsnziLeafMigrate,
+        TraceKind::BiasGrant,
+        TraceKind::BiasRevoke,
+        TraceKind::BiasSlotCollision,
+        TraceKind::BiasRearm,
         TraceKind::ReadBegin,
         TraceKind::WriteBegin,
         TraceKind::Enqueued,
@@ -110,7 +122,7 @@ impl TraceKind {
         TraceKind::WriteRelease,
     ];
 
-    /// Stable `snake_case` name (the first 20 match
+    /// Stable `snake_case` name (the first 24 match
     /// `LockEvent::name()`).
     pub const fn name(self) -> &'static str {
         match self {
@@ -134,6 +146,10 @@ impl TraceKind {
             TraceKind::CsnziInflate => "csnzi_inflate",
             TraceKind::CsnziDeflate => "csnzi_deflate",
             TraceKind::CsnziLeafMigrate => "csnzi_leaf_migrate",
+            TraceKind::BiasGrant => "bias_grant",
+            TraceKind::BiasRevoke => "bias_revoke",
+            TraceKind::BiasSlotCollision => "bias_slot_collision",
+            TraceKind::BiasRearm => "bias_rearm",
             TraceKind::ReadBegin => "read_begin",
             TraceKind::WriteBegin => "write_begin",
             TraceKind::Enqueued => "enqueued",

@@ -312,4 +312,51 @@ mod tests {
         b.backoff();
         assert!(b.is_contended());
     }
+
+    /// Policy conformance over the whole `u32 × u32` policy space: the
+    /// spin count per call is `1 << spin_exponent()`, so proving the
+    /// exponent never exceeds [`MAX_SPIN_EXPONENT`] pins both halves of
+    /// the contract — no call spins more than `2^MAX_SPIN_EXPONENT`
+    /// relax hints, and no shift reaches the u32 width (which would
+    /// panic in debug builds). `absurd_spin_limit_is_clamped_to_max_exponent`
+    /// above checks one hand-picked policy; this sweeps random ones and
+    /// always includes the `u32::MAX` corner.
+    #[cfg(feature = "proptest")]
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            #[test]
+            fn any_policy_is_shift_safe_and_clamped(
+                spin_raw in 0u64..(u32::MAX as u64 + 1),
+                yield_raw in 0u64..(u32::MAX as u64 + 1),
+                spin_is_max in any::<bool>(),
+                yield_is_max in any::<bool>(),
+            ) {
+                let policy = BackoffPolicy {
+                    spin_limit: if spin_is_max { u32::MAX } else { spin_raw as u32 },
+                    yield_limit: if yield_is_max { u32::MAX } else { yield_raw as u32 },
+                };
+                let mut b = Backoff::with_policy(policy);
+                // Drive the step counter past every escalation point the
+                // clamp guards (it only ever grows by 1 per call, so
+                // MAX_SPIN_EXPONENT + 4 calls cover exponents 0..=MAX and
+                // the saturated tail).
+                for call in 0..(MAX_SPIN_EXPONENT + 4) {
+                    assert!(
+                        b.spin_exponent() <= MAX_SPIN_EXPONENT,
+                        "call {call}: exponent {} escaped the clamp under {policy:?}",
+                        b.spin_exponent(),
+                    );
+                    b.backoff(); // would panic on an unclamped 32-bit shift
+                    b.relax();
+                }
+                // The contention signal must agree with the step counter
+                // whatever the limits were.
+                assert_eq!(b.is_contended(), b.step > policy.spin_limit);
+            }
+        }
+    }
 }

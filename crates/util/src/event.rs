@@ -326,6 +326,55 @@ mod tests {
     }
 
     #[test]
+    fn park_never_misses_a_racing_signal() {
+        // Regression guard for the classic lost-wakeup: a signal landing
+        // between the waiter's last spin check and its park. Correctness
+        // hinges on two details of `wait_parking`: the `is_set` re-check
+        // under the `parked` mutex before pushing (covers a signal that
+        // drained the list before the push), and the unpark permit
+        // (covers a signal between the mutex unlock and the park). The
+        // even iterations race the signal against the spin phase; the
+        // odd ones sleep long enough that the waiter is parked (or about
+        // to be) when the signal fires. A lost wakeup hangs the join and
+        // fails via the harness timeout.
+        for i in 0..500usize {
+            let e = Arc::new(Event::new(WaitStrategy::SpinThenPark));
+            let e2 = Arc::clone(&e);
+            let waiter = std::thread::spawn(move || e2.wait());
+            if i % 2 == 0 {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(Duration::from_micros(50));
+            }
+            e.signal();
+            waiter.join().unwrap();
+            assert!(e.is_set());
+        }
+    }
+
+    #[test]
+    fn park_deadline_never_misses_a_racing_signal() {
+        // Same window as above, with the deadline variant: a signal that
+        // arrives before the deadline must always be observed as `true`,
+        // even when it races the park/park_timeout transition.
+        for i in 0..200usize {
+            let e = Arc::new(Event::new(WaitStrategy::SpinThenPark));
+            let e2 = Arc::clone(&e);
+            let waiter = std::thread::spawn(move || {
+                e2.wait_deadline(std::time::Instant::now() + Duration::from_secs(30))
+            });
+            if i % 2 == 1 {
+                std::thread::sleep(Duration::from_micros(50));
+            }
+            e.signal();
+            assert!(
+                waiter.join().unwrap(),
+                "signal before deadline reported as timeout"
+            );
+        }
+    }
+
+    #[test]
     fn reset_rearms() {
         let e = Event::new(WaitStrategy::SpinThenYield);
         e.signal();

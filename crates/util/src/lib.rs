@@ -16,6 +16,8 @@
 //!   "metalock" and the turnstile mutex of the Solaris-like baseline.
 //! * [`SlotRegistry`] — per-lock thread slot assignment (the paper's
 //!   per-thread `Local` records and default queue nodes are indexed by slot).
+//! * [`VisibleReaders`] — the process-global visible-readers table behind
+//!   BRAVO-style reader biasing (`oll_core::Bravo`).
 //! * [`XorShift64`] — the per-thread PRNG the evaluation harness uses to
 //!   choose read vs. write acquisitions (§5.1 of the paper).
 //!
@@ -38,5 +40,5 @@ pub use backoff::Backoff;
 pub use cache_padded::CachePadded;
 pub use event::{Event, GroupEvent, WaitStrategy};
 pub use rng::XorShift64;
-pub use slots::{SlotError, SlotGuard, SlotRegistry};
+pub use slots::{SlotError, SlotGuard, SlotRegistry, VisibleReaders};
 pub use spin_mutex::{SpinMutex, SpinMutexGuard};

@@ -33,6 +33,130 @@ impl fmt::Display for SlotError {
 
 impl std::error::Error for SlotError {}
 
+/// The process-global visible-readers table used for BRAVO-style reader
+/// biasing (Dice & Kogan, "BRAVO — Biased Locking for Reader-Writer
+/// Locks").
+///
+/// Each entry is a cache-padded word holding either `0` (empty) or the id
+/// of a lock some thread currently holds for reading via the biased fast
+/// path. A reader *publishes* by CAS-ing its hashed slot from `0` to the
+/// lock id — an RMW on memory no other thread is expected to touch, so it
+/// stays core-local in the common case — and *erases* it with a plain
+/// store on release. A revoking writer scans the whole table and waits
+/// for every entry carrying its lock id to clear.
+///
+/// The table is shared by every biased lock in the process (like BRAVO's
+/// single global array): sizing it once from the CPU topology keeps the
+/// scan cost bounded and independent of how many locks exist. Slot choice
+/// mixes the thread's [`dense_thread_id`](crate::topology::dense_thread_id)
+/// with the lock id so two threads that collide on one lock usually do
+/// not collide on the next.
+pub struct VisibleReaders {
+    slots: Box<[CachePadded<StdAtomicUsize>]>,
+}
+
+// The table deliberately uses `std` atomics (not `crate::sync`): it is a
+// process-global singleton, and loom atomics cannot live outside a model.
+use std::sync::atomic::{AtomicUsize as StdAtomicUsize, Ordering as StdOrdering};
+
+impl VisibleReaders {
+    /// The process-wide table, sized from the CPU topology on first use.
+    pub fn global() -> &'static VisibleReaders {
+        use std::sync::OnceLock;
+        static TABLE: OnceLock<VisibleReaders> = OnceLock::new();
+        TABLE.get_or_init(|| {
+            // Several slots per CPU keeps the collision probability low
+            // even with a few independent biased locks in flight; the
+            // floor keeps small machines from degenerating into a
+            // handful of hot entries.
+            let cpus = crate::topology::Topology::get().cpus();
+            VisibleReaders::with_slots((cpus * 8).max(256))
+        })
+    }
+
+    /// A private table with at least `n` slots (rounded up to a power of
+    /// two). Exposed so tests can exercise collisions deterministically.
+    pub fn with_slots(n: usize) -> Self {
+        let n = n.max(1).next_power_of_two();
+        Self {
+            slots: (0..n)
+                .map(|_| CachePadded::new(StdAtomicUsize::new(0)))
+                .collect(),
+        }
+    }
+
+    /// Number of slots (always a power of two).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if the table has no slots (never true in practice).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The slot index the calling thread should use for `lock_id`.
+    pub fn slot_index(&self, lock_id: usize) -> usize {
+        Self::mix(crate::topology::dense_thread_id() as u64, lock_id as u64)
+            & (self.slots.len() - 1)
+    }
+
+    /// SplitMix64-style avalanche over (thread, lock) so collisions on
+    /// one lock do not persist across locks.
+    fn mix(tid: u64, lock_id: u64) -> usize {
+        let mut z = tid
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(lock_id.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        (z ^ (z >> 31)) as usize
+    }
+
+    /// Publishes `lock_id` into `slot`; `false` if the slot is occupied.
+    ///
+    /// `SeqCst` is load-bearing: the publish and the subsequent `rbias`
+    /// recheck form one half of a store-buffering pattern against the
+    /// revoking writer's `rbias` clear + table scan, and both sides must
+    /// be totally ordered or a reader and a revoking writer can each miss
+    /// the other.
+    #[inline]
+    pub fn publish(&self, slot: usize, lock_id: usize) -> bool {
+        debug_assert!(lock_id != 0, "lock id 0 means empty");
+        self.slots[slot]
+            .compare_exchange(0, lock_id, StdOrdering::SeqCst, StdOrdering::Relaxed)
+            .is_ok()
+    }
+
+    /// Erases a slot previously published by this thread. The release
+    /// store is what a scanning writer's acquire load synchronizes with,
+    /// ordering the reader's critical section before the writer's.
+    #[inline]
+    pub fn erase(&self, slot: usize) {
+        self.slots[slot].store(0, StdOrdering::Release);
+    }
+
+    /// Reads one slot with `SeqCst` (the writer half of the
+    /// store-buffering pattern; see [`publish`](Self::publish)).
+    #[inline]
+    pub fn load(&self, slot: usize) -> usize {
+        self.slots[slot].load(StdOrdering::SeqCst)
+    }
+}
+
+impl fmt::Debug for VisibleReaders {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let occupied = self
+            .slots
+            .iter()
+            .filter(|s| s.load(StdOrdering::Relaxed) != 0)
+            .count();
+        f.debug_struct("VisibleReaders")
+            .field("slots", &self.len())
+            .field("occupied", &occupied)
+            .finish()
+    }
+}
+
 /// A fixed-capacity pool of thread slot indices.
 pub struct SlotRegistry {
     taken: Box<[CachePadded<AtomicBool>]>,
@@ -222,5 +346,49 @@ mod tests {
     #[should_panic(expected = "at least one slot")]
     fn zero_capacity_panics() {
         let _ = SlotRegistry::new(0);
+    }
+
+    #[test]
+    fn visible_readers_publish_erase_round_trip() {
+        let t = VisibleReaders::with_slots(8);
+        assert_eq!(t.len(), 8);
+        let slot = t.slot_index(42);
+        assert!(slot < t.len());
+        assert!(t.publish(slot, 42));
+        assert_eq!(t.load(slot), 42);
+        // Occupied slot refuses a second publish (collision).
+        assert!(!t.publish(slot, 77));
+        assert_eq!(t.load(slot), 42);
+        t.erase(slot);
+        assert_eq!(t.load(slot), 0);
+        assert!(t.publish(slot, 77));
+        t.erase(slot);
+    }
+
+    #[test]
+    fn visible_readers_slot_index_is_stable_per_thread_and_lock() {
+        let t = VisibleReaders::with_slots(256);
+        let a = t.slot_index(1);
+        assert_eq!(a, t.slot_index(1), "same thread+lock must rehash equal");
+        // Different lock ids spread this thread over the table: over many
+        // ids at least two distinct slots must appear (collision breaking).
+        let distinct: HashSet<_> = (1..64usize).map(|id| t.slot_index(id)).collect();
+        assert!(distinct.len() > 1, "all lock ids collapsed to one slot");
+    }
+
+    #[test]
+    fn visible_readers_global_is_pow2_and_shared() {
+        let g = VisibleReaders::global();
+        assert!(g.len().is_power_of_two());
+        assert!(g.len() >= 256);
+        assert!(std::ptr::eq(g, VisibleReaders::global()));
+    }
+
+    #[test]
+    fn visible_readers_rounds_up_to_pow2() {
+        assert_eq!(VisibleReaders::with_slots(0).len(), 1);
+        assert_eq!(VisibleReaders::with_slots(3).len(), 4);
+        assert_eq!(VisibleReaders::with_slots(8).len(), 8);
+        assert_eq!(VisibleReaders::with_slots(9).len(), 16);
     }
 }

@@ -5,7 +5,7 @@
 //!   fig5 [--panel a|b|c|d|e|f|all] [--threads 1,2,4,8,16]
 //!        [--locks GOLL,FOLL,ROLL,KSUH,Solaris-Like,...|all]
 //!        [--acquisitions N] [--runs N] [--paper] [--verify]
-//!        [--adaptive] [--shape N]
+//!        [--adaptive] [--biased] [--shape N]
 //!        [--csv PATH] [--json PATH] [--telemetry]
 //!        [--trace PATH] [--trace-json PATH]
 //! ```
@@ -24,7 +24,10 @@
 //! `--adaptive` builds the OLL locks (GOLL/FOLL/ROLL) with adaptive
 //! C-SNZIs — root-only until contention inflates the tree — and
 //! `--shape N` overrides the tree shape to one sized for N threads
-//! (capping the adaptive tree). Both are recorded in the JSON report.
+//! (capping the adaptive tree). `--biased` wraps the OLL locks in the
+//! BRAVO reader-biasing layer: biased reads publish into the global
+//! visible-readers table and skip the underlying lock entirely until a
+//! writer revokes the bias. All three are recorded in the JSON report.
 
 use oll_trace::TraceSession;
 use oll_workloads::config::{Fig5Panel, LockKind, WorkloadConfig};
@@ -50,7 +53,7 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: fig5 [--panel a|b|c|d|e|f|all] [--threads 1,2,4]\n\
          \t[--locks name,...|all] [--acquisitions N] [--runs N]\n\
-         \t[--paper] [--verify] [--adaptive] [--shape N]\n\
+         \t[--paper] [--verify] [--adaptive] [--biased] [--shape N]\n\
          \t[--csv PATH] [--json PATH] [--telemetry]\n\
          \t[--trace PATH] [--trace-json PATH]"
     );
@@ -135,6 +138,7 @@ fn parse_args() -> Args {
             "--paper" => paper = true,
             "--verify" => opts.base.verify = true,
             "--adaptive" => opts.lock_options.adaptive = true,
+            "--biased" => opts.lock_options.biased = true,
             "--shape" => {
                 let n: usize = value(i).parse().unwrap_or_else(|_| usage("bad --shape"));
                 if n == 0 {
@@ -221,10 +225,12 @@ fn main() {
         args.opts.base.acquisitions_per_thread,
         args.opts.base.runs,
     );
-    if args.opts.lock_options.adaptive || args.opts.lock_options.shape_threads.is_some() {
+    if !args.opts.lock_options.is_default() {
         eprintln!(
-            "fig5: OLL lock options: adaptive={} shape_threads={:?}",
-            args.opts.lock_options.adaptive, args.opts.lock_options.shape_threads,
+            "fig5: OLL lock options: adaptive={} biased={} shape_threads={:?}",
+            args.opts.lock_options.adaptive,
+            args.opts.lock_options.biased,
+            args.opts.lock_options.shape_threads,
         );
     }
 

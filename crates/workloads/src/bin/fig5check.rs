@@ -2,23 +2,24 @@
 //!
 //! ```text
 //! USAGE:
-//!   fig5check PATH [--expect-adaptive] [--expect-shape N]
+//!   fig5check PATH [--expect-adaptive] [--expect-biased] [--expect-shape N]
 //! ```
 //!
 //! Parses the document with the in-tree parser (`oll_workloads::json`),
 //! checks the schema shape the renderer promises (every panel carries
-//! `adaptive`/`shape_threads`, every point a positive throughput), and
-//! exits nonzero with a diagnostic on the first violation. CI's
-//! bench-smoke lane runs it against a short `fig5 --adaptive --json`
-//! sweep so the adaptive plumbing is validated end to end: CLI flag →
-//! lock builders → sweep → JSON report → parser.
+//! `adaptive`/`biased`/`shape_threads`, every point a positive
+//! throughput), and exits nonzero with a diagnostic on the first
+//! violation. CI's bench-smoke lane runs it against short
+//! `fig5 --adaptive --json` and `fig5 --biased --json` sweeps so both
+//! option paths are validated end to end: CLI flag → lock builders →
+//! sweep → JSON report → parser.
 
 use oll_workloads::json::parse::{self, Value};
 use std::process::exit;
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: fig5check PATH [--expect-adaptive] [--expect-shape N]");
+    eprintln!("usage: fig5check PATH [--expect-adaptive] [--expect-biased] [--expect-shape N]");
     exit(2);
 }
 
@@ -31,11 +32,13 @@ fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut path = None;
     let mut expect_adaptive = false;
+    let mut expect_biased = false;
     let mut expect_shape = None;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
             "--expect-adaptive" => expect_adaptive = true,
+            "--expect-biased" => expect_biased = true,
             "--expect-shape" => {
                 let v = argv
                     .get(i + 1)
@@ -80,6 +83,13 @@ fn main() {
         if expect_adaptive && !adaptive {
             fail(&format!("panel {tag}: adaptive=false, expected true"));
         }
+        let biased = panel
+            .get("biased")
+            .and_then(Value::as_bool)
+            .unwrap_or_else(|| fail(&format!("panel {tag}: missing biased flag")));
+        if expect_biased && !biased {
+            fail(&format!("panel {tag}: biased=false, expected true"));
+        }
         let shape = panel.get("shape_threads");
         match (expect_shape, shape.and_then(Value::as_u64)) {
             (Some(want), Some(got)) if want != got => fail(&format!(
@@ -121,9 +131,10 @@ fn main() {
         }
     }
     println!(
-        "fig5check: OK: {path}: {} panel(s), {points} point(s){}{}",
+        "fig5check: OK: {path}: {} panel(s), {points} point(s){}{}{}",
         panels.len(),
         if expect_adaptive { ", adaptive" } else { "" },
+        if expect_biased { ", biased" } else { "" },
         match expect_shape {
             Some(n) => format!(", shape_threads={n}"),
             None => String::new(),

@@ -3,13 +3,15 @@
 //! ```text
 //! USAGE:
 //!   latency [--threads N] [--read-pct P] [--acquisitions N]
-//!           [--locks name,...|all] [--json PATH] [--telemetry]
+//!           [--locks name,...|all] [--biased] [--json PATH] [--telemetry]
 //!           [--trace PATH] [--trace-json PATH]
 //! ```
 //!
 //! Complements the throughput-oriented `fig5` binary with tail-latency
 //! visibility: how long can a single `lock_read` / `lock_write` stall
-//! under the given mix? `--telemetry` additionally prints each lock's
+//! under the given mix? `--biased` wraps the OLL locks (GOLL/FOLL/ROLL)
+//! in the BRAVO reader-biasing layer, exposing the biased read fast
+//! path's latency. `--telemetry` additionally prints each lock's
 //! contention profile (needs a `--features telemetry` build to record);
 //! `--json` writes a schema-versioned `oll.latency` document. `--trace`
 //! captures the run in the flight recorder and writes a Perfetto-loadable
@@ -17,9 +19,9 @@
 //! `--trace-json` also writes the raw capture as an `oll.trace` document.
 
 use oll_trace::TraceSession;
-use oll_workloads::config::{LockKind, WorkloadConfig};
+use oll_workloads::config::{LockKind, LockOptions, WorkloadConfig};
 use oll_workloads::json::render_latency_json;
-use oll_workloads::latency::run_latency_profiled;
+use oll_workloads::latency::run_latency_profiled_with;
 use oll_workloads::traceio;
 use std::io::Write as _;
 use std::process::exit;
@@ -28,7 +30,7 @@ fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: latency [--threads N] [--read-pct P] [--acquisitions N] [--locks name,...|all] \
-         [--json PATH] [--telemetry] [--trace PATH] [--trace-json PATH]"
+         [--biased] [--json PATH] [--telemetry] [--trace PATH] [--trace-json PATH]"
     );
     exit(2);
 }
@@ -49,6 +51,7 @@ fn main() {
     let mut acquisitions = 10_000usize;
     let mut locks = LockKind::FIGURE5.to_vec();
     let mut json: Option<String> = None;
+    let mut lock_options = LockOptions::default();
     let mut telemetry = false;
     let mut trace: Option<String> = None;
     let mut trace_json: Option<String> = None;
@@ -98,6 +101,7 @@ fn main() {
                 json = Some(value(i));
                 i += 1;
             }
+            "--biased" => lock_options.biased = true,
             "--telemetry" => telemetry = true,
             "--trace" => {
                 trace = Some(value(i));
@@ -139,7 +143,14 @@ fn main() {
         verify: false,
     };
 
-    println!("latency: {threads} threads, {read_pct}% reads, {acquisitions} acquisitions/thread");
+    println!(
+        "latency: {threads} threads, {read_pct}% reads, {acquisitions} acquisitions/thread{}",
+        if lock_options.biased {
+            ", BRAVO-biased OLL locks"
+        } else {
+            ""
+        }
+    );
     println!(
         "{:<13} {:>8} {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8} {:>8}",
         "lock", "r.p50", "r.p99", "r.p999", "r.max", "w.p50", "w.p99", "w.p999", "w.max"
@@ -147,7 +158,7 @@ fn main() {
     let mut results = Vec::with_capacity(locks.len());
     let mut profiles = Vec::with_capacity(locks.len());
     for kind in locks {
-        let (r, profile) = run_latency_profiled(kind, &config);
+        let (r, profile) = run_latency_profiled_with(kind, &config, &lock_options);
         println!(
             "{:<13} {:>8} {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8} {:>8}",
             r.kind.name(),

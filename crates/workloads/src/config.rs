@@ -114,6 +114,10 @@ pub struct LockOptions {
     /// (for adaptive locks this caps the inflated leaf count). `None`
     /// keeps the default one-leaf-per-thread shape.
     pub shape_threads: Option<usize>,
+    /// Wrap the OLL locks in the BRAVO reader-biasing layer
+    /// (`oll_core::Bravo`): biased reads bypass the lock through the
+    /// process-global visible-readers table until a writer revokes.
+    pub biased: bool,
 }
 
 impl LockOptions {

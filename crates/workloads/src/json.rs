@@ -51,10 +51,11 @@ pub fn render_fig5_json(panels: &[PanelResult]) -> String {
         };
         let _ = write!(
             out,
-            "{{\"panel\":\"{}\",\"read_pct\":{},\"adaptive\":{},\"shape_threads\":{},\"thread_counts\":{:?},\"series\":[",
+            "{{\"panel\":\"{}\",\"read_pct\":{},\"adaptive\":{},\"biased\":{},\"shape_threads\":{},\"thread_counts\":{:?},\"series\":[",
             panel.panel.tag(),
             panel.panel.read_pct(),
             panel.options.adaptive,
+            panel.options.biased,
             shape,
             panel.thread_counts,
         );
@@ -652,12 +653,14 @@ mod tests {
         opts.lock_options = LockOptions {
             adaptive: true,
             shape_threads: Some(4),
+            ..LockOptions::default()
         };
         let panel = run_panel(Fig5Panel::A, &opts);
         let doc = render_fig5_json(&[panel]);
         let v = parse::parse(&doc).expect("adaptive fig5 doc must parse");
         let p = v.get("panels").and_then(|p| p.idx(0)).expect("one panel");
         assert_eq!(p.get("adaptive").and_then(Value::as_bool), Some(true));
+        assert_eq!(p.get("biased").and_then(Value::as_bool), Some(false));
         assert_eq!(p.get("shape_threads").and_then(Value::as_u64), Some(4));
 
         // Default options serialize as non-adaptive with a null shape.
@@ -666,7 +669,23 @@ mod tests {
         let v = parse::parse(&doc).unwrap();
         let p = v.get("panels").and_then(|p| p.idx(0)).unwrap();
         assert_eq!(p.get("adaptive").and_then(Value::as_bool), Some(false));
+        assert_eq!(p.get("biased").and_then(Value::as_bool), Some(false));
         assert_eq!(p.get("shape_threads"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn fig5_biased_options_round_trip() {
+        let mut opts = tiny_opts();
+        opts.lock_options = LockOptions {
+            biased: true,
+            ..LockOptions::default()
+        };
+        let panel = run_panel(Fig5Panel::A, &opts);
+        let doc = render_fig5_json(&[panel]);
+        let v = parse::parse(&doc).expect("biased fig5 doc must parse");
+        let p = v.get("panels").and_then(|p| p.idx(0)).expect("one panel");
+        assert_eq!(p.get("biased").and_then(Value::as_bool), Some(true));
+        assert_eq!(p.get("adaptive").and_then(Value::as_bool), Some(false));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! recording is two instructions and merging across threads is a vector
 //! add; no allocation happens on the measured path.
 
-use crate::config::{LockKind, WorkloadConfig};
+use crate::config::{LockKind, LockOptions, WorkloadConfig};
 use oll_baselines::{
     CentralizedRwLock, KsuhLock, McsMutex, McsRwLock, McsRwReaderPref, McsRwWriterPref,
     PerThreadRwLock, SolarisLikeRwLock, StdRwLock,
@@ -200,7 +200,53 @@ pub fn run_latency_profiled(
     kind: LockKind,
     config: &WorkloadConfig,
 ) -> (LatencyResult, Option<LockSnapshot>) {
+    run_latency_profiled_with(kind, config, &LockOptions::default())
+}
+
+/// Like [`run_latency_profiled`], applying `opts` when constructing the
+/// OLL locks (BRAVO biasing, adaptive C-SNZIs). Baselines ignore `opts`.
+pub fn run_latency_profiled_with(
+    kind: LockKind,
+    config: &WorkloadConfig,
+    opts: &LockOptions,
+) -> (LatencyResult, Option<LockSnapshot>) {
     let (reads, writes, mut profile) = match kind {
+        LockKind::Goll if opts.biased => measure_latency(
+            |cap| {
+                GollLock::builder(cap)
+                    .adaptive(opts.adaptive)
+                    .biased(true)
+                    .build_biased()
+            },
+            config,
+        ),
+        LockKind::Foll if opts.biased => measure_latency(
+            |cap| {
+                FollLock::builder(cap)
+                    .adaptive(opts.adaptive)
+                    .biased(true)
+                    .build_biased()
+            },
+            config,
+        ),
+        LockKind::Roll if opts.biased => measure_latency(
+            |cap| {
+                RollLock::builder(cap)
+                    .adaptive(opts.adaptive)
+                    .biased(true)
+                    .build_biased()
+            },
+            config,
+        ),
+        LockKind::Goll if opts.adaptive => {
+            measure_latency(|cap| GollLock::builder(cap).adaptive(true).build(), config)
+        }
+        LockKind::Foll if opts.adaptive => {
+            measure_latency(|cap| FollLock::builder(cap).adaptive(true).build(), config)
+        }
+        LockKind::Roll if opts.adaptive => {
+            measure_latency(|cap| RollLock::builder(cap).adaptive(true).build(), config)
+        }
         LockKind::Goll => measure_latency(GollLock::new, config),
         LockKind::Foll => measure_latency(FollLock::new, config),
         LockKind::Roll => measure_latency(RollLock::new, config),
@@ -307,6 +353,28 @@ mod tests {
             assert!(r.read.count > r.write.count, "80% reads");
             assert!(r.read.p50_ns <= r.read.p99_ns);
             assert!(r.read.p99_ns <= r.read.p999_ns.max(r.read.max_ns));
+        }
+    }
+
+    #[test]
+    fn biased_latency_run_counts_every_acquisition() {
+        let config = WorkloadConfig {
+            threads: 2,
+            read_pct: 80,
+            acquisitions_per_thread: 500,
+            critical_work: 0,
+            outside_work: 0,
+            seed: 7,
+            runs: 1,
+            verify: false,
+        };
+        let opts = LockOptions {
+            biased: true,
+            ..LockOptions::default()
+        };
+        for kind in [LockKind::Goll, LockKind::Foll, LockKind::Roll] {
+            let (r, _) = run_latency_profiled_with(kind, &config, &opts);
+            assert_eq!(r.read.count + r.write.count, 1_000, "{}", kind.name());
         }
     }
 }

@@ -126,8 +126,8 @@ pub fn run_throughput_profiled(
 }
 
 /// Like [`run_throughput_profiled`], applying `opts` when constructing
-/// the OLL locks (adaptive C-SNZIs, explicit tree shapes). Baseline
-/// locks have nothing to configure and ignore `opts`.
+/// the OLL locks (adaptive C-SNZIs, explicit tree shapes, BRAVO reader
+/// biasing). Baseline locks have nothing to configure and ignore `opts`.
 pub fn run_throughput_profiled_with(
     kind: LockKind,
     config: &WorkloadConfig,
@@ -139,6 +139,16 @@ pub fn run_throughput_profiled_with(
     let runs = config.runs.max(1);
     for _ in 0..runs {
         let (elapsed, snap) = match kind {
+            LockKind::Goll if opts.biased => measure(
+                |cap| {
+                    let mut b = GollLock::builder(cap).adaptive(opts.adaptive);
+                    if let Some(s) = shape {
+                        b = b.tree_shape(s);
+                    }
+                    b.biased(true).build_biased()
+                },
+                config,
+            ),
             LockKind::Goll => measure(
                 |cap| {
                     let mut b = GollLock::builder(cap).adaptive(opts.adaptive);
@@ -149,6 +159,16 @@ pub fn run_throughput_profiled_with(
                 },
                 config,
             ),
+            LockKind::Foll if opts.biased => measure(
+                |cap| {
+                    let mut b = FollLock::builder(cap).adaptive(opts.adaptive);
+                    if let Some(s) = shape {
+                        b = b.tree_shape(s);
+                    }
+                    b.biased(true).build_biased()
+                },
+                config,
+            ),
             LockKind::Foll => measure(
                 |cap| {
                     let mut b = FollLock::builder(cap).adaptive(opts.adaptive);
@@ -156,6 +176,16 @@ pub fn run_throughput_profiled_with(
                         b = b.tree_shape(s);
                     }
                     b.build()
+                },
+                config,
+            ),
+            LockKind::Roll if opts.biased => measure(
+                |cap| {
+                    let mut b = RollLock::builder(cap).adaptive(opts.adaptive);
+                    if let Some(s) = shape {
+                        b = b.tree_shape(s);
+                    }
+                    b.biased(true).build_biased()
                 },
                 config,
             ),
@@ -249,12 +279,29 @@ mod tests {
         let opts = LockOptions {
             adaptive: true,
             shape_threads: Some(2),
+            ..LockOptions::default()
         };
         for kind in [LockKind::Goll, LockKind::Foll, LockKind::Roll] {
             let (r, _) = run_throughput_profiled_with(kind, &tiny(90), &opts);
             assert!(
                 r.acquires_per_sec > 0.0,
                 "{}: nonpositive adaptive throughput",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn biased_options_produce_working_oll_locks() {
+        let opts = LockOptions {
+            biased: true,
+            ..LockOptions::default()
+        };
+        for kind in [LockKind::Goll, LockKind::Foll, LockKind::Roll] {
+            let (r, _) = run_throughput_profiled_with(kind, &tiny(90), &opts);
+            assert!(
+                r.acquires_per_sec > 0.0,
+                "{}: nonpositive biased throughput",
                 kind.name()
             );
         }

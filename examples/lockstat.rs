@@ -5,14 +5,18 @@
 //! ```sh
 //! cargo run --release --features telemetry --example lockstat
 //! cargo run --release --features telemetry --example lockstat -- --json
+//! cargo run --release --features telemetry --example lockstat -- --biased
 //! cargo run --release --features trace --example lockstat -- --trace out.json
 //! ```
 //!
 //! Without the `telemetry` feature the example still runs, but every
 //! recording hook is a compiled-out no-op, so the report is empty — the
-//! point of the zero-cost facade. `--trace PATH` additionally captures
-//! the run in the flight recorder and writes a Perfetto-loadable Chrome
-//! Trace Event file (needs a `--features trace` build).
+//! point of the zero-cost facade. `--biased` wraps the three OLL locks
+//! in the BRAVO reader-biasing layer, so the profiles additionally show
+//! bias grants/revocations and the biased-read `read_fast` counts.
+//! `--trace PATH` additionally captures the run in the flight recorder
+//! and writes a Perfetto-loadable Chrome Trace Event file (needs a
+//! `--features trace` build).
 
 use oll::telemetry::{registry, report, Telemetry};
 use oll::trace::TraceSession;
@@ -50,6 +54,7 @@ fn hammer<L: RwLockFamily + Sync>(lock: &L, name: &str) {
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let json = argv.iter().any(|a| a == "--json");
+    let biased = argv.iter().any(|a| a == "--biased");
     let trace = argv
         .iter()
         .position(|a| a == "--trace")
@@ -66,27 +71,46 @@ fn main() {
     }
     let session = trace.as_ref().map(|_| TraceSession::begin());
     eprintln!(
-        "lockstat: {THREADS} threads x {ACQUISITIONS} acquisitions, {READ_PCT}% reads, per lock"
+        "lockstat: {THREADS} threads x {ACQUISITIONS} acquisitions, {READ_PCT}% reads, per lock{}",
+        if biased {
+            ", BRAVO-biased OLL locks"
+        } else {
+            ""
+        }
     );
 
     // Keep the locks alive until after the sweep: the registry holds weak
     // references and prunes dropped instances.
+    let solaris = SolarisLikeRwLock::new(THREADS);
+    if biased {
+        let goll = GollLock::builder(THREADS).biased(true).build_biased();
+        let foll = FollLock::builder(THREADS).biased(true).build_biased();
+        let roll = RollLock::builder(THREADS).biased(true).build_biased();
+        hammer(&goll, "lockstat/GOLL+bravo");
+        hammer(&foll, "lockstat/FOLL+bravo");
+        hammer(&roll, "lockstat/ROLL+bravo");
+        hammer(&solaris, "lockstat/Solaris-like");
+        report_and_trace(json, &trace, session);
+        return;
+    }
     let goll = GollLock::new(THREADS);
     let foll = FollLock::new(THREADS);
     let roll = RollLock::new(THREADS);
-    let solaris = SolarisLikeRwLock::new(THREADS);
     hammer(&goll, "lockstat/GOLL");
     hammer(&foll, "lockstat/FOLL");
     hammer(&roll, "lockstat/ROLL");
     hammer(&solaris, "lockstat/Solaris-like");
+    report_and_trace(json, &trace, session);
+}
 
+fn report_and_trace(json: bool, trace: &Option<String>, session: Option<TraceSession>) {
     let snaps = registry::snapshot_all();
     if json {
         println!("{}", report::render_json(&snaps));
     } else {
         print!("{}", report::render_text(&snaps));
     }
-    if let (Some(path), Some(session)) = (&trace, session) {
+    if let (Some(path), Some(session)) = (trace, session) {
         let tl = session.collect();
         let text = traceio::write_outputs(&tl, path, None).expect("trace file is writable");
         println!("-- flight recorder --\n{text}");

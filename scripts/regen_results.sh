@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Regenerate the committed measurement artifacts from the evaluation
+# binaries, so the checked-in numbers can always be reproduced (and
+# refreshed) with one command on the current machine:
+#
+#   fig5_results.txt / fig5_results.csv   full Figure 5 sweep
+#   latency_results.txt                   tail-latency table
+#   fig5_biased.json / fig5_unbiased.json BRAVO before/after pair
+#                                         (EXPERIMENTS.md, DESIGN.md #11)
+#
+# The Criterion artifacts (ablation_results.txt, bench_output.txt) are
+# NOT regenerated here: crates/bench sits outside the workspace and
+# needs registry access for criterion — run `cargo bench -p oll-bench`
+# from crates/bench on a networked machine instead.
+#
+# Usage:  ./scripts/regen_results.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> building release binaries"
+cargo build --release -p oll-workloads
+
+FIG5=target/release/fig5
+LATENCY=target/release/latency
+FIG5CHECK=target/release/fig5check
+
+echo "==> fig5_results.{txt,csv}: full panel sweep"
+"$FIG5" --panel all --threads 1,2,4,8,16 --runs 3 \
+    --csv fig5_results.csv | tee fig5_results.txt
+
+echo "==> latency_results.txt"
+"$LATENCY" --threads 4 --read-pct 95 --locks all | tee latency_results.txt
+
+echo "==> BRAVO before/after pair (panel a, OLL locks, 16 threads)"
+"$FIG5" --panel a --threads 16 --runs 5 --locks GOLL,FOLL,ROLL \
+    --json fig5_unbiased.json >/dev/null
+"$FIG5" --panel a --threads 16 --runs 5 --locks GOLL,FOLL,ROLL \
+    --biased --json fig5_biased.json >/dev/null
+"$FIG5CHECK" fig5_biased.json --expect-biased
+
+echo "==> done; review the diffs before committing"

@@ -65,6 +65,8 @@ pub use oll_baselines::{
 };
 #[cfg(not(loom))]
 pub use oll_core::TimedHandle;
+#[cfg(not(loom))]
+pub use oll_core::{Bravo, BravoHandle};
 pub use oll_core::{
     FairnessPolicy, FollBuilder, FollLock, GollBuilder, GollLock, RollBuilder, RollLock, RwHandle,
     RwLock, RwLockFamily, TimedOut, UpgradableHandle,

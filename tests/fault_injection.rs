@@ -7,8 +7,8 @@
 #![cfg(feature = "fault-injection")]
 
 use oll::util::fault::FaultPlan;
-use oll::{FollLock, GollLock, RollLock, RwHandle, RwLockFamily, TimedHandle};
-use std::sync::atomic::{AtomicI64, Ordering};
+use oll::{Bravo, FollLock, GollLock, RollLock, RwHandle, RwLockFamily, TimedHandle};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
@@ -198,6 +198,71 @@ fn roll_abandoned_writer_churn() {
 #[test]
 fn goll_writer_cancel_churn() {
     abandoned_writer_churn(GollLock::new(8), "goll.write", 0x5EED_0007);
+}
+
+/// The BRAVO revocation race, directed: fast-path readers publishing
+/// into the visible-readers table while a writer clears `rbias` and
+/// scans them out. The plan widens the reader's publish→recheck window
+/// (`bravo.read.published`) and the writer's clear→scan window
+/// (`bravo.write.revoke-scan`) — the exact store-buffering pattern whose
+/// `SeqCst` fences keep a reader and writer from both proceeding. The
+/// zero multiplier lets slow-path readers re-arm the bias immediately,
+/// so the race re-runs every iteration instead of settling unbiased.
+#[test]
+fn bravo_readers_vs_revoking_writer_race() {
+    const READERS: usize = 3;
+    const WRITER_ITERS: usize = 400;
+    let _guard = serial();
+    let _plan = FaultPlan::sometimes(0x5EED_0008, "bravo", 60, 8).install();
+
+    let lock = Arc::new(
+        Bravo::wrapping(GollLock::new(8), true)
+            .private_table(64)
+            .rearm_multiplier(0),
+    );
+    let state = Arc::new(AtomicI64::new(0));
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut threads = Vec::new();
+    for _ in 0..READERS {
+        let lock = Arc::clone(&lock);
+        let state = Arc::clone(&state);
+        let stop = Arc::clone(&stop);
+        threads.push(std::thread::spawn(move || {
+            let mut h = lock.handle().unwrap();
+            while !stop.load(Ordering::Relaxed) {
+                h.lock_read();
+                assert!(
+                    state.fetch_add(1, Ordering::SeqCst) >= 0,
+                    "reader entered beside the revoking writer"
+                );
+                state.fetch_sub(1, Ordering::SeqCst);
+                h.unlock_read();
+            }
+        }));
+    }
+    {
+        let mut w = lock.handle().unwrap();
+        for _ in 0..WRITER_ITERS {
+            w.lock_write();
+            assert_eq!(
+                state.swap(-1, Ordering::SeqCst),
+                0,
+                "writer entered beside a published reader"
+            );
+            state.store(0, Ordering::SeqCst);
+            w.unlock_write();
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    for t in threads {
+        t.join().unwrap();
+    }
+    // The lock must come out fully functional, bias machinery intact.
+    let mut h = lock.handle().unwrap();
+    h.lock_write();
+    h.unlock_write();
+    h.lock_read();
+    h.unlock_read();
 }
 
 /// The tentpole's directed race: N threads simultaneously route their

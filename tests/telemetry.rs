@@ -10,8 +10,8 @@
 
 use oll::telemetry::{registry, LockEvent, Telemetry};
 use oll::{
-    CentralizedRwLock, FollLock, GollLock, RollLock, RwHandle, RwLockFamily, SolarisLikeRwLock,
-    TimedHandle, TreeShape, UpgradableHandle,
+    Bravo, CentralizedRwLock, FollLock, GollLock, RollLock, RwHandle, RwLockFamily,
+    SolarisLikeRwLock, TimedHandle, TreeShape, UpgradableHandle,
 };
 use std::time::{Duration, Instant};
 
@@ -323,6 +323,64 @@ fn adaptive_inflation_is_counted() {
     assert_eq!(s.get(LockEvent::ArriveTree), READS);
     assert_eq!(s.get(LockEvent::ArriveDirect), 0);
     assert!(s.get(LockEvent::CsnziNodeWrite) > 0);
+}
+
+/// The BRAVO tentpole's headline pin: with the bias armed, a read-only
+/// run performs *zero* shared-memory RMWs per read acquisition — no
+/// C-SNZI root or node writes, no arrivals at all. Every read is a bias
+/// grant through the visible-readers table (a CAS on an effectively
+/// thread-private line). A private table keeps concurrently running
+/// tests out of this lock's hash space.
+#[test]
+fn biased_read_only_run_performs_zero_shared_rmws() {
+    let lock = Bravo::wrapping(GollLock::builder(2).adaptive(true).build(), true).private_table(64);
+    let mut h = lock.handle().unwrap();
+    for _ in 0..READS {
+        h.lock_read();
+        h.unlock_read();
+    }
+    drop(h);
+    let s = lock.telemetry().snapshot().expect("instrumented lock");
+    assert_eq!(s.get(LockEvent::BiasGrant), READS, "every read was biased");
+    assert_eq!(s.reads(), READS);
+    // The underlying lock was never touched: zero shared RMWs per read.
+    assert_eq!(s.get(LockEvent::ArriveDirect), 0);
+    assert_eq!(s.get(LockEvent::ArriveTree), 0);
+    assert_eq!(s.get(LockEvent::CsnziRootWrite), 0);
+    assert_eq!(s.get(LockEvent::CsnziNodeWrite), 0);
+    assert_eq!(s.get(LockEvent::CsnziRootCasFail), 0);
+    assert_eq!(s.get(LockEvent::BiasRevoke), 0);
+    assert_eq!(s.get(LockEvent::BiasSlotCollision), 0);
+    // Latency accounting still covers every acquisition.
+    assert_eq!(s.read_acquire.count, READS);
+    assert_eq!(s.read_hold.count, READS);
+}
+
+/// A writer through the wrapper must revoke exactly once, and the biased
+/// counters must stay consistent through a mixed sequence.
+#[test]
+fn bias_revocation_and_rearm_are_counted() {
+    let lock = Bravo::wrapping(GollLock::new(2), true)
+        .private_table(64)
+        .rearm_multiplier(0); // re-arm immediately on the next slow read
+    let mut h = lock.handle().unwrap();
+    h.lock_read();
+    h.unlock_read();
+    h.lock_write();
+    h.unlock_write();
+    // The bias is now revoked; this read takes the slow path and re-arms.
+    h.lock_read();
+    h.unlock_read();
+    // Re-armed: this read is biased again.
+    h.lock_read();
+    h.unlock_read();
+    drop(h);
+    let s = lock.telemetry().snapshot().expect("instrumented lock");
+    assert_eq!(s.get(LockEvent::BiasRevoke), 1);
+    assert_eq!(s.get(LockEvent::BiasRearm), 1);
+    assert_eq!(s.get(LockEvent::BiasGrant), 2, "first and last reads");
+    assert_eq!(s.reads(), 3);
+    assert_eq!(s.writes(), 1);
 }
 
 #[test]
