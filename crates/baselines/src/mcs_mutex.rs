@@ -6,6 +6,7 @@
 //! slot) replace the paper's per-thread records.
 
 use oll_core::raw::{RwHandle, RwLockFamily};
+use oll_hazard::Hazard;
 use oll_util::backoff::{spin_until, BackoffPolicy};
 use oll_util::slots::{SlotError, SlotGuard, SlotRegistry};
 use oll_util::sync::{AtomicBool, AtomicU32, Ordering};
@@ -24,6 +25,7 @@ pub struct McsMutex {
     nodes: Box<[CachePadded<Node>]>,
     slots: SlotRegistry,
     backoff: BackoffPolicy,
+    hazard: Hazard,
 }
 
 impl McsMutex {
@@ -42,6 +44,7 @@ impl McsMutex {
                 .collect(),
             slots: SlotRegistry::new(capacity),
             backoff: BackoffPolicy::default(),
+            hazard: Hazard::new(),
         }
     }
 
@@ -93,6 +96,10 @@ impl RwLockFamily for McsMutex {
     fn name(&self) -> &'static str {
         "MCS-mutex"
     }
+
+    fn hazard(&self) -> Hazard {
+        self.hazard.clone()
+    }
 }
 
 /// Per-thread handle for [`McsMutex`]. Reads and writes are both
@@ -104,6 +111,10 @@ pub struct McsMutexHandle<'a> {
 }
 
 impl RwHandle for McsMutexHandle<'_> {
+    fn hazard(&self) -> Hazard {
+        self.lock.hazard.clone()
+    }
+
     fn lock_read(&mut self) {
         self.lock.acquire(self.slot.slot());
     }

@@ -18,6 +18,7 @@
 //! far less than its shared-write pattern.
 
 use oll_core::raw::{RwHandle, RwLockFamily};
+use oll_hazard::Hazard;
 use oll_util::backoff::{spin_until, BackoffPolicy};
 use oll_util::slots::{SlotError, SlotGuard, SlotRegistry};
 use oll_util::sync::{AtomicI64, AtomicU32, Ordering::SeqCst};
@@ -49,6 +50,7 @@ pub struct McsRwLock {
     nodes: Box<[CachePadded<Node>]>,
     slots: SlotRegistry,
     backoff: BackoffPolicy,
+    hazard: Hazard,
 }
 
 impl McsRwLock {
@@ -70,6 +72,7 @@ impl McsRwLock {
                 .collect(),
             slots: SlotRegistry::new(capacity),
             backoff: BackoffPolicy::default(),
+            hazard: Hazard::new(),
         }
     }
 
@@ -200,6 +203,10 @@ impl RwLockFamily for McsRwLock {
     fn name(&self) -> &'static str {
         "MCS-RW"
     }
+
+    fn hazard(&self) -> Hazard {
+        self.hazard.clone()
+    }
 }
 
 /// Per-thread handle for [`McsRwLock`].
@@ -209,6 +216,10 @@ pub struct McsRwHandle<'a> {
 }
 
 impl RwHandle for McsRwHandle<'_> {
+    fn hazard(&self) -> Hazard {
+        self.lock.hazard.clone()
+    }
+
     fn lock_read(&mut self) {
         self.lock.start_read(self.slot.slot());
     }
@@ -277,8 +288,34 @@ impl RwHandle for McsRwHandle<'_> {
             lock.unblock(me);
             true
         } else {
-            // Readers slipped in (or claimed the hand-off): fall back to
-            // the blocking protocol — we are already enqueued.
+            // Readers slipped in between the emptiness check and the
+            // enqueue. Blocking here would make a "try" call hang for as
+            // long as those readers hold the lock (forever, if a guard
+            // leaks), so withdraw instead: reclaim the hand-off token,
+            // then dequeue — legal only while no departing reader claimed
+            // the token and no successor linked behind us.
+            if lock.next_writer.swap(NIL, SeqCst) == me as u32 {
+                if lock
+                    .tail
+                    .compare_exchange(me as u32, NIL, SeqCst, SeqCst)
+                    .is_ok()
+                {
+                    return false;
+                }
+                // A successor linked behind us: we are committed to the
+                // queue. Re-arm the hand-off and re-run the grant check —
+                // the readers may all have left while the token was
+                // parked here, and then nobody else will unblock us.
+                lock.next_writer.store(me as u32, SeqCst);
+                if lock.reader_count.load(SeqCst) == 0
+                    && lock.next_writer.swap(NIL, SeqCst) == me as u32
+                {
+                    lock.unblock(me);
+                }
+            }
+            // Either a departing reader claimed the hand-off (it will
+            // unblock us) or we re-armed it; the blocking protocol
+            // finishes the acquisition.
             spin_until(lock.backoff, || !lock.is_blocked(me));
             true
         }

@@ -21,6 +21,7 @@
 //! removes.
 
 use oll_core::raw::{RwHandle, RwLockFamily};
+use oll_hazard::Hazard;
 use oll_util::backoff::{spin_until, Backoff, BackoffPolicy};
 use oll_util::slots::{SlotError, SlotGuard, SlotRegistry};
 use oll_util::sync::{AtomicBool, AtomicU32, AtomicU64, Ordering::SeqCst};
@@ -48,6 +49,7 @@ struct Core {
     nodes: Box<[CachePadded<WriterNode>]>,
     slots: SlotRegistry,
     backoff: BackoffPolicy,
+    hazard: Hazard,
 }
 
 impl Core {
@@ -66,6 +68,7 @@ impl Core {
                 .collect(),
             slots: SlotRegistry::new(capacity),
             backoff: BackoffPolicy::default(),
+            hazard: Hazard::new(),
         }
     }
 
@@ -168,6 +171,10 @@ impl RwLockFamily for McsRwReaderPref {
     fn name(&self) -> &'static str {
         "MCS-RW-rp"
     }
+
+    fn hazard(&self) -> Hazard {
+        self.core.hazard.clone()
+    }
 }
 
 /// Per-thread handle for [`McsRwReaderPref`].
@@ -177,6 +184,10 @@ pub struct McsRwReaderPrefHandle<'a> {
 }
 
 impl RwHandle for McsRwReaderPrefHandle<'_> {
+    fn hazard(&self) -> Hazard {
+        self.lock.core.hazard.clone()
+    }
+
     fn lock_read(&mut self) {
         // Readers only wait out an *active* writer.
         self.lock.core.reader_enter(WAFLAG);
@@ -273,6 +284,10 @@ impl RwLockFamily for McsRwWriterPref {
     fn name(&self) -> &'static str {
         "MCS-RW-wp"
     }
+
+    fn hazard(&self) -> Hazard {
+        self.core.hazard.clone()
+    }
 }
 
 /// Per-thread handle for [`McsRwWriterPref`].
@@ -282,6 +297,10 @@ pub struct McsRwWriterPrefHandle<'a> {
 }
 
 impl RwHandle for McsRwWriterPrefHandle<'_> {
+    fn hazard(&self) -> Hazard {
+        self.lock.core.hazard.clone()
+    }
+
     fn lock_read(&mut self) {
         // Readers defer to active *and* interested writers.
         self.lock.core.reader_enter(WAFLAG | WWFLAG);

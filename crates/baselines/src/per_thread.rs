@@ -11,6 +11,7 @@
 //! capacity.
 
 use oll_core::raw::{RwHandle, RwLockFamily};
+use oll_hazard::Hazard;
 use oll_util::backoff::{Backoff, BackoffPolicy};
 use oll_util::slots::{SlotError, SlotGuard, SlotRegistry};
 use oll_util::sync::{AtomicBool, Ordering};
@@ -21,6 +22,7 @@ pub struct PerThreadRwLock {
     mutexes: Box<[CachePadded<AtomicBool>]>,
     slots: SlotRegistry,
     backoff: BackoffPolicy,
+    hazard: Hazard,
 }
 
 impl PerThreadRwLock {
@@ -33,6 +35,7 @@ impl PerThreadRwLock {
                 .collect(),
             slots: SlotRegistry::new(capacity),
             backoff: BackoffPolicy::default(),
+            hazard: Hazard::new(),
         }
     }
 
@@ -71,6 +74,10 @@ impl RwLockFamily for PerThreadRwLock {
     fn name(&self) -> &'static str {
         "Per-thread"
     }
+
+    fn hazard(&self) -> Hazard {
+        self.hazard.clone()
+    }
 }
 
 /// Per-thread handle for [`PerThreadRwLock`].
@@ -80,6 +87,10 @@ pub struct PerThreadHandle<'a> {
 }
 
 impl RwHandle for PerThreadHandle<'_> {
+    fn hazard(&self) -> Hazard {
+        self.lock.hazard.clone()
+    }
+
     fn lock_read(&mut self) {
         self.lock.acquire(self.slot.slot());
     }

@@ -14,6 +14,7 @@
 //! section — is exactly what the GOLL lock's C-SNZI removes.
 
 use oll_core::raw::{RwHandle, RwLockFamily};
+use oll_hazard::Hazard;
 use oll_telemetry::{LockEvent, Telemetry, Timer};
 use oll_util::backoff::{Backoff, BackoffPolicy};
 use oll_util::event::{Event, GroupEvent, WaitStrategy};
@@ -72,6 +73,7 @@ pub struct SolarisLikeRwLock {
     strategy: WaitStrategy,
     backoff: BackoffPolicy,
     telemetry: Telemetry,
+    hazard: Hazard,
 }
 
 impl SolarisLikeRwLock {
@@ -83,6 +85,9 @@ impl SolarisLikeRwLock {
 
     /// Creates a lock with an explicit waiter strategy.
     pub fn with_strategy(capacity: usize, strategy: WaitStrategy) -> Self {
+        let telemetry = Telemetry::register("Solaris-like");
+        let hazard = Hazard::new();
+        hazard.attach_telemetry(&telemetry);
         Self {
             word: CachePadded::new(AtomicU64::new(0)),
             turnstile: CachePadded::new(SpinMutex::new(Turnstile {
@@ -92,7 +97,8 @@ impl SolarisLikeRwLock {
             slots: SlotRegistry::new(capacity.max(1)),
             strategy,
             backoff: BackoffPolicy::default(),
-            telemetry: Telemetry::register("Solaris-like"),
+            telemetry,
+            hazard,
         }
     }
 
@@ -231,6 +237,10 @@ impl RwLockFamily for SolarisLikeRwLock {
     fn telemetry(&self) -> Telemetry {
         self.telemetry.clone()
     }
+
+    fn hazard(&self) -> Hazard {
+        self.hazard.clone()
+    }
 }
 
 /// Per-thread handle for [`SolarisLikeRwLock`].
@@ -243,6 +253,10 @@ pub struct SolarisLikeHandle<'a> {
 }
 
 impl RwHandle for SolarisLikeHandle<'_> {
+    fn hazard(&self) -> Hazard {
+        self.lock.hazard.clone()
+    }
+
     fn lock_read(&mut self) {
         let lock = self.lock;
         let acquire = lock.telemetry.begin_read();

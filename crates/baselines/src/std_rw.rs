@@ -3,6 +3,7 @@
 //! harness can compare it on the same workloads.
 
 use oll_core::raw::{RwHandle, RwLockFamily};
+use oll_hazard::Hazard;
 use oll_util::slots::{SlotError, SlotGuard, SlotRegistry};
 use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
@@ -10,6 +11,7 @@ use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 pub struct StdRwLock {
     inner: RwLock<()>,
     slots: SlotRegistry,
+    hazard: Hazard,
 }
 
 impl StdRwLock {
@@ -19,6 +21,7 @@ impl StdRwLock {
         Self {
             inner: RwLock::new(()),
             slots: SlotRegistry::new(capacity.max(1)),
+            hazard: Hazard::new(),
         }
     }
 }
@@ -43,6 +46,10 @@ impl RwLockFamily for StdRwLock {
     fn name(&self) -> &'static str {
         "std::sync::RwLock"
     }
+
+    fn hazard(&self) -> Hazard {
+        self.hazard.clone()
+    }
 }
 
 /// Per-thread handle for [`StdRwLock`]; stores the live std guard between
@@ -55,9 +62,18 @@ pub struct StdRwHandle<'a> {
 }
 
 impl RwHandle for StdRwHandle<'_> {
+    fn hazard(&self) -> Hazard {
+        self.lock.hazard.clone()
+    }
+
+    /// std's native poison mark is absorbed (`into_inner`) rather than
+    /// propagated: poisoning is the hazard layer's job, and the other
+    /// families all stay acquirable after a panicking holder. Without
+    /// this, one panicked writer would turn every later acquisition into
+    /// a panic — and the try paths into permanent failures.
     fn lock_read(&mut self) {
         debug_assert!(self.read_guard.is_none() && self.write_guard.is_none());
-        self.read_guard = Some(self.lock.inner.read().expect("std lock poisoned"));
+        self.read_guard = Some(self.lock.inner.read().unwrap_or_else(|e| e.into_inner()));
     }
 
     fn unlock_read(&mut self) {
@@ -70,7 +86,7 @@ impl RwHandle for StdRwHandle<'_> {
 
     fn lock_write(&mut self) {
         debug_assert!(self.read_guard.is_none() && self.write_guard.is_none());
-        self.write_guard = Some(self.lock.inner.write().expect("std lock poisoned"));
+        self.write_guard = Some(self.lock.inner.write().unwrap_or_else(|e| e.into_inner()));
     }
 
     fn unlock_write(&mut self) {
@@ -82,22 +98,32 @@ impl RwHandle for StdRwHandle<'_> {
     }
 
     fn try_lock_read(&mut self) -> bool {
+        use std::sync::TryLockError;
         match self.lock.inner.try_read() {
             Ok(g) => {
                 self.read_guard = Some(g);
                 true
             }
-            Err(_) => false,
+            Err(TryLockError::Poisoned(e)) => {
+                self.read_guard = Some(e.into_inner());
+                true
+            }
+            Err(TryLockError::WouldBlock) => false,
         }
     }
 
     fn try_lock_write(&mut self) -> bool {
+        use std::sync::TryLockError;
         match self.lock.inner.try_write() {
             Ok(g) => {
                 self.write_guard = Some(g);
                 true
             }
-            Err(_) => false,
+            Err(TryLockError::Poisoned(e)) => {
+                self.write_guard = Some(e.into_inner());
+                true
+            }
+            Err(TryLockError::WouldBlock) => false,
         }
     }
 }
@@ -122,7 +148,10 @@ impl oll_core::raw::TimedHandle for StdRwHandle<'_> {
                     true
                 }
                 Err(std::sync::TryLockError::WouldBlock) => false,
-                Err(std::sync::TryLockError::Poisoned(_)) => panic!("std lock poisoned"),
+                Err(std::sync::TryLockError::Poisoned(e)) => {
+                    guard = Some(e.into_inner());
+                    true
+                }
             }
         }) {
             self.read_guard = guard;
@@ -147,7 +176,10 @@ impl oll_core::raw::TimedHandle for StdRwHandle<'_> {
                     true
                 }
                 Err(std::sync::TryLockError::WouldBlock) => false,
-                Err(std::sync::TryLockError::Poisoned(_)) => panic!("std lock poisoned"),
+                Err(std::sync::TryLockError::Poisoned(e)) => {
+                    guard = Some(e.into_inner());
+                    true
+                }
             }
         }) {
             self.write_guard = guard;

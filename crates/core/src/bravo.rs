@@ -40,6 +40,7 @@
 //! window expired re-arms the bias.
 
 use crate::raw::{RwHandle, RwLockFamily, TimedHandle, TimedOut, UpgradableHandle};
+use oll_hazard::Hazard;
 use oll_telemetry::{LockEvent, Telemetry, Timer};
 use oll_util::backoff::{spin_until, spin_until_deadline, BackoffPolicy};
 use oll_util::fault;
@@ -106,6 +107,7 @@ pub struct Bravo<L> {
     policy: BackoffPolicy,
     table: Table,
     enabled: bool,
+    hazard: Hazard,
 }
 
 impl<L> Bravo<L> {
@@ -126,6 +128,7 @@ impl<L> Bravo<L> {
             policy: BackoffPolicy::default(),
             table: Table::Global,
             enabled: biased,
+            hazard: Hazard::new(),
         }
     }
 
@@ -190,6 +193,7 @@ impl<L: RwLockFamily> RwLockFamily for Bravo<L> {
         L: 'a;
 
     fn handle(&self) -> Result<Self::Handle<'_>, SlotError> {
+        self.hazard.attach_telemetry(&self.inner.telemetry());
         Ok(BravoHandle {
             lock: self,
             inner: self.inner.handle()?,
@@ -209,6 +213,50 @@ impl<L: RwLockFamily> RwLockFamily for Bravo<L> {
 
     fn telemetry(&self) -> Telemetry {
         self.inner.telemetry()
+    }
+
+    fn hazard(&self) -> Hazard {
+        self.hazard.clone()
+    }
+}
+
+/// Unlocks the underlying write lock if dropped during a panic unwind.
+///
+/// Armed between the underlying write grant and the end of the revocation
+/// scan: a panic inside the scan (e.g. an injected fault) must not leave
+/// the inner lock exclusively held forever, or every later acquirer —
+/// including the poison-aware ones — would hang instead of observing the
+/// poisoned state.
+struct UnlockOnUnwind<'h, H: RwHandle + ?Sized> {
+    inner: &'h mut H,
+    armed: bool,
+}
+
+impl<H: RwHandle + ?Sized> Drop for UnlockOnUnwind<'_, H> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.inner.unlock_write();
+        }
+    }
+}
+
+/// Erases a published visible-readers slot if dropped during unwind.
+///
+/// Armed between the table publish and the fast path's success return: a
+/// panic in that window (the `rbias` recheck or an injected fault) would
+/// otherwise leave a ghost entry that every future revocation scan waits
+/// on forever.
+struct EraseOnUnwind<'t> {
+    table: &'t VisibleReaders,
+    slot: usize,
+    armed: bool,
+}
+
+impl Drop for EraseOnUnwind<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.table.erase(self.slot);
+        }
     }
 }
 
@@ -234,7 +282,7 @@ impl<L: RwLockFamily> BravoHandle<'_, L> {
     /// — the "undo" the timed paths rely on.
     fn try_fast_read(&mut self) -> bool {
         let lock = self.lock;
-        if !(lock.enabled && lock.rbias.load(Ordering::SeqCst)) {
+        if !(lock.enabled && lock.rbias.load(Ordering::SeqCst) && lock.hazard.bias_allowed()) {
             return false;
         }
         let timer = self.telemetry.begin_read();
@@ -244,12 +292,20 @@ impl<L: RwLockFamily> BravoHandle<'_, L> {
             self.telemetry.incr(LockEvent::BiasSlotCollision);
             return false;
         }
+        // From here until the success return the slot is published but not
+        // yet recorded in `fast_slot`, so guard `Drop` cannot undo it — a
+        // panic (injected or otherwise) must erase it on the way out.
+        let mut unwind = EraseOnUnwind {
+            table,
+            slot,
+            armed: true,
+        };
         fault::inject("bravo.read.published");
         // The recheck half of the store-buffering pattern (see module
         // docs): if a writer cleared `rbias` concurrently it may have
         // scanned past our slot already, so we must withdraw.
         if !lock.rbias.load(Ordering::SeqCst) {
-            table.erase(slot);
+            drop(unwind);
             fault::inject("bravo.read.withdrawn");
             return false;
         }
@@ -257,6 +313,7 @@ impl<L: RwLockFamily> BravoHandle<'_, L> {
         self.telemetry.incr(LockEvent::ReadFast);
         self.telemetry.record_read_acquire(&timer);
         self.hold = self.telemetry.timer();
+        unwind.armed = false;
         self.fast_slot = Some(slot);
         true
     }
@@ -269,6 +326,7 @@ impl<L: RwLockFamily> BravoHandle<'_, L> {
         let lock = self.lock;
         if lock.enabled
             && !lock.rbias.load(Ordering::Relaxed)
+            && lock.hazard.bias_allowed()
             && now_ns() >= lock.inhibit_until_ns.load(Ordering::Relaxed)
         {
             lock.rbias.store(true, Ordering::SeqCst);
@@ -279,9 +337,10 @@ impl<L: RwLockFamily> BravoHandle<'_, L> {
     /// Revokes the bias: clears `rbias`, waits out every published
     /// reader, and starts the inhibit window. Must be called while
     /// holding the underlying write lock (which is what serializes
-    /// revocations against each other and against re-arms).
-    fn revoke_bias(&mut self) {
-        let lock = self.lock;
+    /// revocations against each other and against re-arms). An associated
+    /// fn (not `&mut self`) so callers can keep a disjoint `&mut` borrow
+    /// of the inner handle for the unwind guard around the scan.
+    fn revoke_bias(lock: &Bravo<L>, telemetry: &Telemetry) {
         // `rbias == false` while we hold the underlying write lock means
         // the last revocation completed and nothing re-armed since; no
         // fast reader can be active (the fast path requires the flag),
@@ -295,6 +354,7 @@ impl<L: RwLockFamily> BravoHandle<'_, L> {
         let table = lock.table();
         for i in 0..table.len() {
             if table.load(i) == lock.lock_id {
+                fault::inject("bravo.write.revoke-mid-scan");
                 spin_until(lock.policy, || table.load(i) != lock.lock_id);
             }
         }
@@ -303,7 +363,7 @@ impl<L: RwLockFamily> BravoHandle<'_, L> {
             now_ns().saturating_add(took.saturating_mul(u64::from(lock.multiplier))),
             Ordering::Relaxed,
         );
-        self.telemetry.incr(LockEvent::BiasRevoke);
+        telemetry.incr(LockEvent::BiasRevoke);
     }
 
     /// Non-blocking revocation for the `try` path: clears `rbias` and
@@ -312,8 +372,7 @@ impl<L: RwLockFamily> BravoHandle<'_, L> {
     /// `try_lock_write` into a blocking call (and deadlock a thread that
     /// probes for a writer while another of its handles holds a fast
     /// read). Must be called while holding the underlying write lock.
-    fn try_revoke_bias(&mut self) -> bool {
-        let lock = self.lock;
+    fn try_revoke_bias(lock: &Bravo<L>, telemetry: &Telemetry) -> bool {
         if !(lock.enabled && lock.rbias.load(Ordering::SeqCst)) {
             return true;
         }
@@ -327,7 +386,7 @@ impl<L: RwLockFamily> BravoHandle<'_, L> {
             return false;
         }
         lock.inhibit_until_ns.store(now_ns(), Ordering::Relaxed);
-        self.telemetry.incr(LockEvent::BiasRevoke);
+        telemetry.incr(LockEvent::BiasRevoke);
         true
     }
 
@@ -335,8 +394,7 @@ impl<L: RwLockFamily> BravoHandle<'_, L> {
     /// [`Self::revoke_bias`] but gives up (restoring the bias) if a
     /// published reader outlasts `deadline`. Must be called while holding
     /// the underlying write lock. Returns `false` on timeout.
-    fn revoke_bias_deadline(&mut self, deadline: Instant) -> bool {
-        let lock = self.lock;
+    fn revoke_bias_deadline(lock: &Bravo<L>, telemetry: &Telemetry, deadline: Instant) -> bool {
         if !(lock.enabled && lock.rbias.load(Ordering::SeqCst)) {
             return true;
         }
@@ -345,13 +403,14 @@ impl<L: RwLockFamily> BravoHandle<'_, L> {
         fault::inject("bravo.write.revoke-scan");
         let table = lock.table();
         for i in 0..table.len() {
-            if table.load(i) == lock.lock_id
-                && !spin_until_deadline(lock.policy, deadline, || table.load(i) != lock.lock_id)
-            {
-                // Safe to restore while we hold the underlying write
-                // lock: no other writer can be mid-revoke.
-                lock.rbias.store(true, Ordering::SeqCst);
-                return false;
+            if table.load(i) == lock.lock_id {
+                fault::inject("bravo.write.revoke-mid-scan");
+                if !spin_until_deadline(lock.policy, deadline, || table.load(i) != lock.lock_id) {
+                    // Safe to restore while we hold the underlying write
+                    // lock: no other writer can be mid-revoke.
+                    lock.rbias.store(true, Ordering::SeqCst);
+                    return false;
+                }
             }
         }
         let took = start.elapsed().as_nanos() as u64;
@@ -359,12 +418,16 @@ impl<L: RwLockFamily> BravoHandle<'_, L> {
             now_ns().saturating_add(took.saturating_mul(u64::from(lock.multiplier))),
             Ordering::Relaxed,
         );
-        self.telemetry.incr(LockEvent::BiasRevoke);
+        telemetry.incr(LockEvent::BiasRevoke);
         true
     }
 }
 
 impl<L: RwLockFamily> RwHandle for BravoHandle<'_, L> {
+    fn hazard(&self) -> Hazard {
+        self.lock.hazard.clone()
+    }
+
     fn lock_read(&mut self) {
         if self.try_fast_read() {
             return;
@@ -386,7 +449,12 @@ impl<L: RwLockFamily> RwHandle for BravoHandle<'_, L> {
 
     fn lock_write(&mut self) {
         self.inner.lock_write();
-        self.revoke_bias();
+        let mut unwind = UnlockOnUnwind {
+            inner: &mut self.inner,
+            armed: true,
+        };
+        Self::revoke_bias(self.lock, &self.telemetry);
+        unwind.armed = false;
     }
 
     fn unlock_write(&mut self) {
@@ -408,12 +476,17 @@ impl<L: RwLockFamily> RwHandle for BravoHandle<'_, L> {
         if !self.inner.try_lock_write() {
             return false;
         }
-        if !self.try_revoke_bias() {
+        let mut unwind = UnlockOnUnwind {
+            inner: &mut self.inner,
+            armed: true,
+        };
+        if !Self::try_revoke_bias(self.lock, &self.telemetry) {
             // A fast reader is published; waiting it out would block, so
             // the probe fails like it would against an underlying reader.
-            self.inner.unlock_write();
+            // The guard's drop performs the undo on this path too.
             return false;
         }
+        unwind.armed = false;
         true
     }
 }
@@ -439,11 +512,15 @@ where
         // The underlying grant alone does not establish exclusion — fast
         // readers are invisible to the inner lock — so the revocation
         // scan honors the deadline too: if a published reader outlasts
-        // it, undo the grant and report a timeout.
-        if !self.revoke_bias_deadline(deadline) {
-            self.inner.unlock_write();
+        // it, undo the grant (via the guard's drop) and report a timeout.
+        let mut unwind = UnlockOnUnwind {
+            inner: &mut self.inner,
+            armed: true,
+        };
+        if !Self::revoke_bias_deadline(self.lock, &self.telemetry, deadline) {
             return Err(TimedOut);
         }
+        unwind.armed = false;
         Ok(())
     }
 }

@@ -16,6 +16,7 @@
 
 use crate::raw::{RwHandle, RwLockFamily};
 use oll_csnzi::{ArrivalPolicy, CSnzi, CancelOutcome, LeafCursor, Ticket, TreeShape};
+use oll_hazard::Hazard;
 use oll_telemetry::{LockEvent, Telemetry, Timer};
 use oll_util::backoff::{spin_until, Backoff, BackoffPolicy};
 use oll_util::fault;
@@ -181,6 +182,7 @@ pub(crate) struct QueueCore {
     pub(crate) backoff: BackoffPolicy,
     pub(crate) arrival_threshold: u32,
     pub(crate) telemetry: Telemetry,
+    pub(crate) hazard: Hazard,
 }
 
 impl QueueCore {
@@ -193,6 +195,8 @@ impl QueueCore {
         telemetry: Telemetry,
     ) -> Self {
         let capacity = capacity.max(1);
+        let hazard = Hazard::new();
+        hazard.attach_telemetry(&telemetry);
         Self {
             tail: CachePadded::new(AtomicU32::new(NodeRef::NIL.raw())),
             writer_nodes: (0..capacity)
@@ -212,6 +216,7 @@ impl QueueCore {
             backoff,
             arrival_threshold,
             telemetry,
+            hazard,
         }
     }
 
@@ -845,6 +850,10 @@ impl RwLockFamily for FollLock {
     fn telemetry(&self) -> Telemetry {
         self.core.telemetry.clone()
     }
+
+    fn hazard(&self) -> Hazard {
+        self.core.hazard.clone()
+    }
 }
 
 /// Per-thread handle for [`FollLock`] (the paper's `Local` record).
@@ -883,6 +892,10 @@ impl FollHandle<'_> {
 }
 
 impl RwHandle for FollHandle<'_> {
+    fn hazard(&self) -> Hazard {
+        self.core.hazard.clone()
+    }
+
     /// `ReaderLock` (Figure 4).
     fn lock_read(&mut self) {
         debug_assert!(self.session.is_none() && !self.write_held);

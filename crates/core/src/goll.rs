@@ -19,6 +19,7 @@
 
 use crate::raw::{RwHandle, RwLockFamily, UpgradableHandle};
 use oll_csnzi::{ArrivalPolicy, CSnzi, LeafCursor, Ticket, TreeShape};
+use oll_hazard::Hazard;
 use oll_telemetry::{LockEvent, Telemetry, Timer};
 use oll_util::event::{Event, GroupEvent, WaitStrategy};
 use oll_util::fault;
@@ -433,6 +434,8 @@ impl GollBuilder {
             CSnzi::new(shape)
         };
         csnzi.attach_telemetry(telemetry.clone());
+        let hazard = Hazard::new();
+        hazard.attach_telemetry(&telemetry);
         GollLock {
             csnzi,
             queue: CachePadded::new(SpinMutex::new(WaitQueue::new())),
@@ -441,6 +444,7 @@ impl GollBuilder {
             policy: self.policy,
             arrival_threshold: self.arrival_threshold,
             telemetry,
+            hazard,
         }
     }
 }
@@ -472,6 +476,7 @@ pub struct GollLock {
     policy: FairnessPolicy,
     arrival_threshold: u32,
     telemetry: Telemetry,
+    hazard: Hazard,
 }
 
 impl GollLock {
@@ -550,6 +555,10 @@ impl RwLockFamily for GollLock {
     fn telemetry(&self) -> Telemetry {
         self.telemetry.clone()
     }
+
+    fn hazard(&self) -> Hazard {
+        self.hazard.clone()
+    }
 }
 
 /// Per-thread handle for [`GollLock`] (the paper's `Local` record plus the
@@ -601,6 +610,10 @@ impl GollHandle<'_> {
 }
 
 impl RwHandle for GollHandle<'_> {
+    fn hazard(&self) -> Hazard {
+        self.lock.hazard.clone()
+    }
+
     fn lock_read(&mut self) {
         debug_assert!(self.read_ticket.is_none() && !self.write_held);
         let acquire = self.lock.telemetry.begin_read();

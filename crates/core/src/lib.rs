@@ -44,6 +44,8 @@ pub mod goll;
 pub mod raw;
 pub mod roll;
 pub mod rwlock;
+#[cfg(not(loom))]
+pub mod watch;
 
 #[cfg(not(loom))]
 pub use bravo::{Bravo, BravoHandle, DEFAULT_REARM_MULTIPLIER};
@@ -51,6 +53,10 @@ pub use foll::{FollBuilder, FollLock};
 pub use goll::{FairnessPolicy, GollBuilder, GollLock};
 #[cfg(not(loom))]
 pub use raw::TimedHandle;
-pub use raw::{ReadGuard, RwHandle, RwLockFamily, TimedOut, UpgradableHandle, WriteGuard};
+pub use raw::{
+    PoisonError, ReadGuard, RwHandle, RwLockFamily, TimedOut, UpgradableHandle, WriteGuard,
+};
 pub use roll::{RollBuilder, RollLock};
 pub use rwlock::{RwLock, RwLockOwner, RwLockReadGuard, RwLockWriteGuard};
+#[cfg(not(loom))]
+pub use watch::{AcquireError, WatchedHandle};

@@ -9,6 +9,7 @@
 //! RAII guards returned by [`RwHandle::read`] / [`RwHandle::write`] enforce
 //! balanced lock/unlock pairs at compile time.
 
+use oll_hazard::Hazard;
 use oll_util::slots::SlotError;
 
 /// A reader-writer lock whose per-thread state lives in a handle.
@@ -34,6 +35,14 @@ pub trait RwLockFamily: Send + Sync {
     /// handle, so uninstrumented baselines need no code.
     fn telemetry(&self) -> oll_telemetry::Telemetry {
         oll_telemetry::Telemetry::disabled()
+    }
+
+    /// This lock's hazard handle (panic poisoning, deadlock detection,
+    /// starvation watchdog — see `oll-hazard`). Locks in this workspace
+    /// return their live handle when built with the `hazard` feature;
+    /// the default is an inert handle that records nothing.
+    fn hazard(&self) -> Hazard {
+        Hazard::disabled()
     }
 }
 
@@ -69,13 +78,20 @@ pub trait RwHandle {
     /// under contention.
     fn try_lock_write(&mut self) -> bool;
 
+    /// The owning lock's hazard handle (same handle as
+    /// [`RwLockFamily::hazard`]; inert by default). Guard construction
+    /// and drop route their poison/ownership bookkeeping through it.
+    fn hazard(&self) -> Hazard {
+        Hazard::disabled()
+    }
+
     /// Acquires for reading and returns a guard that releases on drop.
     fn read(&mut self) -> ReadGuard<'_, Self>
     where
         Self: Sized,
     {
         self.lock_read();
-        ReadGuard { handle: self }
+        ReadGuard::new(self)
     }
 
     /// Acquires for writing and returns a guard that releases on drop.
@@ -84,7 +100,7 @@ pub trait RwHandle {
         Self: Sized,
     {
         self.lock_write();
-        WriteGuard { handle: self }
+        WriteGuard::new(self)
     }
 
     /// Attempts a read acquisition, returning a guard on success.
@@ -93,7 +109,7 @@ pub trait RwHandle {
         Self: Sized,
     {
         if self.try_lock_read() {
-            Some(ReadGuard { handle: self })
+            Some(ReadGuard::new(self))
         } else {
             None
         }
@@ -105,12 +121,92 @@ pub trait RwHandle {
         Self: Sized,
     {
         if self.try_lock_write() {
-            Some(WriteGuard { handle: self })
+            Some(WriteGuard::new(self))
         } else {
             None
         }
     }
+
+    /// Like [`read`](Self::read), but reports whether a previous write
+    /// holder panicked (with a [`PoisonPolicy::Poison`] policy armed —
+    /// see `oll-hazard`). The lock *is* acquired either way; the `Err`
+    /// arm carries the guard so the caller can inspect the protected
+    /// state and [`Hazard::clear_poison`] after restoring invariants.
+    /// Without the `hazard` feature this is exactly `Ok(self.read())`.
+    ///
+    /// [`PoisonPolicy::Poison`]: oll_hazard::PoisonPolicy::Poison
+    /// [`Hazard::clear_poison`]: oll_hazard::Hazard::clear_poison
+    fn read_checked(&mut self) -> Result<ReadGuard<'_, Self>, PoisonError<ReadGuard<'_, Self>>>
+    where
+        Self: Sized,
+    {
+        let guard = self.read();
+        if guard.handle.hazard().is_poisoned() {
+            Err(PoisonError::new(guard))
+        } else {
+            Ok(guard)
+        }
+    }
+
+    /// Like [`write`](Self::write), but reports poisoning; see
+    /// [`read_checked`](Self::read_checked).
+    fn write_checked(&mut self) -> Result<WriteGuard<'_, Self>, PoisonError<WriteGuard<'_, Self>>>
+    where
+        Self: Sized,
+    {
+        let guard = self.write();
+        if guard.handle.hazard().is_poisoned() {
+            Err(PoisonError::new(guard))
+        } else {
+            Ok(guard)
+        }
+    }
 }
+
+/// The lock was acquired, but a previous write holder panicked inside
+/// its critical section (under a `Poison` policy) and nobody has called
+/// `clear_poison` yet. Carries the guard: acquisition succeeded and the
+/// caller decides whether the protected state is salvageable — the same
+/// shape as [`std::sync::PoisonError`].
+pub struct PoisonError<G> {
+    guard: G,
+}
+
+impl<G> PoisonError<G> {
+    /// Wraps a guard acquired on a poisoned lock.
+    pub fn new(guard: G) -> Self {
+        Self { guard }
+    }
+
+    /// Consumes the error, yielding the guard it carries.
+    pub fn into_inner(self) -> G {
+        self.guard
+    }
+
+    /// The guard, by shared reference.
+    pub fn get_ref(&self) -> &G {
+        &self.guard
+    }
+
+    /// The guard, by exclusive reference.
+    pub fn get_mut(&mut self) -> &mut G {
+        &mut self.guard
+    }
+}
+
+impl<G> core::fmt::Debug for PoisonError<G> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("PoisonError").finish_non_exhaustive()
+    }
+}
+
+impl<G> core::fmt::Display for PoisonError<G> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("lock poisoned: a write holder panicked in its critical section")
+    }
+}
+
+impl<G> std::error::Error for PoisonError<G> {}
 
 /// A timed acquisition gave up: the deadline passed before the lock could
 /// be acquired. The acquisition was fully undone — no ticket, queue node,
@@ -173,7 +269,7 @@ pub trait TimedHandle: RwHandle {
         Self: Sized,
     {
         self.lock_read_deadline(deadline)?;
-        Ok(ReadGuard { handle: self })
+        Ok(ReadGuard::new(self))
     }
 
     /// Deadline-bounded write acquisition returning a guard.
@@ -185,7 +281,7 @@ pub trait TimedHandle: RwHandle {
         Self: Sized,
     {
         self.lock_write_deadline(deadline)?;
-        Ok(WriteGuard { handle: self })
+        Ok(WriteGuard::new(self))
     }
 
     /// Timeout-bounded read acquisition returning a guard.
@@ -234,8 +330,21 @@ pub struct ReadGuard<'h, H: RwHandle> {
     handle: &'h mut H,
 }
 
+impl<'h, H: RwHandle> ReadGuard<'h, H> {
+    /// Wraps an already-acquired read hold, recording the acquisition
+    /// with the lock's hazard handle.
+    pub(crate) fn new(handle: &'h mut H) -> Self {
+        handle.hazard().on_guard_acquire(false);
+        ReadGuard { handle }
+    }
+}
+
 impl<H: RwHandle> Drop for ReadGuard<'_, H> {
     fn drop(&mut self) {
+        // Hazard bookkeeping runs *before* the release: a panicking
+        // holder's poison mark must be visible to the waiters the
+        // unlock wakes.
+        self.handle.hazard().on_guard_drop(false);
         self.handle.unlock_read();
     }
 }
@@ -246,8 +355,20 @@ pub struct WriteGuard<'h, H: RwHandle> {
     handle: &'h mut H,
 }
 
+impl<'h, H: RwHandle> WriteGuard<'h, H> {
+    /// Wraps an already-acquired write hold, recording the acquisition
+    /// with the lock's hazard handle.
+    pub(crate) fn new(handle: &'h mut H) -> Self {
+        handle.hazard().on_guard_acquire(true);
+        WriteGuard { handle }
+    }
+}
+
 impl<H: RwHandle> Drop for WriteGuard<'_, H> {
     fn drop(&mut self) {
+        // Poison (policy permitting) before the unlock hands the lock
+        // to the next waiter — see ReadGuard::drop.
+        self.handle.hazard().on_guard_drop(true);
         self.handle.unlock_write();
     }
 }
@@ -260,8 +381,11 @@ impl<'h, H: UpgradableHandle> WriteGuard<'h, H> {
         let this = core::mem::ManuallyDrop::new(self);
         // SAFETY: `this` is never used again and its Drop is suppressed.
         let handle: &'h mut H = unsafe { core::ptr::read(&this.handle) };
+        // For the hazard layer a downgrade is a write release plus a
+        // read acquisition that never lets the lock go in between.
+        handle.hazard().on_guard_drop(true);
         handle.downgrade();
-        ReadGuard { handle }
+        ReadGuard::new(handle)
     }
 }
 
@@ -273,9 +397,13 @@ impl<'h, H: UpgradableHandle> ReadGuard<'h, H> {
         if this.handle.try_upgrade() {
             // SAFETY: `this` is never used again and its Drop is suppressed.
             let handle: &'h mut H = unsafe { core::ptr::read(&this.handle) };
-            Ok(WriteGuard { handle })
+            // Mirror of WriteGuard::downgrade: read release + write
+            // acquisition, atomically from the lock's point of view.
+            handle.hazard().on_guard_drop(false);
+            Ok(WriteGuard::new(handle))
         } else {
-            // SAFETY: as above; we rebuild the read guard.
+            // SAFETY: as above; we rebuild the read guard without
+            // re-running the acquisition hook (the hold is unchanged).
             let handle: &'h mut H = unsafe { core::ptr::read(&this.handle) };
             Err(ReadGuard { handle })
         }

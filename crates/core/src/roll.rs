@@ -22,6 +22,7 @@ use crate::foll::node_state::{GRANTED, WAITING};
 use crate::foll::{NodeRef, QueueCore, TreeMode};
 use crate::raw::{RwHandle, RwLockFamily};
 use oll_csnzi::{ArrivalPolicy, LeafCursor, Ticket, TreeShape};
+use oll_hazard::Hazard;
 use oll_telemetry::{LockEvent, Telemetry, Timer};
 use oll_util::backoff::{spin_until, Backoff, BackoffPolicy};
 use oll_util::fault;
@@ -265,6 +266,10 @@ impl RwLockFamily for RollLock {
     fn telemetry(&self) -> Telemetry {
         self.core.telemetry.clone()
     }
+
+    fn hazard(&self) -> Hazard {
+        self.core.hazard.clone()
+    }
 }
 
 /// Per-thread handle for [`RollLock`].
@@ -350,6 +355,10 @@ impl RollHandle<'_> {
 }
 
 impl RwHandle for RollHandle<'_> {
+    fn hazard(&self) -> Hazard {
+        self.lock.core.hazard.clone()
+    }
+
     fn lock_read(&mut self) {
         debug_assert!(self.session.is_none() && !self.write_held);
         let lock = self.lock;

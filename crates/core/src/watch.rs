@@ -1,0 +1,143 @@
+//! Watched acquisitions: deadline waits that run the hazard layer's
+//! deadlock and starvation checks while blocked.
+//!
+//! A watched acquisition chops its deadline into hazard
+//! `watch_interval` slices and issues [`TimedHandle`] deadline waits
+//! for one slice at a time. Each time a slice expires without the lock
+//! being granted, the blocker — from its own context, no background
+//! thread — runs the cycle check over the process-global wait-for
+//! graph and, for writers, feeds the watchdog's escalation ladder.
+//! A detected cycle turns what would have been a hang (or an opaque
+//! timeout) into [`AcquireError::DeadlockDetected`]; a stalled writer
+//! escalates telemetry → trace anomaly → bias degradation (see
+//! `oll-hazard`).
+//!
+//! The slicing relies on the [`TimedHandle`] contract: an expired slice
+//! leaves *no* partial arrival behind (C-SNZI departed, queue node
+//! excised), so re-arriving for the next slice is always legal.
+//!
+//! When the lock's hazard handle is inactive (feature off, or the lock
+//! was built without one) a watched acquisition collapses to a single
+//! plain deadline wait — no slicing, no checks, no overhead.
+
+use std::time::Instant;
+
+use crate::raw::{ReadGuard, TimedHandle, TimedOut, WriteGuard};
+
+/// Why a watched acquisition returned without the lock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcquireError {
+    /// The deadline passed. Same guarantees as [`TimedOut`]: the
+    /// acquisition was fully undone.
+    TimedOut,
+    /// The process-global wait-for graph contains a cycle through the
+    /// calling thread: every hold this wait depends on is itself
+    /// blocked, transitively, on a lock this thread holds. Waiting
+    /// longer cannot succeed; the acquisition was fully undone so the
+    /// caller can release what it holds and retry in a consistent
+    /// order.
+    DeadlockDetected,
+}
+
+impl core::fmt::Display for AcquireError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AcquireError::TimedOut => f.write_str("lock acquisition timed out"),
+            AcquireError::DeadlockDetected => {
+                f.write_str("lock acquisition abandoned: wait-for cycle detected")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AcquireError {}
+
+impl From<TimedOut> for AcquireError {
+    fn from(_: TimedOut) -> Self {
+        AcquireError::TimedOut
+    }
+}
+
+/// The sliced wait loop shared by the read and write flavors.
+fn lock_watched<H: TimedHandle + ?Sized>(
+    handle: &mut H,
+    write: bool,
+    deadline: Instant,
+) -> Result<(), AcquireError> {
+    let hazard = handle.hazard();
+    let Some(interval) = hazard.watch_interval() else {
+        // Inactive hazard handle: one plain deadline wait.
+        return if write {
+            handle.lock_write_deadline(deadline).map_err(Into::into)
+        } else {
+            handle.lock_read_deadline(deadline).map_err(Into::into)
+        };
+    };
+    let start = Instant::now();
+    loop {
+        hazard.begin_wait();
+        let slice = deadline.min(Instant::now() + interval);
+        let granted = if write {
+            handle.lock_write_deadline(slice)
+        } else {
+            handle.lock_read_deadline(slice)
+        };
+        match granted {
+            Ok(()) => {
+                // The wait edge is withdrawn here; ownership is
+                // recorded when the caller wraps the hold in a guard.
+                hazard.cancel_wait();
+                hazard.note_progress(write);
+                return Ok(());
+            }
+            Err(TimedOut) => {
+                if Instant::now() >= deadline {
+                    hazard.cancel_wait();
+                    return Err(AcquireError::TimedOut);
+                }
+                if hazard.deadlock_check() {
+                    hazard.cancel_wait();
+                    return Err(AcquireError::DeadlockDetected);
+                }
+                if write {
+                    hazard.note_writer_stall(start.elapsed());
+                }
+            }
+        }
+    }
+}
+
+/// Hazard-watched acquisition, available on every [`TimedHandle`]
+/// (blanket impl). See the module docs for the wait-loop shape.
+pub trait WatchedHandle: TimedHandle {
+    /// Acquires for reading, running the hazard checks while blocked.
+    fn lock_read_watched(&mut self, deadline: Instant) -> Result<(), AcquireError> {
+        lock_watched(self, false, deadline)
+    }
+
+    /// Acquires for writing, running the hazard checks (including the
+    /// starvation watchdog) while blocked.
+    fn lock_write_watched(&mut self, deadline: Instant) -> Result<(), AcquireError> {
+        lock_watched(self, true, deadline)
+    }
+
+    /// Watched read acquisition returning a guard.
+    fn read_watched(&mut self, deadline: Instant) -> Result<ReadGuard<'_, Self>, AcquireError>
+    where
+        Self: Sized,
+    {
+        self.lock_read_watched(deadline)?;
+        Ok(ReadGuard::new(self))
+    }
+
+    /// Watched write acquisition returning a guard.
+    fn write_watched(&mut self, deadline: Instant) -> Result<WriteGuard<'_, Self>, AcquireError>
+    where
+        Self: Sized,
+    {
+        self.lock_write_watched(deadline)?;
+        Ok(WriteGuard::new(self))
+    }
+}
+
+impl<H: TimedHandle + ?Sized> WatchedHandle for H {}

@@ -504,9 +504,18 @@ impl CSnzi {
             if a.active.load(Ordering::Relaxed) {
                 if old.tree == 0 {
                     let quiet = a.quiet.fetch_add(1, Ordering::Relaxed) + 1;
-                    if quiet >= Self::DEFLATE_AFTER && a.active.swap(false, Ordering::AcqRel) {
-                        a.quiet.store(0, Ordering::Relaxed);
-                        self.telemetry.incr(LockEvent::CsnziDeflate);
+                    if quiet >= Self::DEFLATE_AFTER {
+                        // Sync point for deflation racing a late tree
+                        // arrival: fault plans can widen the window
+                        // between the quiet-run decision and the swap.
+                        // Yield-only: the caller's direct arrival has
+                        // already landed, so an unwind here would leak
+                        // a surplus no one could depart.
+                        oll_util::fault::inject_yield_only("csnzi.deflate");
+                        if a.active.swap(false, Ordering::AcqRel) {
+                            a.quiet.store(0, Ordering::Relaxed);
+                            self.telemetry.incr(LockEvent::CsnziDeflate);
+                        }
                     }
                 } else {
                     a.quiet.store(0, Ordering::Relaxed);

@@ -1,0 +1,612 @@
+//! Hardening layer for the OLL reader-writer locks: panic-safe
+//! poisoning, online deadlock detection, and a starvation watchdog with
+//! graceful degradation.
+//!
+//! The paper's C-SNZI/queue algorithms assume every acquirer eventually
+//! releases. In a long-running service three things break that
+//! assumption: a holder *panics* mid-critical-section, two locks are
+//! acquired in *inconsistent order*, and a biased lock's revocation
+//! *stalls* behind a reader convoy. This crate gives each lock a
+//! [`Hazard`] handle that reacts to all three while the process can
+//! still do something about it:
+//!
+//! * **Panic-safe poisoning** — the RAII guards in `oll-core` already
+//!   route an unwinding release through the normal undo machinery
+//!   (C-SNZI departs, four-state node hand-off, turnstile excision,
+//!   bias-slot erase), so a panicking holder never strands waiters. With
+//!   a [`PoisonPolicy::Poison`] policy installed, an unwinding *write*
+//!   guard additionally marks the lock poisoned; later acquirers using
+//!   the checked API see the flag and can [`Hazard::clear_poison`] after
+//!   restoring invariants.
+//! * **Online deadlock detection** — watched blockers publish wait-for
+//!   edges into a process-global [`graph`] (dense thread ids mirroring
+//!   the `oll-trace` scheme); a cycle check on the deadline/park path
+//!   turns a hang into `AcquireError::DeadlockDetected`.
+//! * **Starvation watchdog** — a watched writer that outwaits the
+//!   configured stall threshold escalates: telemetry event → trace
+//!   anomaly → *graceful degradation* (reader bias disabled, forcing
+//!   fair hand-off through the underlying lock) until progress resumes.
+//!
+//! # Zero cost when disabled
+//!
+//! Without this crate's `enabled` feature (exposed downstream as
+//! `hazard`) [`Hazard`] is zero-sized and every method is an empty
+//! `#[inline]` function — the same facade pattern as `oll-telemetry`
+//! and `oll-trace`, pinned by `tests/hazard_off.rs`.
+
+#![warn(missing_docs)]
+
+#[cfg(feature = "enabled")]
+pub mod graph;
+
+use oll_telemetry::Telemetry;
+
+#[cfg(feature = "enabled")]
+use oll_telemetry::LockEvent;
+#[cfg(feature = "enabled")]
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+#[cfg(feature = "enabled")]
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// What an unwinding write guard does to the lock it releases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PoisonPolicy {
+    /// Pre-hazard behavior (the default): the unwinding release still
+    /// runs — no waiter is ever stranded — but no poison mark is left.
+    #[default]
+    Ignore,
+    /// Mark the lock poisoned when a write guard drops during a panic;
+    /// checked acquisitions then surface the mark until
+    /// [`Hazard::clear_poison`].
+    Poison,
+}
+
+/// Default wait-slice length for watched acquisitions: how often a
+/// watched blocker wakes to run the deadlock/watchdog checks.
+pub const DEFAULT_WATCH_INTERVAL: Duration = Duration::from_millis(2);
+
+/// Default writer stall threshold before the watchdog starts escalating.
+pub const DEFAULT_STALL_THRESHOLD: Duration = Duration::from_millis(100);
+
+#[cfg(feature = "enabled")]
+#[derive(Debug)]
+struct HazardInner {
+    /// Process-unique nonzero id naming this lock in the wait-for graph
+    /// (also the causality token hazard trace records carry).
+    lock_id: u64,
+    policy: AtomicU8,
+    poisoned: AtomicBool,
+    /// Wait-for edge publication + cycle checks on watched paths.
+    detect: AtomicBool,
+    watch_interval_ns: AtomicU64,
+    stall_threshold_ns: AtomicU64,
+    /// Watchdog escalation: 0 = quiet, 1 = telemetry, 2 = trace
+    /// anomaly, 3 = degraded (bias disabled).
+    stall_level: AtomicU8,
+    degraded: AtomicBool,
+    /// The lock's telemetry handle, attached at construction so hazard
+    /// events land in the same per-lock counters (slow-path only).
+    telemetry: Mutex<Telemetry>,
+}
+
+#[cfg(feature = "enabled")]
+fn next_lock_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Handle to one lock's hazard state, embedded in the lock itself.
+///
+/// With the `enabled` feature off this is a zero-sized type and every
+/// method is an empty inline function. With it on, the handle is either
+/// *active* (created by [`Hazard::new`], holding shared state) or
+/// *inactive* ([`Hazard::disabled`], recording nothing) — locks built
+/// outside the workspace constructors pay only a null check.
+#[derive(Debug, Clone, Default)]
+pub struct Hazard {
+    #[cfg(feature = "enabled")]
+    inner: Option<Arc<HazardInner>>,
+}
+
+impl Hazard {
+    /// Whether hazard support is compiled in at all.
+    pub const fn enabled() -> bool {
+        cfg!(feature = "enabled")
+    }
+
+    /// An inactive handle that tracks nothing (the [`Default`]).
+    pub const fn disabled() -> Self {
+        Self {
+            #[cfg(feature = "enabled")]
+            inner: None,
+        }
+    }
+
+    /// A `'static` inactive handle, for trait default methods.
+    pub fn disabled_ref() -> &'static Hazard {
+        static DISABLED: Hazard = Hazard::disabled();
+        &DISABLED
+    }
+
+    /// Creates an active per-lock hazard handle (policy
+    /// [`PoisonPolicy::Ignore`], detection off — everything is opt-in).
+    /// Compiles to [`Hazard::disabled`] when the feature is off.
+    pub fn new() -> Self {
+        #[cfg(feature = "enabled")]
+        {
+            Self {
+                inner: Some(Arc::new(HazardInner {
+                    lock_id: next_lock_id(),
+                    policy: AtomicU8::new(0),
+                    poisoned: AtomicBool::new(false),
+                    detect: AtomicBool::new(false),
+                    watch_interval_ns: AtomicU64::new(DEFAULT_WATCH_INTERVAL.as_nanos() as u64),
+                    stall_threshold_ns: AtomicU64::new(DEFAULT_STALL_THRESHOLD.as_nanos() as u64),
+                    stall_level: AtomicU8::new(0),
+                    degraded: AtomicBool::new(false),
+                    telemetry: Mutex::new(Telemetry::disabled()),
+                })),
+            }
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            Self {}
+        }
+    }
+
+    /// Whether this handle actually tracks (feature on *and* active).
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        #[cfg(feature = "enabled")]
+        {
+            self.inner.is_some()
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            false
+        }
+    }
+
+    /// This lock's wait-for-graph id (0 when inactive).
+    pub fn lock_id(&self) -> u64 {
+        #[cfg(feature = "enabled")]
+        {
+            self.inner.as_ref().map_or(0, |i| i.lock_id)
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            0
+        }
+    }
+
+    /// Routes hazard events (poison, deadlock, watchdog) into the
+    /// lock's telemetry counters. Idempotent; constructors call it.
+    pub fn attach_telemetry(&self, telemetry: &Telemetry) {
+        #[cfg(feature = "enabled")]
+        if let Some(i) = &self.inner {
+            *i.telemetry.lock().unwrap() = telemetry.clone();
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = telemetry;
+        }
+    }
+
+    #[cfg(feature = "enabled")]
+    fn tel(inner: &HazardInner) -> Telemetry {
+        inner.telemetry.lock().unwrap().clone()
+    }
+
+    /// Installs the per-lock poison policy.
+    pub fn set_poison_policy(&self, policy: PoisonPolicy) {
+        #[cfg(feature = "enabled")]
+        if let Some(i) = &self.inner {
+            i.policy.store(policy as u8, Ordering::Relaxed);
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = policy;
+        }
+    }
+
+    /// The installed poison policy ([`PoisonPolicy::Ignore`] when
+    /// inactive).
+    pub fn poison_policy(&self) -> PoisonPolicy {
+        #[cfg(feature = "enabled")]
+        if let Some(i) = &self.inner {
+            return if i.policy.load(Ordering::Relaxed) == PoisonPolicy::Poison as u8 {
+                PoisonPolicy::Poison
+            } else {
+                PoisonPolicy::Ignore
+            };
+        }
+        PoisonPolicy::Ignore
+    }
+
+    /// Whether a write holder has panicked since the last
+    /// [`Hazard::clear_poison`] (always `false` when inactive).
+    #[inline]
+    pub fn is_poisoned(&self) -> bool {
+        #[cfg(feature = "enabled")]
+        {
+            self.inner
+                .as_ref()
+                .is_some_and(|i| i.poisoned.load(Ordering::Acquire))
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            false
+        }
+    }
+
+    /// Marks the lock poisoned (regardless of policy) and counts a
+    /// `poisoned` telemetry event.
+    pub fn poison(&self) {
+        #[cfg(feature = "enabled")]
+        if let Some(i) = &self.inner {
+            if !i.poisoned.swap(true, Ordering::AcqRel) {
+                Self::tel(i).incr(LockEvent::Poisoned);
+            }
+        }
+    }
+
+    /// Clears the poison mark after the caller has restored whatever
+    /// invariant the panicking writer may have broken.
+    pub fn clear_poison(&self) {
+        #[cfg(feature = "enabled")]
+        if let Some(i) = &self.inner {
+            if i.poisoned.swap(false, Ordering::AcqRel) {
+                Self::tel(i).incr(LockEvent::PoisonCleared);
+            }
+        }
+    }
+
+    /// Guard-drop hook, called by the RAII guards in `oll-core`
+    /// *before* the release itself runs: applies the poison policy when
+    /// the drop is part of a panic unwind, notes watchdog progress, and
+    /// withdraws this thread from the lock's ownership record.
+    #[inline]
+    pub fn on_guard_drop(&self, write: bool) {
+        #[cfg(feature = "enabled")]
+        if let Some(i) = &self.inner {
+            if write
+                && std::thread::panicking()
+                && i.policy.load(Ordering::Relaxed) == PoisonPolicy::Poison as u8
+            {
+                self.poison();
+            }
+            self.note_progress(write);
+            if i.detect.load(Ordering::Relaxed) {
+                graph::released(i.lock_id, write);
+            }
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = write;
+        }
+    }
+
+    /// Acquisition hook, called by the RAII guard constructors in
+    /// `oll-core`: records this thread in the lock's ownership record
+    /// (only while deadlock detection is on) and notes progress.
+    #[inline]
+    pub fn on_guard_acquire(&self, write: bool) {
+        #[cfg(feature = "enabled")]
+        if let Some(i) = &self.inner {
+            self.note_progress(write);
+            if i.detect.load(Ordering::Relaxed) {
+                graph::acquired(i.lock_id, write);
+            }
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = write;
+        }
+    }
+
+    /// Turns wait-for-edge publication and cycle checks on or off for
+    /// this lock's watched acquisitions.
+    pub fn detect_deadlocks(&self, on: bool) {
+        #[cfg(feature = "enabled")]
+        if let Some(i) = &self.inner {
+            i.detect.store(on, Ordering::Relaxed);
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = on;
+        }
+    }
+
+    /// Whether deadlock detection is on (diagnostics/tests).
+    pub fn detects_deadlocks(&self) -> bool {
+        #[cfg(feature = "enabled")]
+        {
+            self.inner
+                .as_ref()
+                .is_some_and(|i| i.detect.load(Ordering::Relaxed))
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            false
+        }
+    }
+
+    /// The wait-slice length watched acquisitions chop their deadline
+    /// into, or `None` when this handle is inactive (callers then skip
+    /// slicing entirely and issue one plain deadline wait).
+    pub fn watch_interval(&self) -> Option<Duration> {
+        #[cfg(feature = "enabled")]
+        {
+            self.inner
+                .as_ref()
+                .map(|i| Duration::from_nanos(i.watch_interval_ns.load(Ordering::Relaxed)))
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            None
+        }
+    }
+
+    /// Sets the watched-acquisition wait slice (floored at 100µs so a
+    /// misconfigured interval cannot busy-spin the checks).
+    pub fn set_watch_interval(&self, interval: Duration) {
+        #[cfg(feature = "enabled")]
+        if let Some(i) = &self.inner {
+            let ns = (interval.as_nanos() as u64).max(100_000);
+            i.watch_interval_ns.store(ns, Ordering::Relaxed);
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = interval;
+        }
+    }
+
+    /// Sets the writer stall threshold the watchdog escalates at.
+    pub fn set_stall_threshold(&self, threshold: Duration) {
+        #[cfg(feature = "enabled")]
+        if let Some(i) = &self.inner {
+            let ns = (threshold.as_nanos() as u64).max(1);
+            i.stall_threshold_ns.store(ns, Ordering::Relaxed);
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = threshold;
+        }
+    }
+
+    /// Publishes this thread's wait-for edge onto the lock (no-op
+    /// unless active and detecting).
+    #[inline]
+    pub fn begin_wait(&self) {
+        #[cfg(feature = "enabled")]
+        if let Some(i) = &self.inner {
+            if i.detect.load(Ordering::Relaxed) {
+                graph::begin_wait(i.lock_id);
+            }
+        }
+    }
+
+    /// Withdraws this thread's wait-for edge (wait abandoned).
+    #[inline]
+    pub fn cancel_wait(&self) {
+        #[cfg(feature = "enabled")]
+        if let Some(i) = &self.inner {
+            if i.detect.load(Ordering::Relaxed) {
+                graph::end_wait();
+            }
+        }
+    }
+
+    /// Runs the cycle check from the calling (blocked) thread. `true`
+    /// means the published wait-for edges form a cycle through this
+    /// thread — waiting longer cannot succeed. Counts a
+    /// `deadlock_detected` telemetry event on a positive answer.
+    pub fn deadlock_check(&self) -> bool {
+        #[cfg(feature = "enabled")]
+        if let Some(i) = &self.inner {
+            if i.detect.load(Ordering::Relaxed) && graph::deadlocked() {
+                Self::tel(i).incr(LockEvent::DeadlockDetected);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Watchdog input: a watched writer has been waiting `stalled` so
+    /// far. Escalates through the ladder — `≥ 1×` threshold counts a
+    /// `watchdog_stall` telemetry event, `≥ 2×` counts another (the
+    /// trace anomaly pass picks repeated stalls up), `≥ 3×` degrades
+    /// the lock: [`Hazard::bias_allowed`] turns `false`, which the
+    /// BRAVO layer reads as *disable the reader bias and fall back to
+    /// fair hand-off* until progress resumes.
+    pub fn note_writer_stall(&self, stalled: Duration) {
+        #[cfg(feature = "enabled")]
+        if let Some(i) = &self.inner {
+            let threshold = i.stall_threshold_ns.load(Ordering::Relaxed).max(1);
+            let stalled_ns = stalled.as_nanos() as u64;
+            let target = (stalled_ns / threshold).min(3) as u8;
+            let mut level = i.stall_level.load(Ordering::Relaxed);
+            while level < target {
+                match i.stall_level.compare_exchange(
+                    level,
+                    level + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        level += 1;
+                        match level {
+                            1 | 2 => Self::tel(i).incr(LockEvent::WatchdogStall),
+                            _ => {
+                                i.degraded.store(true, Ordering::Relaxed);
+                                Self::tel(i).incr(LockEvent::BiasDegraded);
+                            }
+                        }
+                    }
+                    Err(now) => level = now,
+                }
+            }
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = stalled;
+        }
+    }
+
+    /// Progress note: an acquisition or release completed. Resets the
+    /// watchdog ladder; a write completing also lifts degradation.
+    #[inline]
+    pub fn note_progress(&self, write: bool) {
+        #[cfg(feature = "enabled")]
+        if let Some(i) = &self.inner {
+            if i.stall_level.load(Ordering::Relaxed) != 0 {
+                i.stall_level.store(0, Ordering::Relaxed);
+            }
+            // Checked independently of the stall level: a reader's
+            // progress may have reset the level already, but only a
+            // *write* getting through proves the degradation did its
+            // job and the bias can come back.
+            if write && i.degraded.load(Ordering::Relaxed) {
+                i.degraded.store(false, Ordering::Relaxed);
+            }
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = write;
+        }
+    }
+
+    /// Whether the reader bias may be used/re-armed. `false` only while
+    /// the watchdog has degraded the lock (always `true` when inactive
+    /// — an absent hazard layer never constrains the bias).
+    #[inline]
+    pub fn bias_allowed(&self) -> bool {
+        #[cfg(feature = "enabled")]
+        {
+            !self
+                .inner
+                .as_ref()
+                .is_some_and(|i| i.degraded.load(Ordering::Relaxed))
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            true
+        }
+    }
+
+    /// Current watchdog escalation level, 0–3 (diagnostics/tests).
+    pub fn stall_level(&self) -> u8 {
+        #[cfg(feature = "enabled")]
+        {
+            self.inner
+                .as_ref()
+                .map_or(0, |i| i.stall_level.load(Ordering::Relaxed))
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_silent() {
+        let h = Hazard::disabled();
+        assert!(!h.is_active());
+        assert_eq!(h.lock_id(), 0);
+        assert!(!h.is_poisoned());
+        h.poison();
+        assert!(!h.is_poisoned(), "inactive handles cannot be poisoned");
+        h.clear_poison();
+        h.on_guard_drop(true);
+        h.on_guard_acquire(false);
+        assert!(!h.deadlock_check());
+        assert!(h.bias_allowed());
+        assert_eq!(h.stall_level(), 0);
+        assert_eq!(h.poison_policy(), PoisonPolicy::Ignore);
+    }
+
+    #[cfg(not(feature = "enabled"))]
+    #[test]
+    fn disabled_type_is_zero_sized() {
+        assert_eq!(std::mem::size_of::<Hazard>(), 0);
+        assert!(!Hazard::enabled());
+        assert!(!Hazard::new().is_active());
+        assert!(Hazard::new().watch_interval().is_none());
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn poison_round_trip_follows_policy() {
+        let h = Hazard::new();
+        assert!(h.is_active());
+        assert!(h.lock_id() > 0);
+        // Default policy ignores panicking drops.
+        h.on_guard_drop(true);
+        assert!(!h.is_poisoned());
+        // Direct poisoning works regardless of policy.
+        h.poison();
+        assert!(h.is_poisoned());
+        h.clear_poison();
+        assert!(!h.is_poisoned());
+        h.set_poison_policy(PoisonPolicy::Poison);
+        assert_eq!(h.poison_policy(), PoisonPolicy::Poison);
+        // Not panicking, so the drop hook still leaves it clean.
+        h.on_guard_drop(true);
+        assert!(!h.is_poisoned());
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn watchdog_ladder_escalates_and_resets() {
+        let h = Hazard::new();
+        h.set_stall_threshold(Duration::from_millis(10));
+        h.note_writer_stall(Duration::from_millis(5));
+        assert_eq!(h.stall_level(), 0);
+        h.note_writer_stall(Duration::from_millis(12));
+        assert_eq!(h.stall_level(), 1);
+        assert!(h.bias_allowed());
+        h.note_writer_stall(Duration::from_millis(25));
+        assert_eq!(h.stall_level(), 2);
+        assert!(h.bias_allowed());
+        h.note_writer_stall(Duration::from_millis(35));
+        assert_eq!(h.stall_level(), 3);
+        assert!(!h.bias_allowed(), "level 3 degrades the bias");
+        // A further stall note cannot go past 3.
+        h.note_writer_stall(Duration::from_secs(1));
+        assert_eq!(h.stall_level(), 3);
+        // Write progress lifts the degradation.
+        h.note_progress(true);
+        assert_eq!(h.stall_level(), 0);
+        assert!(h.bias_allowed());
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn watch_interval_is_floored() {
+        let h = Hazard::new();
+        h.set_watch_interval(Duration::from_nanos(1));
+        assert_eq!(h.watch_interval(), Some(Duration::from_micros(100)));
+        h.set_watch_interval(Duration::from_millis(7));
+        assert_eq!(h.watch_interval(), Some(Duration::from_millis(7)));
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn detection_gates_graph_traffic() {
+        let h = Hazard::new();
+        assert!(!h.detects_deadlocks());
+        h.begin_wait(); // no-op: detection off
+        assert!(!h.deadlock_check());
+        h.detect_deadlocks(true);
+        assert!(h.detects_deadlocks());
+        h.begin_wait();
+        assert!(!h.deadlock_check(), "sole waiter cannot deadlock");
+        h.cancel_wait();
+    }
+}

@@ -70,11 +70,25 @@ pub enum LockEvent {
     BiasSlotCollision,
     /// Reader bias re-armed after the adaptive inhibit window elapsed.
     BiasRearm,
+    /// A write holder panicked in its critical section and the lock's
+    /// `Poison` hazard policy marked the lock poisoned.
+    Poisoned,
+    /// A poison mark was cleared (`Hazard::clear_poison`).
+    PoisonCleared,
+    /// A watched blocker found a wait-for cycle through itself and
+    /// abandoned the acquisition (`AcquireError::DeadlockDetected`).
+    DeadlockDetected,
+    /// The starvation watchdog saw a watched writer outwait the stall
+    /// threshold (counted at each escalation below degradation).
+    WatchdogStall,
+    /// The watchdog degraded the lock: reader bias disabled, forced
+    /// fair hand-off until a write completes.
+    BiasDegraded,
 }
 
 impl LockEvent {
     /// Number of event kinds (the counter-array length).
-    pub const COUNT: usize = 24;
+    pub const COUNT: usize = 29;
 
     /// Every event, in counter-index order.
     pub const ALL: [LockEvent; Self::COUNT] = [
@@ -102,6 +116,11 @@ impl LockEvent {
         LockEvent::BiasRevoke,
         LockEvent::BiasSlotCollision,
         LockEvent::BiasRearm,
+        LockEvent::Poisoned,
+        LockEvent::PoisonCleared,
+        LockEvent::DeadlockDetected,
+        LockEvent::WatchdogStall,
+        LockEvent::BiasDegraded,
     ];
 
     /// Stable snake_case name, used as the JSON key and the text-report
@@ -132,6 +151,11 @@ impl LockEvent {
             LockEvent::BiasRevoke => "bias_revoke",
             LockEvent::BiasSlotCollision => "bias_slot_collision",
             LockEvent::BiasRearm => "bias_rearm",
+            LockEvent::Poisoned => "poisoned",
+            LockEvent::PoisonCleared => "poison_cleared",
+            LockEvent::DeadlockDetected => "deadlock_detected",
+            LockEvent::WatchdogStall => "watchdog_stall",
+            LockEvent::BiasDegraded => "bias_degraded",
         }
     }
 

@@ -162,6 +162,24 @@ pub struct WaitChain {
     pub ts_ns: u64,
 }
 
+/// A robustness event surfaced by the hazard layer — a poisoning, a
+/// detected deadlock, a watchdog stall escalation, or a forced bias
+/// degradation — copied out of the record stream so a report reader sees
+/// them next to the contention anomalies they usually explain.
+#[derive(Debug, Clone)]
+pub struct HazardAnomaly {
+    /// The lock.
+    pub lock: u32,
+    /// Thread that emitted the event.
+    pub tid: u32,
+    /// Which hazard event (one of [`TraceKind::Poisoned`],
+    /// [`TraceKind::DeadlockDetected`], [`TraceKind::WatchdogStall`],
+    /// [`TraceKind::BiasDegraded`]).
+    pub kind: TraceKind,
+    /// When it was emitted.
+    pub ts_ns: u64,
+}
+
 /// Per-lock wait aggregate over all completed acquisitions.
 #[derive(Debug, Clone, Default)]
 pub struct LockBreakdown {
@@ -200,6 +218,8 @@ pub struct TraceReport {
     pub starvations: Vec<Starvation>,
     /// Cross-lock wait-for chains (≥ 2 hops), capped at 256.
     pub wait_chains: Vec<WaitChain>,
+    /// Hazard-layer events (poison / deadlock / watchdog), capped at 256.
+    pub hazard_anomalies: Vec<HazardAnomaly>,
     /// `granted` markers with no parked waiter in the window (grants
     /// that raced collection or whose enqueue fell outside it).
     pub unmatched_grants: u64,
@@ -290,6 +310,19 @@ pub fn analyze(tl: &Timeline, cfg: &AnalyzerConfig) -> TraceReport {
                         h.remove(pos);
                     }
                 }
+            }
+            TraceKind::Poisoned
+            | TraceKind::DeadlockDetected
+            | TraceKind::WatchdogStall
+            | TraceKind::BiasDegraded
+                if report.hazard_anomalies.len() < 256 =>
+            {
+                report.hazard_anomalies.push(HazardAnomaly {
+                    lock: r.lock,
+                    tid: r.tid,
+                    kind: r.kind,
+                    ts_ns: r.ts_ns,
+                });
             }
             TraceKind::Timeout | TraceKind::Cancel => {
                 // The waiter gave up: close its books so a stale token
@@ -619,6 +652,23 @@ pub fn render_report_text(tl: &Timeline, report: &TraceReport) -> String {
             longest.locks.len(),
         ));
     }
+    if report.hazard_anomalies.is_empty() {
+        out.push_str("hazard events: none\n");
+    } else {
+        out.push_str(&format!(
+            "hazard events: {} observed\n",
+            report.hazard_anomalies.len()
+        ));
+        for h in report.hazard_anomalies.iter().take(5) {
+            out.push_str(&format!(
+                "  {} on {} (t{}) at {}\n",
+                h.kind.name(),
+                tl.lock_name(h.lock),
+                h.tid,
+                fmt_ns(h.ts_ns),
+            ));
+        }
+    }
     out
 }
 
@@ -748,6 +798,25 @@ mod tests {
         assert_eq!(report.wait_chains.len(), 1);
         assert_eq!(report.wait_chains[0].tids, vec![3, 2, 1]);
         assert_eq!(report.wait_chains[0].locks, vec![1, 2]);
+    }
+
+    #[test]
+    fn hazard_events_are_collected_and_rendered() {
+        let mut tl = cascade_timeline();
+        tl.records.push(rec(95, 2, 1, TraceKind::Poisoned, 0));
+        tl.records
+            .push(rec(96, 3, 1, TraceKind::DeadlockDetected, 0));
+        tl.records.push(rec(97, 3, 1, TraceKind::WatchdogStall, 0));
+        tl.records.push(rec(98, 3, 1, TraceKind::BiasDegraded, 0));
+        // Recovery events are informational, not anomalies.
+        tl.records.push(rec(99, 2, 1, TraceKind::PoisonCleared, 0));
+        let report = analyze(&tl, &AnalyzerConfig::default());
+        assert_eq!(report.hazard_anomalies.len(), 4);
+        assert_eq!(report.hazard_anomalies[0].kind, TraceKind::Poisoned);
+        assert_eq!(report.hazard_anomalies[0].tid, 2);
+        let text = render_report_text(&tl, &report);
+        assert!(text.contains("hazard events: 4 observed"));
+        assert!(text.contains("deadlock_detected"));
     }
 
     #[test]

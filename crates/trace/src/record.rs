@@ -1,6 +1,6 @@
 //! The trace record: one timestamped event, packed to three words.
 //!
-//! A record is `(ts_ns, tid, lock, kind, token)`. The first twenty-four
+//! A record is `(ts_ns, tid, lock, kind, token)`. The first twenty-nine
 //! [`TraceKind`]s mirror `oll_telemetry::LockEvent` one-for-one (same
 //! order, same `snake_case` names), so counter increments flow into the
 //! timeline without a translation table; the remaining kinds are
@@ -10,8 +10,8 @@
 //! lets the analyzer stitch a hand-off's grantor and grantee into an
 //! edge.
 
-/// What happened. Discriminants `0..24` mirror
-/// `oll_telemetry::LockEvent` exactly; `24..` are trace-only markers.
+/// What happened. Discriminants `0..29` mirror
+/// `oll_telemetry::LockEvent` exactly; `29..` are trace-only markers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[repr(u8)]
 pub enum TraceKind {
@@ -63,28 +63,41 @@ pub enum TraceKind {
     BiasSlotCollision = 22,
     /// Reader bias re-armed after the inhibit window elapsed.
     BiasRearm = 23,
+    /// A panicking write holder poisoned the lock (hazard anomaly;
+    /// `token` carries the hazard lock id).
+    Poisoned = 24,
+    /// A poison mark was cleared.
+    PoisonCleared = 25,
+    /// A watched blocker detected a wait-for cycle and abandoned its
+    /// acquisition (hazard anomaly).
+    DeadlockDetected = 26,
+    /// The starvation watchdog saw a writer outwait its stall threshold
+    /// (hazard anomaly).
+    WatchdogStall = 27,
+    /// The watchdog degraded the lock (bias disabled, fair hand-off).
+    BiasDegraded = 28,
     /// `lock_read` entered (marker; opens a read acquisition span).
-    ReadBegin = 24,
+    ReadBegin = 29,
     /// `lock_write` entered (marker; opens a write acquisition span).
-    WriteBegin = 25,
+    WriteBegin = 30,
     /// The thread joined a wait queue; `token` names what it waits on.
-    Enqueued = 26,
+    Enqueued = 31,
     /// A releasing thread granted ownership to the waiter(s) parked on
     /// `token` (emitted by the *grantor*).
-    Granted = 27,
+    Granted = 32,
     /// `lock_read` succeeded (marker; closes the read span).
-    ReadAcquired = 28,
+    ReadAcquired = 33,
     /// `lock_write` succeeded (marker; closes the write span).
-    WriteAcquired = 29,
+    WriteAcquired = 34,
     /// `unlock_read` entered (marker; closes the read hold span).
-    ReadRelease = 30,
+    ReadRelease = 35,
     /// `unlock_write` entered (marker; closes the write hold span).
-    WriteRelease = 31,
+    WriteRelease = 36,
 }
 
 impl TraceKind {
     /// Number of kinds.
-    pub const COUNT: usize = 32;
+    pub const COUNT: usize = 37;
 
     /// All kinds, in discriminant order.
     pub const ALL: [TraceKind; TraceKind::COUNT] = [
@@ -112,6 +125,11 @@ impl TraceKind {
         TraceKind::BiasRevoke,
         TraceKind::BiasSlotCollision,
         TraceKind::BiasRearm,
+        TraceKind::Poisoned,
+        TraceKind::PoisonCleared,
+        TraceKind::DeadlockDetected,
+        TraceKind::WatchdogStall,
+        TraceKind::BiasDegraded,
         TraceKind::ReadBegin,
         TraceKind::WriteBegin,
         TraceKind::Enqueued,
@@ -122,7 +140,7 @@ impl TraceKind {
         TraceKind::WriteRelease,
     ];
 
-    /// Stable `snake_case` name (the first 24 match
+    /// Stable `snake_case` name (the first 29 match
     /// `LockEvent::name()`).
     pub const fn name(self) -> &'static str {
         match self {
@@ -150,6 +168,11 @@ impl TraceKind {
             TraceKind::BiasRevoke => "bias_revoke",
             TraceKind::BiasSlotCollision => "bias_slot_collision",
             TraceKind::BiasRearm => "bias_rearm",
+            TraceKind::Poisoned => "poisoned",
+            TraceKind::PoisonCleared => "poison_cleared",
+            TraceKind::DeadlockDetected => "deadlock_detected",
+            TraceKind::WatchdogStall => "watchdog_stall",
+            TraceKind::BiasDegraded => "bias_degraded",
             TraceKind::ReadBegin => "read_begin",
             TraceKind::WriteBegin => "write_begin",
             TraceKind::Enqueued => "enqueued",

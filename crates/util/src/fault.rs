@@ -40,6 +40,12 @@ mod enabled {
         /// Delay length: an injected occurrence yields between 1 and
         /// `max_yields` times (also derived deterministically).
         pub max_yields: u32,
+        /// Probability (percent, 0–100) that a matching occurrence
+        /// *panics* instead of delaying. Chaos tests use this to prove a
+        /// thread dying inside a lock slow path or critical section never
+        /// strands the other participants. The decision is just as
+        /// deterministic as the delay decision.
+        pub panic_percent: u32,
     }
 
     impl FaultPlan {
@@ -50,6 +56,7 @@ mod enabled {
                 site_filter: site_filter.to_string(),
                 percent: 100,
                 max_yields,
+                panic_percent: 0,
             }
         }
 
@@ -60,7 +67,29 @@ mod enabled {
                 site_filter: site_filter.to_string(),
                 percent,
                 max_yields,
+                panic_percent: 0,
             }
+        }
+
+        /// A plan panicking at a `percent` fraction of matching
+        /// occurrences (and never delaying). The panic unwinds from
+        /// inside the annotated window — callers are expected to contain
+        /// it with `catch_unwind` and assert the lock survived.
+        pub fn panicking(seed: u64, site_filter: &str, percent: u32) -> Self {
+            Self {
+                seed,
+                site_filter: site_filter.to_string(),
+                percent: 0,
+                max_yields: 0,
+                panic_percent: percent,
+            }
+        }
+
+        /// Sets the panic probability on an existing plan, combining
+        /// delays and panics in one chaos schedule.
+        pub fn with_panic_percent(mut self, percent: u32) -> Self {
+            self.panic_percent = percent;
+            self
         }
 
         /// Installs the plan process-wide; the returned guard uninstalls it
@@ -130,7 +159,12 @@ mod enabled {
 
     /// The active injection point. See the module docs; called via the
     /// public [`super::inject`] wrapper.
-    pub fn inject(site: &'static str) {
+    enum Decision {
+        Yield(u32),
+        Panic,
+    }
+
+    pub fn inject(site: &'static str, allow_panic: bool) {
         // Fast path: no plan installed. One uncontended mutex lock per call
         // is acceptable — this code only exists in fault-injection builds.
         let decision = {
@@ -144,14 +178,28 @@ mod enabled {
                 .count
                 .fetch_add(1, Ordering::Relaxed);
             let roll = mix(plan.seed ^ h ^ k.wrapping_mul(0x2545_f491_4f6c_dd1d));
-            if roll % 100 >= plan.percent as u64 {
+            // An independent deterministic draw for the panic decision, so
+            // mixed plans (delays + panics) keep both schedules stable.
+            let panic_roll = mix(roll ^ 0x517c_c1b7_2722_0a95);
+            if allow_panic && plan.panic_percent > 0 && panic_roll % 100 < plan.panic_percent as u64
+            {
+                Decision::Panic
+            } else if roll % 100 < plan.percent as u64 {
+                Decision::Yield(1 + (mix(roll) % plan.max_yields.max(1) as u64) as u32)
+            } else {
                 return;
             }
-            1 + (mix(roll) % plan.max_yields.max(1) as u64) as u32
         };
-        // Yield outside the plan lock so delayed threads don't serialize.
-        for _ in 0..decision {
-            std::thread::yield_now();
+        // Act outside the plan lock: delayed threads must not serialize,
+        // and a panic while holding it would poison the slot for every
+        // later `inject` in the process.
+        match decision {
+            Decision::Yield(n) => {
+                for _ in 0..n {
+                    std::thread::yield_now();
+                }
+            }
+            Decision::Panic => panic!("injected panic at fault site `{site}`"),
         }
     }
 }
@@ -168,13 +216,33 @@ pub use enabled::{FaultGuard, FaultPlan};
 #[cfg(feature = "fault-injection")]
 #[inline(always)]
 pub fn inject(site: &'static str) {
-    enabled::inject(site);
+    enabled::inject(site, true);
+}
+
+/// Like [`inject`], but only ever *delays* — panic draws are skipped.
+///
+/// For sites inside windows where the surrounding operation has already
+/// committed and an unwind could not be made sound locally (e.g. the
+/// C-SNZI's deflation decision runs after the arrival CAS landed: a
+/// panic there would leak a surplus the unwinding thread can no longer
+/// depart without, in a pathological schedule, becoming the lock's
+/// owner mid-unwind). Yield plans still widen such windows; chaos plans
+/// direct their panics at the sites annotated with plain [`inject`].
+#[cfg(feature = "fault-injection")]
+#[inline(always)]
+pub fn inject_yield_only(site: &'static str) {
+    enabled::inject(site, false);
 }
 
 /// Fault injection is compiled out: this is a no-op.
 #[cfg(not(feature = "fault-injection"))]
 #[inline(always)]
 pub fn inject(_site: &'static str) {}
+
+/// Fault injection is compiled out: this is a no-op.
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub fn inject_yield_only(_site: &'static str) {}
 
 #[cfg(all(test, feature = "fault-injection", not(loom)))]
 mod tests {
@@ -210,6 +278,49 @@ mod tests {
         for _ in 0..10 {
             inject("something-else");
         }
+        drop(guard);
+    }
+
+    #[test]
+    fn panic_plans_fire_deterministically() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let schedule = |seed: u64| {
+            let guard = FaultPlan::panicking(seed, "panic-site", 50).install();
+            let fired: Vec<bool> = (0..50)
+                .map(|_| catch_unwind(AssertUnwindSafe(|| inject("panic-site.x"))).is_err())
+                .collect();
+            drop(guard);
+            fired
+        };
+        let a = schedule(99);
+        let b = schedule(99);
+        assert_eq!(a, b, "same seed must reproduce the same panic schedule");
+        assert!(a.iter().any(|&f| f), "50% plan should fire at least once");
+        assert!(a.iter().any(|&f| !f), "50% plan should also skip");
+    }
+
+    #[test]
+    fn yield_only_sites_never_panic() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let guard = FaultPlan::panicking(3, "committed-window", 100).install();
+        for _ in 0..50 {
+            assert!(
+                catch_unwind(AssertUnwindSafe(|| inject_yield_only("committed-window"))).is_ok(),
+                "a yield-only site took a panic draw"
+            );
+        }
+        drop(guard);
+    }
+
+    #[test]
+    fn panic_plans_leave_the_slot_usable() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let guard = FaultPlan::panicking(1, "always-dies", 100).install();
+        assert!(catch_unwind(AssertUnwindSafe(|| inject("always-dies"))).is_err());
+        drop(guard);
+        // The slot must not be poisoned: a fresh plan still installs.
+        let guard = FaultPlan::every(2, "calm", 1).install();
+        inject("calm");
         drop(guard);
     }
 }

@@ -5,7 +5,7 @@
 //!   fig5 [--panel a|b|c|d|e|f|all] [--threads 1,2,4,8,16]
 //!        [--locks GOLL,FOLL,ROLL,KSUH,Solaris-Like,...|all]
 //!        [--acquisitions N] [--runs N] [--paper] [--verify]
-//!        [--adaptive] [--biased] [--shape N]
+//!        [--adaptive] [--biased] [--hazard] [--shape N]
 //!        [--csv PATH] [--json PATH] [--telemetry]
 //!        [--trace PATH] [--trace-json PATH]
 //! ```
@@ -27,7 +27,11 @@
 //! (capping the adaptive tree). `--biased` wraps the OLL locks in the
 //! BRAVO reader-biasing layer: biased reads publish into the global
 //! visible-readers table and skip the underlying lock entirely until a
-//! writer revokes the bias. All three are recorded in the JSON report.
+//! writer revokes the bias. `--hazard` arms the `oll-hazard` hardening
+//! layer on every lock (poison policy + deadlock-detection tracking) so
+//! its steady-state overhead is measurable; it needs a build with the
+//! `hazard` cargo feature to do anything. All four are recorded in the
+//! JSON report.
 
 use oll_trace::TraceSession;
 use oll_workloads::config::{Fig5Panel, LockKind, WorkloadConfig};
@@ -53,7 +57,7 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: fig5 [--panel a|b|c|d|e|f|all] [--threads 1,2,4]\n\
          \t[--locks name,...|all] [--acquisitions N] [--runs N]\n\
-         \t[--paper] [--verify] [--adaptive] [--biased] [--shape N]\n\
+         \t[--paper] [--verify] [--adaptive] [--biased] [--hazard] [--shape N]\n\
          \t[--csv PATH] [--json PATH] [--telemetry]\n\
          \t[--trace PATH] [--trace-json PATH]"
     );
@@ -139,6 +143,7 @@ fn parse_args() -> Args {
             "--verify" => opts.base.verify = true,
             "--adaptive" => opts.lock_options.adaptive = true,
             "--biased" => opts.lock_options.biased = true,
+            "--hazard" => opts.lock_options.hazard = true,
             "--shape" => {
                 let n: usize = value(i).parse().unwrap_or_else(|_| usage("bad --shape"));
                 if n == 0 {
@@ -227,9 +232,10 @@ fn main() {
     );
     if !args.opts.lock_options.is_default() {
         eprintln!(
-            "fig5: OLL lock options: adaptive={} biased={} shape_threads={:?}",
+            "fig5: lock options: adaptive={} biased={} hazard={} shape_threads={:?}",
             args.opts.lock_options.adaptive,
             args.opts.lock_options.biased,
+            args.opts.lock_options.hazard,
             args.opts.lock_options.shape_threads,
         );
     }

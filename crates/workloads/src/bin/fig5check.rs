@@ -2,12 +2,13 @@
 //!
 //! ```text
 //! USAGE:
-//!   fig5check PATH [--expect-adaptive] [--expect-biased] [--expect-shape N]
+//!   fig5check PATH [--expect-adaptive] [--expect-biased] [--expect-hazard]
+//!             [--expect-shape N]
 //! ```
 //!
 //! Parses the document with the in-tree parser (`oll_workloads::json`),
 //! checks the schema shape the renderer promises (every panel carries
-//! `adaptive`/`biased`/`shape_threads`, every point a positive
+//! `adaptive`/`biased`/`hazard`/`shape_threads`, every point a positive
 //! throughput), and exits nonzero with a diagnostic on the first
 //! violation. CI's bench-smoke lane runs it against short
 //! `fig5 --adaptive --json` and `fig5 --biased --json` sweeps so both
@@ -19,7 +20,10 @@ use std::process::exit;
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: fig5check PATH [--expect-adaptive] [--expect-biased] [--expect-shape N]");
+    eprintln!(
+        "usage: fig5check PATH [--expect-adaptive] [--expect-biased] [--expect-hazard] \
+         [--expect-shape N]"
+    );
     exit(2);
 }
 
@@ -33,12 +37,14 @@ fn main() {
     let mut path = None;
     let mut expect_adaptive = false;
     let mut expect_biased = false;
+    let mut expect_hazard = false;
     let mut expect_shape = None;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
             "--expect-adaptive" => expect_adaptive = true,
             "--expect-biased" => expect_biased = true,
+            "--expect-hazard" => expect_hazard = true,
             "--expect-shape" => {
                 let v = argv
                     .get(i + 1)
@@ -90,6 +96,13 @@ fn main() {
         if expect_biased && !biased {
             fail(&format!("panel {tag}: biased=false, expected true"));
         }
+        let hazard = panel
+            .get("hazard")
+            .and_then(Value::as_bool)
+            .unwrap_or_else(|| fail(&format!("panel {tag}: missing hazard flag")));
+        if expect_hazard && !hazard {
+            fail(&format!("panel {tag}: hazard=false, expected true"));
+        }
         let shape = panel.get("shape_threads");
         match (expect_shape, shape.and_then(Value::as_u64)) {
             (Some(want), Some(got)) if want != got => fail(&format!(
@@ -131,10 +144,11 @@ fn main() {
         }
     }
     println!(
-        "fig5check: OK: {path}: {} panel(s), {points} point(s){}{}{}",
+        "fig5check: OK: {path}: {} panel(s), {points} point(s){}{}{}{}",
         panels.len(),
         if expect_adaptive { ", adaptive" } else { "" },
         if expect_biased { ", biased" } else { "" },
+        if expect_hazard { ", hazard" } else { "" },
         match expect_shape {
             Some(n) => format!(", shape_threads={n}"),
             None => String::new(),

@@ -3,7 +3,7 @@
 //! ```text
 //! USAGE:
 //!   latency [--threads N] [--read-pct P] [--acquisitions N]
-//!           [--locks name,...|all] [--biased] [--json PATH] [--telemetry]
+//!           [--locks name,...|all] [--biased] [--hazard] [--json PATH] [--telemetry]
 //!           [--trace PATH] [--trace-json PATH]
 //! ```
 //!
@@ -11,7 +11,10 @@
 //! visibility: how long can a single `lock_read` / `lock_write` stall
 //! under the given mix? `--biased` wraps the OLL locks (GOLL/FOLL/ROLL)
 //! in the BRAVO reader-biasing layer, exposing the biased read fast
-//! path's latency. `--telemetry` additionally prints each lock's
+//! path's latency. `--hazard` arms the `oll-hazard` hardening layer on
+//! every lock (poison policy + deadlock-detection tracking) so its cost
+//! shows in the tails; needs a `--features hazard` build to do
+//! anything. `--telemetry` additionally prints each lock's
 //! contention profile (needs a `--features telemetry` build to record);
 //! `--json` writes a schema-versioned `oll.latency` document. `--trace`
 //! captures the run in the flight recorder and writes a Perfetto-loadable
@@ -30,7 +33,7 @@ fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: latency [--threads N] [--read-pct P] [--acquisitions N] [--locks name,...|all] \
-         [--biased] [--json PATH] [--telemetry] [--trace PATH] [--trace-json PATH]"
+         [--biased] [--hazard] [--json PATH] [--telemetry] [--trace PATH] [--trace-json PATH]"
     );
     exit(2);
 }
@@ -102,6 +105,7 @@ fn main() {
                 i += 1;
             }
             "--biased" => lock_options.biased = true,
+            "--hazard" => lock_options.hazard = true,
             "--telemetry" => telemetry = true,
             "--trace" => {
                 trace = Some(value(i));
@@ -144,9 +148,14 @@ fn main() {
     };
 
     println!(
-        "latency: {threads} threads, {read_pct}% reads, {acquisitions} acquisitions/thread{}",
+        "latency: {threads} threads, {read_pct}% reads, {acquisitions} acquisitions/thread{}{}",
         if lock_options.biased {
             ", BRAVO-biased OLL locks"
+        } else {
+            ""
+        },
+        if lock_options.hazard {
+            ", hazard layer armed"
         } else {
             ""
         }

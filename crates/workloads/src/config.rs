@@ -118,6 +118,12 @@ pub struct LockOptions {
     /// (`oll_core::Bravo`): biased reads bypass the lock through the
     /// process-global visible-readers table until a writer revokes.
     pub biased: bool,
+    /// Arm the `oll-hazard` layer on every constructed lock (poison
+    /// policy `Poison`, deadlock detection on) so its steady-state
+    /// tracking cost shows up in the measurement. Unlike the other
+    /// options this applies to the baselines too. A no-op unless the
+    /// workspace is built with the `hazard` feature.
+    pub hazard: bool,
 }
 
 impl LockOptions {

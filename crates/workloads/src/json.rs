@@ -51,11 +51,12 @@ pub fn render_fig5_json(panels: &[PanelResult]) -> String {
         };
         let _ = write!(
             out,
-            "{{\"panel\":\"{}\",\"read_pct\":{},\"adaptive\":{},\"biased\":{},\"shape_threads\":{},\"thread_counts\":{:?},\"series\":[",
+            "{{\"panel\":\"{}\",\"read_pct\":{},\"adaptive\":{},\"biased\":{},\"hazard\":{},\"shape_threads\":{},\"thread_counts\":{:?},\"series\":[",
             panel.panel.tag(),
             panel.panel.read_pct(),
             panel.options.adaptive,
             panel.options.biased,
+            panel.options.hazard,
             shape,
             panel.thread_counts,
         );
@@ -670,6 +671,7 @@ mod tests {
         let p = v.get("panels").and_then(|p| p.idx(0)).unwrap();
         assert_eq!(p.get("adaptive").and_then(Value::as_bool), Some(false));
         assert_eq!(p.get("biased").and_then(Value::as_bool), Some(false));
+        assert_eq!(p.get("hazard").and_then(Value::as_bool), Some(false));
         assert_eq!(p.get("shape_threads"), Some(&Value::Null));
     }
 
@@ -686,6 +688,21 @@ mod tests {
         let p = v.get("panels").and_then(|p| p.idx(0)).expect("one panel");
         assert_eq!(p.get("biased").and_then(Value::as_bool), Some(true));
         assert_eq!(p.get("adaptive").and_then(Value::as_bool), Some(false));
+    }
+
+    #[test]
+    fn fig5_hazard_options_round_trip() {
+        let mut opts = tiny_opts();
+        opts.lock_options = LockOptions {
+            hazard: true,
+            ..LockOptions::default()
+        };
+        let panel = run_panel(Fig5Panel::A, &opts);
+        let doc = render_fig5_json(&[panel]);
+        let v = parse::parse(&doc).expect("hazard fig5 doc must parse");
+        let p = v.get("panels").and_then(|p| p.idx(0)).expect("one panel");
+        assert_eq!(p.get("hazard").and_then(Value::as_bool), Some(true));
+        assert_eq!(p.get("biased").and_then(Value::as_bool), Some(false));
     }
 
     #[test]

@@ -15,6 +15,7 @@ use oll_baselines::{
     PerThreadRwLock, SolarisLikeRwLock, StdRwLock,
 };
 use oll_core::{FollLock, GollLock, RollLock, RwHandle, RwLockFamily};
+use oll_hazard::PoisonPolicy;
 use oll_telemetry::LockSnapshot;
 use oll_util::XorShift64;
 use std::sync::Barrier;
@@ -143,12 +144,18 @@ pub struct LatencyResult {
 fn measure_latency<L, F>(
     make_lock: F,
     config: &WorkloadConfig,
+    opts: &LockOptions,
 ) -> (LatencyHistogram, LatencyHistogram, Option<LockSnapshot>)
 where
     L: RwLockFamily,
     F: Fn(usize) -> L,
 {
     let lock = make_lock(config.threads);
+    if opts.hazard {
+        let h = lock.hazard();
+        h.set_poison_policy(PoisonPolicy::Poison);
+        h.detect_deadlocks(true);
+    }
     let barrier = Barrier::new(config.threads);
     let merged: std::sync::Mutex<(LatencyHistogram, LatencyHistogram)> =
         std::sync::Mutex::new((LatencyHistogram::new(), LatencyHistogram::new()));
@@ -219,6 +226,7 @@ pub fn run_latency_profiled_with(
                     .build_biased()
             },
             config,
+            opts,
         ),
         LockKind::Foll if opts.biased => measure_latency(
             |cap| {
@@ -228,6 +236,7 @@ pub fn run_latency_profiled_with(
                     .build_biased()
             },
             config,
+            opts,
         ),
         LockKind::Roll if opts.biased => measure_latency(
             |cap| {
@@ -237,28 +246,35 @@ pub fn run_latency_profiled_with(
                     .build_biased()
             },
             config,
+            opts,
         ),
-        LockKind::Goll if opts.adaptive => {
-            measure_latency(|cap| GollLock::builder(cap).adaptive(true).build(), config)
-        }
-        LockKind::Foll if opts.adaptive => {
-            measure_latency(|cap| FollLock::builder(cap).adaptive(true).build(), config)
-        }
-        LockKind::Roll if opts.adaptive => {
-            measure_latency(|cap| RollLock::builder(cap).adaptive(true).build(), config)
-        }
-        LockKind::Goll => measure_latency(GollLock::new, config),
-        LockKind::Foll => measure_latency(FollLock::new, config),
-        LockKind::Roll => measure_latency(RollLock::new, config),
-        LockKind::Ksuh => measure_latency(KsuhLock::new, config),
-        LockKind::SolarisLike => measure_latency(SolarisLikeRwLock::new, config),
-        LockKind::Centralized => measure_latency(CentralizedRwLock::new, config),
-        LockKind::McsRw => measure_latency(McsRwLock::new, config),
-        LockKind::McsRwReaderPref => measure_latency(McsRwReaderPref::new, config),
-        LockKind::McsRwWriterPref => measure_latency(McsRwWriterPref::new, config),
-        LockKind::PerThread => measure_latency(PerThreadRwLock::new, config),
-        LockKind::StdRw => measure_latency(StdRwLock::new, config),
-        LockKind::McsMutex => measure_latency(McsMutex::new, config),
+        LockKind::Goll if opts.adaptive => measure_latency(
+            |cap| GollLock::builder(cap).adaptive(true).build(),
+            config,
+            opts,
+        ),
+        LockKind::Foll if opts.adaptive => measure_latency(
+            |cap| FollLock::builder(cap).adaptive(true).build(),
+            config,
+            opts,
+        ),
+        LockKind::Roll if opts.adaptive => measure_latency(
+            |cap| RollLock::builder(cap).adaptive(true).build(),
+            config,
+            opts,
+        ),
+        LockKind::Goll => measure_latency(GollLock::new, config, opts),
+        LockKind::Foll => measure_latency(FollLock::new, config, opts),
+        LockKind::Roll => measure_latency(RollLock::new, config, opts),
+        LockKind::Ksuh => measure_latency(KsuhLock::new, config, opts),
+        LockKind::SolarisLike => measure_latency(SolarisLikeRwLock::new, config, opts),
+        LockKind::Centralized => measure_latency(CentralizedRwLock::new, config, opts),
+        LockKind::McsRw => measure_latency(McsRwLock::new, config, opts),
+        LockKind::McsRwReaderPref => measure_latency(McsRwReaderPref::new, config, opts),
+        LockKind::McsRwWriterPref => measure_latency(McsRwWriterPref::new, config, opts),
+        LockKind::PerThread => measure_latency(PerThreadRwLock::new, config, opts),
+        LockKind::StdRw => measure_latency(StdRwLock::new, config, opts),
+        LockKind::McsMutex => measure_latency(McsMutex::new, config, opts),
     };
     if let Some(p) = &mut profile {
         p.name = format!("{} t={}", kind.name(), config.threads);

@@ -7,6 +7,7 @@ use oll_baselines::{
 };
 use oll_core::{FollLock, GollLock, RollLock, RwHandle, RwLockFamily};
 use oll_csnzi::TreeShape;
+use oll_hazard::PoisonPolicy;
 use oll_telemetry::LockSnapshot;
 use oll_util::XorShift64;
 use std::sync::atomic::{AtomicI64, Ordering};
@@ -41,7 +42,11 @@ fn dummy_work(iters: u32) {
 /// Measures one run: barrier-synchronized start, join-synchronized stop.
 /// The snapshot is the lock's full telemetry for the run (`None` unless
 /// built with the `telemetry` feature).
-fn measure<L, F>(make_lock: F, config: &WorkloadConfig) -> (Duration, Option<LockSnapshot>)
+fn measure<L, F>(
+    make_lock: F,
+    config: &WorkloadConfig,
+    opts: &LockOptions,
+) -> (Duration, Option<LockSnapshot>)
 where
     L: RwLockFamily,
     F: Fn(usize) -> L,
@@ -54,6 +59,11 @@ where
     // machine a coordinator thread may not be scheduled again until the
     // workers are already done.
     let lock = make_lock(config.threads);
+    if opts.hazard {
+        let h = lock.hazard();
+        h.set_poison_policy(PoisonPolicy::Poison);
+        h.detect_deadlocks(true);
+    }
     let barrier = Barrier::new(config.threads);
     let state = AtomicI64::new(0);
 
@@ -148,6 +158,7 @@ pub fn run_throughput_profiled_with(
                     b.biased(true).build_biased()
                 },
                 config,
+                opts,
             ),
             LockKind::Goll => measure(
                 |cap| {
@@ -158,6 +169,7 @@ pub fn run_throughput_profiled_with(
                     b.build()
                 },
                 config,
+                opts,
             ),
             LockKind::Foll if opts.biased => measure(
                 |cap| {
@@ -168,6 +180,7 @@ pub fn run_throughput_profiled_with(
                     b.biased(true).build_biased()
                 },
                 config,
+                opts,
             ),
             LockKind::Foll => measure(
                 |cap| {
@@ -178,6 +191,7 @@ pub fn run_throughput_profiled_with(
                     b.build()
                 },
                 config,
+                opts,
             ),
             LockKind::Roll if opts.biased => measure(
                 |cap| {
@@ -188,6 +202,7 @@ pub fn run_throughput_profiled_with(
                     b.biased(true).build_biased()
                 },
                 config,
+                opts,
             ),
             LockKind::Roll => measure(
                 |cap| {
@@ -198,16 +213,17 @@ pub fn run_throughput_profiled_with(
                     b.build()
                 },
                 config,
+                opts,
             ),
-            LockKind::Ksuh => measure(KsuhLock::new, config),
-            LockKind::SolarisLike => measure(SolarisLikeRwLock::new, config),
-            LockKind::Centralized => measure(CentralizedRwLock::new, config),
-            LockKind::McsRw => measure(McsRwLock::new, config),
-            LockKind::McsRwReaderPref => measure(McsRwReaderPref::new, config),
-            LockKind::McsRwWriterPref => measure(McsRwWriterPref::new, config),
-            LockKind::PerThread => measure(PerThreadRwLock::new, config),
-            LockKind::StdRw => measure(StdRwLock::new, config),
-            LockKind::McsMutex => measure(McsMutex::new, config),
+            LockKind::Ksuh => measure(KsuhLock::new, config, opts),
+            LockKind::SolarisLike => measure(SolarisLikeRwLock::new, config, opts),
+            LockKind::Centralized => measure(CentralizedRwLock::new, config, opts),
+            LockKind::McsRw => measure(McsRwLock::new, config, opts),
+            LockKind::McsRwReaderPref => measure(McsRwReaderPref::new, config, opts),
+            LockKind::McsRwWriterPref => measure(McsRwWriterPref::new, config, opts),
+            LockKind::PerThread => measure(PerThreadRwLock::new, config, opts),
+            LockKind::StdRw => measure(StdRwLock::new, config, opts),
+            LockKind::McsMutex => measure(McsMutex::new, config, opts),
         };
         total += elapsed;
         match (&mut profile, snap) {

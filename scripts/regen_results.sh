@@ -7,6 +7,9 @@
 #   latency_results.txt                   tail-latency table
 #   fig5_biased.json / fig5_unbiased.json BRAVO before/after pair
 #                                         (EXPERIMENTS.md, DESIGN.md #11)
+#   BENCH_fig5.json                       trajectory file: a small fixed
+#                                         sweep re-anchors diff across
+#                                         sessions to see the perf trend
 #
 # The Criterion artifacts (ablation_results.txt, bench_output.txt) are
 # NOT regenerated here: crates/bench sits outside the workspace and
@@ -37,5 +40,12 @@ echo "==> BRAVO before/after pair (panel a, OLL locks, 16 threads)"
 "$FIG5" --panel a --threads 16 --runs 5 --locks GOLL,FOLL,ROLL \
     --biased --json fig5_biased.json >/dev/null
 "$FIG5CHECK" fig5_biased.json --expect-biased
+
+echo "==> BENCH_fig5.json: fixed trajectory sweep (panel b, OLL locks)"
+# Deliberately small and fixed so the committed file stays comparable
+# run-over-run: same panel, same thread counts, same lock set.
+"$FIG5" --panel b --threads 1,2,4,8 --runs 3 --locks GOLL,FOLL,ROLL \
+    --json BENCH_fig5.json >/dev/null
+"$FIG5CHECK" BENCH_fig5.json
 
 echo "==> done; review the diffs before committing"

@@ -47,6 +47,9 @@
 //! * [`workloads`] — the Figure 5 throughput harness (§5).
 //! * [`telemetry`] — per-lock contention profiling (build with the
 //!   `telemetry` feature to record; zero-cost no-ops otherwise).
+//! * [`hazard`] — panic-safe poisoning, online deadlock detection, and
+//!   a starvation watchdog (build with the `hazard` feature to arm;
+//!   zero-cost no-ops otherwise).
 //! * [`trace`] — flight-recorder event tracing with Perfetto export and
 //!   wait-chain analysis (build with the `trace` feature to record).
 //! * [`util`] — backoff, cache padding, events, spin mutex, thread slots.
@@ -54,6 +57,7 @@
 pub use oll_baselines as baselines;
 pub use oll_core as core;
 pub use oll_csnzi as csnzi;
+pub use oll_hazard as hazard;
 pub use oll_telemetry as telemetry;
 pub use oll_trace as trace;
 pub use oll_util as util;
@@ -63,8 +67,11 @@ pub use oll_baselines::{
     CentralizedRwLock, KsuhLock, McsMutex, McsRwLock, McsRwReaderPref, McsRwWriterPref,
     PerThreadRwLock, SolarisLikeRwLock, StdRwLock,
 };
+pub use oll_core::PoisonError;
 #[cfg(not(loom))]
 pub use oll_core::TimedHandle;
+#[cfg(not(loom))]
+pub use oll_core::{AcquireError, WatchedHandle};
 #[cfg(not(loom))]
 pub use oll_core::{Bravo, BravoHandle};
 pub use oll_core::{
@@ -74,3 +81,4 @@ pub use oll_core::{
 pub use oll_csnzi::{
     ArrivalMode, ArrivalPolicy, CSnzi, CancelOutcome, LeafCursor, Snzi, TreeShape,
 };
+pub use oll_hazard::{Hazard, PoisonPolicy};

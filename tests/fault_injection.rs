@@ -265,6 +265,167 @@ fn bravo_readers_vs_revoking_writer_race() {
     h.unlock_read();
 }
 
+/// Runs `f`, swallowing only the fault layer's *injected* panics;
+/// anything else (assertion failures inside the closure, lock misuse
+/// panics) is resumed so it still fails the test.
+fn run_swallowing_injected(f: impl FnOnce()) {
+    if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        let msg = payload
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| payload.downcast_ref::<&str>().copied());
+        if !msg.is_some_and(|m| m.starts_with("injected panic")) {
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Silences the default panic-hook report for injected panics (several
+/// hundred per run below); everything else reports as before.
+fn quiet_injected_panics() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| info.payload().downcast_ref::<&str>().copied());
+            if msg.is_some_and(|m| m.starts_with("injected panic")) {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// The robustness satellite's directed race: biased fast readers
+/// *panicking* at their publish→recheck window while a writer runs the
+/// revocation scan. The reader's unwind must erase its published slot —
+/// if it ever leaks, the writer's scan (`spin_until` on the slot) hangs
+/// this test. Panics at the writer's own revoke sites are also drawn,
+/// proving the unwinding writer releases the inner write hold instead of
+/// stranding the readers. The zero re-arm multiplier keeps the bias
+/// re-arming so the race repeats every iteration.
+#[test]
+fn bravo_revocation_vs_panicking_biased_readers() {
+    const READERS: usize = 3;
+    const WRITER_ITERS: usize = 400;
+    let _guard = serial();
+    quiet_injected_panics();
+    let plan = FaultPlan::sometimes(0x5EED_0009, "bravo", 40, 6)
+        .with_panic_percent(20)
+        .install();
+
+    let lock = Arc::new(
+        Bravo::wrapping(GollLock::new(8), true)
+            .private_table(64)
+            .rearm_multiplier(0),
+    );
+    let state = Arc::new(AtomicI64::new(0));
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut threads = Vec::new();
+    for _ in 0..READERS {
+        let lock = Arc::clone(&lock);
+        let state = Arc::clone(&state);
+        let stop = Arc::clone(&stop);
+        threads.push(std::thread::spawn(move || {
+            let mut h = lock.handle().unwrap();
+            while !stop.load(Ordering::Relaxed) {
+                run_swallowing_injected(|| {
+                    h.lock_read();
+                    assert!(
+                        state.fetch_add(1, Ordering::SeqCst) >= 0,
+                        "reader entered beside the revoking writer"
+                    );
+                    state.fetch_sub(1, Ordering::SeqCst);
+                    h.unlock_read();
+                });
+            }
+        }));
+    }
+    {
+        let mut w = lock.handle().unwrap();
+        for _ in 0..WRITER_ITERS {
+            run_swallowing_injected(|| {
+                w.lock_write();
+                assert_eq!(
+                    state.swap(-1, Ordering::SeqCst),
+                    0,
+                    "writer entered beside a published reader"
+                );
+                state.store(0, Ordering::SeqCst);
+                w.unlock_write();
+            });
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    for t in threads {
+        t.join().unwrap();
+    }
+    // Injection off for the post-mortem: the lock must be fully
+    // functional, with no panicking holder having stranded a slot.
+    drop(plan);
+    let mut h = lock.handle().unwrap();
+    h.lock_write();
+    h.unlock_write();
+    h.lock_read();
+    h.unlock_read();
+}
+
+/// The adaptive C-SNZI's unwind coverage: panics drawn at the inflation
+/// sync point (deflation's is yield-only — it sits after the arrival
+/// already committed) plus yields at both must never wedge the tree —
+/// arrivals keep landing and the lock keeps serving both modes.
+#[test]
+fn adaptive_csnzi_survives_inflate_deflate_panics() {
+    const ITERS: usize = 400;
+    let _guard = serial();
+    quiet_injected_panics();
+    let plan = FaultPlan::sometimes(0x5EED_000A, "csnzi", 30, 4)
+        .with_panic_percent(20)
+        .install();
+
+    let lock = Arc::new(GollLock::builder(4).adaptive(true).build());
+    let stop = Arc::new(AtomicBool::new(false));
+    let churn = {
+        let lock = Arc::clone(&lock);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut h = lock.handle().unwrap();
+            while !stop.load(Ordering::Relaxed) {
+                run_swallowing_injected(|| {
+                    h.lock_read();
+                    h.unlock_read();
+                });
+            }
+        })
+    };
+    {
+        let mut h = lock.handle().unwrap();
+        for _ in 0..ITERS {
+            run_swallowing_injected(|| {
+                h.lock_read();
+                h.unlock_read();
+            });
+            run_swallowing_injected(|| {
+                h.lock_write();
+                h.unlock_write();
+            });
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    churn.join().unwrap();
+    drop(plan);
+    let mut h = lock.handle().unwrap();
+    h.lock_write();
+    h.unlock_write();
+    h.lock_read();
+    h.unlock_read();
+}
+
 /// The tentpole's directed race: N threads simultaneously route their
 /// first arrival through an adaptive C-SNZI that has never built its
 /// tree. The injected yields at the `csnzi.inflate` sync point widen the

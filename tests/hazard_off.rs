@@ -1,0 +1,76 @@
+//! The other half of the hazard contract: without the `hazard` feature
+//! the facade is zero-sized, every hook compiles to nothing, and no
+//! poison, wait-for edge, or watchdog state is ever produced.
+
+#![cfg(not(feature = "hazard"))]
+
+use oll::hazard::{Hazard, PoisonPolicy};
+use oll::{GollLock, RwHandle, RwLockFamily, WatchedHandle};
+use std::time::{Duration, Instant};
+
+#[test]
+fn facade_is_zero_sized() {
+    assert!(!Hazard::enabled());
+    assert_eq!(std::mem::size_of::<Hazard>(), 0);
+}
+
+#[test]
+fn every_hook_is_inert() {
+    let h = Hazard::new();
+    assert!(!h.is_active());
+    assert_eq!(h.lock_id(), 0);
+    h.set_poison_policy(PoisonPolicy::Poison);
+    assert_eq!(h.poison_policy(), PoisonPolicy::Ignore);
+    h.poison();
+    assert!(!h.is_poisoned());
+    h.clear_poison();
+    h.on_guard_acquire(true);
+    h.on_guard_drop(true);
+    h.detect_deadlocks(true);
+    assert!(!h.detects_deadlocks());
+    assert!(h.watch_interval().is_none());
+    h.begin_wait();
+    assert!(!h.deadlock_check());
+    h.cancel_wait();
+    h.note_writer_stall(Duration::from_secs(60));
+    assert_eq!(h.stall_level(), 0);
+    h.note_progress(true);
+    assert!(h.bias_allowed());
+}
+
+#[test]
+fn locks_hand_out_inert_hazards_and_never_poison() {
+    let lock = GollLock::new(2);
+    let h = lock.hazard();
+    h.set_poison_policy(PoisonPolicy::Poison);
+    let mut a = lock.handle().unwrap();
+    let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _g = a.write();
+        panic!("holder dies");
+    }));
+    assert!(panicked.is_err());
+    // The guard's drop released the lock; nothing was poisoned.
+    assert!(!lock.hazard().is_poisoned());
+    let Ok(g) = a.write_checked() else {
+        panic!("checked acquisition reported poison with hazard off");
+    };
+    drop(g);
+}
+
+#[test]
+fn watched_acquisitions_collapse_to_plain_deadline_waits() {
+    let lock = GollLock::new(2);
+    let mut a = lock.handle().unwrap();
+    let mut b = lock.handle().unwrap();
+    // Free lock: granted immediately.
+    a.lock_write_watched(Instant::now() + Duration::from_secs(5))
+        .unwrap();
+    // Contended: a single plain deadline wait, no hazard slicing.
+    let start = Instant::now();
+    let err = b
+        .lock_write_watched(Instant::now() + Duration::from_millis(20))
+        .unwrap_err();
+    assert_eq!(err, oll::AcquireError::TimedOut);
+    assert!(start.elapsed() < Duration::from_secs(5));
+    a.unlock_write();
+}

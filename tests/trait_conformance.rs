@@ -79,6 +79,7 @@ trait Tester {
     fn with_two_handles(&self, f: &mut dyn FnMut(&mut dyn RwHandle, &mut dyn RwHandle));
     fn claim_all_then_fail(&self);
     fn reuse_after_drop(&self);
+    fn panic_in_critical_sections(&self, label: &str);
 }
 
 struct LockTester<L: RwLockFamily + 'static> {
@@ -111,6 +112,42 @@ impl<L: RwLockFamily> Tester for LockTester<L> {
             h.unlock_read();
             h.lock_write();
             h.unlock_write();
+        }
+    }
+
+    fn panic_in_critical_sections(&self, label: &str) {
+        use oll::hazard::{Hazard, PoisonPolicy};
+        let hz = self.lock.hazard();
+        hz.set_poison_policy(PoisonPolicy::Poison);
+        let mut h = self.lock.handle().unwrap();
+        for write in [false, true] {
+            let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if write {
+                    let _g = h.write();
+                    panic!("conformance: write holder dies");
+                } else {
+                    let _g = h.read();
+                    panic!("conformance: read holder dies");
+                }
+            }));
+            assert!(unwound.is_err(), "{label}: panic did not propagate");
+            // No deadlock: the unwinding guard released the hold, so both
+            // modes must be immediately reacquirable on a second handle.
+            let mut other = self.lock.handle().unwrap();
+            other.lock_read();
+            other.unlock_read();
+            other.lock_write();
+            other.unlock_write();
+            // Poison marks a panicking *write* holder only, and only in
+            // hazard builds; a panicking reader never poisons.
+            assert_eq!(
+                hz.is_poisoned(),
+                write && Hazard::enabled(),
+                "{label}: wrong poison state after {} panic",
+                if write { "write" } else { "read" },
+            );
+            hz.clear_poison();
+            assert!(!hz.is_poisoned(), "{label}: clear_poison had no effect");
         }
     }
 }
@@ -322,6 +359,44 @@ fn bravo_wrapped_timeout_paths() {
             bias,
         );
     }
+}
+
+/// The robustness sweep: every lock kind × read/write critical-section
+/// panic × plain/BRAVO-wrapped (biased and unbiased) must unwind without
+/// deadlocking a later acquirer, and the poison mark must track exactly
+/// the panicking-write-holder case (in `hazard` builds).
+#[test]
+fn panicking_holders_never_deadlock_and_poison_correctly() {
+    quiet_conformance_panics();
+    for_each_lock(|make, kind| {
+        make(2).panic_in_critical_sections(kind.name());
+    });
+    for bias in [false, true] {
+        for_each_bravo_lock(bias, |make, kind| {
+            make(2).panic_in_critical_sections(&format!("Bravo<{}> bias={bias}", kind.name()));
+        });
+    }
+}
+
+/// Silences the default panic-hook report for this suite's own injected
+/// panics; real failures still report through the previous hook.
+fn quiet_conformance_panics() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<&str>()
+                .copied()
+                .or_else(|| info.payload().downcast_ref::<String>().map(String::as_str));
+            if msg.is_some_and(|m| m.starts_with("conformance:")) {
+                return;
+            }
+            prev(info);
+        }));
+    });
 }
 
 #[test]
