@@ -1,0 +1,260 @@
+//! A one-shot atomic [`Waker`] slot — the futures-native replacement for
+//! the parked-thread half of [`Event`](oll_util::Event).
+//!
+//! The blocking locks store a *thread* behind each queue node and wake it
+//! with `unpark`; the async lock family stores a *task waker* instead. The
+//! slot is the only piece of the hand-off that both sides touch without a
+//! lock, so its protocol carries the whole lost-wakeup burden:
+//!
+//! * the **waiter** (a future's `poll`) calls [`WakerSlot::register`] and,
+//!   if it returns `true`, may return `Poll::Pending` — but only after
+//!   re-checking its grant word (see below);
+//! * the **granter** (a releasing task or thread) publishes the grant
+//!   (e.g. a `WAITING → GRANTED` node-word CAS with `Release` ordering)
+//!   and then calls [`WakerSlot::wake`] exactly once.
+//!
+//! # The four slot states and the extra `WOKEN` token
+//!
+//! The queue node's four-state word (`GRANTED`/`WAITING`/`ABANDONED`/
+//! `RELEASED`, PR 1) arbitrates *who owns the hand-off*; the slot needs
+//! one more token the thread-based path never did: **`WOKEN`**, recording
+//! that the single wake has already fired. A parked thread that misses a
+//! wake can be unparked again; a task waker that was never stored is a
+//! wakeup lost forever. `WOKEN` is sticky, so the two orderings of the
+//! race resolve the same way:
+//!
+//! * wake first, register second → `register` observes `WOKEN` and
+//!   returns `false`: the caller must re-read its grant word (the
+//!   `AcqRel` swap in [`WakerSlot::wake`] makes the granter's prior
+//!   `Release` store visible) and complete instead of pending;
+//! * register first, wake second → `wake` finds the stored waker and
+//!   wakes it.
+//!
+//! A wake landing *during* registration (state `REGISTERING`) cannot
+//! touch the half-written cell; it just swaps to `WOKEN`, and the
+//! registrant's publish CAS fails, telling it the same thing a `WOKEN`
+//! load would have.
+//!
+//! Even with all that, `register` alone is not sufficient: the grant may
+//! land *after* the waiter last checked its word but *before* `register`
+//! stores the waker — `wake` then fires on an empty slot (state `EMPTY →
+//! WOKEN` is still detected), but the *next* registration could come from
+//! a later poll that never happens. Hence the protocol's third leg: after
+//! a successful `register`, the waiter **must re-check the grant word**
+//! before returning `Pending`. See `DESIGN.md` §13 for the full argument.
+
+use core::task::Waker;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Slot is empty; no waker stored, wake not yet fired.
+const EMPTY: u8 = 0;
+/// A `register` call owns the cell and is writing a waker into it.
+const REGISTERING: u8 = 1;
+/// A waker is stored and ready to be consumed by `wake`.
+const FULL: u8 = 2;
+/// The one-shot wake has fired (terminal).
+const WOKEN: u8 = 3;
+
+/// A one-shot atomic slot holding the waker of a pending acquisition.
+///
+/// One wait episode per slot: once [`wake`](WakerSlot::wake) has fired
+/// the slot stays [`is_woken`](WakerSlot::is_woken) forever and further
+/// registrations report the wake instead of storing anything.
+#[derive(Debug, Default)]
+pub struct WakerSlot {
+    state: AtomicU8,
+    waker: UnsafeCell<Option<Waker>>,
+}
+
+// SAFETY: the cell is only ever touched by the thread that owns the
+// exclusive `REGISTERING` window or by the single `wake` call that
+// observed `FULL` in its swap — the state machine serializes them.
+unsafe impl Send for WakerSlot {}
+unsafe impl Sync for WakerSlot {}
+
+impl WakerSlot {
+    /// An empty slot.
+    pub const fn new() -> Self {
+        Self {
+            state: AtomicU8::new(EMPTY),
+            waker: UnsafeCell::new(None),
+        }
+    }
+
+    /// Stores (or refreshes) the calling task's waker.
+    ///
+    /// Returns `true` if the waker is stored and the wake has not fired:
+    /// the caller may return `Pending` *after re-checking its grant
+    /// word*. Returns `false` if the one-shot wake already fired (before
+    /// or during this registration): the caller is effectively woken and
+    /// must complete now — its waker was not retained.
+    pub fn register(&self, waker: &Waker) -> bool {
+        loop {
+            match self.state.load(Ordering::Acquire) {
+                WOKEN => return false,
+                cur @ (EMPTY | FULL) => {
+                    if self
+                        .state
+                        .compare_exchange(cur, REGISTERING, Ordering::Acquire, Ordering::Acquire)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    // Exclusive cell access until we leave REGISTERING.
+                    // SAFETY: see the impl-level safety comment.
+                    let slot = unsafe { &mut *self.waker.get() };
+                    match slot {
+                        Some(w) if w.will_wake(waker) => {}
+                        _ => *slot = Some(waker.clone()),
+                    }
+                    match self.state.compare_exchange(
+                        REGISTERING,
+                        FULL,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    ) {
+                        Ok(_) => return true,
+                        Err(observed) => {
+                            // The one-shot wake fired mid-registration; it
+                            // could not touch the cell, so clear it here
+                            // and report the wake.
+                            debug_assert_eq!(observed, WOKEN);
+                            *slot = None;
+                            return false;
+                        }
+                    }
+                }
+                _ => {
+                    // Another registration is in flight (only possible if a
+                    // task is polled from two threads in violation of the
+                    // Future contract, or briefly around a re-poll race).
+                    // Spin: the REGISTERING window is a few instructions.
+                    core::hint::spin_loop();
+                }
+            }
+        }
+    }
+
+    /// Fires the one-shot wake: wakes the stored waker if there is one
+    /// and marks the slot terminally woken.
+    ///
+    /// Returns `true` iff a stored waker was actually woken (`false`
+    /// means the waiter had not registered yet — it will observe the
+    /// wake through [`register`](WakerSlot::register) returning `false`
+    /// or through its own grant-word re-check).
+    pub fn wake(&self) -> bool {
+        match self.state.swap(WOKEN, Ordering::AcqRel) {
+            // SAFETY: swapping FULL -> WOKEN transfers cell ownership to
+            // this call; every other path sees WOKEN and stays out.
+            FULL => match unsafe { &mut *self.waker.get() }.take() {
+                Some(w) => {
+                    w.wake();
+                    true
+                }
+                None => false,
+            },
+            _ => false,
+        }
+    }
+
+    /// Whether the one-shot wake has fired.
+    pub fn is_woken(&self) -> bool {
+        self.state.load(Ordering::Acquire) == WOKEN
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering as AtOrd};
+    use std::sync::Arc;
+    use std::task::Wake;
+
+    struct CountingWake(AtomicUsize);
+
+    impl Wake for CountingWake {
+        fn wake(self: Arc<Self>) {
+            self.0.fetch_add(1, AtOrd::SeqCst);
+        }
+    }
+
+    fn counting_waker() -> (Arc<CountingWake>, Waker) {
+        let inner = Arc::new(CountingWake(AtomicUsize::new(0)));
+        (Arc::clone(&inner), Waker::from(inner))
+    }
+
+    #[test]
+    fn register_then_wake_fires_once() {
+        let slot = WakerSlot::new();
+        let (count, waker) = counting_waker();
+        assert!(slot.register(&waker));
+        assert!(!slot.is_woken());
+        assert!(slot.wake());
+        assert_eq!(count.0.load(AtOrd::SeqCst), 1);
+        assert!(slot.is_woken());
+        // Terminal: further wakes are no-ops, registrations report it.
+        assert!(!slot.wake());
+        assert!(!slot.register(&waker));
+        assert_eq!(count.0.load(AtOrd::SeqCst), 1);
+    }
+
+    #[test]
+    fn wake_before_register_is_not_lost() {
+        let slot = WakerSlot::new();
+        let (count, waker) = counting_waker();
+        assert!(!slot.wake()); // nothing stored yet
+        assert!(!slot.register(&waker), "registration must observe the wake");
+        assert_eq!(count.0.load(AtOrd::SeqCst), 0, "waker was never retained");
+    }
+
+    #[test]
+    fn reregistration_replaces_the_stored_waker() {
+        let slot = WakerSlot::new();
+        let (old_count, old) = counting_waker();
+        let (new_count, new) = counting_waker();
+        assert!(slot.register(&old));
+        assert!(slot.register(&new));
+        assert!(slot.wake());
+        assert_eq!(old_count.0.load(AtOrd::SeqCst), 0);
+        assert_eq!(new_count.0.load(AtOrd::SeqCst), 1);
+    }
+
+    #[test]
+    fn same_waker_reregistration_is_idempotent() {
+        let slot = WakerSlot::new();
+        let (count, waker) = counting_waker();
+        for _ in 0..5 {
+            assert!(slot.register(&waker));
+        }
+        assert!(slot.wake());
+        assert_eq!(count.0.load(AtOrd::SeqCst), 1);
+    }
+
+    /// Hammer the register-vs-wake race from two threads: whatever the
+    /// interleaving, the episode must end with the slot woken and the
+    /// waiter either woken through its waker or told at registration.
+    #[test]
+    fn concurrent_register_and_wake_never_lose_the_wake() {
+        for _ in 0..2_000 {
+            let slot = Arc::new(WakerSlot::new());
+            let (count, waker) = counting_waker();
+            let s2 = Arc::clone(&slot);
+            let waker_thread = std::thread::spawn(move || s2.wake());
+            let registered = slot.register(&waker);
+            let woke_stored = waker_thread.join().unwrap();
+            assert!(slot.is_woken());
+            if registered {
+                // Stored before the wake consumed the slot (or the wake
+                // raced ahead of the publish and the NEXT register would
+                // see it — in which case wake() found the slot and fired).
+                if woke_stored {
+                    assert_eq!(count.0.load(AtOrd::SeqCst), 1);
+                }
+            } else {
+                // Told at registration: the waker must not fire later.
+                assert_eq!(count.0.load(AtOrd::SeqCst), 0);
+            }
+        }
+    }
+}

@@ -43,7 +43,7 @@ use oll_util::CachePadded;
 /// thread slot, so the granter cannot recycle them; it marks them
 /// `RELEASED` and the owning handle reclaims the node before its next
 /// writer-side operation.
-pub(crate) mod node_state {
+pub mod node_state {
     /// The node's owner holds the lock (also the unqueued/initial state —
     /// Figure 4's `spin = false`).
     pub const GRANTED: u32 = 0;

@@ -49,7 +49,7 @@ pub mod watch;
 
 #[cfg(not(loom))]
 pub use bravo::{Bravo, BravoHandle, DEFAULT_REARM_MULTIPLIER};
-pub use foll::{FollBuilder, FollLock};
+pub use foll::{node_state, FollBuilder, FollLock};
 pub use goll::{FairnessPolicy, GollBuilder, GollLock};
 #[cfg(not(loom))]
 pub use raw::TimedHandle;

@@ -84,11 +84,17 @@ pub enum LockEvent {
     /// The watchdog degraded the lock: reader bias disabled, forced
     /// fair hand-off until a write completes.
     BiasDegraded,
+    /// An async acquisition stored its task waker and returned
+    /// `Pending` (the futures-native analogue of parking a thread).
+    WakerStored,
+    /// A grant found a stored waker and woke it (the grantee was
+    /// suspended; absence means the grant won the register race).
+    WakerWoken,
 }
 
 impl LockEvent {
     /// Number of event kinds (the counter-array length).
-    pub const COUNT: usize = 29;
+    pub const COUNT: usize = 31;
 
     /// Every event, in counter-index order.
     pub const ALL: [LockEvent; Self::COUNT] = [
@@ -121,6 +127,8 @@ impl LockEvent {
         LockEvent::DeadlockDetected,
         LockEvent::WatchdogStall,
         LockEvent::BiasDegraded,
+        LockEvent::WakerStored,
+        LockEvent::WakerWoken,
     ];
 
     /// Stable snake_case name, used as the JSON key and the text-report
@@ -156,6 +164,8 @@ impl LockEvent {
             LockEvent::DeadlockDetected => "deadlock_detected",
             LockEvent::WatchdogStall => "watchdog_stall",
             LockEvent::BiasDegraded => "bias_degraded",
+            LockEvent::WakerStored => "waker_stored",
+            LockEvent::WakerWoken => "waker_woken",
         }
     }
 

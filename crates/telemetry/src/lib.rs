@@ -50,7 +50,7 @@ use std::sync::Arc;
 #[cfg(feature = "trace")]
 use oll_trace::TraceKind;
 
-/// Maps a counted event onto its trace-record kind: the first 24
+/// Maps a counted event onto its trace-record kind: the leading
 /// `TraceKind` discriminants mirror [`LockEvent`] one-for-one (pinned
 /// by a test below).
 #[cfg(feature = "trace")]

@@ -100,6 +100,8 @@ pub fn render_lock_text(s: &LockSnapshot) -> String {
         LockEvent::BiasRevoke,
         LockEvent::BiasSlotCollision,
         LockEvent::BiasRearm,
+        LockEvent::WakerStored,
+        LockEvent::WakerWoken,
     ] {
         let c = s.get(e);
         if c != 0 {

@@ -1,6 +1,6 @@
 //! The trace record: one timestamped event, packed to three words.
 //!
-//! A record is `(ts_ns, tid, lock, kind, token)`. The first twenty-nine
+//! A record is `(ts_ns, tid, lock, kind, token)`. The first thirty-one
 //! [`TraceKind`]s mirror `oll_telemetry::LockEvent` one-for-one (same
 //! order, same `snake_case` names), so counter increments flow into the
 //! timeline without a translation table; the remaining kinds are
@@ -10,8 +10,8 @@
 //! lets the analyzer stitch a hand-off's grantor and grantee into an
 //! edge.
 
-/// What happened. Discriminants `0..29` mirror
-/// `oll_telemetry::LockEvent` exactly; `29..` are trace-only markers.
+/// What happened. Discriminants `0..31` mirror
+/// `oll_telemetry::LockEvent` exactly; `31..` are trace-only markers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[repr(u8)]
 pub enum TraceKind {
@@ -76,28 +76,32 @@ pub enum TraceKind {
     WatchdogStall = 27,
     /// The watchdog degraded the lock (bias disabled, fair hand-off).
     BiasDegraded = 28,
+    /// An async acquisition stored its task waker and pended.
+    WakerStored = 29,
+    /// A grant woke a stored task waker (the grantee was suspended).
+    WakerWoken = 30,
     /// `lock_read` entered (marker; opens a read acquisition span).
-    ReadBegin = 29,
+    ReadBegin = 31,
     /// `lock_write` entered (marker; opens a write acquisition span).
-    WriteBegin = 30,
+    WriteBegin = 32,
     /// The thread joined a wait queue; `token` names what it waits on.
-    Enqueued = 31,
+    Enqueued = 33,
     /// A releasing thread granted ownership to the waiter(s) parked on
     /// `token` (emitted by the *grantor*).
-    Granted = 32,
+    Granted = 34,
     /// `lock_read` succeeded (marker; closes the read span).
-    ReadAcquired = 33,
+    ReadAcquired = 35,
     /// `lock_write` succeeded (marker; closes the write span).
-    WriteAcquired = 34,
+    WriteAcquired = 36,
     /// `unlock_read` entered (marker; closes the read hold span).
-    ReadRelease = 35,
+    ReadRelease = 37,
     /// `unlock_write` entered (marker; closes the write hold span).
-    WriteRelease = 36,
+    WriteRelease = 38,
 }
 
 impl TraceKind {
     /// Number of kinds.
-    pub const COUNT: usize = 37;
+    pub const COUNT: usize = 39;
 
     /// All kinds, in discriminant order.
     pub const ALL: [TraceKind; TraceKind::COUNT] = [
@@ -130,6 +134,8 @@ impl TraceKind {
         TraceKind::DeadlockDetected,
         TraceKind::WatchdogStall,
         TraceKind::BiasDegraded,
+        TraceKind::WakerStored,
+        TraceKind::WakerWoken,
         TraceKind::ReadBegin,
         TraceKind::WriteBegin,
         TraceKind::Enqueued,
@@ -140,7 +146,7 @@ impl TraceKind {
         TraceKind::WriteRelease,
     ];
 
-    /// Stable `snake_case` name (the first 29 match
+    /// Stable `snake_case` name (the first 31 match
     /// `LockEvent::name()`).
     pub const fn name(self) -> &'static str {
         match self {
@@ -173,6 +179,8 @@ impl TraceKind {
             TraceKind::DeadlockDetected => "deadlock_detected",
             TraceKind::WatchdogStall => "watchdog_stall",
             TraceKind::BiasDegraded => "bias_degraded",
+            TraceKind::WakerStored => "waker_stored",
+            TraceKind::WakerWoken => "waker_woken",
             TraceKind::ReadBegin => "read_begin",
             TraceKind::WriteBegin => "write_begin",
             TraceKind::Enqueued => "enqueued",

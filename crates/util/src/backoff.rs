@@ -138,6 +138,34 @@ impl Backoff {
         self.step.min(self.policy.spin_limit).min(MAX_SPIN_EXPONENT)
     }
 
+    /// Async-aware backoff step: spins like [`Backoff::backoff`] but
+    /// **never yields, parks, or otherwise blocks the calling thread** —
+    /// a future's `poll` must stay non-blocking whatever the contention.
+    ///
+    /// Returns `true` while the bounded spin phase has budget left (the
+    /// caller may retry its fast path); `false` once the phase is
+    /// exhausted — an async caller must then store its waker and return
+    /// `Poll::Pending` instead of escalating to `yield_now`/parking the
+    /// way the thread-based strategies do.
+    pub fn poll_relax(&mut self) -> bool {
+        if self.step > self.policy.spin_limit {
+            return false;
+        }
+        #[cfg(loom)]
+        {
+            spin_loop_hint();
+        }
+        #[cfg(not(loom))]
+        {
+            let spins = 1u32 << self.spin_exponent();
+            for _ in 0..spins {
+                spin_loop_hint();
+            }
+        }
+        self.step += 1;
+        true
+    }
+
     /// One relax step with no exponential growth; for tight "wait until flag
     /// flips" loops where the waiter is next in line and the wait is expected
     /// to be short (queue hand-offs).
@@ -247,6 +275,38 @@ mod tests {
             b.relax();
         }
         assert_eq!(b.step, b.policy.spin_limit + 1);
+    }
+
+    /// The async contract: `poll_relax` spins a *bounded* number of times
+    /// and then refuses — it must never reach the yield (or any blocking)
+    /// escalation, so a `poll` built on it cannot block its executor
+    /// thread. The budget is exactly `spin_limit + 1` calls.
+    #[test]
+    fn poll_relax_is_bounded_and_never_yields() {
+        let policy = BackoffPolicy {
+            spin_limit: 3,
+            yield_limit: 10,
+        };
+        let mut b = Backoff::with_policy(policy);
+        let mut granted = 0;
+        while b.poll_relax() {
+            granted += 1;
+            assert!(
+                granted <= policy.spin_limit + 1,
+                "spin budget must be finite"
+            );
+        }
+        assert_eq!(granted, policy.spin_limit + 1);
+        // Exhausted: every further call refuses immediately without
+        // touching the step counter (no hidden escalation state).
+        let step_after = b.step;
+        for _ in 0..100 {
+            assert!(!b.poll_relax());
+        }
+        assert_eq!(b.step, step_after);
+        // And the refusal point is exactly where the thread-based backoff
+        // would have started yielding the OS thread.
+        assert!(b.is_contended());
     }
 
     #[test]

@@ -253,7 +253,7 @@ mod tests {
         // documents the fallback.
         let t = Topology::get();
         if t.is_detected() {
-            assert_eq!(t.cpus() >= 1, true);
+            assert!(t.cpus() >= 1);
         } else {
             // Fallback is the identity permutation.
             for cpu in 0..t.cpus() {

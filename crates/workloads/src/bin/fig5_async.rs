@@ -1,0 +1,204 @@
+//! `fig5_async` — the async-lock counterpart of `fig5`: mass *task*
+//! contention on a bounded worker pool.
+//!
+//! ```text
+//! USAGE:
+//!   fig5_async [--tasks N] [--workers N] [--write-pct P] [--cancel-pct P]
+//!              [--deadline-ms N] [--seed N]
+//!              [--json PATH] [--merge PATH] [--telemetry] [--quiet]
+//! ```
+//!
+//! Spawns `--tasks` futures that each acquire an
+//! `oll_async::AsyncRwLock` (a `--write-pct` slice as writers, a
+//! `--cancel-pct` slice with a deadline so timeouts exercise the
+//! tombstone-cancellation path) on `--workers` OS threads, behind a
+//! write-lock gate so the whole backlog queues before the grant cascade
+//! starts. The headline configuration — one million tasks on eight
+//! workers — is what `regen_results.sh` records:
+//!
+//! ```sh
+//! cargo run -p oll-workloads --release --features async --bin fig5_async -- \
+//!     --tasks 1000000 --workers 8 --merge BENCH_fig5.json
+//! ```
+//!
+//! `--json` writes the run as a standalone `oll.fig5_async` document;
+//! `--merge` folds it into an existing `oll.fig5` document (the
+//! committed `BENCH_fig5.json`) as its top-level `"async"` member.
+//! The binary exits nonzero if the run leaks state: every task must end
+//! granted or timed out, and the C-SNZI surplus and wait queue must
+//! both be zero at exit.
+
+use oll_workloads::async_bench::{
+    render_async_text, render_fig5_async_json, run_async_bench, AsyncBenchConfig,
+};
+use oll_workloads::json::merge_member;
+use std::io::Write as _;
+use std::process::exit;
+
+struct Args {
+    config: AsyncBenchConfig,
+    json: Option<String>,
+    merge: Option<String>,
+    telemetry: bool,
+    quiet: bool,
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: fig5_async [--tasks N] [--workers N] [--write-pct P]\n\
+         \t[--cancel-pct P] [--deadline-ms N] [--seed N]\n\
+         \t[--json PATH] [--merge PATH] [--telemetry] [--quiet]"
+    );
+    exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut config = AsyncBenchConfig {
+        tasks: 100_000,
+        workers: 8,
+        ..AsyncBenchConfig::quick()
+    };
+    let mut json = None;
+    let mut merge = None;
+    let mut telemetry = false;
+    let mut quiet = false;
+
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: usize| -> String {
+            argv.get(i + 1)
+                .unwrap_or_else(|| usage("missing value for flag"))
+                .clone()
+        };
+        match argv[i].as_str() {
+            "--tasks" => {
+                config.tasks = value(i).parse().unwrap_or_else(|_| usage("bad --tasks"));
+                i += 1;
+            }
+            "--workers" => {
+                config.workers = value(i).parse().unwrap_or_else(|_| usage("bad --workers"));
+                if config.workers == 0 {
+                    usage("--workers needs at least one thread");
+                }
+                i += 1;
+            }
+            "--write-pct" => {
+                config.write_pct = value(i)
+                    .parse()
+                    .ok()
+                    .filter(|p| *p <= 100)
+                    .unwrap_or_else(|| usage("bad --write-pct"));
+                i += 1;
+            }
+            "--cancel-pct" => {
+                config.cancel_pct = value(i)
+                    .parse()
+                    .ok()
+                    .filter(|p| *p <= 100)
+                    .unwrap_or_else(|| usage("bad --cancel-pct"));
+                i += 1;
+            }
+            "--deadline-ms" => {
+                config.deadline_ms = value(i)
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --deadline-ms"));
+                i += 1;
+            }
+            "--seed" => {
+                config.seed = value(i).parse().unwrap_or_else(|_| usage("bad --seed"));
+                i += 1;
+            }
+            "--json" => {
+                json = Some(value(i));
+                i += 1;
+            }
+            "--merge" => {
+                merge = Some(value(i));
+                i += 1;
+            }
+            "--telemetry" => telemetry = true,
+            "--quiet" => quiet = true,
+            "--help" | "-h" => usage("help requested"),
+            other => usage(&format!("unknown flag `{other}`")),
+        }
+        i += 1;
+    }
+    Args {
+        config,
+        json,
+        merge,
+        telemetry,
+        quiet,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    if args.telemetry && !oll_telemetry::Telemetry::enabled() {
+        eprintln!(
+            "warning: this binary was built without the `telemetry` feature; \
+             no profiles will be recorded. Rebuild with:\n  \
+             cargo run -p oll-workloads --release --features async,telemetry \
+             --bin fig5_async -- --telemetry"
+        );
+    }
+    if !args.quiet {
+        eprintln!(
+            "fig5_async: {} task(s) on {} worker(s), {}% writes, {}% with a {}ms deadline",
+            args.config.tasks,
+            args.config.workers,
+            args.config.write_pct,
+            args.config.cancel_pct,
+            args.config.deadline_ms,
+        );
+    }
+
+    let result = run_async_bench(&args.config);
+    println!("{}", render_async_text(&result));
+    if args.telemetry {
+        if let Some(profile) = &result.telemetry {
+            println!(
+                "{}",
+                oll_telemetry::report::render_text(std::slice::from_ref(profile))
+            );
+        }
+    }
+
+    let doc = render_fig5_async_json(&result);
+    if let Some(path) = &args.json {
+        let mut f = std::fs::File::create(path)
+            .unwrap_or_else(|e| usage(&format!("cannot create {path}: {e}")));
+        f.write_all(doc.as_bytes())
+            .and_then(|()| f.write_all(b"\n"))
+            .unwrap_or_else(|e| usage(&format!("cannot write {path}: {e}")));
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = &args.merge {
+        let base = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| usage(&format!("cannot read {path}: {e}")));
+        let merged = merge_member(&base, "async", &doc)
+            .unwrap_or_else(|e| usage(&format!("{path}: cannot merge: {e}")));
+        let mut f = std::fs::File::create(path)
+            .unwrap_or_else(|e| usage(&format!("cannot create {path}: {e}")));
+        f.write_all(merged.as_bytes())
+            .and_then(|()| f.write_all(b"\n"))
+            .unwrap_or_else(|e| usage(&format!("cannot write {path}: {e}")));
+        eprintln!("merged async panel into {path}");
+    }
+
+    if !result.clean_exit() {
+        eprintln!(
+            "fig5_async: FAIL: leaked exit state: {}+{}+{} of {} task(s), \
+             surplus={}, queued={}",
+            result.granted_reads,
+            result.granted_writes,
+            result.timed_out,
+            result.config.tasks,
+            result.surplus_at_exit,
+            result.queued_at_exit,
+        );
+        exit(1);
+    }
+}

@@ -3,7 +3,7 @@
 //! ```text
 //! USAGE:
 //!   fig5check PATH [--expect-adaptive] [--expect-biased] [--expect-hazard]
-//!             [--expect-shape N]
+//!             [--expect-shape N] [--expect-async] [--expect-async-tasks N]
 //! ```
 //!
 //! Parses the document with the in-tree parser (`oll_workloads::json`),
@@ -14,6 +14,14 @@
 //! `fig5 --adaptive --json` and `fig5 --biased --json` sweeps so both
 //! option paths are validated end to end: CLI flag → lock builders →
 //! sweep → JSON report → parser.
+//!
+//! `--expect-async` requires the document to carry the `"async"` member
+//! that `fig5_async --merge` folds in (an `oll.fig5_async` panel) and
+//! re-checks its invariants: every task accounted for (granted or timed
+//! out), zero C-SNZI surplus and zero queued waiters at exit, positive
+//! throughput. `--expect-async-tasks N` additionally demands the
+//! recorded run drove at least N tasks — the committed
+//! `BENCH_fig5.json` is checked with `--expect-async-tasks 1000000`.
 
 use oll_workloads::json::parse::{self, Value};
 use std::process::exit;
@@ -22,7 +30,7 @@ fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: fig5check PATH [--expect-adaptive] [--expect-biased] [--expect-hazard] \
-         [--expect-shape N]"
+         [--expect-shape N] [--expect-async] [--expect-async-tasks N]"
     );
     exit(2);
 }
@@ -39,12 +47,26 @@ fn main() {
     let mut expect_biased = false;
     let mut expect_hazard = false;
     let mut expect_shape = None;
+    let mut expect_async = false;
+    let mut expect_async_tasks = None;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
             "--expect-adaptive" => expect_adaptive = true,
             "--expect-biased" => expect_biased = true,
             "--expect-hazard" => expect_hazard = true,
+            "--expect-async" => expect_async = true,
+            "--expect-async-tasks" => {
+                let v = argv
+                    .get(i + 1)
+                    .unwrap_or_else(|| usage("missing value for --expect-async-tasks"));
+                expect_async_tasks = Some(
+                    v.parse::<u64>()
+                        .unwrap_or_else(|_| usage("bad --expect-async-tasks")),
+                );
+                expect_async = true;
+                i += 1;
+            }
             "--expect-shape" => {
                 let v = argv
                     .get(i + 1)
@@ -143,14 +165,64 @@ fn main() {
             }
         }
     }
+    let mut async_tasks = None;
+    if expect_async {
+        let a = doc
+            .get("async")
+            .unwrap_or_else(|| fail("missing async member (run fig5_async --merge)"));
+        if a.get("schema").and_then(Value::as_str) != Some("oll.fig5_async") {
+            fail("async member's schema is not \"oll.fig5_async\"");
+        }
+        let field = |key: &str| -> u64 {
+            a.get(key)
+                .and_then(Value::as_u64)
+                .unwrap_or_else(|| fail(&format!("async member: missing {key}")))
+        };
+        let tasks = field("tasks");
+        let workers = field("workers");
+        if tasks == 0 || workers == 0 {
+            fail("async member: zero tasks or workers");
+        }
+        if let Some(want) = expect_async_tasks {
+            if tasks < want {
+                fail(&format!(
+                    "async member: {tasks} task(s), expected >= {want}"
+                ));
+            }
+        }
+        let accounted = field("granted_reads") + field("granted_writes") + field("timed_out");
+        if accounted != tasks {
+            fail(&format!(
+                "async member: {accounted} task(s) accounted for, expected {tasks}"
+            ));
+        }
+        if field("surplus_at_exit") != 0 || field("queued_at_exit") != 0 {
+            fail("async member: leaked exit state (surplus or queue nonzero)");
+        }
+        let rate = a
+            .get("tasks_per_sec")
+            .and_then(Value::as_f64)
+            .unwrap_or_else(|| fail("async member: missing tasks_per_sec"));
+        if !(rate.is_finite() && rate > 0.0) {
+            fail(&format!("async member: non-positive throughput {rate}"));
+        }
+        if a.get("grant_latency").is_none() {
+            fail("async member: missing grant_latency");
+        }
+        async_tasks = Some((tasks, workers));
+    }
     println!(
-        "fig5check: OK: {path}: {} panel(s), {points} point(s){}{}{}{}",
+        "fig5check: OK: {path}: {} panel(s), {points} point(s){}{}{}{}{}",
         panels.len(),
         if expect_adaptive { ", adaptive" } else { "" },
         if expect_biased { ", biased" } else { "" },
         if expect_hazard { ", hazard" } else { "" },
         match expect_shape {
             Some(n) => format!(", shape_threads={n}"),
+            None => String::new(),
+        },
+        match async_tasks {
+            Some((t, w)) => format!(", async {t} task(s) on {w} worker(s)"),
             None => String::new(),
         },
     );

@@ -268,6 +268,28 @@ pub fn render_trace_json(tl: &Timeline, report: &TraceReport) -> String {
     out
 }
 
+/// Sets member `key` of the top-level object in `doc` to the JSON
+/// document `member`, replacing any existing member of that name, and
+/// returns the re-rendered document. This is how `fig5_async --merge`
+/// folds its `oll.fig5_async` panel into the committed `BENCH_fig5.json`
+/// trajectory file without disturbing the `oll.fig5` members around it.
+pub fn merge_member(doc: &str, key: &str, member: &str) -> Result<String, parse::ParseError> {
+    use parse::Value;
+    let root = parse::parse(doc)?;
+    let inserted = parse::parse(member)?;
+    let Value::Obj(mut members) = root else {
+        return Err(parse::ParseError {
+            pos: 0,
+            msg: "top-level value is not an object",
+        });
+    };
+    match members.iter_mut().find(|(k, _)| k == key) {
+        Some((_, v)) => *v = inserted,
+        None => members.push((key.to_string(), inserted)),
+    }
+    Ok(Value::Obj(members).render())
+}
+
 /// A minimal JSON reader for the documents this module emits: round-trip
 /// tests and the `--trace` CI smoke check parse with it. Full JSON
 /// grammar; numbers come back as f64 (which is why 64-bit tokens travel
@@ -293,6 +315,52 @@ pub mod parse {
     }
 
     impl Value {
+        /// Serializes this value back to JSON text (compact, key order
+        /// preserved). Numbers render via Rust's shortest-round-trip
+        /// `f64` formatting, so a parse → render → parse cycle is
+        /// lossless.
+        pub fn render(&self) -> String {
+            let mut out = String::new();
+            self.render_into(&mut out);
+            out
+        }
+
+        fn render_into(&self, out: &mut String) {
+            use std::fmt::Write as _;
+            match self {
+                Value::Null => out.push_str("null"),
+                Value::Bool(true) => out.push_str("true"),
+                Value::Bool(false) => out.push_str("false"),
+                Value::Num(n) => {
+                    let _ = write!(out, "{n}");
+                }
+                Value::Str(s) => {
+                    let _ = write!(out, "\"{}\"", oll_telemetry::report::json_escape(s));
+                }
+                Value::Arr(items) => {
+                    out.push('[');
+                    for (i, v) in items.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        v.render_into(out);
+                    }
+                    out.push(']');
+                }
+                Value::Obj(members) => {
+                    out.push('{');
+                    for (i, (k, v)) in members.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "\"{}\":", oll_telemetry::report::json_escape(k));
+                        v.render_into(out);
+                    }
+                    out.push('}');
+                }
+            }
+        }
+
         /// Object member lookup.
         pub fn get(&self, key: &str) -> Option<&Value> {
             match self {
@@ -876,6 +944,59 @@ mod tests {
         assert_eq!(
             breakdown.get("via_handoff").and_then(Value::as_u64),
             Some(1)
+        );
+    }
+
+    #[test]
+    fn render_is_parse_inverse() {
+        let doc = r#"{"a":[1,-2.5,1e3,true,null],"s":"q\" \\ A 😀","o":{"k":0.000087}}"#;
+        let v = parse::parse(doc).unwrap();
+        let rendered = v.render();
+        assert_eq!(parse::parse(&rendered).unwrap(), v);
+        // Idempotent: rendering the re-parse reproduces the same text.
+        assert_eq!(parse::parse(&rendered).unwrap().render(), rendered);
+    }
+
+    #[test]
+    fn merge_member_inserts_and_replaces() {
+        let base = r#"{"schema":"oll.fig5","panels":[]}"#;
+        let merged = merge_member(base, "async", r#"{"tasks":5}"#).unwrap();
+        let v = parse::parse(&merged).unwrap();
+        assert_eq!(v.get("schema").and_then(Value::as_str), Some("oll.fig5"));
+        assert_eq!(
+            v.get("async")
+                .and_then(|a| a.get("tasks"))
+                .and_then(Value::as_u64),
+            Some(5)
+        );
+        // Replacing an existing member keeps exactly one copy.
+        let again = merge_member(&merged, "async", r#"{"tasks":9}"#).unwrap();
+        let v = parse::parse(&again).unwrap();
+        assert_eq!(
+            v.get("async")
+                .and_then(|a| a.get("tasks"))
+                .and_then(Value::as_u64),
+            Some(9)
+        );
+        assert_eq!(again.matches("\"async\":").count(), 1);
+        // A non-object root is an error, not a panic.
+        assert!(merge_member("[1,2]", "async", "{}").is_err());
+    }
+
+    #[test]
+    fn fig5_document_survives_merge_round_trip() {
+        let panel = run_panel(Fig5Panel::B, &tiny_opts());
+        let doc = render_fig5_json(&[panel]);
+        let merged = merge_member(&doc, "async", r#"{"schema":"oll.fig5_async"}"#).unwrap();
+        let v = parse::parse(&merged).expect("merged doc must parse");
+        // The fig5 members are untouched and the async member landed.
+        assert_eq!(v.get("schema").and_then(Value::as_str), Some("oll.fig5"));
+        assert!(v.get("panels").and_then(Value::as_arr).is_some());
+        assert_eq!(
+            v.get("async")
+                .and_then(|a| a.get("schema"))
+                .and_then(Value::as_str),
+            Some("oll.fig5_async")
         );
     }
 

@@ -80,6 +80,12 @@ impl LatencyHistogram {
         self.max_ns
     }
 
+    /// Summarizes this histogram into the fixed percentile set the
+    /// reports carry.
+    pub fn summarize(&self) -> LatencySummary {
+        LatencySummary::from(self)
+    }
+
     /// Approximate percentile (upper bound of the bucket containing it),
     /// in nanoseconds. `p` in [0, 1].
     pub fn percentile_ns(&self, p: f64) -> u64 {

@@ -18,6 +18,10 @@
 
 #![warn(missing_docs)]
 
+#[cfg(feature = "async")]
+pub mod async_bench;
+#[cfg(feature = "async")]
+pub mod async_exec;
 pub mod config;
 pub mod json;
 pub mod latency;
@@ -26,6 +30,8 @@ pub mod runner;
 pub mod sweep;
 pub mod traceio;
 
+#[cfg(feature = "async")]
+pub use async_bench::{run_async_bench, AsyncBenchConfig, AsyncBenchResult};
 pub use config::{Fig5Panel, LockKind, WorkloadConfig};
 pub use latency::{
     run_latency, run_latency_profiled, LatencyHistogram, LatencyResult, LatencySummary,

@@ -1,0 +1,55 @@
+//! Async quick-start: the futures-native lock family.
+//!
+//! ```sh
+//! cargo run --example async_quickstart --features async
+//! ```
+//!
+//! `AsyncRwLock` suspends *tasks*, not threads: a pending acquisition
+//! parks its task waker in the queue node and the releasing task wakes
+//! it directly (grant cascade), so any executor — or the bundled
+//! single-future `block_on` — can drive it. Dropping a pending future
+//! cancels the acquisition, and the deadline variants time out on their
+//! own.
+
+use oll::{block_on, AsyncRwLock};
+use std::time::{Duration, Instant};
+
+fn main() {
+    let lock = AsyncRwLock::new(vec![1u64, 2, 3]);
+
+    block_on(async {
+        // Shared reads: many read guards may be live at once.
+        {
+            let data = lock.read().await;
+            println!("read: sum = {}", data.iter().sum::<u64>());
+        }
+
+        // Exclusive write.
+        {
+            let mut data = lock.write().await;
+            data.push(4);
+            println!("write: appended, len = {}", data.len());
+        }
+
+        // Deadline variants return Err(TimedOut) instead of waiting
+        // forever. With the lock free this grants immediately...
+        let deadline = Instant::now() + Duration::from_millis(10);
+        match lock.read_deadline(deadline).await {
+            Ok(data) => println!("read_deadline: granted, len = {}", data.len()),
+            Err(e) => println!("read_deadline: {e}"),
+        }
+
+        // ...and with a write guard held it times out: the waiter
+        // tombstones its queue node and the next release skips it.
+        let gate = lock.write().await;
+        let deadline = Instant::now() + Duration::from_millis(10);
+        match lock.read_deadline(deadline).await {
+            Ok(_) => unreachable!("write guard is held"),
+            Err(e) => println!("read_deadline under contention: {e}"),
+        }
+        drop(gate);
+
+        // try_read / try_write are the non-suspending fast paths.
+        assert!(lock.try_read().is_some());
+    });
+}

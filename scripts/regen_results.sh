@@ -48,4 +48,13 @@ echo "==> BENCH_fig5.json: fixed trajectory sweep (panel b, OLL locks)"
     --json BENCH_fig5.json >/dev/null
 "$FIG5CHECK" BENCH_fig5.json
 
+echo "==> BENCH_fig5.json async panel: 1M tasks on 8 workers (fig5_async)"
+# The async lock family's headline demonstration: one million
+# concurrently queued lock-user tasks on eight worker threads, every
+# task granted or cleanly cancelled, zero surplus and zero queued
+# waiters at exit. Folded into BENCH_fig5.json as its "async" member.
+cargo build --release -p oll-workloads --features async
+target/release/fig5_async --tasks 1000000 --workers 8 --merge BENCH_fig5.json
+"$FIG5CHECK" BENCH_fig5.json --expect-async --expect-async-tasks 1000000
+
 echo "==> done; review the diffs before committing"

@@ -45,6 +45,9 @@
 //! * [`baselines`] — KSUH, Solaris-like, MCS, MCS-RW, centralized,
 //!   per-thread, std (§1, §5).
 //! * [`workloads`] — the Figure 5 throughput harness (§5).
+//! * `async_lock` — the futures-native [`AsyncRwLock`] family: task-waker
+//!   hand-off over the same C-SNZI cores, cancel-on-drop, deadlines
+//!   (build with the `async` feature; absent otherwise).
 //! * [`telemetry`] — per-lock contention profiling (build with the
 //!   `telemetry` feature to record; zero-cost no-ops otherwise).
 //! * [`hazard`] — panic-safe poisoning, online deadlock detection, and
@@ -54,6 +57,8 @@
 //!   wait-chain analysis (build with the `trace` feature to record).
 //! * [`util`] — backoff, cache padding, events, spin mutex, thread slots.
 
+#[cfg(feature = "async")]
+pub use oll_async as async_lock;
 pub use oll_baselines as baselines;
 pub use oll_core as core;
 pub use oll_csnzi as csnzi;
@@ -82,3 +87,17 @@ pub use oll_csnzi::{
     ArrivalMode, ArrivalPolicy, CSnzi, CancelOutcome, LeafCursor, Snzi, TreeShape,
 };
 pub use oll_hazard::{Hazard, PoisonPolicy};
+
+#[cfg(feature = "async")]
+pub use oll_async::{
+    block_on, AsyncReadGuard, AsyncRwLock, AsyncRwLockBuilder, AsyncWriteGuard, ReadFuture,
+    TimedReadFuture, TimedWriteFuture, WriteFuture,
+};
+
+/// Whether this build carries the futures-native lock family (and with
+/// it the task-waker machinery — `oll-async` is the only crate that
+/// contains any). `tests/async_off.rs` pins this to `false` for the
+/// default feature set: the waker slot lives inside `oll-async` itself,
+/// so a build without the `async` feature does not merely disable the
+/// machinery, it never links the crate that defines it.
+pub const HAS_ASYNC_LOCKS: bool = cfg!(feature = "async");

@@ -1,0 +1,146 @@
+//! Drop-cancellation chaos for the async lock family, mirroring
+//! `tests/chaos.rs`: queue ten thousand futures behind a write gate,
+//! drop a seeded-random half of them mid-wait, and demand that the
+//! grant cascade skips every tombstone, completes every survivor, and
+//! leaves the C-SNZI surplus and wait queue at exactly zero.
+//!
+//! Run with `cargo test --features async --test async_chaos`. Without
+//! the feature this file compiles to nothing.
+
+#![cfg(all(feature = "async", not(loom)))]
+
+use oll::util::XorShift64;
+use oll::{AsyncReadGuard, AsyncRwLock, AsyncWriteGuard, ReadFuture, WriteFuture};
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+
+/// A waker that records the wake in a flag, so the single-threaded
+/// driver below knows which futures are ready to re-poll.
+struct FlagWaker(Arc<AtomicBool>);
+
+impl Wake for FlagWaker {
+    fn wake(self: Arc<Self>) {
+        self.0.store(true, Ordering::Release);
+    }
+}
+
+enum Pending<'a> {
+    Read(ReadFuture<'a, u64>),
+    Write(WriteFuture<'a, u64>),
+}
+
+enum Granted<'a> {
+    Read(AsyncReadGuard<'a, u64>),
+    Write(AsyncWriteGuard<'a, u64>),
+}
+
+impl<'a> Pending<'a> {
+    fn poll(&mut self, cx: &mut Context<'_>) -> Poll<Granted<'a>> {
+        match self {
+            Pending::Read(f) => Pin::new(f).poll(cx).map(Granted::Read),
+            Pending::Write(f) => Pin::new(f).poll(cx).map(Granted::Write),
+        }
+    }
+}
+
+#[test]
+fn drop_half_mid_wait_rest_complete() {
+    const FUTURES: usize = 10_000;
+    const WRITE_EVERY: usize = 10;
+
+    let lock = AsyncRwLock::new(0u64);
+    let gate = lock.try_write().expect("uncontended gate");
+
+    // Queue 10k acquisitions (every tenth a writer) by polling each
+    // future once against the held gate.
+    let mut slots: Vec<(Option<Pending<'_>>, Arc<AtomicBool>)> = Vec::with_capacity(FUTURES);
+    for i in 0..FUTURES {
+        let mut fut = if i % WRITE_EVERY == 0 {
+            Pending::Write(lock.write())
+        } else {
+            Pending::Read(lock.read())
+        };
+        let flag = Arc::new(AtomicBool::new(false));
+        let waker = Waker::from(Arc::new(FlagWaker(Arc::clone(&flag))));
+        let mut cx = Context::from_waker(&waker);
+        assert!(
+            fut.poll(&mut cx).is_pending(),
+            "future {i} granted under the gate"
+        );
+        slots.push((Some(fut), flag));
+    }
+    assert_eq!(lock.queued_waiters(), FUTURES);
+
+    // Drop a seeded-random ~50% mid-wait. Their Drop impls tombstone
+    // the queue nodes; the nodes stay queued until the cascade.
+    let mut rng = XorShift64::new(0x5eed_c0de);
+    let mut dropped = 0usize;
+    let mut surviving_writers = 0usize;
+    for (i, (fut, _)) in slots.iter_mut().enumerate() {
+        if rng.percent(50) {
+            *fut = None; // Drop runs here, mid-wait.
+            dropped += 1;
+        } else if i % WRITE_EVERY == 0 {
+            surviving_writers += 1;
+        }
+    }
+    assert!(dropped > FUTURES / 3, "seed produced a degenerate split");
+    // Tombstones still occupy the queue.
+    assert_eq!(lock.queued_waiters(), FUTURES);
+
+    // Open the gate: the cascade must grant every survivor and undo
+    // every tombstone's pre-arrival. Drive the survivors to completion
+    // single-threaded, re-polling whichever futures have been woken.
+    drop(gate);
+    let mut completed = 0usize;
+    let mut sweeps = 0usize;
+    while completed < FUTURES - dropped {
+        sweeps += 1;
+        assert!(
+            sweeps <= FUTURES,
+            "no forward progress: {completed}/{} after {sweeps} sweeps",
+            FUTURES - dropped
+        );
+        let mut progressed = false;
+        for (slot, flag) in slots.iter_mut() {
+            let Some(fut) = slot else { continue };
+            if !flag.swap(false, Ordering::AcqRel) {
+                continue;
+            }
+            let waker = Waker::from(Arc::new(FlagWaker(Arc::clone(flag))));
+            let mut cx = Context::from_waker(&waker);
+            match fut.poll(&mut cx) {
+                Poll::Ready(granted) => {
+                    match granted {
+                        Granted::Write(mut g) => *g += 1,
+                        Granted::Read(g) => {
+                            std::hint::black_box(*g);
+                        }
+                    };
+                    // Guard drops here, cascading the next grant.
+                    *slot = None;
+                    completed += 1;
+                    progressed = true;
+                }
+                Poll::Pending => {}
+            }
+        }
+        assert!(progressed, "woken set drained without any completion");
+    }
+
+    // Exit state: every survivor completed, every write landed, and
+    // nothing leaked through the tombstone cascade.
+    assert_eq!(completed, FUTURES - dropped);
+    assert_eq!(lock.queued_waiters(), 0, "queue must drain to zero");
+    assert_eq!(lock.csnzi_snapshot().surplus(), 0, "surplus must be zero");
+    let final_value = *lock.try_read().expect("lock is free");
+    assert_eq!(
+        final_value as usize, surviving_writers,
+        "every surviving writer incremented exactly once"
+    );
+    // And the lock is fully functional.
+    drop(lock.try_write().expect("lock is free"));
+}
