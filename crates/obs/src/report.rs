@@ -1,0 +1,277 @@
+//! Text and JSON (`oll.obs` v1) renderers for a sampler state.
+//!
+//! # The `oll.obs` document, version 1
+//!
+//! ```text
+//! {
+//!   "schema": "oll.obs", "version": 1,
+//!   "interval_ms": 100,          // configured sampling interval
+//!   "elapsed_secs": 3.2,         // sampler uptime at render time
+//!   "samples": 32,               // ticks taken
+//!   "windows_retained": 30,      // windows still in the ring
+//!   "windows_evicted": 2,        // windows folded into the totals
+//!   "health": [ { "lock", "kind", "health", "severity", "acquires",
+//!                 "read_ratio", "slow_ratio", "acquire_rate",
+//!                 "reasons": [...] } ],
+//!   "totals": [ <oll.telemetry lock object> ],   // exact run totals
+//!   "series": [ { "t_ns", "dt_ns",
+//!                 "locks": [ { "lock", "kind", "reads", "writes",
+//!                              "read_rate", "write_rate",
+//!                              "acquire_p50_ns", "acquire_p99_ns",
+//!                              "acquire_p999_ns", "hold_p50_ns",
+//!                              "hold_p99_ns", "hold_p999_ns" } ] } ]
+//! }
+//! ```
+//!
+//! `totals` reuses the `oll.telemetry` per-lock object verbatim (name,
+//! kind, sparse event map, sparse histograms); `series` rows are the
+//! compact per-window digests — counts, rates, and quantile estimates —
+//! so a long retention window stays small. `read_ratio` / `slow_ratio`
+//! are `null` when the lock recorded no acquisitions.
+
+use crate::health::LockHealthReport;
+use crate::series::{ObsState, SampleWindow};
+use oll_telemetry::report::{json_escape, render_lock_json, SCHEMA_VERSION};
+use oll_telemetry::{HistogramSnapshot, LockSnapshot};
+use std::fmt::Write as _;
+
+fn opt_f64(v: Option<f64>) -> String {
+    match v {
+        Some(x) if x.is_finite() => format!("{x:.6}"),
+        _ => "null".to_string(),
+    }
+}
+
+fn f64_or_zero(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "0".to_string()
+    }
+}
+
+fn merged(a: &HistogramSnapshot, b: &HistogramSnapshot) -> HistogramSnapshot {
+    let mut out = *a;
+    out.merge(b);
+    out
+}
+
+fn window_lock_json(w: &SampleWindow, d: &LockSnapshot) -> String {
+    let secs = w.dt_ns.max(1) as f64 / 1e9;
+    let acquire = merged(&d.read_acquire, &d.write_acquire);
+    let hold = merged(&d.read_hold, &d.write_hold);
+    format!(
+        "{{\"lock\":\"{}\",\"kind\":\"{}\",\"reads\":{},\"writes\":{},\
+         \"read_rate\":{},\"write_rate\":{},\
+         \"acquire_p50_ns\":{},\"acquire_p99_ns\":{},\"acquire_p999_ns\":{},\
+         \"hold_p50_ns\":{},\"hold_p99_ns\":{},\"hold_p999_ns\":{}}}",
+        json_escape(&d.name),
+        json_escape(&d.kind),
+        d.reads(),
+        d.writes(),
+        f64_or_zero(d.reads() as f64 / secs),
+        f64_or_zero(d.writes() as f64 / secs),
+        acquire.percentile_ns(0.50),
+        acquire.percentile_ns(0.99),
+        acquire.percentile_ns(0.999),
+        hold.percentile_ns(0.50),
+        hold.percentile_ns(0.99),
+        hold.percentile_ns(0.999),
+    )
+}
+
+fn health_json(h: &LockHealthReport) -> String {
+    let mut reasons = String::from("[");
+    for (i, r) in h.reasons.iter().enumerate() {
+        if i > 0 {
+            reasons.push(',');
+        }
+        let _ = write!(reasons, "\"{}\"", json_escape(r));
+    }
+    reasons.push(']');
+    format!(
+        "{{\"lock\":\"{}\",\"kind\":\"{}\",\"health\":\"{}\",\"severity\":{},\
+         \"acquires\":{},\"read_ratio\":{},\"slow_ratio\":{},\"acquire_rate\":{},\
+         \"reasons\":{}}}",
+        json_escape(&h.name),
+        json_escape(&h.kind),
+        h.health.name(),
+        h.health.severity(),
+        h.acquires,
+        opt_f64(h.read_ratio),
+        opt_f64(h.slow_ratio),
+        f64_or_zero(h.acquire_rate),
+        reasons,
+    )
+}
+
+/// Renders the schema-versioned `oll.obs` document (no trailing
+/// newline).
+pub fn render_obs_json(state: &ObsState, health: &[LockHealthReport]) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"schema\":\"oll.obs\",\"version\":{SCHEMA_VERSION},\
+         \"interval_ms\":{},\"elapsed_secs\":{},\"samples\":{},\
+         \"windows_retained\":{},\"windows_evicted\":{},\"health\":[",
+        state.interval_ns / 1_000_000,
+        f64_or_zero(state.elapsed_ns as f64 / 1e9),
+        state.samples,
+        state.windows.len(),
+        state.windows_evicted,
+    );
+    for (i, h) in health.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&health_json(h));
+    }
+    out.push_str("],\"totals\":[");
+    for (i, s) in state.totals.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&render_lock_json(s));
+    }
+    out.push_str("],\"series\":[");
+    for (i, w) in state.windows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"t_ns\":{},\"dt_ns\":{},\"locks\":[",
+            w.t_ns, w.dt_ns
+        );
+        for (j, d) in w.deltas.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&window_lock_json(w, d));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Renders the one-shot text summary (the `--obs` end-of-run block).
+pub fn render_obs_text(state: &ObsState, health: &[LockHealthReport]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "obs: {} sample(s) over {:.1}s at {}ms; {} window(s) retained, {} evicted",
+        state.samples,
+        state.elapsed_ns as f64 / 1e9,
+        state.interval_ns / 1_000_000,
+        state.windows.len(),
+        state.windows_evicted,
+    );
+    if health.is_empty() {
+        let _ = writeln!(out, "  (no instrumented locks observed)");
+        return out;
+    }
+    for h in health {
+        let total = state.totals.iter().find(|t| t.name == h.name);
+        let acquire_p99 = total
+            .map(|t| merged(&t.read_acquire, &t.write_acquire).percentile_ns(0.99))
+            .unwrap_or(0);
+        let hold_p99 = total
+            .map(|t| merged(&t.read_hold, &t.write_hold).percentile_ns(0.99))
+            .unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "  {:<24} [{:<13}] {:<9} rate={:>12.0}/s acquires={:<10} \
+             p99(acquire)={:<8} p99(hold)={}{}",
+            h.name,
+            h.kind,
+            h.health.name(),
+            h.acquire_rate,
+            h.acquires,
+            fmt_ns(acquire_p99),
+            fmt_ns(hold_p99),
+            if h.reasons.is_empty() {
+                String::new()
+            } else {
+                format!("  [{}]", h.reasons.join(", "))
+            },
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::health::{score_all, HealthConfig};
+    use oll_telemetry::LockEvent;
+
+    fn state() -> ObsState {
+        let mut s = LockSnapshot::empty("obs/ROLL", "ROLL");
+        s.events[LockEvent::ReadFast.index()] = 90;
+        s.events[LockEvent::WriteSlow.index()] = 10;
+        s.write_acquire.buckets[10] = 10;
+        s.write_acquire.count = 10;
+        s.write_acquire.max_ns = 2000;
+        ObsState {
+            interval_ns: 100_000_000,
+            elapsed_ns: 500_000_000,
+            samples: 5,
+            windows_evicted: 1,
+            windows: vec![SampleWindow {
+                t_ns: 500_000_000,
+                dt_ns: 100_000_000,
+                deltas: vec![s.clone()],
+            }],
+            totals: vec![s],
+        }
+    }
+
+    #[test]
+    fn json_doc_is_schema_versioned_and_complete() {
+        let st = state();
+        let health = score_all(&st, &HealthConfig::default());
+        let doc = render_obs_json(&st, &health);
+        assert!(doc.starts_with("{\"schema\":\"oll.obs\",\"version\":1,"));
+        assert!(doc.contains("\"interval_ms\":100"));
+        assert!(doc.contains("\"windows_evicted\":1"));
+        assert!(doc.contains("\"health\":[{\"lock\":\"obs/ROLL\""));
+        assert!(doc.contains("\"write_slow\":10"));
+        assert!(doc.contains("\"acquire_p99_ns\":"));
+        assert!(doc.contains("\"read_rate\":900.000"));
+    }
+
+    #[test]
+    fn null_ratios_for_idle_locks() {
+        let st = ObsState {
+            totals: vec![LockSnapshot::empty("idle", "TEST")],
+            ..ObsState::default()
+        };
+        let health = score_all(&st, &HealthConfig::default());
+        let doc = render_obs_json(&st, &health);
+        assert!(doc.contains("\"read_ratio\":null"));
+        assert!(doc.contains("\"health\":\"idle\""));
+    }
+
+    #[test]
+    fn text_summary_names_every_lock() {
+        let st = state();
+        let health = score_all(&st, &HealthConfig::default());
+        let txt = render_obs_text(&st, &health);
+        assert!(txt.starts_with("obs: 5 sample(s)"));
+        assert!(txt.contains("obs/ROLL"));
+        assert!(txt.contains("p99(hold)"));
+    }
+}

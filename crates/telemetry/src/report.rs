@@ -79,30 +79,18 @@ pub fn render_lock_text(s: &LockSnapshot) -> String {
         s.get(LockEvent::WriteFast),
         s.get(LockEvent::WriteSlow),
     );
-    for e in [
-        LockEvent::ArriveDirect,
-        LockEvent::ArriveTree,
-        LockEvent::HandoffToWriter,
-        LockEvent::HandoffToReaders,
-        LockEvent::GrantCascade,
-        LockEvent::Timeout,
-        LockEvent::Cancel,
-        LockEvent::Upgrade,
-        LockEvent::UpgradeFail,
-        LockEvent::Downgrade,
-        LockEvent::CsnziRootWrite,
-        LockEvent::CsnziNodeWrite,
-        LockEvent::CsnziRootCasFail,
-        LockEvent::CsnziInflate,
-        LockEvent::CsnziDeflate,
-        LockEvent::CsnziLeafMigrate,
-        LockEvent::BiasGrant,
-        LockEvent::BiasRevoke,
-        LockEvent::BiasSlotCollision,
-        LockEvent::BiasRearm,
-        LockEvent::WakerStored,
-        LockEvent::WakerWoken,
-    ] {
+    // Every event in the taxonomy gets a row when nonzero. The four
+    // read/write fast/slow events are already folded into the header
+    // lines above; everything else reports under its own name, so a new
+    // LockEvent variant shows up here without touching this renderer
+    // (the exhaustiveness test below pins that).
+    for e in LockEvent::ALL {
+        if matches!(
+            e,
+            LockEvent::ReadFast | LockEvent::ReadSlow | LockEvent::WriteFast | LockEvent::WriteSlow
+        ) {
+            continue;
+        }
         let c = s.get(e);
         if c != 0 {
             let _ = writeln!(out, "  {:<14} {c}", e.name());
@@ -235,6 +223,41 @@ mod tests {
         assert!(doc.contains("\"read_fast\":100"));
         assert!(doc.contains("[[7,110]]"));
         assert!(!doc.contains("write_fast\":0"), "zero events elided");
+    }
+
+    /// Every event in the 31-variant taxonomy must surface in both
+    /// renderers when its counter is nonzero: the four read/write
+    /// fast/slow events inside the header lines, everything else as an
+    /// own-named row (text) and key (JSON). A variant added to
+    /// `LockEvent::ALL` without report coverage fails here.
+    #[test]
+    fn every_event_reaches_both_reports() {
+        let mut s = LockSnapshot::empty("audit", "GOLL");
+        for (i, e) in LockEvent::ALL.iter().enumerate() {
+            s.events[e.index()] = 1_000 + i as u64;
+        }
+        let txt = render_lock_text(&s);
+        let json = render_lock_json(&s);
+        for (i, e) in LockEvent::ALL.iter().enumerate() {
+            let count = 1_000 + i as u64;
+            match e {
+                LockEvent::ReadFast => assert!(txt.contains(&format!("fast {count}"))),
+                LockEvent::ReadSlow | LockEvent::WriteSlow => {
+                    assert!(txt.contains(&format!("slow {count}")), "{} row", e.name())
+                }
+                LockEvent::WriteFast => assert!(txt.contains(&format!("(fast {count}"))),
+                e => assert!(
+                    txt.contains(&format!("  {:<14} {count}", e.name())),
+                    "text report is missing a row for `{}`",
+                    e.name()
+                ),
+            }
+            assert!(
+                json.contains(&format!("\"{}\":{count}", e.name())),
+                "JSON report is missing a key for `{}`",
+                e.name()
+            );
+        }
     }
 
     #[test]

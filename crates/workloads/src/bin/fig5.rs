@@ -7,7 +7,8 @@
 //!        [--acquisitions N] [--runs N] [--paper] [--verify]
 //!        [--adaptive] [--biased] [--hazard] [--shape N]
 //!        [--csv PATH] [--json PATH] [--telemetry]
-//!        [--trace PATH] [--trace-json PATH]
+//!        [--trace PATH] [--trace-json PATH] [--flame PATH]
+//!        [--obs [ADDR]] [--obs-json PATH] [--obs-interval-ms N]
 //! ```
 //!
 //! Defaults are scaled for a small machine; `--paper` switches to the
@@ -32,10 +33,19 @@
 //! its steady-state overhead is measurable; it needs a build with the
 //! `hazard` cargo feature to do anything. All four are recorded in the
 //! JSON report.
+//!
+//! `--obs` runs the whole sweep under the continuous-monitoring sampler
+//! (needs a `--features obs` build); with an ADDR it also serves
+//! Prometheus text on `http://ADDR/metrics` (plus `/json` and
+//! `/health`) for the duration of the run, and `--obs-json` writes the
+//! final `oll.obs` document. `--flame` writes the trace analyzer's wait
+//! breakdowns as folded stacks for flamegraph tooling (needs
+//! `--trace`).
 
 use oll_trace::TraceSession;
 use oll_workloads::config::{Fig5Panel, LockKind, WorkloadConfig};
 use oll_workloads::json::render_fig5_json;
+use oll_workloads::obsio::{self, ObsArgs};
 use oll_workloads::report::{render_csv, render_table};
 use oll_workloads::sweep::{run_panel, PanelResult, SweepOptions};
 use oll_workloads::traceio;
@@ -50,6 +60,8 @@ struct Args {
     telemetry: bool,
     trace: Option<String>,
     trace_json: Option<String>,
+    flame: Option<String>,
+    obs: ObsArgs,
 }
 
 fn usage(msg: &str) -> ! {
@@ -59,7 +71,8 @@ fn usage(msg: &str) -> ! {
          \t[--locks name,...|all] [--acquisitions N] [--runs N]\n\
          \t[--paper] [--verify] [--adaptive] [--biased] [--hazard] [--shape N]\n\
          \t[--csv PATH] [--json PATH] [--telemetry]\n\
-         \t[--trace PATH] [--trace-json PATH]"
+         \t[--trace PATH] [--trace-json PATH] [--flame PATH]\n\
+         \t[--obs [ADDR]] [--obs-json PATH] [--obs-interval-ms N]"
     );
     exit(2);
 }
@@ -74,10 +87,16 @@ fn parse_args() -> Args {
     let mut paper = false;
     let mut trace = None;
     let mut trace_json = None;
+    let mut flame = None;
+    let mut obs = ObsArgs::default();
 
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
+        if obsio::parse_flag(&argv, &mut i, &mut obs, &mut |m| usage(m)) {
+            i += 1;
+            continue;
+        }
         let value = |i: usize| -> String {
             argv.get(i + 1)
                 .unwrap_or_else(|| usage("missing value for flag"))
@@ -169,6 +188,10 @@ fn parse_args() -> Args {
                 trace_json = Some(value(i));
                 i += 1;
             }
+            "--flame" => {
+                flame = Some(value(i));
+                i += 1;
+            }
             "--quiet" => opts.progress = false,
             "--help" | "-h" => usage("help requested"),
             other => usage(&format!("unknown flag `{other}`")),
@@ -188,6 +211,9 @@ fn parse_args() -> Args {
     if trace.is_none() && trace_json.is_some() {
         usage("--trace-json needs --trace");
     }
+    if trace.is_none() && flame.is_some() {
+        usage("--flame needs --trace");
+    }
     Args {
         panels,
         opts,
@@ -196,6 +222,8 @@ fn parse_args() -> Args {
         telemetry,
         trace,
         trace_json,
+        flame,
+        obs,
     }
 }
 
@@ -243,7 +271,11 @@ fn main() {
     if args.trace.is_some() {
         traceio::warn_if_disabled("fig5");
     }
+    if args.obs.on {
+        obsio::warn_if_disabled("fig5");
+    }
     let session = args.trace.as_ref().map(|_| TraceSession::begin());
+    let obs_session = obsio::start(&args.obs, &mut |m| usage(m));
 
     let mut csv_body = String::new();
     let mut results = Vec::with_capacity(args.panels.len());
@@ -277,14 +309,23 @@ fn main() {
             .unwrap_or_else(|e| usage(&format!("cannot write {path}: {e}")));
         eprintln!("wrote {path}");
     }
+    if let Some(session) = obs_session {
+        let text = obsio::finish(session, args.obs.json.as_deref())
+            .unwrap_or_else(|e| usage(&format!("cannot write obs report: {e}")));
+        println!("-- obs --\n{text}");
+    }
     if let (Some(path), Some(session)) = (&args.trace, session) {
         let tl = session.collect();
-        let text = traceio::write_outputs(&tl, path, args.trace_json.as_deref())
-            .unwrap_or_else(|e| usage(&format!("cannot write trace: {e}")));
+        let text =
+            traceio::write_outputs(&tl, path, args.trace_json.as_deref(), args.flame.as_deref())
+                .unwrap_or_else(|e| usage(&format!("cannot write trace: {e}")));
         println!("-- flight recorder --\n{text}");
         eprintln!("wrote {path}");
         if let Some(doc) = &args.trace_json {
             eprintln!("wrote {doc}");
+        }
+        if let Some(f) = &args.flame {
+            eprintln!("wrote {f}");
         }
     }
 }

@@ -6,6 +6,7 @@
 //!   fig5_async [--tasks N] [--workers N] [--write-pct P] [--cancel-pct P]
 //!              [--deadline-ms N] [--seed N]
 //!              [--json PATH] [--merge PATH] [--telemetry] [--quiet]
+//!              [--obs [ADDR]] [--obs-json PATH] [--obs-interval-ms N]
 //! ```
 //!
 //! Spawns `--tasks` futures that each acquire an
@@ -32,6 +33,7 @@ use oll_workloads::async_bench::{
     render_async_text, render_fig5_async_json, run_async_bench, AsyncBenchConfig,
 };
 use oll_workloads::json::merge_member;
+use oll_workloads::obsio::{self, ObsArgs};
 use std::io::Write as _;
 use std::process::exit;
 
@@ -41,6 +43,7 @@ struct Args {
     merge: Option<String>,
     telemetry: bool,
     quiet: bool,
+    obs: ObsArgs,
 }
 
 fn usage(msg: &str) -> ! {
@@ -48,7 +51,8 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: fig5_async [--tasks N] [--workers N] [--write-pct P]\n\
          \t[--cancel-pct P] [--deadline-ms N] [--seed N]\n\
-         \t[--json PATH] [--merge PATH] [--telemetry] [--quiet]"
+         \t[--json PATH] [--merge PATH] [--telemetry] [--quiet]\n\
+         \t[--obs [ADDR]] [--obs-json PATH] [--obs-interval-ms N]"
     );
     exit(2);
 }
@@ -63,10 +67,15 @@ fn parse_args() -> Args {
     let mut merge = None;
     let mut telemetry = false;
     let mut quiet = false;
+    let mut obs = ObsArgs::default();
 
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
+        if obsio::parse_flag(&argv, &mut i, &mut obs, &mut |m| usage(m)) {
+            i += 1;
+            continue;
+        }
         let value = |i: usize| -> String {
             argv.get(i + 1)
                 .unwrap_or_else(|| usage("missing value for flag"))
@@ -131,6 +140,7 @@ fn parse_args() -> Args {
         merge,
         telemetry,
         quiet,
+        obs,
     }
 }
 
@@ -154,9 +164,18 @@ fn main() {
             args.config.deadline_ms,
         );
     }
+    if args.obs.on {
+        obsio::warn_if_disabled("fig5_async");
+    }
+    let obs_session = obsio::start(&args.obs, &mut |m| usage(m));
 
     let result = run_async_bench(&args.config);
     println!("{}", render_async_text(&result));
+    if let Some(session) = obs_session {
+        let text = obsio::finish(session, args.obs.json.as_deref())
+            .unwrap_or_else(|e| usage(&format!("cannot write obs report: {e}")));
+        println!("-- obs --\n{text}");
+    }
     if args.telemetry {
         if let Some(profile) = &result.telemetry {
             println!(

@@ -1,0 +1,262 @@
+//! `fig5_obs` — measure the continuous-monitoring sampler's overhead.
+//!
+//! ```text
+//! USAGE:
+//!   fig5_obs [--threads 1,2,4,8] [--acquisitions N] [--runs N]
+//!            [--interval-ms N] [--json PATH] [--merge PATH] [--quiet]
+//! ```
+//!
+//! Runs every Figure 5(b) point (99% reads — the contended read-mostly
+//! mix where a background observer is most likely to perturb the read
+//! fast path) twice, back to back: once bare, once with the `oll-obs`
+//! sampler daemon ticking at `--interval-ms` (default 100 ms, the
+//! production cadence). Pairing the two measurements per point — and
+//! alternating which of the pair runs first — cancels machine drift
+//! that a sweep-then-sweep comparison would absorb as phantom overhead.
+//! The per-lock throughput ratio between the paired measurements is the
+//! sampler's measured overhead; the acceptance target recorded in
+//! `BENCH_fig5.json` is an overall degradation under 2%.
+//!
+//! `--json` writes the comparison as a standalone `oll.fig5_obs`
+//! document; `--merge` folds it into an existing `oll.fig5` document
+//! (the committed `BENCH_fig5.json`) as its top-level `"obs"` member,
+//! which `fig5check --expect-obs` then validates. A build without the
+//! `obs` feature still runs both passes but records `sampler_active:
+//! false` (nothing was sampling), which `--expect-obs` rejects.
+
+use oll_obs::{Sampler, SamplerConfig};
+use oll_telemetry::report::{json_escape, SCHEMA_VERSION};
+use oll_workloads::config::{Fig5Panel, WorkloadConfig};
+use oll_workloads::json::merge_member;
+use oll_workloads::obsio;
+use oll_workloads::runner::run_throughput_profiled_with;
+use oll_workloads::sweep::SweepOptions;
+use std::io::Write as _;
+use std::process::exit;
+use std::time::Duration;
+
+struct Args {
+    opts: SweepOptions,
+    interval_ms: u64,
+    json: Option<String>,
+    merge: Option<String>,
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: fig5_obs [--threads 1,2,4,8] [--acquisitions N] [--runs N]\n\
+         \t[--interval-ms N] [--json PATH] [--merge PATH] [--quiet]"
+    );
+    exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut opts = SweepOptions::quick();
+    opts.thread_counts = vec![1, 2, 4, 8];
+    opts.progress = true;
+    let mut interval_ms = 100u64;
+    let mut json = None;
+    let mut merge = None;
+
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: usize| -> String {
+            argv.get(i + 1)
+                .unwrap_or_else(|| usage("missing value for flag"))
+                .clone()
+        };
+        match argv[i].as_str() {
+            "--threads" => {
+                let v = value(i);
+                i += 1;
+                opts.thread_counts = v
+                    .split(',')
+                    .map(|t| {
+                        t.trim()
+                            .parse::<usize>()
+                            .unwrap_or_else(|_| usage(&format!("bad thread count `{t}`")))
+                    })
+                    .collect();
+                if opts.thread_counts.is_empty() {
+                    usage("--threads needs at least one value");
+                }
+            }
+            "--acquisitions" => {
+                opts.base.acquisitions_per_thread = value(i)
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --acquisitions"));
+                i += 1;
+            }
+            "--runs" => {
+                opts.base.runs = value(i).parse().unwrap_or_else(|_| usage("bad --runs"));
+                i += 1;
+            }
+            "--interval-ms" => {
+                interval_ms = value(i)
+                    .parse()
+                    .ok()
+                    .filter(|ms| *ms > 0)
+                    .unwrap_or_else(|| usage("bad --interval-ms"));
+                i += 1;
+            }
+            "--json" => {
+                json = Some(value(i));
+                i += 1;
+            }
+            "--merge" => {
+                merge = Some(value(i));
+                i += 1;
+            }
+            "--quiet" => opts.progress = false,
+            "--help" | "-h" => usage("help requested"),
+            other => usage(&format!("unknown flag `{other}`")),
+        }
+        i += 1;
+    }
+    Args {
+        opts,
+        interval_ms,
+        json,
+        merge,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    if !oll_obs::enabled() {
+        obsio::warn_if_disabled("fig5_obs");
+    }
+    let read_pct = Fig5Panel::B.read_pct();
+    eprintln!(
+        "fig5_obs: panel b points paired off/on over threads {:?}, \
+         {} acquisitions/thread, {} run(s) averaged; sampler at {}ms",
+        args.opts.thread_counts,
+        args.opts.base.acquisitions_per_thread,
+        args.opts.base.runs,
+        args.interval_ms,
+    );
+
+    let sampler_config = SamplerConfig {
+        interval: Duration::from_millis(args.interval_ms),
+        ..SamplerConfig::default()
+    };
+    let mut sampler_active = false;
+    let mut samples = 0u64;
+    let mut windows_evicted = 0u64;
+    let mut sum_off = 0.0f64;
+    let mut sum_on = 0.0f64;
+    let mut rows = Vec::with_capacity(args.opts.locks.len());
+    println!(
+        "{:<13} {:>14} {:>14} {:>10}",
+        "lock", "off acq/s", "on acq/s", "overhead"
+    );
+    for (li, &kind) in args.opts.locks.iter().enumerate() {
+        let mut off_rate = 0.0f64;
+        let mut on_rate = 0.0f64;
+        for (ti, &threads) in args.opts.thread_counts.iter().enumerate() {
+            let config = WorkloadConfig {
+                threads,
+                read_pct,
+                ..args.opts.base
+            };
+            let point = || run_throughput_profiled_with(kind, &config, &args.opts.lock_options).0;
+            let sampled_point = || {
+                let sampler = Sampler::start(sampler_config.clone());
+                let active = sampler.is_active();
+                let r = run_throughput_profiled_with(kind, &config, &args.opts.lock_options).0;
+                let state = sampler.stop();
+                (r, active, state.samples, state.windows_evicted)
+            };
+            // Alternate which half of the pair runs first, so warmup
+            // and drift bias neither side.
+            let (off, (on, active, s, w)) = if (li + ti) % 2 == 0 {
+                (point(), sampled_point())
+            } else {
+                let on = sampled_point();
+                (point(), on)
+            };
+            sampler_active |= active;
+            samples += s;
+            windows_evicted += w;
+            if args.opts.progress {
+                eprintln!(
+                    "  {:<13} threads={:<3} -> off {:>12.0} / on {:>12.0} acquires/s",
+                    kind.name(),
+                    threads,
+                    off.acquires_per_sec,
+                    on.acquires_per_sec,
+                );
+            }
+            off_rate += off.acquires_per_sec;
+            on_rate += on.acquires_per_sec;
+        }
+        let n = args.opts.thread_counts.len().max(1) as f64;
+        off_rate /= n;
+        on_rate /= n;
+        sum_off += off_rate;
+        sum_on += on_rate;
+        let overhead_pct = (off_rate - on_rate) / off_rate * 100.0;
+        println!(
+            "{:<13} {:>14.0} {:>14.0} {:>9.2}%",
+            kind.name(),
+            off_rate,
+            on_rate,
+            overhead_pct
+        );
+        rows.push(format!(
+            "{{\"lock\":\"{}\",\"off_acquires_per_sec\":{off_rate:.1},\
+             \"on_acquires_per_sec\":{on_rate:.1},\"overhead_pct\":{overhead_pct:.3}}}",
+            json_escape(kind.name())
+        ));
+    }
+    let overall_overhead_pct = (sum_off - sum_on) / sum_off * 100.0;
+    println!(
+        "overall: {overall_overhead_pct:.2}% sampler overhead ({samples} sample(s) taken, active={sampler_active})",
+    );
+
+    let threads_list = args
+        .opts
+        .thread_counts
+        .iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    let doc = format!(
+        "{{\"schema\":\"oll.fig5_obs\",\"version\":{SCHEMA_VERSION},\
+         \"interval_ms\":{},\"panel\":\"{}\",\"threads\":[{threads_list}],\
+         \"acquisitions_per_thread\":{},\"runs\":{},\"samples\":{},\
+         \"windows_evicted\":{},\"sampler_active\":{},\"locks\":[{}],\
+         \"overall_overhead_pct\":{overall_overhead_pct:.3}}}",
+        args.interval_ms,
+        Fig5Panel::B.tag(),
+        args.opts.base.acquisitions_per_thread,
+        args.opts.base.runs,
+        samples,
+        windows_evicted,
+        sampler_active,
+        rows.join(","),
+    );
+
+    if let Some(path) = &args.json {
+        let mut f = std::fs::File::create(path)
+            .unwrap_or_else(|e| usage(&format!("cannot create {path}: {e}")));
+        f.write_all(doc.as_bytes())
+            .and_then(|()| f.write_all(b"\n"))
+            .unwrap_or_else(|e| usage(&format!("cannot write {path}: {e}")));
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = &args.merge {
+        let base = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| usage(&format!("cannot read {path}: {e}")));
+        let merged = merge_member(&base, "obs", &doc)
+            .unwrap_or_else(|e| usage(&format!("{path}: cannot merge: {e}")));
+        let mut f = std::fs::File::create(path)
+            .unwrap_or_else(|e| usage(&format!("cannot create {path}: {e}")));
+        f.write_all(merged.as_bytes())
+            .and_then(|()| f.write_all(b"\n"))
+            .unwrap_or_else(|e| usage(&format!("cannot write {path}: {e}")));
+        eprintln!("merged obs panel into {path}");
+    }
+}

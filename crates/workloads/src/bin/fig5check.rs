@@ -4,6 +4,7 @@
 //! USAGE:
 //!   fig5check PATH [--expect-adaptive] [--expect-biased] [--expect-hazard]
 //!             [--expect-shape N] [--expect-async] [--expect-async-tasks N]
+//!             [--expect-obs]
 //! ```
 //!
 //! Parses the document with the in-tree parser (`oll_workloads::json`),
@@ -22,6 +23,12 @@
 //! throughput. `--expect-async-tasks N` additionally demands the
 //! recorded run drove at least N tasks — the committed
 //! `BENCH_fig5.json` is checked with `--expect-async-tasks 1000000`.
+//!
+//! `--expect-obs` requires the `"obs"` member that `fig5_obs --merge`
+//! folds in (an `oll.fig5_obs` sampler-overhead comparison) and checks
+//! it was a live measurement: the sampler was active and ticking at a
+//! positive interval, every lock has finite positive throughput in both
+//! passes, and the overall overhead is a finite percentage.
 
 use oll_workloads::json::parse::{self, Value};
 use std::process::exit;
@@ -30,7 +37,7 @@ fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: fig5check PATH [--expect-adaptive] [--expect-biased] [--expect-hazard] \
-         [--expect-shape N] [--expect-async] [--expect-async-tasks N]"
+         [--expect-shape N] [--expect-async] [--expect-async-tasks N] [--expect-obs]"
     );
     exit(2);
 }
@@ -49,6 +56,7 @@ fn main() {
     let mut expect_shape = None;
     let mut expect_async = false;
     let mut expect_async_tasks = None;
+    let mut expect_obs = false;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -56,6 +64,7 @@ fn main() {
             "--expect-biased" => expect_biased = true,
             "--expect-hazard" => expect_hazard = true,
             "--expect-async" => expect_async = true,
+            "--expect-obs" => expect_obs = true,
             "--expect-async-tasks" => {
                 let v = argv
                     .get(i + 1)
@@ -211,8 +220,57 @@ fn main() {
         }
         async_tasks = Some((tasks, workers));
     }
+    let mut obs_overhead = None;
+    if expect_obs {
+        let o = doc
+            .get("obs")
+            .unwrap_or_else(|| fail("missing obs member (run fig5_obs --merge)"));
+        if o.get("schema").and_then(Value::as_str) != Some("oll.fig5_obs") {
+            fail("obs member's schema is not \"oll.fig5_obs\"");
+        }
+        if o.get("sampler_active").and_then(Value::as_bool) != Some(true) {
+            fail("obs member: sampler was not active (built without the obs feature?)");
+        }
+        let interval = o
+            .get("interval_ms")
+            .and_then(Value::as_u64)
+            .unwrap_or_else(|| fail("obs member: missing interval_ms"));
+        if interval == 0 {
+            fail("obs member: zero interval_ms");
+        }
+        let locks = o
+            .get("locks")
+            .and_then(Value::as_arr)
+            .unwrap_or_else(|| fail("obs member: missing locks array"));
+        if locks.is_empty() {
+            fail("obs member: no locks");
+        }
+        for l in locks {
+            let name = l
+                .get("lock")
+                .and_then(Value::as_str)
+                .unwrap_or_else(|| fail("obs member: lock row missing name"));
+            for key in ["off_acquires_per_sec", "on_acquires_per_sec"] {
+                let rate = l
+                    .get(key)
+                    .and_then(Value::as_f64)
+                    .unwrap_or_else(|| fail(&format!("obs member/{name}: missing {key}")));
+                if !(rate.is_finite() && rate > 0.0) {
+                    fail(&format!("obs member/{name}: non-positive {key} {rate}"));
+                }
+            }
+        }
+        let overall = o
+            .get("overall_overhead_pct")
+            .and_then(Value::as_f64)
+            .unwrap_or_else(|| fail("obs member: missing overall_overhead_pct"));
+        if !overall.is_finite() {
+            fail(&format!("obs member: non-finite overhead {overall}"));
+        }
+        obs_overhead = Some(overall);
+    }
     println!(
-        "fig5check: OK: {path}: {} panel(s), {points} point(s){}{}{}{}{}",
+        "fig5check: OK: {path}: {} panel(s), {points} point(s){}{}{}{}{}{}",
         panels.len(),
         if expect_adaptive { ", adaptive" } else { "" },
         if expect_biased { ", biased" } else { "" },
@@ -223,6 +281,10 @@ fn main() {
         },
         match async_tasks {
             Some((t, w)) => format!(", async {t} task(s) on {w} worker(s)"),
+            None => String::new(),
+        },
+        match obs_overhead {
+            Some(pct) => format!(", obs {pct:.2}% sampler overhead"),
             None => String::new(),
         },
     );

@@ -4,7 +4,8 @@
 //! USAGE:
 //!   latency [--threads N] [--read-pct P] [--acquisitions N]
 //!           [--locks name,...|all] [--biased] [--hazard] [--json PATH] [--telemetry]
-//!           [--trace PATH] [--trace-json PATH]
+//!           [--trace PATH] [--trace-json PATH] [--flame PATH]
+//!           [--obs [ADDR]] [--obs-json PATH] [--obs-interval-ms N]
 //! ```
 //!
 //! Complements the throughput-oriented `fig5` binary with tail-latency
@@ -19,12 +20,18 @@
 //! `--json` writes a schema-versioned `oll.latency` document. `--trace`
 //! captures the run in the flight recorder and writes a Perfetto-loadable
 //! Chrome Trace Event file (needs a `--features trace` build);
-//! `--trace-json` also writes the raw capture as an `oll.trace` document.
+//! `--trace-json` also writes the raw capture as an `oll.trace`
+//! document, and `--flame` the analyzer's wait breakdowns as folded
+//! stacks for flamegraph tooling. `--obs` runs the measurement under
+//! the continuous-monitoring sampler (needs a `--features obs` build),
+//! optionally serving Prometheus text on ADDR; `--obs-json` writes the
+//! final `oll.obs` document.
 
 use oll_trace::TraceSession;
 use oll_workloads::config::{LockKind, LockOptions, WorkloadConfig};
 use oll_workloads::json::render_latency_json;
 use oll_workloads::latency::run_latency_profiled_with;
+use oll_workloads::obsio::{self, ObsArgs};
 use oll_workloads::traceio;
 use std::io::Write as _;
 use std::process::exit;
@@ -33,7 +40,8 @@ fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: latency [--threads N] [--read-pct P] [--acquisitions N] [--locks name,...|all] \
-         [--biased] [--hazard] [--json PATH] [--telemetry] [--trace PATH] [--trace-json PATH]"
+         [--biased] [--hazard] [--json PATH] [--telemetry] [--trace PATH] [--trace-json PATH] \
+         [--flame PATH] [--obs [ADDR]] [--obs-json PATH] [--obs-interval-ms N]"
     );
     exit(2);
 }
@@ -58,10 +66,16 @@ fn main() {
     let mut telemetry = false;
     let mut trace: Option<String> = None;
     let mut trace_json: Option<String> = None;
+    let mut flame: Option<String> = None;
+    let mut obs = ObsArgs::default();
 
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
+        if obsio::parse_flag(&argv, &mut i, &mut obs, &mut |m| usage(m)) {
+            i += 1;
+            continue;
+        }
         let value = |i: usize| -> String {
             argv.get(i + 1)
                 .unwrap_or_else(|| usage("missing value for flag"))
@@ -115,6 +129,10 @@ fn main() {
                 trace_json = Some(value(i));
                 i += 1;
             }
+            "--flame" => {
+                flame = Some(value(i));
+                i += 1;
+            }
             "--help" | "-h" => usage("help requested"),
             other => usage(&format!("unknown flag `{other}`")),
         }
@@ -131,10 +149,17 @@ fn main() {
     if trace.is_none() && trace_json.is_some() {
         usage("--trace-json needs --trace");
     }
+    if trace.is_none() && flame.is_some() {
+        usage("--flame needs --trace");
+    }
     if trace.is_some() {
         traceio::warn_if_disabled("latency");
     }
+    if obs.on {
+        obsio::warn_if_disabled("latency");
+    }
     let session = trace.as_ref().map(|_| TraceSession::begin());
+    let obs_session = obsio::start(&obs, &mut |m| usage(m));
 
     let config = WorkloadConfig {
         threads,
@@ -199,14 +224,22 @@ fn main() {
             .unwrap_or_else(|e| usage(&format!("cannot write {path}: {e}")));
         eprintln!("wrote {path}");
     }
+    if let Some(session) = obs_session {
+        let text = obsio::finish(session, obs.json.as_deref())
+            .unwrap_or_else(|e| usage(&format!("cannot write obs report: {e}")));
+        println!("-- obs --\n{text}");
+    }
     if let (Some(path), Some(session)) = (&trace, session) {
         let tl = session.collect();
-        let text = traceio::write_outputs(&tl, path, trace_json.as_deref())
+        let text = traceio::write_outputs(&tl, path, trace_json.as_deref(), flame.as_deref())
             .unwrap_or_else(|e| usage(&format!("cannot write trace: {e}")));
         println!("-- flight recorder --\n{text}");
         eprintln!("wrote {path}");
         if let Some(doc) = &trace_json {
             eprintln!("wrote {doc}");
+        }
+        if let Some(f) = &flame {
+            eprintln!("wrote {f}");
         }
     }
 }

@@ -25,6 +25,7 @@ pub mod async_exec;
 pub mod config;
 pub mod json;
 pub mod latency;
+pub mod obsio;
 pub mod report;
 pub mod runner;
 pub mod sweep;

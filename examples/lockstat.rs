@@ -7,6 +7,7 @@
 //! cargo run --release --features telemetry --example lockstat -- --json
 //! cargo run --release --features telemetry --example lockstat -- --biased
 //! cargo run --release --features trace --example lockstat -- --trace out.json
+//! cargo run --release --features obs --example lockstat -- --obs 127.0.0.1:9184
 //! ```
 //!
 //! Without the `telemetry` feature the example still runs, but every
@@ -16,11 +17,15 @@
 //! bias grants/revocations and the biased-read `read_fast` counts.
 //! `--trace PATH` additionally captures the run in the flight recorder
 //! and writes a Perfetto-loadable Chrome Trace Event file (needs a
-//! `--features trace` build).
+//! `--features trace` build). `--obs [ADDR]` runs the sweep under the
+//! continuous-monitoring sampler (needs a `--features obs` build),
+//! optionally serving Prometheus text on ADDR, and `--obs-json PATH`
+//! writes the final `oll.obs` document.
 
 use oll::telemetry::{registry, report, Telemetry};
 use oll::trace::TraceSession;
 use oll::util::XorShift64;
+use oll::workloads::obsio::{self, ObsArgs};
 use oll::workloads::traceio;
 use oll::{FollLock, GollLock, RollLock, RwHandle, RwLockFamily, SolarisLikeRwLock};
 
@@ -59,6 +64,18 @@ fn main() {
         .iter()
         .position(|a| a == "--trace")
         .map(|i| argv.get(i + 1).expect("--trace needs a PATH").clone());
+    let mut obs = ObsArgs::default();
+    {
+        let mut bad = |m: &str| {
+            eprintln!("error: {m}");
+            std::process::exit(2);
+        };
+        let mut i = 0;
+        while i < argv.len() {
+            obsio::parse_flag(&argv, &mut i, &mut obs, &mut bad);
+            i += 1;
+        }
+    }
     if !Telemetry::enabled() {
         eprintln!(
             "note: built without the `telemetry` feature, so nothing is \
@@ -69,7 +86,14 @@ fn main() {
     if trace.is_some() {
         traceio::warn_if_disabled("lockstat");
     }
+    if obs.on {
+        obsio::warn_if_disabled("lockstat");
+    }
     let session = trace.as_ref().map(|_| TraceSession::begin());
+    let obs_session = obsio::start(&obs, &mut |m| {
+        eprintln!("error: {m}");
+        std::process::exit(2);
+    });
     eprintln!(
         "lockstat: {THREADS} threads x {ACQUISITIONS} acquisitions, {READ_PCT}% reads, per lock{}",
         if biased {
@@ -90,7 +114,7 @@ fn main() {
         hammer(&foll, "lockstat/FOLL+bravo");
         hammer(&roll, "lockstat/ROLL+bravo");
         hammer(&solaris, "lockstat/Solaris-like");
-        report_and_trace(json, &trace, session);
+        report_and_trace(json, &trace, session, &obs, obs_session);
         return;
     }
     let goll = GollLock::new(THREADS);
@@ -100,19 +124,29 @@ fn main() {
     hammer(&foll, "lockstat/FOLL");
     hammer(&roll, "lockstat/ROLL");
     hammer(&solaris, "lockstat/Solaris-like");
-    report_and_trace(json, &trace, session);
+    report_and_trace(json, &trace, session, &obs, obs_session);
 }
 
-fn report_and_trace(json: bool, trace: &Option<String>, session: Option<TraceSession>) {
+fn report_and_trace(
+    json: bool,
+    trace: &Option<String>,
+    session: Option<TraceSession>,
+    obs: &ObsArgs,
+    obs_session: Option<obsio::ObsSession>,
+) {
     let snaps = registry::snapshot_all();
     if json {
         println!("{}", report::render_json(&snaps));
     } else {
         print!("{}", report::render_text(&snaps));
     }
+    if let Some(obs_session) = obs_session {
+        let text = obsio::finish(obs_session, obs.json.as_deref()).expect("obs file is writable");
+        println!("-- obs --\n{text}");
+    }
     if let (Some(path), Some(session)) = (trace, session) {
         let tl = session.collect();
-        let text = traceio::write_outputs(&tl, path, None).expect("trace file is writable");
+        let text = traceio::write_outputs(&tl, path, None, None).expect("trace file is writable");
         println!("-- flight recorder --\n{text}");
         eprintln!("wrote {path}");
     }

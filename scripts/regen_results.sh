@@ -57,4 +57,13 @@ cargo build --release -p oll-workloads --features async
 target/release/fig5_async --tasks 1000000 --workers 8 --merge BENCH_fig5.json
 "$FIG5CHECK" BENCH_fig5.json --expect-async --expect-async-tasks 1000000
 
+echo "==> BENCH_fig5.json obs member: sampler overhead (fig5_obs)"
+# The monitoring acceptance number: the same panel-b sweep bare and
+# under a live 100 ms sampler, folded into BENCH_fig5.json as its
+# "obs" member. The recorded overall_overhead_pct should stay under 2%.
+cargo build --release -p oll-workloads --features obs
+target/release/fig5_obs --threads 1,2,4,8 --acquisitions 50000 --runs 5 \
+    --merge BENCH_fig5.json
+"$FIG5CHECK" BENCH_fig5.json --expect-obs --expect-async --expect-async-tasks 1000000
+
 echo "==> done; review the diffs before committing"

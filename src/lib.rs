@@ -55,6 +55,10 @@
 //!   zero-cost no-ops otherwise).
 //! * [`trace`] — flight-recorder event tracing with Perfetto export and
 //!   wait-chain analysis (build with the `trace` feature to record).
+//! * [`obs`] — continuous monitoring: sampler daemon, time-series ring,
+//!   Prometheus exposition, per-lock health scores, flamegraph export
+//!   (build with the `obs` feature to sample; zero-cost no-ops
+//!   otherwise).
 //! * [`util`] — backoff, cache padding, events, spin mutex, thread slots.
 
 #[cfg(feature = "async")]
@@ -63,6 +67,7 @@ pub use oll_baselines as baselines;
 pub use oll_core as core;
 pub use oll_csnzi as csnzi;
 pub use oll_hazard as hazard;
+pub use oll_obs as obs;
 pub use oll_telemetry as telemetry;
 pub use oll_trace as trace;
 pub use oll_util as util;
@@ -101,3 +106,11 @@ pub use oll_async::{
 /// so a build without the `async` feature does not merely disable the
 /// machinery, it never links the crate that defines it.
 pub const HAS_ASYNC_LOCKS: bool = cfg!(feature = "async");
+
+/// Whether this build carries the continuous-monitoring subsystem (the
+/// sampler daemon and the HTTP exposition listener — `oll-obs`'s
+/// `enabled` half is the only code that contains either).
+/// `tests/obs_off.rs` pins this to `false` for the default feature set:
+/// without the `obs` feature the facade types are zero-sized, no
+/// sampler thread can start, and no socket code is linked.
+pub const HAS_OBS: bool = cfg!(feature = "obs");
