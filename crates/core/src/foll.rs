@@ -14,6 +14,7 @@
 //! of raw pointers; besides being safe Rust, index+generation-free reuse
 //! is exactly the ring discipline the paper's recycling argument assumes.
 
+use crate::cohort::{CohortGate, CohortHold, CohortRelease, DEFAULT_COHORT_BATCH};
 use crate::raw::{RwHandle, RwLockFamily};
 use oll_csnzi::{ArrivalPolicy, CSnzi, CancelOutcome, LeafCursor, Ticket, TreeShape};
 use oll_hazard::Hazard;
@@ -183,6 +184,9 @@ pub(crate) struct QueueCore {
     pub(crate) arrival_threshold: u32,
     pub(crate) telemetry: Telemetry,
     pub(crate) hazard: Hazard,
+    /// NUMA cohort writer gate (per-socket writer queues layered over
+    /// this global queue); `None` = plain single-tail writer path.
+    pub(crate) cohort: Option<Box<CohortGate>>,
 }
 
 impl QueueCore {
@@ -217,6 +221,7 @@ impl QueueCore {
             arrival_threshold,
             telemetry,
             hazard,
+            cohort: None,
         }
     }
 
@@ -614,12 +619,15 @@ impl QueueCore {
     }
 
     /// `WriterUnlock` (Figure 4) — identical to the MCS mutex release.
-    pub(crate) fn writer_unlock(&self, slot: usize) {
+    /// Returns whether the lock was handed to a queued successor (`false`
+    /// = the queue emptied), which the cohort gate uses to classify the
+    /// release as an outward hand-off.
+    pub(crate) fn writer_unlock(&self, slot: usize) -> bool {
         let me = NodeRef::writer(slot);
         let node = self.wnode(slot);
         if NodeRef::from_raw(node.qnext.load(Ordering::Acquire)).is_nil() {
             if self.cas_tail(me, NodeRef::NIL) {
-                return;
+                return false;
             }
             // Someone is linking in behind us; wait for the link.
             spin_until(self.backoff, || {
@@ -630,6 +638,7 @@ impl QueueCore {
         self.note_handoff(succ);
         self.grant(succ);
         node.qnext.store(NodeRef::NIL.raw(), Ordering::Relaxed); // clean up
+        true
     }
 
     /// `ReaderUnlock` (Figure 4), shared by FOLL and ROLL.
@@ -662,6 +671,9 @@ pub struct FollBuilder {
     adaptive: bool,
     #[cfg(not(loom))]
     biased: bool,
+    cohort: bool,
+    cohort_batch: u32,
+    cohort_ranks: Option<usize>,
     telemetry_name: Option<String>,
 }
 
@@ -678,8 +690,40 @@ impl FollBuilder {
             adaptive: false,
             #[cfg(not(loom))]
             biased: false,
+            cohort: false,
+            cohort_batch: DEFAULT_COHORT_BATCH,
+            cohort_ranks: None,
             telemetry_name: None,
         }
+    }
+
+    /// Enables the NUMA cohort writer gate: each locality rank (socket)
+    /// gets its own writer queue, and releases hand the lock to a
+    /// same-socket waiter up to the [batch bound](Self::cohort_batch)
+    /// before releasing through the global queue. On single-socket
+    /// machines (or when topology detection falls back) every writer
+    /// shares one cohort and behaviour degrades to the plain writer path.
+    pub fn cohort(mut self, cohort: bool) -> Self {
+        self.cohort = cohort;
+        self
+    }
+
+    /// Sets the cohort batch bound: how many consecutive same-socket
+    /// hand-offs one cohort tenure may perform before the release is
+    /// forced through the global queue (default
+    /// [`DEFAULT_COHORT_BATCH`](crate::cohort::DEFAULT_COHORT_BATCH)).
+    /// Clamped to ≥ 1. No effect unless [`cohort`](Self::cohort) is on.
+    pub fn cohort_batch(mut self, batch: u32) -> Self {
+        self.cohort_batch = batch;
+        self
+    }
+
+    /// Overrides the detected cohort (socket) count — for tests and
+    /// pinned-thread deployments that partition writers explicitly. The
+    /// default is `oll_util::topology::rank_count()`.
+    pub fn cohort_ranks(mut self, ranks: usize) -> Self {
+        self.cohort_ranks = Some(ranks);
+        self
     }
 
     /// Enables BRAVO-style reader biasing for
@@ -754,23 +798,32 @@ impl FollBuilder {
         if let Some(name) = &self.telemetry_name {
             telemetry.rename(name);
         }
-        FollLock {
-            core: QueueCore::new(
+        let mut core = QueueCore::new(
+            capacity,
+            self.shape
+                .unwrap_or_else(|| TreeShape::for_threads(capacity)),
+            self.backoff,
+            self.arrival_threshold,
+            if self.adaptive {
+                TreeMode::Adaptive
+            } else if self.lazy_tree {
+                TreeMode::Lazy
+            } else {
+                TreeMode::Eager
+            },
+            telemetry,
+        );
+        if self.cohort {
+            let ranks = self
+                .cohort_ranks
+                .unwrap_or_else(oll_util::topology::rank_count);
+            core.cohort = Some(Box::new(CohortGate::new(
                 capacity,
-                self.shape
-                    .unwrap_or_else(|| TreeShape::for_threads(capacity)),
-                self.backoff,
-                self.arrival_threshold,
-                if self.adaptive {
-                    TreeMode::Adaptive
-                } else if self.lazy_tree {
-                    TreeMode::Lazy
-                } else {
-                    TreeMode::Eager
-                },
-                telemetry,
-            ),
+                ranks,
+                self.cohort_batch,
+            )));
         }
+        FollLock { core }
     }
 }
 
@@ -819,6 +872,22 @@ impl FollLock {
     pub fn is_inflated(&self) -> bool {
         self.core.reader_nodes.iter().any(|n| n.csnzi.is_inflated())
     }
+
+    /// Whether writers go through the NUMA cohort gate
+    /// (built with [`FollBuilder::cohort`]).
+    pub fn is_cohort(&self) -> bool {
+        self.core.cohort.is_some()
+    }
+
+    /// Number of writer cohorts (0 when the cohort gate is off).
+    pub fn cohort_count(&self) -> usize {
+        self.core.cohort.as_ref().map_or(0, |g| g.cohorts())
+    }
+
+    /// The cohort batch bound (0 when the cohort gate is off).
+    pub fn cohort_batch(&self) -> u32 {
+        self.core.cohort.as_ref().map_or(0, |g| g.batch_limit())
+    }
 }
 
 impl RwLockFamily for FollLock {
@@ -835,6 +904,10 @@ impl RwLockFamily for FollLock {
             session: None,
             write_held: false,
             pending_reclaim: false,
+            cohort_hold: None,
+            cohort_reclaim: false,
+            cohort_pin: None,
+            cohort_cache: None,
             hold: Timer::inactive(),
         })
     }
@@ -869,8 +942,21 @@ pub struct FollHandle<'a> {
     session: Option<(usize, Ticket)>,
     write_held: bool,
     /// A timed write abandoned this slot's writer node in the queue; it
-    /// must be reclaimed before the node's next use.
+    /// must be reclaimed before the node's next use. Also set when a
+    /// cohort release lends the node to a running batch.
     pending_reclaim: bool,
+    /// Proof of the current cohort-gated write hold (cohort builds only).
+    cohort_hold: Option<CohortHold>,
+    /// A timed cohort write abandoned this slot's cohort node; it must be
+    /// reclaimed before the node's next use.
+    cohort_reclaim: bool,
+    /// Explicit cohort override set via [`set_cohort`](Self::set_cohort).
+    cohort_pin: Option<usize>,
+    /// Resolved cohort index, cached on first writer use so the hot path
+    /// skips the thread-local topology lookup. Any index is correct —
+    /// a stale cache merely costs placement quality — so the cache is
+    /// only invalidated by [`set_cohort`](Self::set_cohort).
+    cohort_cache: Option<usize>,
     /// Started when an acquisition succeeds, recorded as hold time at
     /// release. One outstanding acquisition per handle, so one timer.
     hold: Timer,
@@ -887,6 +973,38 @@ impl FollHandle<'_> {
         if self.pending_reclaim {
             self.core.reclaim_writer_node(self.slot_idx());
             self.pending_reclaim = false;
+        }
+    }
+
+    /// Finishes any pending reclaim of this slot's cohort node (after a
+    /// timed cohort write abandoned it).
+    fn ensure_cohort_node(&mut self) {
+        if self.cohort_reclaim {
+            self.core.cohort_reclaim_node(self.slot_idx());
+            self.cohort_reclaim = false;
+        }
+    }
+
+    /// Pins this handle's writer acquisitions to cohort `cohort` (modulo
+    /// the lock's cohort count) instead of deriving the cohort from the
+    /// calling thread's topology. For tests and explicitly-placed
+    /// threads; no effect unless the lock was built with
+    /// [`FollBuilder::cohort`].
+    pub fn set_cohort(&mut self, cohort: usize) {
+        self.cohort_pin = Some(cohort);
+        self.cohort_cache = None;
+    }
+
+    /// The cohort this handle's writer acquisitions queue on, resolved
+    /// once and cached (see `cohort_cache`).
+    fn cohort_index(&mut self) -> usize {
+        match self.cohort_cache {
+            Some(c) => c,
+            None => {
+                let c = self.core.pick_cohort(self.cohort_pin);
+                self.cohort_cache = Some(c);
+                c
+            }
         }
     }
 }
@@ -1006,8 +1124,28 @@ impl RwHandle for FollHandle<'_> {
 
     fn lock_write(&mut self) {
         debug_assert!(self.session.is_none() && !self.write_held);
-        self.ensure_writer_node();
-        self.core.writer_lock(self.slot_idx(), false);
+        if self.core.cohort.is_some() {
+            let cohort = self.cohort_index();
+            if self.core.cohort_bypass_ready(cohort) {
+                // Uncontended: the gate has nothing to batch, so skip it
+                // and acquire like a plain writer. `cohort_hold` stays
+                // `None`, making the release the plain `writer_unlock`.
+                self.ensure_writer_node();
+                self.core.writer_lock(self.slot_idx(), false);
+            } else {
+                self.ensure_cohort_node();
+                let hold = self.core.cohort_lock(
+                    self.slot_idx(),
+                    cohort,
+                    false,
+                    &mut self.pending_reclaim,
+                );
+                self.cohort_hold = Some(hold);
+            }
+        } else {
+            self.ensure_writer_node();
+            self.core.writer_lock(self.slot_idx(), false);
+        }
         self.hold = self.core.telemetry.timer();
         self.write_held = true;
     }
@@ -1016,7 +1154,24 @@ impl RwHandle for FollHandle<'_> {
         debug_assert!(self.write_held, "unlock_write without write hold");
         self.write_held = false;
         self.core.telemetry.record_write_hold(&self.hold);
-        self.core.writer_unlock(self.slot_idx());
+        let slot = self.slot_idx();
+        match self.cohort_hold.take() {
+            Some(hold) => {
+                let outcome = self.core.cohort_release(slot, hold.cohort, Some(hold));
+                if hold.owner_slot == slot {
+                    // LocalHandoff: our global writer node stays in the
+                    // queue, lent to the batch; reclaim before its next
+                    // use. A global release through our own node means we
+                    // discharged it ourselves — including a node lent out
+                    // earlier whose batch circled back to us — so any
+                    // pending reclaim is already satisfied.
+                    self.pending_reclaim = outcome == CohortRelease::LocalHandoff;
+                }
+            }
+            None => {
+                self.core.writer_unlock(slot);
+            }
+        }
     }
 
     /// Non-blocking read attempt: succeeds if the queue is empty (we
@@ -1220,7 +1375,54 @@ impl crate::raw::TimedHandle for FollHandle<'_> {
         &mut self,
         deadline: std::time::Instant,
     ) -> Result<(), crate::raw::TimedOut> {
+        use crate::cohort::CohortTimeout;
+
         debug_assert!(self.session.is_none() && !self.write_held);
+        // Uncontended cohort builds bypass the gate (see `lock_write`)
+        // and fall through to the plain timed writer path below.
+        let cohort = if self.core.cohort.is_some() {
+            let c = self.cohort_index();
+            if self.core.cohort_bypass_ready(c) {
+                None
+            } else {
+                Some(c)
+            }
+        } else {
+            None
+        };
+        if let Some(cohort) = cohort {
+            self.ensure_cohort_node();
+            return match self.core.cohort_lock_deadline(
+                self.slot_idx(),
+                cohort,
+                false,
+                deadline,
+                &mut self.pending_reclaim,
+            ) {
+                Ok(hold) => {
+                    self.cohort_hold = Some(hold);
+                    self.hold = self.core.telemetry.timer();
+                    self.write_held = true;
+                    Ok(())
+                }
+                Err(CohortTimeout::Clean) => {
+                    self.core.telemetry.incr(LockEvent::Timeout);
+                    Err(crate::raw::TimedOut)
+                }
+                Err(CohortTimeout::WriterAbandoned) => {
+                    self.core.telemetry.incr(LockEvent::Timeout);
+                    self.core.telemetry.incr(LockEvent::Cancel);
+                    self.pending_reclaim = true;
+                    Err(crate::raw::TimedOut)
+                }
+                Err(CohortTimeout::CohortAbandoned) => {
+                    self.core.telemetry.incr(LockEvent::Timeout);
+                    self.core.telemetry.incr(LockEvent::Cancel);
+                    self.cohort_reclaim = true;
+                    Err(crate::raw::TimedOut)
+                }
+            };
+        }
         self.ensure_writer_node();
         match self
             .core
@@ -1254,6 +1456,7 @@ impl Drop for FollHandle<'_> {
         // The slot (and with it the writer node) is released on drop; make
         // sure no abandoned-release is still running against the node.
         self.ensure_writer_node();
+        self.ensure_cohort_node();
     }
 }
 

@@ -39,6 +39,7 @@
 
 #[cfg(not(loom))]
 pub mod bravo;
+pub mod cohort;
 pub mod foll;
 pub mod goll;
 pub mod raw;
@@ -49,6 +50,7 @@ pub mod watch;
 
 #[cfg(not(loom))]
 pub use bravo::{Bravo, BravoHandle, DEFAULT_REARM_MULTIPLIER};
+pub use cohort::DEFAULT_COHORT_BATCH;
 pub use foll::{node_state, FollBuilder, FollLock};
 pub use goll::{FairnessPolicy, GollBuilder, GollLock};
 #[cfg(not(loom))]

@@ -18,6 +18,7 @@
 //! enqueues and cleared on failed joins, which short-circuits most
 //! searches (the §4.3 optimization; `ablation_roll_hint` measures it).
 
+use crate::cohort::{CohortGate, CohortHold, CohortRelease, DEFAULT_COHORT_BATCH};
 use crate::foll::node_state::{GRANTED, WAITING};
 use crate::foll::{NodeRef, QueueCore, TreeMode};
 use crate::raw::{RwHandle, RwLockFamily};
@@ -42,6 +43,9 @@ pub struct RollBuilder {
     adaptive: bool,
     #[cfg(not(loom))]
     biased: bool,
+    cohort: bool,
+    cohort_batch: u32,
+    cohort_ranks: Option<usize>,
     telemetry_name: Option<String>,
 }
 
@@ -59,8 +63,40 @@ impl RollBuilder {
             adaptive: false,
             #[cfg(not(loom))]
             biased: false,
+            cohort: false,
+            cohort_batch: DEFAULT_COHORT_BATCH,
+            cohort_ranks: None,
             telemetry_name: None,
         }
+    }
+
+    /// Enables the NUMA cohort writer gate: each locality rank (socket)
+    /// gets its own writer queue, and releases hand the lock to a
+    /// same-socket waiter up to the [batch bound](Self::cohort_batch)
+    /// before releasing through the global queue. On single-socket
+    /// machines (or when topology detection falls back) every writer
+    /// shares one cohort and behaviour degrades to the plain writer path.
+    pub fn cohort(mut self, cohort: bool) -> Self {
+        self.cohort = cohort;
+        self
+    }
+
+    /// Sets the cohort batch bound: how many consecutive same-socket
+    /// hand-offs one cohort tenure may perform before the release is
+    /// forced through the global queue (default
+    /// [`DEFAULT_COHORT_BATCH`](crate::cohort::DEFAULT_COHORT_BATCH)).
+    /// Clamped to ≥ 1. No effect unless [`cohort`](Self::cohort) is on.
+    pub fn cohort_batch(mut self, batch: u32) -> Self {
+        self.cohort_batch = batch;
+        self
+    }
+
+    /// Overrides the detected cohort (socket) count — for tests and
+    /// pinned-thread deployments that partition writers explicitly. The
+    /// default is `oll_util::topology::rank_count()`.
+    pub fn cohort_ranks(mut self, ranks: usize) -> Self {
+        self.cohort_ranks = Some(ranks);
+        self
     }
 
     /// Enables BRAVO-style reader biasing for
@@ -141,22 +177,33 @@ impl RollBuilder {
         if let Some(name) = &self.telemetry_name {
             telemetry.rename(name);
         }
-        RollLock {
-            core: QueueCore::new(
+        let mut core = QueueCore::new(
+            capacity,
+            self.shape
+                .unwrap_or_else(|| TreeShape::for_threads(capacity)),
+            self.backoff,
+            self.arrival_threshold,
+            if self.adaptive {
+                TreeMode::Adaptive
+            } else if self.lazy_tree {
+                TreeMode::Lazy
+            } else {
+                TreeMode::Eager
+            },
+            telemetry,
+        );
+        if self.cohort {
+            let ranks = self
+                .cohort_ranks
+                .unwrap_or_else(oll_util::topology::rank_count);
+            core.cohort = Some(Box::new(CohortGate::new(
                 capacity,
-                self.shape
-                    .unwrap_or_else(|| TreeShape::for_threads(capacity)),
-                self.backoff,
-                self.arrival_threshold,
-                if self.adaptive {
-                    TreeMode::Adaptive
-                } else if self.lazy_tree {
-                    TreeMode::Lazy
-                } else {
-                    TreeMode::Eager
-                },
-                telemetry,
-            ),
+                ranks,
+                self.cohort_batch,
+            )));
+        }
+        RollLock {
+            core,
             last_reader: CachePadded::new(AtomicU32::new(NodeRef::NIL.raw())),
             use_hint: self.use_hint,
         }
@@ -209,6 +256,22 @@ impl RollLock {
         self.core.reader_nodes.iter().any(|n| n.csnzi.is_inflated())
     }
 
+    /// Whether writers go through the NUMA cohort gate
+    /// (built with [`RollBuilder::cohort`]).
+    pub fn is_cohort(&self) -> bool {
+        self.core.cohort.is_some()
+    }
+
+    /// Number of writer cohorts (0 when the cohort gate is off).
+    pub fn cohort_count(&self) -> usize {
+        self.core.cohort.as_ref().map_or(0, |g| g.cohorts())
+    }
+
+    /// The cohort batch bound (0 when the cohort gate is off).
+    pub fn cohort_batch(&self) -> u32 {
+        self.core.cohort.as_ref().map_or(0, |g| g.batch_limit())
+    }
+
     fn set_hint(&self, node: NodeRef) {
         if self.use_hint {
             self.last_reader.store(node.raw(), Ordering::Release);
@@ -251,6 +314,10 @@ impl RwLockFamily for RollLock {
             session: None,
             write_held: false,
             pending_reclaim: false,
+            cohort_hold: None,
+            cohort_reclaim: false,
+            cohort_pin: None,
+            cohort_cache: None,
             hold: Timer::inactive(),
         })
     }
@@ -284,8 +351,21 @@ pub struct RollHandle<'a> {
     session: Option<(usize, Ticket)>,
     write_held: bool,
     /// A timed write abandoned this slot's writer node in the queue; it
-    /// must be reclaimed before the node's next use.
+    /// must be reclaimed before the node's next use. Also set when a
+    /// cohort release lends the node to a running batch.
     pending_reclaim: bool,
+    /// Proof of the current cohort-gated write hold (cohort builds only).
+    cohort_hold: Option<CohortHold>,
+    /// A timed cohort write abandoned this slot's cohort node; it must be
+    /// reclaimed before the node's next use.
+    cohort_reclaim: bool,
+    /// Explicit cohort override set via [`set_cohort`](Self::set_cohort).
+    cohort_pin: Option<usize>,
+    /// Resolved cohort index, cached on first writer use so the hot path
+    /// skips the thread-local topology lookup. Any index is correct —
+    /// a stale cache merely costs placement quality — so the cache is
+    /// only invalidated by [`set_cohort`](Self::set_cohort).
+    cohort_cache: Option<usize>,
     /// Hold-time timer for the handle's outstanding acquisition.
     hold: Timer,
 }
@@ -301,6 +381,38 @@ impl RollHandle<'_> {
         if self.pending_reclaim {
             self.lock.core.reclaim_writer_node(self.slot_idx());
             self.pending_reclaim = false;
+        }
+    }
+
+    /// Finishes any pending reclaim of this slot's cohort node (after a
+    /// timed cohort write abandoned it).
+    fn ensure_cohort_node(&mut self) {
+        if self.cohort_reclaim {
+            self.lock.core.cohort_reclaim_node(self.slot_idx());
+            self.cohort_reclaim = false;
+        }
+    }
+
+    /// Pins this handle's writer acquisitions to cohort `cohort` (modulo
+    /// the lock's cohort count) instead of deriving the cohort from the
+    /// calling thread's topology. For tests and explicitly-placed
+    /// threads; no effect unless the lock was built with
+    /// [`RollBuilder::cohort`].
+    pub fn set_cohort(&mut self, cohort: usize) {
+        self.cohort_pin = Some(cohort);
+        self.cohort_cache = None;
+    }
+
+    /// The cohort this handle's writer acquisitions queue on, resolved
+    /// once and cached (see `cohort_cache`).
+    fn cohort_index(&mut self) -> usize {
+        match self.cohort_cache {
+            Some(c) => c,
+            None => {
+                let c = self.lock.core.pick_cohort(self.cohort_pin);
+                self.cohort_cache = Some(c);
+                c
+            }
         }
     }
 
@@ -483,10 +595,30 @@ impl RwHandle for RollHandle<'_> {
 
     fn lock_write(&mut self) {
         debug_assert!(self.session.is_none() && !self.write_held);
-        self.ensure_writer_node();
         // `wait_for_active = true`: do not close a waiting reader group's
         // C-SNZI — that group must stay joinable until it holds the lock.
-        self.lock.core.writer_lock(self.slot_idx(), true);
+        if self.lock.core.cohort.is_some() {
+            let cohort = self.cohort_index();
+            if self.lock.core.cohort_bypass_ready(cohort) {
+                // Uncontended: the gate has nothing to batch, so skip it
+                // and acquire like a plain writer. `cohort_hold` stays
+                // `None`, making the release the plain `writer_unlock`.
+                self.ensure_writer_node();
+                self.lock.core.writer_lock(self.slot_idx(), true);
+            } else {
+                self.ensure_cohort_node();
+                let hold = self.lock.core.cohort_lock(
+                    self.slot_idx(),
+                    cohort,
+                    true,
+                    &mut self.pending_reclaim,
+                );
+                self.cohort_hold = Some(hold);
+            }
+        } else {
+            self.ensure_writer_node();
+            self.lock.core.writer_lock(self.slot_idx(), true);
+        }
         self.hold = self.lock.core.telemetry.timer();
         self.write_held = true;
     }
@@ -495,7 +627,24 @@ impl RwHandle for RollHandle<'_> {
         debug_assert!(self.write_held, "unlock_write without write hold");
         self.write_held = false;
         self.lock.core.telemetry.record_write_hold(&self.hold);
-        self.lock.core.writer_unlock(self.slot_idx());
+        let slot = self.slot_idx();
+        match self.cohort_hold.take() {
+            Some(hold) => {
+                let outcome = self.lock.core.cohort_release(slot, hold.cohort, Some(hold));
+                if hold.owner_slot == slot {
+                    // LocalHandoff: our global writer node stays in the
+                    // queue, lent to the batch; reclaim before its next
+                    // use. A global release through our own node means we
+                    // discharged it ourselves — including a node lent out
+                    // earlier whose batch circled back to us — so any
+                    // pending reclaim is already satisfied.
+                    self.pending_reclaim = outcome == CohortRelease::LocalHandoff;
+                }
+            }
+            None => {
+                self.lock.core.writer_unlock(slot);
+            }
+        }
     }
 
     fn try_lock_read(&mut self) -> bool {
@@ -708,9 +857,55 @@ impl crate::raw::TimedHandle for RollHandle<'_> {
         &mut self,
         deadline: std::time::Instant,
     ) -> Result<(), crate::raw::TimedOut> {
+        use crate::cohort::CohortTimeout;
         use crate::foll::WriteTimeout;
 
         debug_assert!(self.session.is_none() && !self.write_held);
+        // Uncontended cohort builds bypass the gate (see `lock_write`)
+        // and fall through to the plain timed writer path below.
+        let cohort = if self.lock.core.cohort.is_some() {
+            let c = self.cohort_index();
+            if self.lock.core.cohort_bypass_ready(c) {
+                None
+            } else {
+                Some(c)
+            }
+        } else {
+            None
+        };
+        if let Some(cohort) = cohort {
+            self.ensure_cohort_node();
+            return match self.lock.core.cohort_lock_deadline(
+                self.slot_idx(),
+                cohort,
+                true,
+                deadline,
+                &mut self.pending_reclaim,
+            ) {
+                Ok(hold) => {
+                    self.cohort_hold = Some(hold);
+                    self.hold = self.lock.core.telemetry.timer();
+                    self.write_held = true;
+                    Ok(())
+                }
+                Err(CohortTimeout::Clean) => {
+                    self.lock.core.telemetry.incr(LockEvent::Timeout);
+                    Err(crate::raw::TimedOut)
+                }
+                Err(CohortTimeout::WriterAbandoned) => {
+                    self.lock.core.telemetry.incr(LockEvent::Timeout);
+                    self.lock.core.telemetry.incr(LockEvent::Cancel);
+                    self.pending_reclaim = true;
+                    Err(crate::raw::TimedOut)
+                }
+                Err(CohortTimeout::CohortAbandoned) => {
+                    self.lock.core.telemetry.incr(LockEvent::Timeout);
+                    self.lock.core.telemetry.incr(LockEvent::Cancel);
+                    self.cohort_reclaim = true;
+                    Err(crate::raw::TimedOut)
+                }
+            };
+        }
         self.ensure_writer_node();
         match self
             .lock
@@ -745,6 +940,7 @@ impl Drop for RollHandle<'_> {
         // The slot (and with it the writer node) is released on drop; make
         // sure no abandoned-release is still running against the node.
         self.ensure_writer_node();
+        self.ensure_cohort_node();
     }
 }
 

@@ -90,11 +90,20 @@ pub enum LockEvent {
     /// A grant found a stored waker and woke it (the grantee was
     /// suspended; absence means the grant won the register race).
     WakerWoken,
+    /// A cohort release handed the write lock to a same-socket waiter
+    /// without touching the global queue (batched NUMA hand-off).
+    CohortLocalHandoff,
+    /// A cohort release published the write lock outward: the global
+    /// queue hand-off crossed (or may cross) a socket boundary.
+    CohortRemoteHandoff,
+    /// A cohort release hit the batch bound with local waiters still
+    /// queued and released globally instead (the starvation bound).
+    CohortBatchExhausted,
 }
 
 impl LockEvent {
     /// Number of event kinds (the counter-array length).
-    pub const COUNT: usize = 31;
+    pub const COUNT: usize = 34;
 
     /// Every event, in counter-index order.
     pub const ALL: [LockEvent; Self::COUNT] = [
@@ -129,6 +138,9 @@ impl LockEvent {
         LockEvent::BiasDegraded,
         LockEvent::WakerStored,
         LockEvent::WakerWoken,
+        LockEvent::CohortLocalHandoff,
+        LockEvent::CohortRemoteHandoff,
+        LockEvent::CohortBatchExhausted,
     ];
 
     /// Stable snake_case name, used as the JSON key and the text-report
@@ -166,6 +178,9 @@ impl LockEvent {
             LockEvent::BiasDegraded => "bias_degraded",
             LockEvent::WakerStored => "waker_stored",
             LockEvent::WakerWoken => "waker_woken",
+            LockEvent::CohortLocalHandoff => "cohort_local_handoff",
+            LockEvent::CohortRemoteHandoff => "cohort_remote_handoff",
+            LockEvent::CohortBatchExhausted => "cohort_batch_exhausted",
         }
     }
 

@@ -37,6 +37,22 @@ pub struct AnalyzerConfig {
     pub starvation_factor: f64,
     /// Ignore queued times below this floor (scheduler noise).
     pub min_starvation_ns: u64,
+    /// Maps a trace thread id to a locality (cohort) rank so hand-off
+    /// edges can be classified as same-socket or cross-socket. The
+    /// default mirrors the cohort lock's own placement heuristic
+    /// (`oll_util::topology::cohort_of_current`): trace tids are dense
+    /// registration-order counters, exactly like `dense_thread_id`, so
+    /// `cohort_of(tid % cpus)` reproduces the lock-side mapping. On
+    /// undetected (single-socket fallback) topologies every tid maps to
+    /// rank 0 and the cross-socket count is deterministically zero.
+    pub cohort_of_tid: fn(u32) -> usize,
+}
+
+/// Default [`AnalyzerConfig::cohort_of_tid`]: the topology-derived rank
+/// the cohort writer path would pick for this dense thread id.
+fn topology_cohort_of_tid(tid: u32) -> usize {
+    let t = oll_util::topology::Topology::get();
+    t.cohort_of(tid as usize % t.cpus())
 }
 
 impl Default for AnalyzerConfig {
@@ -46,6 +62,7 @@ impl Default for AnalyzerConfig {
             starvation_percentile: 95.0,
             starvation_factor: 4.0,
             min_starvation_ns: 1_000,
+            cohort_of_tid: topology_cohort_of_tid,
         }
     }
 }
@@ -220,6 +237,12 @@ pub struct TraceReport {
     pub wait_chains: Vec<WaitChain>,
     /// Hazard-layer events (poison / deadlock / watchdog), capped at 256.
     pub hazard_anomalies: Vec<HazardAnomaly>,
+    /// Hand-off edges whose grantor and grantee map to different
+    /// locality ranks under [`AnalyzerConfig::cohort_of_tid`].
+    pub cross_socket_handoffs: u64,
+    /// Total stitched hand-off edges (`edges.len()`), the denominator
+    /// for the cross-socket ratio.
+    pub total_handoffs: u64,
     /// `granted` markers with no parked waiter in the window (grants
     /// that raced collection or whose enqueue fell outside it).
     pub unmatched_grants: u64,
@@ -341,6 +364,12 @@ pub fn analyze(tl: &Timeline, cfg: &AnalyzerConfig) -> TraceReport {
     }
 
     report.breakdowns = breakdowns(&report.acquisitions);
+    report.total_handoffs = report.edges.len() as u64;
+    report.cross_socket_handoffs = report
+        .edges
+        .iter()
+        .filter(|e| (cfg.cohort_of_tid)(e.grantor_tid) != (cfg.cohort_of_tid)(e.grantee_tid))
+        .count() as u64;
     report.cascades = find_cascades(&report.edges);
     report.convoys = find_convoys(&report.acquisitions, cfg);
     report.starvations = find_starvations(&report.acquisitions, cfg);
@@ -585,6 +614,15 @@ pub fn render_report_text(tl: &Timeline, report: &TraceReport) -> String {
         report.edges.len(),
         report.unmatched_grants,
     ));
+    let cross_pct = if report.total_handoffs == 0 {
+        0.0
+    } else {
+        100.0 * report.cross_socket_handoffs as f64 / report.total_handoffs as f64
+    };
+    out.push_str(&format!(
+        "cross-socket hand-offs: {} / {} ({cross_pct:.1}%)\n",
+        report.cross_socket_handoffs, report.total_handoffs,
+    ));
     if report.cascades.is_empty() {
         out.push_str("grant cascades: none\n");
     } else {
@@ -739,6 +777,28 @@ mod tests {
         let text = render_report_text(&cascade_timeline(), &report);
         assert!(text.contains("2 hops"));
         assert!(text.contains("t1->t2->t3"));
+    }
+
+    #[test]
+    fn cross_socket_handoffs_follow_the_cohort_mapper() {
+        // Parity mapper: t1/t3 on rank 1, t2 on rank 0 — both edges of
+        // the cascade (t1->t2, t2->t3) cross ranks.
+        let mut cfg = AnalyzerConfig::default();
+        cfg.cohort_of_tid = |tid| (tid % 2) as usize;
+        let report = analyze(&cascade_timeline(), &cfg);
+        assert_eq!(report.total_handoffs, 2);
+        assert_eq!(report.cross_socket_handoffs, 2);
+        let text = render_report_text(&cascade_timeline(), &report);
+        assert!(text.contains("cross-socket hand-offs: 2 / 2 (100.0%)"));
+
+        // Single-rank mapper (the undetected-topology fallback shape):
+        // every hand-off is local.
+        cfg.cohort_of_tid = |_| 0;
+        let report = analyze(&cascade_timeline(), &cfg);
+        assert_eq!(report.total_handoffs, 2);
+        assert_eq!(report.cross_socket_handoffs, 0);
+        let text = render_report_text(&cascade_timeline(), &report);
+        assert!(text.contains("cross-socket hand-offs: 0 / 2 (0.0%)"));
     }
 
     #[test]

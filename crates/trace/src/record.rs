@@ -1,6 +1,6 @@
 //! The trace record: one timestamped event, packed to three words.
 //!
-//! A record is `(ts_ns, tid, lock, kind, token)`. The first thirty-one
+//! A record is `(ts_ns, tid, lock, kind, token)`. The first thirty-four
 //! [`TraceKind`]s mirror `oll_telemetry::LockEvent` one-for-one (same
 //! order, same `snake_case` names), so counter increments flow into the
 //! timeline without a translation table; the remaining kinds are
@@ -10,8 +10,8 @@
 //! lets the analyzer stitch a hand-off's grantor and grantee into an
 //! edge.
 
-/// What happened. Discriminants `0..31` mirror
-/// `oll_telemetry::LockEvent` exactly; `31..` are trace-only markers.
+/// What happened. Discriminants `0..34` mirror
+/// `oll_telemetry::LockEvent` exactly; `34..` are trace-only markers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[repr(u8)]
 pub enum TraceKind {
@@ -80,28 +80,34 @@ pub enum TraceKind {
     WakerStored = 29,
     /// A grant woke a stored task waker (the grantee was suspended).
     WakerWoken = 30,
+    /// A cohort release handed the write lock to a same-socket waiter.
+    CohortLocalHandoff = 31,
+    /// A cohort release published the write lock to the global queue.
+    CohortRemoteHandoff = 32,
+    /// A cohort release hit the batch bound with local waiters queued.
+    CohortBatchExhausted = 33,
     /// `lock_read` entered (marker; opens a read acquisition span).
-    ReadBegin = 31,
+    ReadBegin = 34,
     /// `lock_write` entered (marker; opens a write acquisition span).
-    WriteBegin = 32,
+    WriteBegin = 35,
     /// The thread joined a wait queue; `token` names what it waits on.
-    Enqueued = 33,
+    Enqueued = 36,
     /// A releasing thread granted ownership to the waiter(s) parked on
     /// `token` (emitted by the *grantor*).
-    Granted = 34,
+    Granted = 37,
     /// `lock_read` succeeded (marker; closes the read span).
-    ReadAcquired = 35,
+    ReadAcquired = 38,
     /// `lock_write` succeeded (marker; closes the write span).
-    WriteAcquired = 36,
+    WriteAcquired = 39,
     /// `unlock_read` entered (marker; closes the read hold span).
-    ReadRelease = 37,
+    ReadRelease = 40,
     /// `unlock_write` entered (marker; closes the write hold span).
-    WriteRelease = 38,
+    WriteRelease = 41,
 }
 
 impl TraceKind {
     /// Number of kinds.
-    pub const COUNT: usize = 39;
+    pub const COUNT: usize = 42;
 
     /// All kinds, in discriminant order.
     pub const ALL: [TraceKind; TraceKind::COUNT] = [
@@ -136,6 +142,9 @@ impl TraceKind {
         TraceKind::BiasDegraded,
         TraceKind::WakerStored,
         TraceKind::WakerWoken,
+        TraceKind::CohortLocalHandoff,
+        TraceKind::CohortRemoteHandoff,
+        TraceKind::CohortBatchExhausted,
         TraceKind::ReadBegin,
         TraceKind::WriteBegin,
         TraceKind::Enqueued,
@@ -146,7 +155,7 @@ impl TraceKind {
         TraceKind::WriteRelease,
     ];
 
-    /// Stable `snake_case` name (the first 31 match
+    /// Stable `snake_case` name (the first 34 match
     /// `LockEvent::name()`).
     pub const fn name(self) -> &'static str {
         match self {
@@ -181,6 +190,9 @@ impl TraceKind {
             TraceKind::BiasDegraded => "bias_degraded",
             TraceKind::WakerStored => "waker_stored",
             TraceKind::WakerWoken => "waker_woken",
+            TraceKind::CohortLocalHandoff => "cohort_local_handoff",
+            TraceKind::CohortRemoteHandoff => "cohort_remote_handoff",
+            TraceKind::CohortBatchExhausted => "cohort_batch_exhausted",
             TraceKind::ReadBegin => "read_begin",
             TraceKind::WriteBegin => "write_begin",
             TraceKind::Enqueued => "enqueued",

@@ -43,6 +43,11 @@ pub struct Topology {
     /// `rank[cpu]` = position of `cpu` in the locality-sorted order
     /// (CPUs sharing a core are adjacent, then cores within a package).
     rank: Vec<usize>,
+    /// `cohort[cpu]` = dense locality-rank (socket) index of `cpu`,
+    /// numbered `0..rank_count` in package-id order.
+    cohort: Vec<usize>,
+    /// Number of distinct packages (always ≥ 1; exactly 1 in fallback).
+    rank_count: usize,
     /// Whether sysfs topology was actually read (false = fallback).
     detected: bool,
 }
@@ -73,6 +78,18 @@ impl Topology {
         self.rank[cpu % self.rank.len()]
     }
 
+    /// Number of distinct locality ranks (physical packages / sockets).
+    /// Deterministically `1` when detection fell back, so cohort-keyed
+    /// structures degrade to a single queue.
+    pub fn rank_count(&self) -> usize {
+        self.rank_count
+    }
+
+    /// Dense socket index (`0..rank_count`) of a logical CPU.
+    pub fn cohort_of(&self, cpu: usize) -> usize {
+        self.cohort[cpu % self.cohort.len()]
+    }
+
     /// Builds a topology from a sysfs-style directory; `None` if the
     /// directory does not yield at least one readable CPU entry.
     fn from_sysfs(root: &Path) -> Option<Topology> {
@@ -92,24 +109,42 @@ impl Topology {
         Some(Topology::from_locations(cpus, true))
     }
 
-    /// Identity topology sized by `available_parallelism`.
+    /// Identity topology sized by `available_parallelism`. One cohort:
+    /// without real package ids every CPU is "local", so cohort-keyed
+    /// structures behave exactly like their single-tail ancestors.
     fn fallback() -> Topology {
         let n = std::thread::available_parallelism().map_or(1, |p| p.get());
         Topology {
             rank: (0..n).collect(),
+            cohort: vec![0; n],
+            rank_count: 1,
             detected: false,
         }
     }
 
     fn from_locations(mut cpus: Vec<CpuLocation>, detected: bool) -> Topology {
         let n = cpus.len();
-        // Sort by (package, core, cpu); the sorted position is the rank.
+        // Sort by (package, core, cpu); the sorted position is the rank,
+        // and each new package id starts the next dense cohort index.
         cpus.sort_unstable();
         let mut rank = vec![0usize; n];
+        let mut cohort = vec![0usize; n];
+        let mut rank_count = 0usize;
+        let mut last_package = None;
         for (pos, loc) in cpus.iter().enumerate() {
             rank[loc.cpu] = pos;
+            if last_package != Some(loc.package) {
+                last_package = Some(loc.package);
+                rank_count += 1;
+            }
+            cohort[loc.cpu] = rank_count - 1;
         }
-        Topology { rank, detected }
+        Topology {
+            rank,
+            cohort,
+            rank_count: rank_count.max(1),
+            detected,
+        }
     }
 }
 
@@ -126,6 +161,28 @@ pub fn dense_thread_id() -> usize {
         static DENSE_ID: usize = NEXT.fetch_add(1, Ordering::Relaxed);
     }
     DENSE_ID.with(|id| *id)
+}
+
+/// Number of distinct locality ranks (sockets) on this machine — the
+/// process-wide [`Topology::rank_count`]. Always ≥ 1, and exactly 1 when
+/// sysfs detection fell back, so cohort builds degrade deterministically
+/// to single-tail behaviour.
+pub fn rank_count() -> usize {
+    Topology::get().rank_count()
+}
+
+/// The cohort (dense socket index, `0..rank_count()`) the current thread
+/// should use, derived from its [`dense_thread_id`] through the same
+/// id-as-CPU heuristic as [`preferred_leaf`]. Cached per thread: the
+/// topology lookup happens once per thread lifetime.
+pub fn cohort_of_current() -> usize {
+    thread_local! {
+        static COHORT: usize = {
+            let topo = Topology::get();
+            topo.cohort_of(dense_thread_id() % topo.cpus())
+        };
+    }
+    COHORT.with(|c| *c)
 }
 
 /// The leaf ordinal (in `0..leaf_count`) a thread with the given dense id
@@ -245,6 +302,38 @@ mod tests {
         for cpu in [2, 3, 6, 7] {
             assert!(t.rank_of(cpu) >= 4);
         }
+        // Two packages ⇒ two cohorts, split along package lines.
+        assert_eq!(t.rank_count(), 2);
+        for cpu in [0, 1, 4, 5] {
+            assert_eq!(t.cohort_of(cpu), 0);
+        }
+        for cpu in [2, 3, 6, 7] {
+            assert_eq!(t.cohort_of(cpu), 1);
+        }
+    }
+
+    #[test]
+    fn fallback_is_a_single_cohort() {
+        let t = Topology::fallback();
+        assert!(!t.is_detected());
+        assert_eq!(t.rank_count(), 1);
+        for cpu in 0..t.cpus() {
+            assert_eq!(t.cohort_of(cpu), 0);
+        }
+    }
+
+    #[test]
+    fn cohort_of_current_is_stable_and_in_range() {
+        let c = cohort_of_current();
+        assert_eq!(c, cohort_of_current());
+        assert!(c < rank_count());
+        assert!(rank_count() >= 1);
+        let worker = std::thread::spawn(|| {
+            let c = cohort_of_current();
+            assert_eq!(c, cohort_of_current());
+            assert!(c < rank_count());
+        });
+        worker.join().unwrap();
     }
 
     #[test]

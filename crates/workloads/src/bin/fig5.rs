@@ -5,7 +5,7 @@
 //!   fig5 [--panel a|b|c|d|e|f|all] [--threads 1,2,4,8,16]
 //!        [--locks GOLL,FOLL,ROLL,KSUH,Solaris-Like,...|all]
 //!        [--acquisitions N] [--runs N] [--paper] [--verify]
-//!        [--adaptive] [--biased] [--hazard] [--shape N]
+//!        [--adaptive] [--biased] [--hazard] [--cohort] [--shape N]
 //!        [--csv PATH] [--json PATH] [--telemetry]
 //!        [--trace PATH] [--trace-json PATH] [--flame PATH]
 //!        [--obs [ADDR]] [--obs-json PATH] [--obs-interval-ms N]
@@ -31,8 +31,11 @@
 //! writer revokes the bias. `--hazard` arms the `oll-hazard` hardening
 //! layer on every lock (poison policy + deadlock-detection tracking) so
 //! its steady-state overhead is measurable; it needs a build with the
-//! `hazard` cargo feature to do anything. All four are recorded in the
-//! JSON report.
+//! `hazard` cargo feature to do anything. `--cohort` builds FOLL/ROLL
+//! with the NUMA cohort writer gate: per-socket writer queues that hand
+//! the write lock to same-socket waiters up to a batch bound before
+//! releasing cross-node (GOLL and the baselines ignore it). All five
+//! are recorded in the JSON report.
 //!
 //! `--obs` runs the whole sweep under the continuous-monitoring sampler
 //! (needs a `--features obs` build); with an ADDR it also serves
@@ -69,7 +72,7 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: fig5 [--panel a|b|c|d|e|f|all] [--threads 1,2,4]\n\
          \t[--locks name,...|all] [--acquisitions N] [--runs N]\n\
-         \t[--paper] [--verify] [--adaptive] [--biased] [--hazard] [--shape N]\n\
+         \t[--paper] [--verify] [--adaptive] [--biased] [--hazard] [--cohort] [--shape N]\n\
          \t[--csv PATH] [--json PATH] [--telemetry]\n\
          \t[--trace PATH] [--trace-json PATH] [--flame PATH]\n\
          \t[--obs [ADDR]] [--obs-json PATH] [--obs-interval-ms N]"
@@ -163,6 +166,7 @@ fn parse_args() -> Args {
             "--adaptive" => opts.lock_options.adaptive = true,
             "--biased" => opts.lock_options.biased = true,
             "--hazard" => opts.lock_options.hazard = true,
+            "--cohort" => opts.lock_options.cohort = true,
             "--shape" => {
                 let n: usize = value(i).parse().unwrap_or_else(|_| usage("bad --shape"));
                 if n == 0 {
@@ -260,10 +264,11 @@ fn main() {
     );
     if !args.opts.lock_options.is_default() {
         eprintln!(
-            "fig5: lock options: adaptive={} biased={} hazard={} shape_threads={:?}",
+            "fig5: lock options: adaptive={} biased={} hazard={} cohort={} shape_threads={:?}",
             args.opts.lock_options.adaptive,
             args.opts.lock_options.biased,
             args.opts.lock_options.hazard,
+            args.opts.lock_options.cohort,
             args.opts.lock_options.shape_threads,
         );
     }

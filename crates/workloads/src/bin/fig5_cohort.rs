@@ -1,0 +1,273 @@
+//! `fig5_cohort` — measure the NUMA cohort writer gate's effect.
+//!
+//! ```text
+//! USAGE:
+//!   fig5_cohort [--threads 1,2,4,8] [--acquisitions N] [--runs N]
+//!               [--json PATH] [--merge PATH] [--quiet]
+//! ```
+//!
+//! Runs every Figure 5(f) point (0% reads — the pure-writer mix where
+//! the cohort gate's batched same-socket hand-off is the entire story)
+//! twice, back to back: once with the plain global writer queue, once
+//! with the cohort gate (`--cohort`'s per-socket writer queues,
+//! `DEFAULT_COHORT_BATCH` local grants before a forced cross-node
+//! release). The halves are paired per *run* — off/on adjacent within
+//! every repetition, the order alternating run to run — and every
+//! reported delta is the **median of the paired per-run deltas**, so
+//! machine drift between the halves, one throttled repetition, or a
+//! pair whose halves straddled a scheduling-regime flip (oversubscribed
+//! single-CPU boxes are bistable between uncontended and convoyed
+//! execution) cannot masquerade as a delta. The off/on rate columns are
+//! informational medians; the deltas are what aggregate. Only FOLL and
+//! ROLL run: they are the locks that grew the gate.
+//!
+//! On single-socket hardware the detected topology collapses to one
+//! rank, so every hand-off is local and the measurement bounds the
+//! gate's bookkeeping overhead (the acceptance target recorded in
+//! `BENCH_fig5.json`: no meaningful regression). On a multi-socket
+//! box the same pairing shows the batching win and the recorded
+//! `ranks` field says how many cohorts were in play.
+//!
+//! `--json` writes the comparison as a standalone `oll.fig5_cohort`
+//! document; `--merge` folds it into an existing `oll.fig5` document
+//! (the committed `BENCH_fig5.json`) as its top-level `"cohort"`
+//! member, which `fig5check --expect-cohort` then validates.
+
+use oll_core::DEFAULT_COHORT_BATCH;
+use oll_telemetry::report::{json_escape, SCHEMA_VERSION};
+use oll_workloads::config::{Fig5Panel, LockKind, LockOptions, WorkloadConfig};
+use oll_workloads::json::merge_member;
+use oll_workloads::runner::run_throughput_profiled_with;
+use oll_workloads::sweep::SweepOptions;
+use std::io::Write as _;
+use std::process::exit;
+
+struct Args {
+    opts: SweepOptions,
+    json: Option<String>,
+    merge: Option<String>,
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: fig5_cohort [--threads 1,2,4,8] [--acquisitions N] [--runs N]\n\
+         \t[--json PATH] [--merge PATH] [--quiet]"
+    );
+    exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut opts = SweepOptions::quick();
+    opts.thread_counts = vec![1, 2, 4, 8];
+    opts.locks = vec![LockKind::Foll, LockKind::Roll];
+    opts.progress = true;
+    let mut json = None;
+    let mut merge = None;
+
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: usize| -> String {
+            argv.get(i + 1)
+                .unwrap_or_else(|| usage("missing value for flag"))
+                .clone()
+        };
+        match argv[i].as_str() {
+            "--threads" => {
+                let v = value(i);
+                i += 1;
+                opts.thread_counts = v
+                    .split(',')
+                    .map(|t| {
+                        t.trim()
+                            .parse::<usize>()
+                            .unwrap_or_else(|_| usage(&format!("bad thread count `{t}`")))
+                    })
+                    .collect();
+                if opts.thread_counts.is_empty() {
+                    usage("--threads needs at least one value");
+                }
+            }
+            "--acquisitions" => {
+                opts.base.acquisitions_per_thread = value(i)
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --acquisitions"));
+                i += 1;
+            }
+            "--runs" => {
+                opts.base.runs = value(i).parse().unwrap_or_else(|_| usage("bad --runs"));
+                i += 1;
+            }
+            "--json" => {
+                json = Some(value(i));
+                i += 1;
+            }
+            "--merge" => {
+                merge = Some(value(i));
+                i += 1;
+            }
+            "--quiet" => opts.progress = false,
+            "--help" | "-h" => usage("help requested"),
+            other => usage(&format!("unknown flag `{other}`")),
+        }
+        i += 1;
+    }
+    Args { opts, json, merge }
+}
+
+fn main() {
+    let args = parse_args();
+    let read_pct = Fig5Panel::F.read_pct();
+    let ranks = oll_util::topology::rank_count();
+    eprintln!(
+        "fig5_cohort: panel f points paired off/on over threads {:?}, \
+         {} acquisitions/thread, {} run(s) averaged; {} locality rank(s), batch {}",
+        args.opts.thread_counts,
+        args.opts.base.acquisitions_per_thread,
+        args.opts.base.runs,
+        ranks,
+        DEFAULT_COHORT_BATCH,
+    );
+
+    let off_options = args.opts.lock_options;
+    let on_options = LockOptions {
+        cohort: true,
+        ..off_options
+    };
+    /// Median: robust to outliers (a throttled repetition, or a pair
+    /// whose halves landed in different scheduling regimes) in a way the
+    /// mean is not.
+    fn median(samples: &mut [f64]) -> f64 {
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let n = samples.len();
+        if n % 2 == 1 {
+            samples[n / 2]
+        } else {
+            (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+        }
+    }
+    let mut all_deltas = Vec::new();
+    let mut rows = Vec::with_capacity(args.opts.locks.len());
+    println!(
+        "{:<13} {:>14} {:>14} {:>10}",
+        "lock", "off acq/s", "on acq/s", "delta"
+    );
+    for (li, &kind) in args.opts.locks.iter().enumerate() {
+        let mut off_rate = 0.0f64;
+        let mut on_rate = 0.0f64;
+        let mut lock_deltas = Vec::new();
+        for (ti, &threads) in args.opts.thread_counts.iter().enumerate() {
+            let config = WorkloadConfig {
+                threads,
+                read_pct,
+                runs: 1,
+                ..args.opts.base
+            };
+            let point = |opts: &LockOptions| {
+                run_throughput_profiled_with(kind, &config, opts)
+                    .0
+                    .acquires_per_sec
+            };
+            // Pair the halves per run, alternating which goes first, so
+            // warmup and drift bias neither side. The per-pair deltas —
+            // not the rates — are what aggregates: a pair whose halves
+            // landed in the same scheduling regime yields an honest
+            // ratio, and the medians discard the occasional pair that
+            // straddled a regime flip (an oversubscribed 1-CPU box is
+            // bistable between "every acquisition uncontended" and a
+            // convoy of queued waiters; mean-of-rates lets one such
+            // flip masquerade as a 100x delta).
+            let runs = args.opts.base.runs.max(1);
+            let mut offs = Vec::with_capacity(runs);
+            let mut ons = Vec::with_capacity(runs);
+            let mut deltas = Vec::with_capacity(runs);
+            for r in 0..runs {
+                let (off, on) = if (li + ti + r) % 2 == 0 {
+                    let off = point(&off_options);
+                    (off, point(&on_options))
+                } else {
+                    let on = point(&on_options);
+                    (point(&off_options), on)
+                };
+                offs.push(off);
+                ons.push(on);
+                deltas.push((on - off) / off * 100.0);
+            }
+            let (off, on) = (median(&mut offs), median(&mut ons));
+            let point_delta = median(&mut deltas);
+            if args.opts.progress {
+                eprintln!(
+                    "  {:<13} threads={:<3} -> off {off:>12.0} / on {on:>12.0} acquires/s \
+                     ({point_delta:+.2}%)",
+                    kind.name(),
+                    threads,
+                );
+            }
+            off_rate += off;
+            on_rate += on;
+            lock_deltas.extend_from_slice(&deltas);
+            all_deltas.extend_from_slice(&deltas);
+        }
+        let n = args.opts.thread_counts.len().max(1) as f64;
+        off_rate /= n;
+        on_rate /= n;
+        let delta_pct = median(&mut lock_deltas);
+        println!(
+            "{:<13} {:>14.0} {:>14.0} {:>+9.2}%",
+            kind.name(),
+            off_rate,
+            on_rate,
+            delta_pct
+        );
+        rows.push(format!(
+            "{{\"lock\":\"{}\",\"off_acquires_per_sec\":{off_rate:.1},\
+             \"on_acquires_per_sec\":{on_rate:.1},\"delta_pct\":{delta_pct:.3}}}",
+            json_escape(kind.name())
+        ));
+    }
+    let overall_delta_pct = median(&mut all_deltas);
+    println!(
+        "overall: {overall_delta_pct:+.2}% cohort-gate throughput delta \
+         (median of paired run deltas, {ranks} locality rank(s))",
+    );
+
+    let threads_list = args
+        .opts
+        .thread_counts
+        .iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    let doc = format!(
+        "{{\"schema\":\"oll.fig5_cohort\",\"version\":{SCHEMA_VERSION},\
+         \"panel\":\"{}\",\"ranks\":{ranks},\"batch\":{DEFAULT_COHORT_BATCH},\
+         \"threads\":[{threads_list}],\"acquisitions_per_thread\":{},\"runs\":{},\
+         \"locks\":[{}],\"overall_delta_pct\":{overall_delta_pct:.3}}}",
+        Fig5Panel::F.tag(),
+        args.opts.base.acquisitions_per_thread,
+        args.opts.base.runs,
+        rows.join(","),
+    );
+
+    if let Some(path) = &args.json {
+        let mut f = std::fs::File::create(path)
+            .unwrap_or_else(|e| usage(&format!("cannot create {path}: {e}")));
+        f.write_all(doc.as_bytes())
+            .and_then(|()| f.write_all(b"\n"))
+            .unwrap_or_else(|e| usage(&format!("cannot write {path}: {e}")));
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = &args.merge {
+        let base = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| usage(&format!("cannot read {path}: {e}")));
+        let merged = merge_member(&base, "cohort", &doc)
+            .unwrap_or_else(|e| usage(&format!("{path}: cannot merge: {e}")));
+        let mut f = std::fs::File::create(path)
+            .unwrap_or_else(|e| usage(&format!("cannot create {path}: {e}")));
+        f.write_all(merged.as_bytes())
+            .and_then(|()| f.write_all(b"\n"))
+            .unwrap_or_else(|e| usage(&format!("cannot write {path}: {e}")));
+        eprintln!("merged cohort panel into {path}");
+    }
+}

@@ -4,7 +4,7 @@
 //! USAGE:
 //!   fig5check PATH [--expect-adaptive] [--expect-biased] [--expect-hazard]
 //!             [--expect-shape N] [--expect-async] [--expect-async-tasks N]
-//!             [--expect-obs]
+//!             [--expect-obs] [--expect-cohort]
 //! ```
 //!
 //! Parses the document with the in-tree parser (`oll_workloads::json`),
@@ -29,6 +29,13 @@
 //! it was a live measurement: the sampler was active and ticking at a
 //! positive interval, every lock has finite positive throughput in both
 //! passes, and the overall overhead is a finite percentage.
+//!
+//! `--expect-cohort` requires the `"cohort"` member that
+//! `fig5_cohort --merge` folds in (an `oll.fig5_cohort` paired
+//! off/on comparison of the NUMA cohort writer gate) and checks its
+//! shape: at least one locality rank and a positive batch bound were
+//! recorded, every lock has finite positive throughput with the gate
+//! off and on, and the overall delta is a finite percentage.
 
 use oll_workloads::json::parse::{self, Value};
 use std::process::exit;
@@ -37,7 +44,8 @@ fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: fig5check PATH [--expect-adaptive] [--expect-biased] [--expect-hazard] \
-         [--expect-shape N] [--expect-async] [--expect-async-tasks N] [--expect-obs]"
+         [--expect-shape N] [--expect-async] [--expect-async-tasks N] [--expect-obs] \
+         [--expect-cohort]"
     );
     exit(2);
 }
@@ -57,6 +65,7 @@ fn main() {
     let mut expect_async = false;
     let mut expect_async_tasks = None;
     let mut expect_obs = false;
+    let mut expect_cohort = false;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -65,6 +74,7 @@ fn main() {
             "--expect-hazard" => expect_hazard = true,
             "--expect-async" => expect_async = true,
             "--expect-obs" => expect_obs = true,
+            "--expect-cohort" => expect_cohort = true,
             "--expect-async-tasks" => {
                 let v = argv
                     .get(i + 1)
@@ -220,6 +230,59 @@ fn main() {
         }
         async_tasks = Some((tasks, workers));
     }
+    let mut cohort_delta = None;
+    if expect_cohort {
+        let c = doc
+            .get("cohort")
+            .unwrap_or_else(|| fail("missing cohort member (run fig5_cohort --merge)"));
+        if c.get("schema").and_then(Value::as_str) != Some("oll.fig5_cohort") {
+            fail("cohort member's schema is not \"oll.fig5_cohort\"");
+        }
+        let ranks = c
+            .get("ranks")
+            .and_then(Value::as_u64)
+            .unwrap_or_else(|| fail("cohort member: missing ranks"));
+        if ranks == 0 {
+            fail("cohort member: zero locality ranks");
+        }
+        let batch = c
+            .get("batch")
+            .and_then(Value::as_u64)
+            .unwrap_or_else(|| fail("cohort member: missing batch"));
+        if batch == 0 {
+            fail("cohort member: zero batch bound");
+        }
+        let locks = c
+            .get("locks")
+            .and_then(Value::as_arr)
+            .unwrap_or_else(|| fail("cohort member: missing locks array"));
+        if locks.is_empty() {
+            fail("cohort member: no locks");
+        }
+        for l in locks {
+            let name = l
+                .get("lock")
+                .and_then(Value::as_str)
+                .unwrap_or_else(|| fail("cohort member: lock row missing name"));
+            for key in ["off_acquires_per_sec", "on_acquires_per_sec"] {
+                let rate = l
+                    .get(key)
+                    .and_then(Value::as_f64)
+                    .unwrap_or_else(|| fail(&format!("cohort member/{name}: missing {key}")));
+                if !(rate.is_finite() && rate > 0.0) {
+                    fail(&format!("cohort member/{name}: non-positive {key} {rate}"));
+                }
+            }
+        }
+        let overall = c
+            .get("overall_delta_pct")
+            .and_then(Value::as_f64)
+            .unwrap_or_else(|| fail("cohort member: missing overall_delta_pct"));
+        if !overall.is_finite() {
+            fail(&format!("cohort member: non-finite delta {overall}"));
+        }
+        cohort_delta = Some((ranks, overall));
+    }
     let mut obs_overhead = None;
     if expect_obs {
         let o = doc
@@ -270,7 +333,7 @@ fn main() {
         obs_overhead = Some(overall);
     }
     println!(
-        "fig5check: OK: {path}: {} panel(s), {points} point(s){}{}{}{}{}{}",
+        "fig5check: OK: {path}: {} panel(s), {points} point(s){}{}{}{}{}{}{}",
         panels.len(),
         if expect_adaptive { ", adaptive" } else { "" },
         if expect_biased { ", biased" } else { "" },
@@ -285,6 +348,12 @@ fn main() {
         },
         match obs_overhead {
             Some(pct) => format!(", obs {pct:.2}% sampler overhead"),
+            None => String::new(),
+        },
+        match cohort_delta {
+            Some((ranks, pct)) => {
+                format!(", cohort {pct:+.2}% delta over {ranks} rank(s)")
+            }
             None => String::new(),
         },
     );

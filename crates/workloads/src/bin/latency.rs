@@ -3,7 +3,7 @@
 //! ```text
 //! USAGE:
 //!   latency [--threads N] [--read-pct P] [--acquisitions N]
-//!           [--locks name,...|all] [--biased] [--hazard] [--json PATH] [--telemetry]
+//!           [--locks name,...|all] [--biased] [--hazard] [--cohort] [--json PATH] [--telemetry]
 //!           [--trace PATH] [--trace-json PATH] [--flame PATH]
 //!           [--obs [ADDR]] [--obs-json PATH] [--obs-interval-ms N]
 //! ```
@@ -15,7 +15,9 @@
 //! path's latency. `--hazard` arms the `oll-hazard` hardening layer on
 //! every lock (poison policy + deadlock-detection tracking) so its cost
 //! shows in the tails; needs a `--features hazard` build to do
-//! anything. `--telemetry` additionally prints each lock's
+//! anything. `--cohort` builds FOLL/ROLL with the NUMA cohort writer
+//! gate (batched same-socket write hand-off), exposing what the batch
+//! bound does to writer tails. `--telemetry` additionally prints each lock's
 //! contention profile (needs a `--features telemetry` build to record);
 //! `--json` writes a schema-versioned `oll.latency` document. `--trace`
 //! captures the run in the flight recorder and writes a Perfetto-loadable
@@ -40,7 +42,7 @@ fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: latency [--threads N] [--read-pct P] [--acquisitions N] [--locks name,...|all] \
-         [--biased] [--hazard] [--json PATH] [--telemetry] [--trace PATH] [--trace-json PATH] \
+         [--biased] [--hazard] [--cohort] [--json PATH] [--telemetry] [--trace PATH] [--trace-json PATH] \
          [--flame PATH] [--obs [ADDR]] [--obs-json PATH] [--obs-interval-ms N]"
     );
     exit(2);
@@ -120,6 +122,7 @@ fn main() {
             }
             "--biased" => lock_options.biased = true,
             "--hazard" => lock_options.hazard = true,
+            "--cohort" => lock_options.cohort = true,
             "--telemetry" => telemetry = true,
             "--trace" => {
                 trace = Some(value(i));
@@ -173,7 +176,7 @@ fn main() {
     };
 
     println!(
-        "latency: {threads} threads, {read_pct}% reads, {acquisitions} acquisitions/thread{}{}",
+        "latency: {threads} threads, {read_pct}% reads, {acquisitions} acquisitions/thread{}{}{}",
         if lock_options.biased {
             ", BRAVO-biased OLL locks"
         } else {
@@ -181,6 +184,11 @@ fn main() {
         },
         if lock_options.hazard {
             ", hazard layer armed"
+        } else {
+            ""
+        },
+        if lock_options.cohort {
+            ", cohort writer gate"
         } else {
             ""
         }

@@ -124,6 +124,11 @@ pub struct LockOptions {
     /// options this applies to the baselines too. A no-op unless the
     /// workspace is built with the `hazard` feature.
     pub hazard: bool,
+    /// Build FOLL/ROLL with the NUMA cohort writer gate: per-socket
+    /// writer queues with batched local hand-off before a cross-node
+    /// release (`FollBuilder::cohort` / `RollBuilder::cohort`). Ignored
+    /// by GOLL and the baselines, which have no cohort path.
+    pub cohort: bool,
 }
 
 impl LockOptions {

@@ -238,6 +238,7 @@ pub fn run_latency_profiled_with(
             |cap| {
                 FollLock::builder(cap)
                     .adaptive(opts.adaptive)
+                    .cohort(opts.cohort)
                     .biased(true)
                     .build_biased()
             },
@@ -248,6 +249,7 @@ pub fn run_latency_profiled_with(
             |cap| {
                 RollLock::builder(cap)
                     .adaptive(opts.adaptive)
+                    .cohort(opts.cohort)
                     .biased(true)
                     .build_biased()
             },
@@ -259,13 +261,23 @@ pub fn run_latency_profiled_with(
             config,
             opts,
         ),
-        LockKind::Foll if opts.adaptive => measure_latency(
-            |cap| FollLock::builder(cap).adaptive(true).build(),
+        LockKind::Foll if opts.adaptive || opts.cohort => measure_latency(
+            |cap| {
+                FollLock::builder(cap)
+                    .adaptive(opts.adaptive)
+                    .cohort(opts.cohort)
+                    .build()
+            },
             config,
             opts,
         ),
-        LockKind::Roll if opts.adaptive => measure_latency(
-            |cap| RollLock::builder(cap).adaptive(true).build(),
+        LockKind::Roll if opts.adaptive || opts.cohort => measure_latency(
+            |cap| {
+                RollLock::builder(cap)
+                    .adaptive(opts.adaptive)
+                    .cohort(opts.cohort)
+                    .build()
+            },
             config,
             opts,
         ),

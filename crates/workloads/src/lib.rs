@@ -33,9 +33,11 @@ pub mod traceio;
 
 #[cfg(feature = "async")]
 pub use async_bench::{run_async_bench, AsyncBenchConfig, AsyncBenchResult};
-pub use config::{Fig5Panel, LockKind, WorkloadConfig};
+pub use config::{Fig5Panel, LockKind, LockOptions, WorkloadConfig};
 pub use latency::{
     run_latency, run_latency_profiled, LatencyHistogram, LatencyResult, LatencySummary,
 };
-pub use runner::{run_throughput, run_throughput_profiled, ThroughputResult};
+pub use runner::{
+    run_throughput, run_throughput_profiled, run_throughput_profiled_with, ThroughputResult,
+};
 pub use sweep::{run_panel, PanelResult, Series, SweepOptions};

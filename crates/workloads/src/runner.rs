@@ -173,7 +173,9 @@ pub fn run_throughput_profiled_with(
             ),
             LockKind::Foll if opts.biased => measure(
                 |cap| {
-                    let mut b = FollLock::builder(cap).adaptive(opts.adaptive);
+                    let mut b = FollLock::builder(cap)
+                        .adaptive(opts.adaptive)
+                        .cohort(opts.cohort);
                     if let Some(s) = shape {
                         b = b.tree_shape(s);
                     }
@@ -184,7 +186,9 @@ pub fn run_throughput_profiled_with(
             ),
             LockKind::Foll => measure(
                 |cap| {
-                    let mut b = FollLock::builder(cap).adaptive(opts.adaptive);
+                    let mut b = FollLock::builder(cap)
+                        .adaptive(opts.adaptive)
+                        .cohort(opts.cohort);
                     if let Some(s) = shape {
                         b = b.tree_shape(s);
                     }
@@ -195,7 +199,9 @@ pub fn run_throughput_profiled_with(
             ),
             LockKind::Roll if opts.biased => measure(
                 |cap| {
-                    let mut b = RollLock::builder(cap).adaptive(opts.adaptive);
+                    let mut b = RollLock::builder(cap)
+                        .adaptive(opts.adaptive)
+                        .cohort(opts.cohort);
                     if let Some(s) = shape {
                         b = b.tree_shape(s);
                     }
@@ -206,7 +212,9 @@ pub fn run_throughput_profiled_with(
             ),
             LockKind::Roll => measure(
                 |cap| {
-                    let mut b = RollLock::builder(cap).adaptive(opts.adaptive);
+                    let mut b = RollLock::builder(cap)
+                        .adaptive(opts.adaptive)
+                        .cohort(opts.cohort);
                     if let Some(s) = shape {
                         b = b.tree_shape(s);
                     }
@@ -318,6 +326,24 @@ mod tests {
             assert!(
                 r.acquires_per_sec > 0.0,
                 "{}: nonpositive biased throughput",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn cohort_options_produce_working_oll_locks() {
+        let opts = LockOptions {
+            cohort: true,
+            ..LockOptions::default()
+        };
+        // Write-heavy mixes exercise the cohort writer gate; GOLL has no
+        // cohort path and must ignore the flag.
+        for kind in [LockKind::Goll, LockKind::Foll, LockKind::Roll] {
+            let (r, _) = run_throughput_profiled_with(kind, &tiny(10), &opts);
+            assert!(
+                r.acquires_per_sec > 0.0,
+                "{}: nonpositive cohort throughput",
                 kind.name()
             );
         }

@@ -15,6 +15,9 @@
 //! point of the zero-cost facade. `--biased` wraps the three OLL locks
 //! in the BRAVO reader-biasing layer, so the profiles additionally show
 //! bias grants/revocations and the biased-read `read_fast` counts.
+//! `--cohort` builds FOLL/ROLL with the NUMA cohort writer gate, so the
+//! profiles show the `cohort_local_handoff` / `cohort_remote_handoff` /
+//! `cohort_batch_exhausted` counters (GOLL has no cohort path).
 //! `--trace PATH` additionally captures the run in the flight recorder
 //! and writes a Perfetto-loadable Chrome Trace Event file (needs a
 //! `--features trace` build). `--obs [ADDR]` runs the sweep under the
@@ -60,6 +63,7 @@ fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let json = argv.iter().any(|a| a == "--json");
     let biased = argv.iter().any(|a| a == "--biased");
+    let cohort = argv.iter().any(|a| a == "--cohort");
     let trace = argv
         .iter()
         .position(|a| a == "--trace")
@@ -95,9 +99,14 @@ fn main() {
         std::process::exit(2);
     });
     eprintln!(
-        "lockstat: {THREADS} threads x {ACQUISITIONS} acquisitions, {READ_PCT}% reads, per lock{}",
+        "lockstat: {THREADS} threads x {ACQUISITIONS} acquisitions, {READ_PCT}% reads, per lock{}{}",
         if biased {
             ", BRAVO-biased OLL locks"
+        } else {
+            ""
+        },
+        if cohort {
+            ", cohort writer gate on FOLL/ROLL"
         } else {
             ""
         }
@@ -108,8 +117,14 @@ fn main() {
     let solaris = SolarisLikeRwLock::new(THREADS);
     if biased {
         let goll = GollLock::builder(THREADS).biased(true).build_biased();
-        let foll = FollLock::builder(THREADS).biased(true).build_biased();
-        let roll = RollLock::builder(THREADS).biased(true).build_biased();
+        let foll = FollLock::builder(THREADS)
+            .cohort(cohort)
+            .biased(true)
+            .build_biased();
+        let roll = RollLock::builder(THREADS)
+            .cohort(cohort)
+            .biased(true)
+            .build_biased();
         hammer(&goll, "lockstat/GOLL+bravo");
         hammer(&foll, "lockstat/FOLL+bravo");
         hammer(&roll, "lockstat/ROLL+bravo");
@@ -118,11 +133,25 @@ fn main() {
         return;
     }
     let goll = GollLock::new(THREADS);
-    let foll = FollLock::new(THREADS);
-    let roll = RollLock::new(THREADS);
+    let foll = FollLock::builder(THREADS).cohort(cohort).build();
+    let roll = RollLock::builder(THREADS).cohort(cohort).build();
     hammer(&goll, "lockstat/GOLL");
-    hammer(&foll, "lockstat/FOLL");
-    hammer(&roll, "lockstat/ROLL");
+    hammer(
+        &foll,
+        if cohort {
+            "lockstat/FOLL+cohort"
+        } else {
+            "lockstat/FOLL"
+        },
+    );
+    hammer(
+        &roll,
+        if cohort {
+            "lockstat/ROLL+cohort"
+        } else {
+            "lockstat/ROLL"
+        },
+    );
     hammer(&solaris, "lockstat/Solaris-like");
     report_and_trace(json, &trace, session, &obs, obs_session);
 }

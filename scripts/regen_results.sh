@@ -66,4 +66,18 @@ target/release/fig5_obs --threads 1,2,4,8 --acquisitions 50000 --runs 5 \
     --merge BENCH_fig5.json
 "$FIG5CHECK" BENCH_fig5.json --expect-obs --expect-async --expect-async-tasks 1000000
 
+echo "==> BENCH_fig5.json cohort member: NUMA writer-gate delta (fig5_cohort)"
+# The cohort-gate acceptance number: panel-f (0% reads) points paired
+# with the gate off and on, folded into BENCH_fig5.json as its
+# "cohort" member. On single-socket machines (ranks=1) the recorded
+# overall_delta_pct bounds the gate's bookkeeping overhead; on
+# multi-socket machines it shows the batched hand-off win. 100k
+# acquisitions/thread keeps each half long enough that both land in
+# the same scheduling regime (short runs on an oversubscribed box
+# degenerate to serial execution and the pairing loses its meaning).
+target/release/fig5_cohort --threads 1,2,4,8 --acquisitions 100000 --runs 3 \
+    --merge BENCH_fig5.json
+"$FIG5CHECK" BENCH_fig5.json --expect-obs --expect-cohort \
+    --expect-async --expect-async-tasks 1000000
+
 echo "==> done; review the diffs before committing"

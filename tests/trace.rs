@@ -175,6 +175,67 @@ fn foll_writer_queue_release_is_a_grant_cascade() {
     );
 }
 
+/// The cohort writer gate's grants must stitch into the same edge
+/// fabric, and the analyzer's locality summary must classify them: with
+/// every tid mapped to one rank (the undetected-topology fallback
+/// shape) the rendered report pins a deterministic
+/// `cross-socket hand-offs: 0 / N` line.
+#[test]
+fn cohort_handoffs_report_cross_socket_ratio() {
+    const WRITERS: u64 = 3;
+    let lock = oll::core::FollLock::builder(1 + WRITERS as usize)
+        .cohort(true)
+        .cohort_ranks(1) // all writers share one cohort: pure local hand-off
+        .build();
+    let id = lock.telemetry().trace_id().expect("traced lock has an id");
+    let session = TraceSession::begin();
+    let mut holder = lock.handle().unwrap();
+    holder.lock_write();
+    std::thread::scope(|scope| {
+        for _ in 0..WRITERS {
+            scope.spawn(|| {
+                let mut w = lock.handle().unwrap();
+                w.lock_write();
+                w.unlock_write();
+            });
+        }
+        // No counter to poll here: a cohort writer records its slow
+        // acquisition only when the grant arrives, so a parked waiter is
+        // telemetry-invisible. Give all three writers ample time to park
+        // in the cohort queue (the same spacing idiom as tests/cohort.rs)
+        // so the drain is one unbroken local hand-off chain.
+        std::thread::sleep(Duration::from_millis(200));
+        holder.unlock_write();
+    });
+    drop(holder);
+    let tl = session.collect().filter_lock(id);
+
+    let cfg = AnalyzerConfig {
+        cohort_of_tid: |_| 0, // force the single-rank fallback mapping
+        ..AnalyzerConfig::default()
+    };
+    let report = analyze(&tl, &cfg);
+    edges_are_consistent(&tl, &report, "FOLL cohort");
+    assert!(
+        report.total_handoffs >= WRITERS,
+        "one edge per queued cohort writer, got {}",
+        report.total_handoffs
+    );
+    assert_eq!(
+        report.cross_socket_handoffs, 0,
+        "a single-rank mapping admits no cross-socket hand-offs"
+    );
+    let text = oll::trace::render_report_text(&tl, &report);
+    let expected = format!(
+        "cross-socket hand-offs: 0 / {} (0.0%)",
+        report.total_handoffs
+    );
+    assert!(
+        text.contains(&expected),
+        "summary line missing or wrong: wanted {expected:?} in\n{text}"
+    );
+}
+
 /// A blocked writer's trace-side latency (`write_begin` →
 /// `write_acquired` on the trace clock) and its telemetry histogram
 /// sample (the facade timer around the same interval) are measured by
