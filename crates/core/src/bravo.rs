@@ -44,16 +44,18 @@ use oll_hazard::Hazard;
 use oll_telemetry::{LockEvent, Telemetry, Timer};
 use oll_util::backoff::{spin_until, spin_until_deadline, BackoffPolicy};
 use oll_util::fault;
+use oll_util::knobs::TuningKnobs;
 use oll_util::slots::{SlotError, VisibleReaders};
 use oll_util::CachePadded;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 /// Default revocation-inhibit multiplier: after a revocation taking `t`
 /// ns, the bias may not re-arm for `9 × t` ns, bounding the throughput
-/// lost to revocations at ~10% of a write-heavy run (BRAVO's `N`).
-pub const DEFAULT_REARM_MULTIPLIER: u32 = 9;
+/// lost to revocations at ~10% of a write-heavy run (BRAVO's `N`). The
+/// live value is read from the lock's [`TuningKnobs`].
+pub const DEFAULT_REARM_MULTIPLIER: u32 = oll_util::knobs::DEFAULT_REARM_MULTIPLIER;
 
 /// Nanoseconds since a process-global epoch; monotonic and cheap enough
 /// for the inhibit-window bookkeeping (read on the slow path only).
@@ -103,8 +105,10 @@ pub struct Bravo<L> {
     /// `now_ns()` before which the bias must not re-arm.
     inhibit_until_ns: AtomicU64,
     lock_id: usize,
-    multiplier: u32,
-    policy: BackoffPolicy,
+    /// Live policy values (re-arm multiplier, revoke-scan backoff, bias
+    /// permission). Defaults to a private block; a controller steers the
+    /// lock by sharing one via [`Bravo::tuning`].
+    knobs: Arc<TuningKnobs>,
     table: Table,
     enabled: bool,
     hazard: Hazard,
@@ -124,8 +128,7 @@ impl<L> Bravo<L> {
             rbias: CachePadded::new(AtomicBool::new(biased)),
             inhibit_until_ns: AtomicU64::new(0),
             lock_id: next_lock_id(),
-            multiplier: DEFAULT_REARM_MULTIPLIER,
-            policy: BackoffPolicy::default(),
+            knobs: TuningKnobs::shared(),
             table: Table::Global,
             enabled: biased,
             hazard: Hazard::new(),
@@ -135,17 +138,34 @@ impl<L> Bravo<L> {
     /// Sets the revocation-inhibit multiplier (default
     /// [`DEFAULT_REARM_MULTIPLIER`]). `0` re-arms immediately after every
     /// revocation — maximum reader throughput, maximum writer cost.
-    pub fn rearm_multiplier(mut self, multiplier: u32) -> Self {
-        self.multiplier = multiplier;
+    /// Writes into the current [`TuningKnobs`]; call after
+    /// [`Bravo::tuning`] if both are used.
+    pub fn rearm_multiplier(self, multiplier: u32) -> Self {
+        self.knobs.set_rearm_multiplier(multiplier);
         self
     }
 
     /// Sets the backoff policy a revoking writer uses while waiting out
     /// published readers (clamped by `MAX_SPIN_EXPONENT` like every other
-    /// spin in this workspace).
-    pub fn backoff(mut self, policy: BackoffPolicy) -> Self {
-        self.policy = policy;
+    /// spin in this workspace). Writes into the current [`TuningKnobs`];
+    /// call after [`Bravo::tuning`] if both are used.
+    pub fn backoff(self, policy: BackoffPolicy) -> Self {
+        self.knobs.set_backoff_policy(policy);
         self
+    }
+
+    /// Shares `knobs` as this lock's live policy source, replacing the
+    /// private default block — the hook an online controller (or a test)
+    /// uses to steer the re-arm multiplier, revoke-scan backoff, and bias
+    /// permission while the lock runs.
+    pub fn tuning(mut self, knobs: Arc<TuningKnobs>) -> Self {
+        self.knobs = knobs;
+        self
+    }
+
+    /// The live tuning-knob block this lock reads.
+    pub fn knobs(&self) -> &Arc<TuningKnobs> {
+        &self.knobs
     }
 
     /// Gives this lock a private visible-readers table with at least
@@ -217,6 +237,10 @@ impl<L: RwLockFamily> RwLockFamily for Bravo<L> {
 
     fn hazard(&self) -> Hazard {
         self.hazard.clone()
+    }
+
+    fn tuning_knobs(&self) -> Option<&Arc<TuningKnobs>> {
+        Some(&self.knobs)
     }
 }
 
@@ -327,6 +351,7 @@ impl<L: RwLockFamily> BravoHandle<'_, L> {
         if lock.enabled
             && !lock.rbias.load(Ordering::Relaxed)
             && lock.hazard.bias_allowed()
+            && lock.knobs.bias_allowed()
             && now_ns() >= lock.inhibit_until_ns.load(Ordering::Relaxed)
         {
             lock.rbias.store(true, Ordering::SeqCst);
@@ -355,12 +380,14 @@ impl<L: RwLockFamily> BravoHandle<'_, L> {
         for i in 0..table.len() {
             if table.load(i) == lock.lock_id {
                 fault::inject("bravo.write.revoke-mid-scan");
-                spin_until(lock.policy, || table.load(i) != lock.lock_id);
+                spin_until(lock.knobs.backoff_policy(), || {
+                    table.load(i) != lock.lock_id
+                });
             }
         }
         let took = start.elapsed().as_nanos() as u64;
         lock.inhibit_until_ns.store(
-            now_ns().saturating_add(took.saturating_mul(u64::from(lock.multiplier))),
+            now_ns().saturating_add(took.saturating_mul(u64::from(lock.knobs.rearm_multiplier()))),
             Ordering::Relaxed,
         );
         telemetry.incr(LockEvent::BiasRevoke);
@@ -405,7 +432,9 @@ impl<L: RwLockFamily> BravoHandle<'_, L> {
         for i in 0..table.len() {
             if table.load(i) == lock.lock_id {
                 fault::inject("bravo.write.revoke-mid-scan");
-                if !spin_until_deadline(lock.policy, deadline, || table.load(i) != lock.lock_id) {
+                if !spin_until_deadline(lock.knobs.backoff_policy(), deadline, || {
+                    table.load(i) != lock.lock_id
+                }) {
                     // Safe to restore while we hold the underlying write
                     // lock: no other writer can be mid-revoke.
                     lock.rbias.store(true, Ordering::SeqCst);
@@ -415,7 +444,7 @@ impl<L: RwLockFamily> BravoHandle<'_, L> {
         }
         let took = start.elapsed().as_nanos() as u64;
         lock.inhibit_until_ns.store(
-            now_ns().saturating_add(took.saturating_mul(u64::from(lock.multiplier))),
+            now_ns().saturating_add(took.saturating_mul(u64::from(lock.knobs.rearm_multiplier()))),
             Ordering::Relaxed,
         );
         telemetry.incr(LockEvent::BiasRevoke);

@@ -53,12 +53,14 @@ use crate::foll::{NodeRef, QueueCore};
 use oll_telemetry::LockEvent;
 use oll_util::backoff::spin_until;
 use oll_util::fault;
+use oll_util::knobs::TuningKnobs;
 use oll_util::sync::{AtomicU32, AtomicU64, Ordering};
 use oll_util::CachePadded;
 
 /// Default batch bound: local hand-offs per cohort tenure before the
-/// release is forced through the global queue.
-pub const DEFAULT_COHORT_BATCH: u32 = 64;
+/// release is forced through the global queue. The live value is read
+/// from the lock's [`TuningKnobs`].
+pub const DEFAULT_COHORT_BATCH: u32 = oll_util::knobs::DEFAULT_COHORT_BATCH;
 
 /// Grant-word flag: the hand-off carries the global lock itself (the
 /// grantee inherits the owner's place in the global queue). Absent, the
@@ -108,14 +110,16 @@ pub(crate) struct CohortGate {
     ctails: Box<[CachePadded<AtomicU32>]>,
     /// One cohort node per thread slot (same indexing as writer nodes).
     nodes: Box<[CachePadded<CohortNode>]>,
-    /// Local hand-offs allowed per cohort tenure (≥ 1).
-    batch_limit: u32,
+    /// Live knobs; the batch bound (≥ 1) is read per release so a
+    /// controller can re-balance local throughput against remote
+    /// starvation while the lock runs.
+    knobs: std::sync::Arc<TuningKnobs>,
     /// Number of cohorts (≥ 1).
     cohorts: usize,
 }
 
 impl CohortGate {
-    pub(crate) fn new(capacity: usize, cohorts: usize, batch_limit: u32) -> Self {
+    pub(crate) fn new(capacity: usize, cohorts: usize, knobs: std::sync::Arc<TuningKnobs>) -> Self {
         let cohorts = cohorts.max(1);
         Self {
             ctails: (0..cohorts)
@@ -124,7 +128,7 @@ impl CohortGate {
             nodes: (0..capacity.max(1))
                 .map(|_| CachePadded::new(CohortNode::new()))
                 .collect(),
-            batch_limit: batch_limit.max(1),
+            knobs,
             cohorts,
         }
     }
@@ -134,7 +138,7 @@ impl CohortGate {
     }
 
     pub(crate) fn batch_limit(&self) -> u32 {
-        self.batch_limit
+        self.knobs.cohort_batch()
     }
 
     fn node(&self, slot: usize) -> &CohortNode {
@@ -254,7 +258,9 @@ impl QueueCore {
             .store(slot as u32 + 1, Ordering::Release);
         fault::inject("cohort.write.enqueued");
         self.telemetry.trace_enqueued(cohort_token(slot));
-        spin_until(self.backoff, || me.state.load(Ordering::Acquire) == GRANTED);
+        spin_until(self.backoff(), || {
+            me.state.load(Ordering::Acquire) == GRANTED
+        });
         let word = me.grant.load(Ordering::Acquire);
         if word & WITH_LOCK != 0 {
             // Same-socket hand-off: we inherit the owner's global node.
@@ -322,7 +328,7 @@ impl QueueCore {
             .store(slot as u32 + 1, Ordering::Release);
         fault::inject("cohort.write.enqueued");
         self.telemetry.trace_enqueued(cohort_token(slot));
-        let timed_out = !spin_until_deadline(self.backoff, deadline, || {
+        let timed_out = !spin_until_deadline(self.backoff(), deadline, || {
             me.state.load(Ordering::Acquire) == GRANTED
         });
         if timed_out {
@@ -408,14 +414,14 @@ impl QueueCore {
                 };
             }
             // Someone is linking in behind us; wait for the link.
-            spin_until(self.backoff, || me.qnext.load(Ordering::Acquire) != 0);
+            spin_until(self.backoff(), || me.qnext.load(Ordering::Acquire) != 0);
             succ = me.qnext.load(Ordering::Acquire);
         }
         me.qnext.store(0, Ordering::Relaxed);
         // Decide what the successor gets: the lock itself (batch bound
         // permitting) or bare headship after a global release.
         let (word, outcome) = match hold {
-            Some(h) if h.batch < gate.batch_limit => (
+            Some(h) if h.batch < gate.batch_limit() => (
                 pack_grant(NodeRef::writer(h.owner_slot), h.batch + 1),
                 CohortRelease::LocalHandoff,
             ),
@@ -464,7 +470,7 @@ impl QueueCore {
                                 _ => outcome,
                             };
                         }
-                        spin_until(self.backoff, || node.qnext.load(Ordering::Acquire) != 0);
+                        spin_until(self.backoff(), || node.qnext.load(Ordering::Acquire) != 0);
                         nxt = node.qnext.load(Ordering::Acquire);
                     }
                     node.qnext.store(0, Ordering::Relaxed);
@@ -500,7 +506,7 @@ impl QueueCore {
     pub(crate) fn cohort_reclaim_node(&self, slot: usize) {
         let gate = self.cohort.as_ref().expect("cohort reclaim without a gate");
         let node = gate.node(slot);
-        spin_until(self.backoff, || {
+        spin_until(self.backoff(), || {
             node.state.load(Ordering::Acquire) == RELEASED
         });
         node.qnext.store(0, Ordering::Relaxed);

@@ -21,6 +21,7 @@ use oll_hazard::Hazard;
 use oll_telemetry::{LockEvent, Telemetry, Timer};
 use oll_util::backoff::{spin_until, Backoff, BackoffPolicy};
 use oll_util::fault;
+use oll_util::knobs::TuningKnobs;
 use oll_util::slots::{SlotError, SlotGuard, SlotRegistry};
 use oll_util::sync::{AtomicBool, AtomicU32, Ordering};
 use oll_util::CachePadded;
@@ -152,7 +153,13 @@ pub(crate) enum TreeMode {
 }
 
 impl ReaderNode {
-    fn new(shape: TreeShape, ring_next: usize, mode: TreeMode, telemetry: Telemetry) -> Self {
+    fn new(
+        shape: TreeShape,
+        ring_next: usize,
+        mode: TreeMode,
+        telemetry: Telemetry,
+        knobs: std::sync::Arc<TuningKnobs>,
+    ) -> Self {
         // "when just allocated, has a closed C-SNZI with no surplus"
         let mut csnzi = match mode {
             TreeMode::Eager => CSnzi::new_closed(shape),
@@ -162,6 +169,7 @@ impl ReaderNode {
             TreeMode::Adaptive => CSnzi::new_closed_adaptive(shape.leaf_count().max(1)),
         };
         csnzi.attach_telemetry(telemetry);
+        csnzi.attach_knobs(knobs);
         Self {
             csnzi,
             qnext: AtomicU32::new(NodeRef::NIL.raw()),
@@ -180,7 +188,10 @@ pub(crate) struct QueueCore {
     pub(crate) writer_nodes: Box<[CachePadded<WriterNode>]>,
     pub(crate) reader_nodes: Box<[CachePadded<ReaderNode>]>,
     pub(crate) slots: SlotRegistry,
-    pub(crate) backoff: BackoffPolicy,
+    /// Live tuning knobs (backoff caps, cohort batch, C-SNZI deflation
+    /// hysteresis); shared between the builder, every pooled node, and an
+    /// optional online controller.
+    pub(crate) knobs: std::sync::Arc<TuningKnobs>,
     pub(crate) arrival_threshold: u32,
     pub(crate) telemetry: Telemetry,
     pub(crate) hazard: Hazard,
@@ -193,7 +204,7 @@ impl QueueCore {
     pub(crate) fn new(
         capacity: usize,
         shape: TreeShape,
-        backoff: BackoffPolicy,
+        knobs: std::sync::Arc<TuningKnobs>,
         arrival_threshold: u32,
         tree_mode: TreeMode,
         telemetry: Telemetry,
@@ -213,16 +224,25 @@ impl QueueCore {
                         (i + 1) % capacity,
                         tree_mode,
                         telemetry.clone(),
+                        knobs.clone(),
                     ))
                 })
                 .collect(),
             slots: SlotRegistry::new(capacity),
-            backoff,
+            knobs,
             arrival_threshold,
             telemetry,
             hazard,
             cohort: None,
         }
+    }
+
+    /// Backoff policy for a wait loop about to start, sampled once per
+    /// episode from the live knobs (a steered cap applies from the next
+    /// episode on — wait loops never re-read mid-spin).
+    #[inline]
+    pub(crate) fn backoff(&self) -> BackoffPolicy {
+        self.knobs.backoff_policy()
     }
 
     /// Classifies a successful per-node C-SNZI arrival for telemetry.
@@ -345,7 +365,7 @@ impl QueueCore {
     /// next enqueue after a [`WriteTimeout::Abandoned`].
     pub(crate) fn reclaim_writer_node(&self, slot: usize) {
         let node = self.wnode(slot);
-        spin_until(self.backoff, || {
+        spin_until(self.backoff(), || {
             node.state.load(Ordering::Acquire) == RELEASED
         });
         node.state.store(GRANTED, Ordering::Relaxed);
@@ -392,7 +412,7 @@ impl QueueCore {
     /// starting at the thread's default node.
     pub(crate) fn alloc_reader_node(&self, slot: usize) -> usize {
         let mut idx = slot;
-        let mut backoff = Backoff::with_policy(self.backoff);
+        let mut backoff = Backoff::with_policy(self.backoff());
         loop {
             let node = self.rnode(idx);
             if !node.in_use.load(Ordering::Relaxed)
@@ -456,14 +476,14 @@ impl QueueCore {
             let pnode = self.rnode(pred.index());
             // Node recycling: wait until the enqueuer has opened the
             // C-SNZI of this node incarnation (§4.2).
-            spin_until(self.backoff, || pnode.csnzi.query().open);
+            spin_until(self.backoff(), || pnode.csnzi.query().open);
             if wait_for_active {
                 // ROLL: let readers keep joining until the group holds the
                 // lock. The predecessor reader node cannot be ABANDONED
                 // here: its C-SNZI is still open, so no canceller ever saw
                 // `MustHandOff` on it.
                 self.telemetry.trace_enqueued(u64::from(pred.raw()));
-                spin_until(self.backoff, || {
+                spin_until(self.backoff(), || {
                     pnode.state.load(Ordering::Acquire) == GRANTED
                 });
             }
@@ -475,7 +495,7 @@ impl QueueCore {
                 // cancel and abandon the node — it can only be GRANTED.)
                 fault::inject("foll.write.closed-empty");
                 self.telemetry.trace_enqueued(u64::from(pred.raw()));
-                spin_until(self.backoff, || {
+                spin_until(self.backoff(), || {
                     pnode.state.load(Ordering::Acquire) == GRANTED
                 });
                 self.free_reader_node(pred.index());
@@ -483,14 +503,14 @@ impl QueueCore {
                 // The last departing reader will grant us.
                 fault::inject("foll.write.waiting");
                 self.telemetry.trace_enqueued(u64::from(me.raw()));
-                spin_until(self.backoff, || {
+                spin_until(self.backoff(), || {
                     node.state.load(Ordering::Acquire) == GRANTED
                 });
             }
         } else {
             fault::inject("foll.write.waiting");
             self.telemetry.trace_enqueued(u64::from(me.raw()));
-            spin_until(self.backoff, || {
+            spin_until(self.backoff(), || {
                 node.state.load(Ordering::Acquire) == GRANTED
             });
         }
@@ -531,19 +551,19 @@ impl QueueCore {
             let pnode = self.rnode(pred.index());
             // Untimed on purpose: the enqueuer opens the C-SNZI within a
             // few instructions of the CAS that made the node visible.
-            spin_until(self.backoff, || pnode.csnzi.query().open);
+            spin_until(self.backoff(), || pnode.csnzi.query().open);
             if wait_for_active {
                 // ROLL's courtesy wait; on timeout just close early — the
                 // acquisition degrades to FOLL behaviour but stays correct.
                 self.telemetry.trace_enqueued(u64::from(pred.raw()));
-                spin_until_deadline(self.backoff, deadline, || {
+                spin_until_deadline(self.backoff(), deadline, || {
                     pnode.state.load(Ordering::Acquire) == GRANTED
                 });
             }
             if pnode.csnzi.close() {
                 fault::inject("foll.write.closed-empty");
                 self.telemetry.trace_enqueued(u64::from(pred.raw()));
-                if spin_until_deadline(self.backoff, deadline, || {
+                if spin_until_deadline(self.backoff(), deadline, || {
                     pnode.state.load(Ordering::Acquire) == GRANTED
                 }) {
                     self.free_reader_node(pred.index());
@@ -578,7 +598,7 @@ impl QueueCore {
             } else {
                 fault::inject("foll.write.waiting");
                 self.telemetry.trace_enqueued(u64::from(me.raw()));
-                if spin_until_deadline(self.backoff, deadline, || {
+                if spin_until_deadline(self.backoff(), deadline, || {
                     node.state.load(Ordering::Acquire) == GRANTED
                 }) {
                     self.telemetry.record_write_acquire(&acquire);
@@ -589,7 +609,7 @@ impl QueueCore {
         } else {
             fault::inject("foll.write.waiting");
             self.telemetry.trace_enqueued(u64::from(me.raw()));
-            if spin_until_deadline(self.backoff, deadline, || {
+            if spin_until_deadline(self.backoff(), deadline, || {
                 node.state.load(Ordering::Acquire) == GRANTED
             }) {
                 self.telemetry.record_write_acquire(&acquire);
@@ -630,7 +650,7 @@ impl QueueCore {
                 return false;
             }
             // Someone is linking in behind us; wait for the link.
-            spin_until(self.backoff, || {
+            spin_until(self.backoff(), || {
                 !NodeRef::from_raw(node.qnext.load(Ordering::Acquire)).is_nil()
             });
         }
@@ -675,6 +695,7 @@ pub struct FollBuilder {
     cohort_batch: u32,
     cohort_ranks: Option<usize>,
     telemetry_name: Option<String>,
+    knobs: Option<std::sync::Arc<TuningKnobs>>,
 }
 
 impl FollBuilder {
@@ -694,7 +715,19 @@ impl FollBuilder {
             cohort_batch: DEFAULT_COHORT_BATCH,
             cohort_ranks: None,
             telemetry_name: None,
+            knobs: None,
         }
+    }
+
+    /// Shares `knobs` as the lock's live policy source. [`build`](Self::build)
+    /// writes the builder's configured backoff and cohort-batch values into
+    /// it, then every component (wait loops, cohort gate, adaptive C-SNZIs)
+    /// reads from it — the hook an online controller uses to steer the lock
+    /// while it runs. Without this call the lock gets a private block at the
+    /// same defaults.
+    pub fn tuning(mut self, knobs: std::sync::Arc<TuningKnobs>) -> Self {
+        self.knobs = Some(knobs);
+        self
     }
 
     /// Enables the NUMA cohort writer gate: each locality rank (socket)
@@ -743,7 +776,11 @@ impl FollBuilder {
     #[cfg(not(loom))]
     pub fn build_biased(self) -> crate::Bravo<FollLock> {
         let biased = self.biased;
-        crate::Bravo::wrapping(self.build(), biased)
+        let lock = self.build();
+        // One knob block steers both layers: the wrapper's re-arm
+        // multiplier and bias permission live next to the queue's knobs.
+        let knobs = lock.knobs().clone();
+        crate::Bravo::wrapping(lock, biased).tuning(knobs)
     }
 
     /// Names this lock's telemetry instance (default `"FOLL#<seq>"`).
@@ -798,11 +835,14 @@ impl FollBuilder {
         if let Some(name) = &self.telemetry_name {
             telemetry.rename(name);
         }
+        let knobs = self.knobs.unwrap_or_else(TuningKnobs::shared);
+        knobs.set_backoff_policy(self.backoff);
+        knobs.set_cohort_batch(self.cohort_batch);
         let mut core = QueueCore::new(
             capacity,
             self.shape
                 .unwrap_or_else(|| TreeShape::for_threads(capacity)),
-            self.backoff,
+            knobs,
             self.arrival_threshold,
             if self.adaptive {
                 TreeMode::Adaptive
@@ -820,7 +860,7 @@ impl FollBuilder {
             core.cohort = Some(Box::new(CohortGate::new(
                 capacity,
                 ranks,
-                self.cohort_batch,
+                core.knobs.clone(),
             )));
         }
         FollLock { core }
@@ -888,6 +928,12 @@ impl FollLock {
     pub fn cohort_batch(&self) -> u32 {
         self.core.cohort.as_ref().map_or(0, |g| g.batch_limit())
     }
+
+    /// The live tuning-knob block this lock reads (share it with a
+    /// controller to steer the lock while it runs).
+    pub fn knobs(&self) -> &std::sync::Arc<TuningKnobs> {
+        &self.core.knobs
+    }
 }
 
 impl RwLockFamily for FollLock {
@@ -926,6 +972,10 @@ impl RwLockFamily for FollLock {
 
     fn hazard(&self) -> Hazard {
         self.core.hazard.clone()
+    }
+
+    fn tuning_knobs(&self) -> Option<&std::sync::Arc<TuningKnobs>> {
+        Some(&self.core.knobs)
     }
 }
 
@@ -1021,7 +1071,7 @@ impl RwHandle for FollHandle<'_> {
         let slot = self.slot_idx();
         let acquire = core.telemetry.begin_read();
         let mut rnode: Option<usize> = None;
-        let mut backoff = Backoff::with_policy(core.backoff);
+        let mut backoff = Backoff::with_policy(core.backoff());
         loop {
             let tail = core.load_tail();
             if tail.is_nil() {
@@ -1069,7 +1119,7 @@ impl RwHandle for FollHandle<'_> {
                         fault::inject("foll.read.waiting");
                         core.telemetry
                             .trace_enqueued(u64::from(NodeRef::reader(r).raw()));
-                        spin_until(core.backoff, || {
+                        spin_until(core.backoff(), || {
                             node.state.load(Ordering::Acquire) == GRANTED
                         });
                         core.telemetry.record_read_acquire(&acquire);
@@ -1102,7 +1152,7 @@ impl RwHandle for FollHandle<'_> {
                     }
                     self.session = Some((tail.index(), ticket));
                     fault::inject("foll.read.waiting");
-                    spin_until(core.backoff, || {
+                    spin_until(core.backoff(), || {
                         node.state.load(Ordering::Acquire) == GRANTED
                     });
                     core.telemetry.record_read_acquire(&acquire);
@@ -1266,7 +1316,7 @@ impl crate::raw::TimedHandle for FollHandle<'_> {
         let slot = self.slot_idx();
         let acquire = core.telemetry.begin_read();
         let mut rnode: Option<usize> = None;
-        let mut backoff = Backoff::with_policy(core.backoff);
+        let mut backoff = Backoff::with_policy(core.backoff());
         loop {
             let tail = core.load_tail();
             if tail.is_nil() {
@@ -1309,7 +1359,7 @@ impl crate::raw::TimedHandle for FollHandle<'_> {
                         fault::inject("foll.read.waiting");
                         core.telemetry
                             .trace_enqueued(u64::from(NodeRef::reader(r).raw()));
-                        if spin_until_deadline(core.backoff, deadline, || {
+                        if spin_until_deadline(core.backoff(), deadline, || {
                             node.state.load(Ordering::Acquire) == GRANTED
                         }) {
                             core.telemetry.record_read_acquire(&acquire);
@@ -1343,7 +1393,7 @@ impl crate::raw::TimedHandle for FollHandle<'_> {
                         core.telemetry.trace_enqueued(u64::from(tail.raw()));
                     }
                     fault::inject("foll.read.waiting");
-                    if spin_until_deadline(core.backoff, deadline, || {
+                    if spin_until_deadline(core.backoff(), deadline, || {
                         node.state.load(Ordering::Acquire) == GRANTED
                     }) {
                         core.telemetry.record_read_acquire(&acquire);

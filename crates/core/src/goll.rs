@@ -324,6 +324,7 @@ pub struct GollBuilder {
     #[cfg(not(loom))]
     biased: bool,
     telemetry_name: Option<String>,
+    knobs: Option<std::sync::Arc<oll_util::knobs::TuningKnobs>>,
 }
 
 impl GollBuilder {
@@ -341,7 +342,17 @@ impl GollBuilder {
             #[cfg(not(loom))]
             biased: false,
             telemetry_name: None,
+            knobs: None,
         }
+    }
+
+    /// Shares `knobs` as the lock's live policy source (the adaptive
+    /// C-SNZI's deflation hysteresis reads from it) — the hook an online
+    /// controller uses to steer the lock while it runs. Without this call
+    /// the lock gets a private block at the documented defaults.
+    pub fn tuning(mut self, knobs: std::sync::Arc<oll_util::knobs::TuningKnobs>) -> Self {
+        self.knobs = Some(knobs);
+        self
     }
 
     /// Enables BRAVO-style reader biasing for
@@ -361,7 +372,11 @@ impl GollBuilder {
     #[cfg(not(loom))]
     pub fn build_biased(self) -> crate::Bravo<GollLock> {
         let biased = self.biased;
-        crate::Bravo::wrapping(self.build(), biased)
+        let lock = self.build();
+        // One knob block steers both layers: the wrapper's re-arm
+        // multiplier and bias permission live next to the lock's knobs.
+        let knobs = lock.knobs().clone();
+        crate::Bravo::wrapping(lock, biased).tuning(knobs)
     }
 
     /// Names this lock's telemetry instance (default `"GOLL#<seq>"`).
@@ -434,6 +449,10 @@ impl GollBuilder {
             CSnzi::new(shape)
         };
         csnzi.attach_telemetry(telemetry.clone());
+        let knobs = self
+            .knobs
+            .unwrap_or_else(oll_util::knobs::TuningKnobs::shared);
+        csnzi.attach_knobs(knobs.clone());
         let hazard = Hazard::new();
         hazard.attach_telemetry(&telemetry);
         GollLock {
@@ -445,6 +464,7 @@ impl GollBuilder {
             arrival_threshold: self.arrival_threshold,
             telemetry,
             hazard,
+            knobs,
         }
     }
 }
@@ -477,6 +497,7 @@ pub struct GollLock {
     arrival_threshold: u32,
     telemetry: Telemetry,
     hazard: Hazard,
+    knobs: std::sync::Arc<oll_util::knobs::TuningKnobs>,
 }
 
 impl GollLock {
@@ -505,6 +526,12 @@ impl GollLock {
     /// (tracks inflation state on an adaptive lock).
     pub fn is_inflated(&self) -> bool {
         self.csnzi.is_inflated()
+    }
+
+    /// The live tuning-knob block this lock reads (share it with a
+    /// controller to steer the lock while it runs).
+    pub fn knobs(&self) -> &std::sync::Arc<oll_util::knobs::TuningKnobs> {
+        &self.knobs
     }
 
     fn signal(&self, handoff: Handoff) {
@@ -558,6 +585,10 @@ impl RwLockFamily for GollLock {
 
     fn hazard(&self) -> Hazard {
         self.hazard.clone()
+    }
+
+    fn tuning_knobs(&self) -> Option<&std::sync::Arc<oll_util::knobs::TuningKnobs>> {
+        Some(&self.knobs)
     }
 }
 

@@ -46,6 +46,8 @@ pub mod raw;
 pub mod roll;
 pub mod rwlock;
 #[cfg(not(loom))]
+pub mod tuning;
+#[cfg(not(loom))]
 pub mod watch;
 
 #[cfg(not(loom))]
@@ -61,4 +63,8 @@ pub use raw::{
 pub use roll::{RollBuilder, RollLock};
 pub use rwlock::{RwLock, RwLockOwner, RwLockReadGuard, RwLockWriteGuard};
 #[cfg(not(loom))]
+pub use tuning::{policy::PolicyConfig, policy::Regime, SelfTuning, TunedHandle, TuningConfig};
+#[cfg(not(loom))]
 pub use watch::{AcquireError, WatchedHandle};
+
+pub use oll_util::knobs::TuningKnobs;

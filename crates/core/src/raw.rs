@@ -44,6 +44,18 @@ pub trait RwLockFamily: Send + Sync {
     fn hazard(&self) -> Hazard {
         Hazard::disabled()
     }
+
+    /// The live tuning-knob block this lock reads its policy values
+    /// from, when it has one. The OLL locks (and the [`Bravo`] wrapper)
+    /// return their shared [`TuningKnobs`]; baselines with no steerable
+    /// policy keep the `None` default. `SelfTuning` uses this to steer a
+    /// wrapped lock without separate plumbing.
+    ///
+    /// [`Bravo`]: crate::Bravo
+    /// [`TuningKnobs`]: oll_util::knobs::TuningKnobs
+    fn tuning_knobs(&self) -> Option<&std::sync::Arc<oll_util::knobs::TuningKnobs>> {
+        None
+    }
 }
 
 /// A registered thread's view of a reader-writer lock.

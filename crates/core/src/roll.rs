@@ -27,6 +27,7 @@ use oll_hazard::Hazard;
 use oll_telemetry::{LockEvent, Telemetry, Timer};
 use oll_util::backoff::{spin_until, Backoff, BackoffPolicy};
 use oll_util::fault;
+use oll_util::knobs::TuningKnobs;
 use oll_util::slots::{SlotError, SlotGuard};
 use oll_util::sync::{AtomicU32, Ordering};
 use oll_util::CachePadded;
@@ -47,6 +48,7 @@ pub struct RollBuilder {
     cohort_batch: u32,
     cohort_ranks: Option<usize>,
     telemetry_name: Option<String>,
+    knobs: Option<std::sync::Arc<TuningKnobs>>,
 }
 
 impl RollBuilder {
@@ -67,7 +69,19 @@ impl RollBuilder {
             cohort_batch: DEFAULT_COHORT_BATCH,
             cohort_ranks: None,
             telemetry_name: None,
+            knobs: None,
         }
+    }
+
+    /// Shares `knobs` as the lock's live policy source. [`build`](Self::build)
+    /// writes the builder's configured backoff and cohort-batch values into
+    /// it, then every component (wait loops, cohort gate, adaptive C-SNZIs)
+    /// reads from it — the hook an online controller uses to steer the lock
+    /// while it runs. Without this call the lock gets a private block at the
+    /// same defaults.
+    pub fn tuning(mut self, knobs: std::sync::Arc<TuningKnobs>) -> Self {
+        self.knobs = Some(knobs);
+        self
     }
 
     /// Enables the NUMA cohort writer gate: each locality rank (socket)
@@ -116,7 +130,11 @@ impl RollBuilder {
     #[cfg(not(loom))]
     pub fn build_biased(self) -> crate::Bravo<RollLock> {
         let biased = self.biased;
-        crate::Bravo::wrapping(self.build(), biased)
+        let lock = self.build();
+        // One knob block steers both layers: the wrapper's re-arm
+        // multiplier and bias permission live next to the queue's knobs.
+        let knobs = lock.knobs().clone();
+        crate::Bravo::wrapping(lock, biased).tuning(knobs)
     }
 
     /// Defers each pooled reader node's C-SNZI tree allocation until
@@ -177,11 +195,14 @@ impl RollBuilder {
         if let Some(name) = &self.telemetry_name {
             telemetry.rename(name);
         }
+        let knobs = self.knobs.unwrap_or_else(TuningKnobs::shared);
+        knobs.set_backoff_policy(self.backoff);
+        knobs.set_cohort_batch(self.cohort_batch);
         let mut core = QueueCore::new(
             capacity,
             self.shape
                 .unwrap_or_else(|| TreeShape::for_threads(capacity)),
-            self.backoff,
+            knobs,
             self.arrival_threshold,
             if self.adaptive {
                 TreeMode::Adaptive
@@ -199,7 +220,7 @@ impl RollBuilder {
             core.cohort = Some(Box::new(CohortGate::new(
                 capacity,
                 ranks,
-                self.cohort_batch,
+                core.knobs.clone(),
             )));
         }
         RollLock {
@@ -272,6 +293,12 @@ impl RollLock {
         self.core.cohort.as_ref().map_or(0, |g| g.batch_limit())
     }
 
+    /// The live tuning-knob block this lock reads (share it with a
+    /// controller to steer the lock while it runs).
+    pub fn knobs(&self) -> &std::sync::Arc<TuningKnobs> {
+        &self.core.knobs
+    }
+
     fn set_hint(&self, node: NodeRef) {
         if self.use_hint {
             self.last_reader.store(node.raw(), Ordering::Release);
@@ -336,6 +363,10 @@ impl RwLockFamily for RollLock {
 
     fn hazard(&self) -> Hazard {
         self.core.hazard.clone()
+    }
+
+    fn tuning_knobs(&self) -> Option<&std::sync::Arc<TuningKnobs>> {
+        Some(&self.core.knobs)
     }
 }
 
@@ -478,7 +509,7 @@ impl RwHandle for RollHandle<'_> {
         let slot = self.slot_idx();
         let acquire = core.telemetry.begin_read();
         let mut rnode: Option<usize> = None;
-        let mut backoff = Backoff::with_policy(core.backoff);
+        let mut backoff = Backoff::with_policy(core.backoff());
         loop {
             let tail = core.load_tail();
             if tail.is_nil() {
@@ -523,7 +554,7 @@ impl RwHandle for RollHandle<'_> {
                     }
                     self.session = Some((tail.index(), ticket));
                     fault::inject("roll.read.waiting");
-                    spin_until(core.backoff, || {
+                    spin_until(core.backoff(), || {
                         node.state.load(Ordering::Acquire) == GRANTED
                     });
                     core.telemetry.record_read_acquire(&acquire);
@@ -546,7 +577,7 @@ impl RwHandle for RollHandle<'_> {
                         .trace_enqueued(u64::from(NodeRef::reader(idx).raw()));
                     self.session = Some((idx, ticket));
                     fault::inject("roll.read.joined");
-                    spin_until(core.backoff, || {
+                    spin_until(core.backoff(), || {
                         node.state.load(Ordering::Acquire) == GRANTED
                     });
                     core.telemetry.record_read_acquire(&acquire);
@@ -572,7 +603,7 @@ impl RwHandle for RollHandle<'_> {
                         fault::inject("roll.read.waiting");
                         core.telemetry
                             .trace_enqueued(u64::from(NodeRef::reader(r).raw()));
-                        spin_until(core.backoff, || {
+                        spin_until(core.backoff(), || {
                             node.state.load(Ordering::Acquire) == GRANTED
                         });
                         core.telemetry.record_read_acquire(&acquire);
@@ -728,7 +759,7 @@ impl crate::raw::TimedHandle for RollHandle<'_> {
         let slot = self.slot_idx();
         let acquire = core.telemetry.begin_read();
         let mut rnode: Option<usize> = None;
-        let mut backoff = Backoff::with_policy(core.backoff);
+        let mut backoff = Backoff::with_policy(core.backoff());
         loop {
             let tail = core.load_tail();
             if tail.is_nil() {
@@ -769,7 +800,7 @@ impl crate::raw::TimedHandle for RollHandle<'_> {
                         core.telemetry.trace_enqueued(u64::from(tail.raw()));
                     }
                     fault::inject("roll.read.waiting");
-                    if spin_until_deadline(core.backoff, deadline, || {
+                    if spin_until_deadline(core.backoff(), deadline, || {
                         node.state.load(Ordering::Acquire) == GRANTED
                     }) {
                         core.telemetry.record_read_acquire(&acquire);
@@ -794,7 +825,7 @@ impl crate::raw::TimedHandle for RollHandle<'_> {
                     core.telemetry
                         .trace_enqueued(u64::from(NodeRef::reader(idx).raw()));
                     fault::inject("roll.read.joined");
-                    if spin_until_deadline(core.backoff, deadline, || {
+                    if spin_until_deadline(core.backoff(), deadline, || {
                         node.state.load(Ordering::Acquire) == GRANTED
                     }) {
                         core.telemetry.record_read_acquire(&acquire);
@@ -825,7 +856,7 @@ impl crate::raw::TimedHandle for RollHandle<'_> {
                         fault::inject("roll.read.waiting");
                         core.telemetry
                             .trace_enqueued(u64::from(NodeRef::reader(r).raw()));
-                        if spin_until_deadline(core.backoff, deadline, || {
+                        if spin_until_deadline(core.backoff(), deadline, || {
                             node.state.load(Ordering::Acquire) == GRANTED
                         }) {
                             core.telemetry.record_read_acquire(&acquire);

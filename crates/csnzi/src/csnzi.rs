@@ -4,6 +4,7 @@ use crate::node::{Parent, SnziNode, TreeShape};
 use crate::policy::ArrivalPolicy;
 use crate::root::RootWord;
 use oll_telemetry::{LockEvent, Telemetry};
+use oll_util::knobs::TuningKnobs;
 use oll_util::sync::{AtomicU64, Ordering};
 use oll_util::CachePadded;
 
@@ -141,6 +142,10 @@ pub struct CSnzi {
     /// Owning lock's telemetry, if any (see [`CSnzi::attach_telemetry`]).
     /// Zero-sized and inert without the `telemetry` feature.
     telemetry: Telemetry,
+    /// Owning lock's shared tuning knobs, if any (see
+    /// [`CSnzi::attach_knobs`]); unattached objects use the documented
+    /// defaults, so static builds behave exactly as before knobs existed.
+    knobs: Option<std::sync::Arc<TuningKnobs>>,
     #[cfg(feature = "stats")]
     stats: crate::stats::CsnziStats,
 }
@@ -220,6 +225,7 @@ impl CSnzi {
             nodes: NodeStorage::Eager(shape.alloc_nodes()),
             shape,
             telemetry: Telemetry::disabled(),
+            knobs: None,
             #[cfg(feature = "stats")]
             stats: crate::stats::CsnziStats::default(),
         }
@@ -239,6 +245,7 @@ impl CSnzi {
             nodes: NodeStorage::Eager(shape.alloc_nodes()),
             shape,
             telemetry: Telemetry::disabled(),
+            knobs: None,
             #[cfg(feature = "stats")]
             stats: crate::stats::CsnziStats::default(),
         }
@@ -256,6 +263,7 @@ impl CSnzi {
             nodes: NodeStorage::Eager(shape.alloc_nodes()),
             shape,
             telemetry: Telemetry::disabled(),
+            knobs: None,
             #[cfg(feature = "stats")]
             stats: crate::stats::CsnziStats::default(),
         }
@@ -297,6 +305,7 @@ impl CSnzi {
             nodes: NodeStorage::Eager(shape.alloc_nodes()),
             shape,
             telemetry: Telemetry::disabled(),
+            knobs: None,
             #[cfg(feature = "stats")]
             stats: crate::stats::CsnziStats::default(),
         }
@@ -341,6 +350,7 @@ impl CSnzi {
             nodes: NodeStorage::Eager(shape.alloc_nodes()),
             shape,
             telemetry: Telemetry::disabled(),
+            knobs: None,
             #[cfg(feature = "stats")]
             stats: crate::stats::CsnziStats::default(),
         }
@@ -358,6 +368,25 @@ impl CSnzi {
     /// own counters. Locks attach at construction, before sharing.
     pub fn attach_telemetry(&mut self, telemetry: Telemetry) {
         self.telemetry = telemetry;
+    }
+
+    /// Routes this object's tunable thresholds (today: the deflation
+    /// quiet-run length) through an owning lock's shared
+    /// [`TuningKnobs`], so a static builder and an online controller
+    /// steer the same value. Locks attach at construction, before
+    /// sharing; unattached objects use
+    /// [`DEFLATE_AFTER`](Self::DEFLATE_AFTER).
+    pub fn attach_knobs(&mut self, knobs: std::sync::Arc<TuningKnobs>) {
+        self.knobs = Some(knobs);
+    }
+
+    /// The live deflation quiet-run threshold: the attached knob block's
+    /// value, or the documented default when none is attached.
+    #[inline]
+    fn deflate_after(&self) -> u32 {
+        self.knobs
+            .as_ref()
+            .map_or(Self::DEFLATE_AFTER, |k| k.deflate_after())
     }
 
     #[inline]
@@ -405,11 +434,14 @@ impl CSnzi {
         ok
     }
 
-    /// Number of consecutive direct root arrivals that must observe zero
-    /// tree surplus before an inflated adaptive C-SNZI deflates.
-    /// Hysteresis: one quiet arrival is noise, sixty-four in a row is a
-    /// regime change.
-    pub const DEFLATE_AFTER: u32 = 64;
+    /// Default number of consecutive direct root arrivals that must
+    /// observe zero tree surplus before an inflated adaptive C-SNZI
+    /// deflates. Hysteresis: one quiet arrival is noise, sixty-four in a
+    /// row is a regime change. The *live* value is read from the
+    /// attached [`TuningKnobs`] (see [`attach_knobs`](Self::attach_knobs))
+    /// when a lock wires one up, so an online controller can lengthen or
+    /// shorten the quiet run without rebuilding the lock.
+    pub const DEFLATE_AFTER: u32 = oll_util::knobs::DEFAULT_DEFLATE_AFTER;
 
     /// Max cached-leaf migrations per arrival; past this the cursor stops
     /// chasing quiet cache lines and rides out the CAS loop where it is.
@@ -504,7 +536,7 @@ impl CSnzi {
             if a.active.load(Ordering::Relaxed) {
                 if old.tree == 0 {
                     let quiet = a.quiet.fetch_add(1, Ordering::Relaxed) + 1;
-                    if quiet >= Self::DEFLATE_AFTER {
+                    if quiet >= self.deflate_after() {
                         // Sync point for deflation racing a late tree
                         // arrival: fault plans can widen the window
                         // between the quiet-run decision and the swap.

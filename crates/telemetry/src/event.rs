@@ -99,11 +99,22 @@ pub enum LockEvent {
     /// A cohort release hit the batch bound with local waiters still
     /// queued and released globally instead (the starvation bound).
     CohortBatchExhausted,
+    /// The self-tuning controller closed a sampling window and evaluated
+    /// its decision table (one count per completed window, not per
+    /// slow-path entry).
+    TunerSample,
+    /// The controller changed policy: stored new knob values (bias
+    /// arm/disarm, deflation hysteresis, backoff caps, cohort batch)
+    /// after the regime held for the full hysteresis requirement.
+    TunerFlip,
+    /// The controller saw a regime change but held the current policy —
+    /// hysteresis (or the decision-rate cap) suppressed the flip.
+    TunerHold,
 }
 
 impl LockEvent {
     /// Number of event kinds (the counter-array length).
-    pub const COUNT: usize = 34;
+    pub const COUNT: usize = 37;
 
     /// Every event, in counter-index order.
     pub const ALL: [LockEvent; Self::COUNT] = [
@@ -141,6 +152,9 @@ impl LockEvent {
         LockEvent::CohortLocalHandoff,
         LockEvent::CohortRemoteHandoff,
         LockEvent::CohortBatchExhausted,
+        LockEvent::TunerSample,
+        LockEvent::TunerFlip,
+        LockEvent::TunerHold,
     ];
 
     /// Stable snake_case name, used as the JSON key and the text-report
@@ -181,6 +195,9 @@ impl LockEvent {
             LockEvent::CohortLocalHandoff => "cohort_local_handoff",
             LockEvent::CohortRemoteHandoff => "cohort_remote_handoff",
             LockEvent::CohortBatchExhausted => "cohort_batch_exhausted",
+            LockEvent::TunerSample => "tuner_sample",
+            LockEvent::TunerFlip => "tuner_flip",
+            LockEvent::TunerHold => "tuner_hold",
         }
     }
 

@@ -225,6 +225,22 @@ impl Telemetry {
         self.trace_mark(oll_trace::TraceKind::Granted, token);
     }
 
+    /// Counts a controller policy flip ([`LockEvent::TunerFlip`]) and,
+    /// under `trace`, emits the matching record carrying `token` — the
+    /// packed `old_regime << 8 | new_regime` pair, so the analyzer can
+    /// label the transition (plain [`Telemetry::incr`] always traces
+    /// token 0).
+    #[inline]
+    pub fn record_policy_flip(&self, token: u64) {
+        let _ = token;
+        #[cfg(feature = "enabled")]
+        if let Some(t) = &self.inner {
+            t.add(LockEvent::TunerFlip, 1);
+            #[cfg(feature = "trace")]
+            oll_trace::emit(t.trace_id(), oll_trace::TraceKind::TunerFlip, token);
+        }
+    }
+
     /// Starts a timer if this handle is active (otherwise the timer is
     /// inert and never reads the clock).
     #[inline]

@@ -225,7 +225,7 @@ mod tests {
         assert!(!doc.contains("write_fast\":0"), "zero events elided");
     }
 
-    /// Every event in the 34-variant taxonomy must surface in both
+    /// Every event in the taxonomy must surface in both
     /// renderers when its counter is nonzero: the four read/write
     /// fast/slow events inside the header lines, everything else as an
     /// own-named row (text) and key (JSON). A variant added to

@@ -197,6 +197,21 @@ pub struct HazardAnomaly {
     pub ts_ns: u64,
 }
 
+/// A self-tuning controller decision that changed policy — copied out of
+/// the record stream so a report reader can correlate a throughput or
+/// wait-time regime change with the knob store that caused it.
+#[derive(Debug, Clone)]
+pub struct PolicyFlip {
+    /// The lock whose controller flipped.
+    pub lock: u32,
+    /// Thread whose slow-path entry closed the deciding window.
+    pub tid: u32,
+    /// When the flip was emitted.
+    pub ts_ns: u64,
+    /// Controller-defined payload (the packed old/new regime pair).
+    pub token: u64,
+}
+
 /// Per-lock wait aggregate over all completed acquisitions.
 #[derive(Debug, Clone, Default)]
 pub struct LockBreakdown {
@@ -237,6 +252,13 @@ pub struct TraceReport {
     pub wait_chains: Vec<WaitChain>,
     /// Hazard-layer events (poison / deadlock / watchdog), capped at 256.
     pub hazard_anomalies: Vec<HazardAnomaly>,
+    /// Self-tuning controller policy flips, capped at 256.
+    pub policy_flips: Vec<PolicyFlip>,
+    /// Sampling windows the controller closed (`tuner_sample` records).
+    pub tuner_samples: u64,
+    /// Regime changes the controller saw but held back on (hysteresis or
+    /// the decision-rate cap; `tuner_hold` records).
+    pub tuner_holds: u64,
     /// Hand-off edges whose grantor and grantee map to different
     /// locality ranks under [`AnalyzerConfig::cohort_of_tid`].
     pub cross_socket_handoffs: u64,
@@ -345,6 +367,16 @@ pub fn analyze(tl: &Timeline, cfg: &AnalyzerConfig) -> TraceReport {
                     tid: r.tid,
                     kind: r.kind,
                     ts_ns: r.ts_ns,
+                });
+            }
+            TraceKind::TunerSample => report.tuner_samples += 1,
+            TraceKind::TunerHold => report.tuner_holds += 1,
+            TraceKind::TunerFlip if report.policy_flips.len() < 256 => {
+                report.policy_flips.push(PolicyFlip {
+                    lock: r.lock,
+                    tid: r.tid,
+                    ts_ns: r.ts_ns,
+                    token: r.token,
                 });
             }
             TraceKind::Timeout | TraceKind::Cancel => {
@@ -707,6 +739,23 @@ pub fn render_report_text(tl: &Timeline, report: &TraceReport) -> String {
             ));
         }
     }
+    if report.tuner_samples > 0 || !report.policy_flips.is_empty() {
+        out.push_str(&format!(
+            "policy flips: {} across {} sampling window(s), {} held by hysteresis\n",
+            report.policy_flips.len(),
+            report.tuner_samples,
+            report.tuner_holds,
+        ));
+        for f in report.policy_flips.iter().take(5) {
+            out.push_str(&format!(
+                "  flip on {} (t{}) at {} [regimes {:#x}]\n",
+                tl.lock_name(f.lock),
+                f.tid,
+                fmt_ns(f.ts_ns),
+                f.token,
+            ));
+        }
+    }
     out
 }
 
@@ -877,6 +926,27 @@ mod tests {
         let text = render_report_text(&tl, &report);
         assert!(text.contains("hazard events: 4 observed"));
         assert!(text.contains("deadlock_detected"));
+    }
+
+    #[test]
+    fn policy_flips_are_collected_and_rendered() {
+        let mut tl = cascade_timeline();
+        let quiet = analyze(&tl, &AnalyzerConfig::default());
+        assert!(quiet.policy_flips.is_empty());
+        assert!(!render_report_text(&tl, &quiet).contains("policy flips"));
+
+        tl.records.push(rec(95, 2, 1, TraceKind::TunerSample, 0));
+        tl.records.push(rec(96, 2, 1, TraceKind::TunerHold, 0));
+        tl.records.push(rec(97, 2, 1, TraceKind::TunerSample, 0));
+        tl.records.push(rec(98, 2, 1, TraceKind::TunerFlip, 0x12));
+        let report = analyze(&tl, &AnalyzerConfig::default());
+        assert_eq!(report.tuner_samples, 2);
+        assert_eq!(report.tuner_holds, 1);
+        assert_eq!(report.policy_flips.len(), 1);
+        assert_eq!(report.policy_flips[0].token, 0x12);
+        let text = render_report_text(&tl, &report);
+        assert!(text.contains("policy flips: 1 across 2 sampling window(s), 1 held by hysteresis"));
+        assert!(text.contains("regimes 0x12"));
     }
 
     #[test]

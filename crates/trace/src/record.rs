@@ -1,6 +1,6 @@
 //! The trace record: one timestamped event, packed to three words.
 //!
-//! A record is `(ts_ns, tid, lock, kind, token)`. The first thirty-four
+//! A record is `(ts_ns, tid, lock, kind, token)`. The first thirty-seven
 //! [`TraceKind`]s mirror `oll_telemetry::LockEvent` one-for-one (same
 //! order, same `snake_case` names), so counter increments flow into the
 //! timeline without a translation table; the remaining kinds are
@@ -10,8 +10,8 @@
 //! lets the analyzer stitch a hand-off's grantor and grantee into an
 //! edge.
 
-/// What happened. Discriminants `0..34` mirror
-/// `oll_telemetry::LockEvent` exactly; `34..` are trace-only markers.
+/// What happened. Discriminants `0..37` mirror
+/// `oll_telemetry::LockEvent` exactly; `37..` are trace-only markers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[repr(u8)]
 pub enum TraceKind {
@@ -86,28 +86,37 @@ pub enum TraceKind {
     CohortRemoteHandoff = 32,
     /// A cohort release hit the batch bound with local waiters queued.
     CohortBatchExhausted = 33,
+    /// The self-tuning controller closed a sampling window and evaluated
+    /// its decision table.
+    TunerSample = 34,
+    /// The controller changed policy (`token` carries the packed
+    /// old/new regime pair the telemetry layer stamps on the counter).
+    TunerFlip = 35,
+    /// The controller saw a regime change but hysteresis (or the
+    /// decision-rate cap) held the current policy.
+    TunerHold = 36,
     /// `lock_read` entered (marker; opens a read acquisition span).
-    ReadBegin = 34,
+    ReadBegin = 37,
     /// `lock_write` entered (marker; opens a write acquisition span).
-    WriteBegin = 35,
+    WriteBegin = 38,
     /// The thread joined a wait queue; `token` names what it waits on.
-    Enqueued = 36,
+    Enqueued = 39,
     /// A releasing thread granted ownership to the waiter(s) parked on
     /// `token` (emitted by the *grantor*).
-    Granted = 37,
+    Granted = 40,
     /// `lock_read` succeeded (marker; closes the read span).
-    ReadAcquired = 38,
+    ReadAcquired = 41,
     /// `lock_write` succeeded (marker; closes the write span).
-    WriteAcquired = 39,
+    WriteAcquired = 42,
     /// `unlock_read` entered (marker; closes the read hold span).
-    ReadRelease = 40,
+    ReadRelease = 43,
     /// `unlock_write` entered (marker; closes the write hold span).
-    WriteRelease = 41,
+    WriteRelease = 44,
 }
 
 impl TraceKind {
     /// Number of kinds.
-    pub const COUNT: usize = 42;
+    pub const COUNT: usize = 45;
 
     /// All kinds, in discriminant order.
     pub const ALL: [TraceKind; TraceKind::COUNT] = [
@@ -145,6 +154,9 @@ impl TraceKind {
         TraceKind::CohortLocalHandoff,
         TraceKind::CohortRemoteHandoff,
         TraceKind::CohortBatchExhausted,
+        TraceKind::TunerSample,
+        TraceKind::TunerFlip,
+        TraceKind::TunerHold,
         TraceKind::ReadBegin,
         TraceKind::WriteBegin,
         TraceKind::Enqueued,
@@ -155,7 +167,7 @@ impl TraceKind {
         TraceKind::WriteRelease,
     ];
 
-    /// Stable `snake_case` name (the first 34 match
+    /// Stable `snake_case` name (the first 37 match
     /// `LockEvent::name()`).
     pub const fn name(self) -> &'static str {
         match self {
@@ -193,6 +205,9 @@ impl TraceKind {
             TraceKind::CohortLocalHandoff => "cohort_local_handoff",
             TraceKind::CohortRemoteHandoff => "cohort_remote_handoff",
             TraceKind::CohortBatchExhausted => "cohort_batch_exhausted",
+            TraceKind::TunerSample => "tuner_sample",
+            TraceKind::TunerFlip => "tuner_flip",
+            TraceKind::TunerHold => "tuner_hold",
             TraceKind::ReadBegin => "read_begin",
             TraceKind::WriteBegin => "write_begin",
             TraceKind::Enqueued => "enqueued",

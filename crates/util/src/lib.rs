@@ -30,6 +30,7 @@ pub mod backoff;
 pub mod cache_padded;
 pub mod event;
 pub mod fault;
+pub mod knobs;
 pub mod rng;
 pub mod slots;
 pub mod spin_mutex;
@@ -39,6 +40,7 @@ pub mod topology;
 pub use backoff::Backoff;
 pub use cache_padded::CachePadded;
 pub use event::{Event, GroupEvent, WaitStrategy};
+pub use knobs::TuningKnobs;
 pub use rng::XorShift64;
 pub use slots::{SlotError, SlotGuard, SlotRegistry, VisibleReaders};
 pub use spin_mutex::{SpinMutex, SpinMutexGuard};

@@ -5,7 +5,8 @@
 //!   fig5 [--panel a|b|c|d|e|f|all] [--threads 1,2,4,8,16]
 //!        [--locks GOLL,FOLL,ROLL,KSUH,Solaris-Like,...|all]
 //!        [--acquisitions N] [--runs N] [--paper] [--verify]
-//!        [--adaptive] [--biased] [--hazard] [--cohort] [--shape N]
+//!        [--adaptive] [--biased] [--hazard] [--cohort] [--self-tuning]
+//!        [--shape N]
 //!        [--csv PATH] [--json PATH] [--telemetry]
 //!        [--trace PATH] [--trace-json PATH] [--flame PATH]
 //!        [--obs [ADDR]] [--obs-json PATH] [--obs-interval-ms N]
@@ -34,8 +35,13 @@
 //! `hazard` cargo feature to do anything. `--cohort` builds FOLL/ROLL
 //! with the NUMA cohort writer gate: per-socket writer queues that hand
 //! the write lock to same-socket waiters up to a batch bound before
-//! releasing cross-node (GOLL and the baselines ignore it). All five
-//! are recorded in the JSON report.
+//! releasing cross-node (GOLL and the baselines ignore it).
+//! `--self-tuning` wraps the OLL locks in the `SelfTuning` online policy
+//! controller: the lock's own observed read/write mix, slow-path
+//! fraction, and revocation cost steer its BRAVO bias, C-SNZI deflation,
+//! backoff, and cohort-batch knobs while the sweep runs (the baselines
+//! have no knobs and ignore it). All six options are recorded in the
+//! JSON report.
 //!
 //! `--obs` runs the whole sweep under the continuous-monitoring sampler
 //! (needs a `--features obs` build); with an ADDR it also serves
@@ -72,7 +78,8 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: fig5 [--panel a|b|c|d|e|f|all] [--threads 1,2,4]\n\
          \t[--locks name,...|all] [--acquisitions N] [--runs N]\n\
-         \t[--paper] [--verify] [--adaptive] [--biased] [--hazard] [--cohort] [--shape N]\n\
+         \t[--paper] [--verify] [--adaptive] [--biased] [--hazard] [--cohort]\n\
+         \t[--self-tuning] [--shape N]\n\
          \t[--csv PATH] [--json PATH] [--telemetry]\n\
          \t[--trace PATH] [--trace-json PATH] [--flame PATH]\n\
          \t[--obs [ADDR]] [--obs-json PATH] [--obs-interval-ms N]"
@@ -167,6 +174,7 @@ fn parse_args() -> Args {
             "--biased" => opts.lock_options.biased = true,
             "--hazard" => opts.lock_options.hazard = true,
             "--cohort" => opts.lock_options.cohort = true,
+            "--self-tuning" => opts.lock_options.self_tuning = true,
             "--shape" => {
                 let n: usize = value(i).parse().unwrap_or_else(|_| usage("bad --shape"));
                 if n == 0 {
@@ -264,11 +272,12 @@ fn main() {
     );
     if !args.opts.lock_options.is_default() {
         eprintln!(
-            "fig5: lock options: adaptive={} biased={} hazard={} cohort={} shape_threads={:?}",
+            "fig5: lock options: adaptive={} biased={} hazard={} cohort={} self_tuning={} shape_threads={:?}",
             args.opts.lock_options.adaptive,
             args.opts.lock_options.biased,
             args.opts.lock_options.hazard,
             args.opts.lock_options.cohort,
+            args.opts.lock_options.self_tuning,
             args.opts.lock_options.shape_threads,
         );
     }

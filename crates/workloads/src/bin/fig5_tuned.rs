@@ -1,0 +1,309 @@
+//! `fig5_tuned` — measure the self-tuning policy controller's effect.
+//!
+//! ```text
+//! USAGE:
+//!   fig5_tuned [--panels b,e,f] [--threads 1,2,4,8] [--acquisitions N]
+//!              [--runs N] [--json PATH] [--merge PATH] [--quiet]
+//! ```
+//!
+//! The ablation for `--self-tuning`: every selected Figure 5 point runs
+//! twice, back to back — once bare, once under the
+//! [`oll_core::SelfTuning`] online policy controller, whose sampled
+//! read/write mix steers the lock's BRAVO bias, C-SNZI deflation,
+//! backoff, and cohort-batch knobs while the point runs. Only the OLL
+//! locks (GOLL/FOLL/ROLL) run: they are the locks with knobs to steer.
+//!
+//! The default panel set spans the regimes the controller classifies —
+//! 99% reads (should settle read-heavy), 50% (mixed), and 0%
+//! (write-heavy) — so the recorded deltas cover every arm of the
+//! decision table, not just the flattering one. As in `fig5_cohort`,
+//! the halves are paired per *run* — bare/tuned adjacent within every
+//! repetition, the order alternating run to run — and every reported
+//! delta is the **median of the paired per-run deltas**, so machine
+//! drift or one throttled repetition cannot masquerade as a controller
+//! effect. The bare/tuned rate columns are informational medians; the
+//! deltas are what aggregate.
+//!
+//! The acceptance shape on a small box is "no meaningful regression":
+//! short quick-mode points close only a handful of sampling windows, so
+//! the measurement chiefly bounds the controller's overhead (its
+//! fast-path cost is designed to be zero shared RMWs). Longer `--paper`
+//! shaped runs give the steering itself time to pay.
+//!
+//! `--json` writes the comparison as a standalone `oll.fig5_tuned`
+//! document; `--merge` folds it into an existing `oll.fig5` document
+//! (the committed `BENCH_fig5.json`) as its top-level `"tuned"` member,
+//! which `fig5check --expect-tuned` then validates.
+
+use oll_telemetry::report::{json_escape, SCHEMA_VERSION};
+use oll_workloads::config::{Fig5Panel, LockKind, LockOptions, WorkloadConfig};
+use oll_workloads::json::merge_member;
+use oll_workloads::runner::run_throughput_profiled_with;
+use oll_workloads::sweep::SweepOptions;
+use std::io::Write as _;
+use std::process::exit;
+
+struct Args {
+    panels: Vec<Fig5Panel>,
+    opts: SweepOptions,
+    json: Option<String>,
+    merge: Option<String>,
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: fig5_tuned [--panels b,e,f] [--threads 1,2,4,8] [--acquisitions N]\n\
+         \t[--runs N] [--json PATH] [--merge PATH] [--quiet]"
+    );
+    exit(2);
+}
+
+fn parse_args() -> Args {
+    // One panel per controller regime: read-heavy, mixed, write-heavy.
+    let mut panels = vec![Fig5Panel::B, Fig5Panel::E, Fig5Panel::F];
+    let mut opts = SweepOptions::quick();
+    opts.thread_counts = vec![1, 2, 4, 8];
+    opts.locks = vec![LockKind::Goll, LockKind::Foll, LockKind::Roll];
+    opts.progress = true;
+    let mut json = None;
+    let mut merge = None;
+
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: usize| -> String {
+            argv.get(i + 1)
+                .unwrap_or_else(|| usage("missing value for flag"))
+                .clone()
+        };
+        match argv[i].as_str() {
+            "--panels" => {
+                let v = value(i);
+                i += 1;
+                panels = v
+                    .split(',')
+                    .map(|p| {
+                        Fig5Panel::parse(p)
+                            .unwrap_or_else(|| usage(&format!("unknown panel `{p}`")))
+                    })
+                    .collect();
+                if panels.is_empty() {
+                    usage("--panels needs at least one panel");
+                }
+            }
+            "--threads" => {
+                let v = value(i);
+                i += 1;
+                opts.thread_counts = v
+                    .split(',')
+                    .map(|t| {
+                        t.trim()
+                            .parse::<usize>()
+                            .unwrap_or_else(|_| usage(&format!("bad thread count `{t}`")))
+                    })
+                    .collect();
+                if opts.thread_counts.is_empty() {
+                    usage("--threads needs at least one value");
+                }
+            }
+            "--acquisitions" => {
+                opts.base.acquisitions_per_thread = value(i)
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --acquisitions"));
+                i += 1;
+            }
+            "--runs" => {
+                opts.base.runs = value(i).parse().unwrap_or_else(|_| usage("bad --runs"));
+                i += 1;
+            }
+            "--json" => {
+                json = Some(value(i));
+                i += 1;
+            }
+            "--merge" => {
+                merge = Some(value(i));
+                i += 1;
+            }
+            "--quiet" => opts.progress = false,
+            "--help" | "-h" => usage("help requested"),
+            other => usage(&format!("unknown flag `{other}`")),
+        }
+        i += 1;
+    }
+    Args {
+        panels,
+        opts,
+        json,
+        merge,
+    }
+}
+
+/// Median: robust to outliers (a throttled repetition, or a pair whose
+/// halves landed in different scheduling regimes) in a way the mean is
+/// not.
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let n = samples.len();
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let ranks = oll_util::topology::rank_count();
+    eprintln!(
+        "fig5_tuned: panels {:?} paired bare/tuned over threads {:?}, \
+         {} acquisitions/thread (/10 at <=50% reads), {} run(s) averaged",
+        args.panels.iter().map(|p| p.tag()).collect::<Vec<_>>(),
+        args.opts.thread_counts,
+        args.opts.base.acquisitions_per_thread,
+        args.opts.base.runs,
+    );
+
+    let bare_options = args.opts.lock_options;
+    let tuned_options = LockOptions {
+        self_tuning: true,
+        ..bare_options
+    };
+    let mut all_deltas = Vec::new();
+    let mut rows = Vec::new();
+    println!(
+        "{:<13} {:>5} {:>14} {:>14} {:>10}",
+        "lock", "panel", "bare acq/s", "tuned acq/s", "delta"
+    );
+    for (li, &kind) in args.opts.locks.iter().enumerate() {
+        for (pi, &panel) in args.panels.iter().enumerate() {
+            let read_pct = panel.read_pct();
+            // The quick-config 10x split at <=50% reads, preserved under
+            // an explicit --acquisitions the same way fig5 preserves it.
+            let acquisitions = if read_pct > 50 {
+                args.opts.base.acquisitions_per_thread
+            } else {
+                (args.opts.base.acquisitions_per_thread / 10).max(1)
+            };
+            let mut bare_rate = 0.0f64;
+            let mut tuned_rate = 0.0f64;
+            let mut pair_deltas = Vec::new();
+            for (ti, &threads) in args.opts.thread_counts.iter().enumerate() {
+                let config = WorkloadConfig {
+                    threads,
+                    read_pct,
+                    acquisitions_per_thread: acquisitions,
+                    runs: 1,
+                    ..args.opts.base
+                };
+                let point = |opts: &LockOptions| {
+                    run_throughput_profiled_with(kind, &config, opts)
+                        .0
+                        .acquires_per_sec
+                };
+                // Pair the halves per run, alternating which goes first,
+                // so warmup and drift bias neither side; aggregate the
+                // per-pair deltas, not the rates (see fig5_cohort).
+                let runs = args.opts.base.runs.max(1);
+                let mut bares = Vec::with_capacity(runs);
+                let mut tuneds = Vec::with_capacity(runs);
+                let mut deltas = Vec::with_capacity(runs);
+                for r in 0..runs {
+                    let (bare, tuned) = if (li + pi + ti + r) % 2 == 0 {
+                        let bare = point(&bare_options);
+                        (bare, point(&tuned_options))
+                    } else {
+                        let tuned = point(&tuned_options);
+                        (point(&bare_options), tuned)
+                    };
+                    bares.push(bare);
+                    tuneds.push(tuned);
+                    deltas.push((tuned - bare) / bare * 100.0);
+                }
+                let (bare, tuned) = (median(&mut bares), median(&mut tuneds));
+                let point_delta = median(&mut deltas);
+                if args.opts.progress {
+                    eprintln!(
+                        "  {:<13} panel={} threads={:<3} -> bare {bare:>12.0} / tuned \
+                         {tuned:>12.0} acquires/s ({point_delta:+.2}%)",
+                        kind.name(),
+                        panel.tag(),
+                        threads,
+                    );
+                }
+                bare_rate += bare;
+                tuned_rate += tuned;
+                pair_deltas.extend_from_slice(&deltas);
+                all_deltas.extend_from_slice(&deltas);
+            }
+            let n = args.opts.thread_counts.len().max(1) as f64;
+            bare_rate /= n;
+            tuned_rate /= n;
+            let delta_pct = median(&mut pair_deltas);
+            println!(
+                "{:<13} {:>5} {:>14.0} {:>14.0} {:>+9.2}%",
+                kind.name(),
+                panel.tag(),
+                bare_rate,
+                tuned_rate,
+                delta_pct
+            );
+            rows.push(format!(
+                "{{\"lock\":\"{}\",\"panel\":\"{}\",\
+                 \"bare_acquires_per_sec\":{bare_rate:.1},\
+                 \"tuned_acquires_per_sec\":{tuned_rate:.1},\"delta_pct\":{delta_pct:.3}}}",
+                json_escape(kind.name()),
+                panel.tag(),
+            ));
+        }
+    }
+    let overall_delta_pct = median(&mut all_deltas);
+    println!(
+        "overall: {overall_delta_pct:+.2}% self-tuning throughput delta \
+         (median of paired run deltas)",
+    );
+
+    let panels_list = args
+        .panels
+        .iter()
+        .map(|p| format!("\"{}\"", p.tag()))
+        .collect::<Vec<_>>()
+        .join(",");
+    let threads_list = args
+        .opts
+        .thread_counts
+        .iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    let doc = format!(
+        "{{\"schema\":\"oll.fig5_tuned\",\"version\":{SCHEMA_VERSION},\"ranks\":{ranks},\
+         \"panels\":[{panels_list}],\"threads\":[{threads_list}],\
+         \"acquisitions_per_thread\":{},\"runs\":{},\
+         \"locks\":[{}],\"overall_delta_pct\":{overall_delta_pct:.3}}}",
+        args.opts.base.acquisitions_per_thread,
+        args.opts.base.runs,
+        rows.join(","),
+    );
+
+    if let Some(path) = &args.json {
+        let mut f = std::fs::File::create(path)
+            .unwrap_or_else(|e| usage(&format!("cannot create {path}: {e}")));
+        f.write_all(doc.as_bytes())
+            .and_then(|()| f.write_all(b"\n"))
+            .unwrap_or_else(|e| usage(&format!("cannot write {path}: {e}")));
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = &args.merge {
+        let base = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| usage(&format!("cannot read {path}: {e}")));
+        let merged = merge_member(&base, "tuned", &doc)
+            .unwrap_or_else(|e| usage(&format!("{path}: cannot merge: {e}")));
+        let mut f = std::fs::File::create(path)
+            .unwrap_or_else(|e| usage(&format!("cannot create {path}: {e}")));
+        f.write_all(merged.as_bytes())
+            .and_then(|()| f.write_all(b"\n"))
+            .unwrap_or_else(|e| usage(&format!("cannot write {path}: {e}")));
+        eprintln!("merged tuned panel into {path}");
+    }
+}

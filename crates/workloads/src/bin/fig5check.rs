@@ -4,7 +4,7 @@
 //! USAGE:
 //!   fig5check PATH [--expect-adaptive] [--expect-biased] [--expect-hazard]
 //!             [--expect-shape N] [--expect-async] [--expect-async-tasks N]
-//!             [--expect-obs] [--expect-cohort]
+//!             [--expect-obs] [--expect-cohort] [--expect-tuned]
 //! ```
 //!
 //! Parses the document with the in-tree parser (`oll_workloads::json`),
@@ -36,6 +36,21 @@
 //! shape: at least one locality rank and a positive batch bound were
 //! recorded, every lock has finite positive throughput with the gate
 //! off and on, and the overall delta is a finite percentage.
+//!
+//! `--expect-tuned` requires the `"tuned"` member that
+//! `fig5_tuned --merge` folds in (an `oll.fig5_tuned` paired bare/tuned
+//! comparison of the self-tuning policy controller) and checks its
+//! shape: at least one panel and one lock row were recorded, every row
+//! names a real panel and has finite positive throughput bare and
+//! tuned, and the per-row and overall deltas are finite percentages.
+//!
+//! Regardless of the `--expect-*` flags, any merged members present are
+//! cross-checked for agreement: a member merged under the wrong key
+//! (its `schema` does not match the key), a member from a different
+//! schema revision (its `version` differs from the document's), or
+//! members recorded on machines with disagreeing locality topologies
+//! (their `ranks` differ) are rejected. A `BENCH_fig5.json` assembled
+//! from stale or foreign member runs fails instead of parsing clean.
 
 use oll_workloads::json::parse::{self, Value};
 use std::process::exit;
@@ -45,7 +60,7 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: fig5check PATH [--expect-adaptive] [--expect-biased] [--expect-hazard] \
          [--expect-shape N] [--expect-async] [--expect-async-tasks N] [--expect-obs] \
-         [--expect-cohort]"
+         [--expect-cohort] [--expect-tuned]"
     );
     exit(2);
 }
@@ -66,6 +81,7 @@ fn main() {
     let mut expect_async_tasks = None;
     let mut expect_obs = false;
     let mut expect_cohort = false;
+    let mut expect_tuned = false;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -75,6 +91,7 @@ fn main() {
             "--expect-async" => expect_async = true,
             "--expect-obs" => expect_obs = true,
             "--expect-cohort" => expect_cohort = true,
+            "--expect-tuned" => expect_tuned = true,
             "--expect-async-tasks" => {
                 let v = argv
                     .get(i + 1)
@@ -184,6 +201,47 @@ fn main() {
             }
         }
     }
+    // Cross-member agreement, checked whenever members are present (the
+    // per-member `--expect-*` passes only look inside one member each).
+    // A member merged under the wrong key, carried over from a different
+    // schema revision, or recorded on a machine whose locality topology
+    // disagrees with another member's is a stale or foreign artifact.
+    let version = doc
+        .get("version")
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| fail("missing version"));
+    let mut ranks_seen: Option<(&str, u64)> = None;
+    for key in ["async", "obs", "cohort", "tuned"] {
+        let Some(member) = doc.get(key) else { continue };
+        let want_schema = format!("oll.fig5_{key}");
+        match member.get("schema").and_then(Value::as_str) {
+            Some(got) if got == want_schema => {}
+            Some(got) => fail(&format!(
+                "member {key}: schema \"{got}\" disagrees with its key \
+                 (expected \"{want_schema}\" — merged under the wrong key?)"
+            )),
+            None => fail(&format!("member {key}: missing schema")),
+        }
+        match member.get("version").and_then(Value::as_u64) {
+            Some(v) if v == version => {}
+            Some(v) => fail(&format!(
+                "member {key}: version {v} disagrees with the document's \
+                 {version} (regenerate the stale member)"
+            )),
+            None => fail(&format!("member {key}: missing version")),
+        }
+        if let Some(r) = member.get("ranks").and_then(Value::as_u64) {
+            match ranks_seen {
+                Some((other, seen)) if seen != r => fail(&format!(
+                    "member {key}: {r} locality rank(s) disagrees with \
+                     member {other}'s {seen} (members recorded on \
+                     different machines?)"
+                )),
+                Some(_) => {}
+                None => ranks_seen = Some((key, r)),
+            }
+        }
+    }
     let mut async_tasks = None;
     if expect_async {
         let a = doc
@@ -283,6 +341,69 @@ fn main() {
         }
         cohort_delta = Some((ranks, overall));
     }
+    let mut tuned_delta = None;
+    if expect_tuned {
+        let t = doc
+            .get("tuned")
+            .unwrap_or_else(|| fail("missing tuned member (run fig5_tuned --merge)"));
+        if t.get("schema").and_then(Value::as_str) != Some("oll.fig5_tuned") {
+            fail("tuned member's schema is not \"oll.fig5_tuned\"");
+        }
+        let tuned_panels = t
+            .get("panels")
+            .and_then(Value::as_arr)
+            .unwrap_or_else(|| fail("tuned member: missing panels array"));
+        if tuned_panels.is_empty() {
+            fail("tuned member: no panels");
+        }
+        let locks = t
+            .get("locks")
+            .and_then(Value::as_arr)
+            .unwrap_or_else(|| fail("tuned member: missing locks array"));
+        if locks.is_empty() {
+            fail("tuned member: no locks");
+        }
+        for l in locks {
+            let name = l
+                .get("lock")
+                .and_then(Value::as_str)
+                .unwrap_or_else(|| fail("tuned member: lock row missing name"));
+            let panel = l
+                .get("panel")
+                .and_then(Value::as_str)
+                .unwrap_or_else(|| fail(&format!("tuned member/{name}: missing panel")));
+            if !matches!(panel, "a" | "b" | "c" | "d" | "e" | "f") {
+                fail(&format!("tuned member/{name}: unknown panel \"{panel}\""));
+            }
+            for key in [
+                "bare_acquires_per_sec",
+                "tuned_acquires_per_sec",
+                "delta_pct",
+            ] {
+                let v = l.get(key).and_then(Value::as_f64).unwrap_or_else(|| {
+                    fail(&format!("tuned member/{name}/{panel}: missing {key}"))
+                });
+                if !v.is_finite() {
+                    fail(&format!(
+                        "tuned member/{name}/{panel}: non-finite {key} {v}"
+                    ));
+                }
+                if key != "delta_pct" && v <= 0.0 {
+                    fail(&format!(
+                        "tuned member/{name}/{panel}: non-positive {key} {v}"
+                    ));
+                }
+            }
+        }
+        let overall = t
+            .get("overall_delta_pct")
+            .and_then(Value::as_f64)
+            .unwrap_or_else(|| fail("tuned member: missing overall_delta_pct"));
+        if !overall.is_finite() {
+            fail(&format!("tuned member: non-finite delta {overall}"));
+        }
+        tuned_delta = Some((tuned_panels.len(), overall));
+    }
     let mut obs_overhead = None;
     if expect_obs {
         let o = doc
@@ -333,7 +454,7 @@ fn main() {
         obs_overhead = Some(overall);
     }
     println!(
-        "fig5check: OK: {path}: {} panel(s), {points} point(s){}{}{}{}{}{}{}",
+        "fig5check: OK: {path}: {} panel(s), {points} point(s){}{}{}{}{}{}{}{}",
         panels.len(),
         if expect_adaptive { ", adaptive" } else { "" },
         if expect_biased { ", biased" } else { "" },
@@ -353,6 +474,12 @@ fn main() {
         match cohort_delta {
             Some((ranks, pct)) => {
                 format!(", cohort {pct:+.2}% delta over {ranks} rank(s)")
+            }
+            None => String::new(),
+        },
+        match tuned_delta {
+            Some((n, pct)) => {
+                format!(", tuned {pct:+.2}% delta over {n} panel(s)")
             }
             None => String::new(),
         },

@@ -3,7 +3,8 @@
 //! ```text
 //! USAGE:
 //!   latency [--threads N] [--read-pct P] [--acquisitions N]
-//!           [--locks name,...|all] [--biased] [--hazard] [--cohort] [--json PATH] [--telemetry]
+//!           [--locks name,...|all] [--biased] [--hazard] [--cohort]
+//!           [--self-tuning] [--json PATH] [--telemetry]
 //!           [--trace PATH] [--trace-json PATH] [--flame PATH]
 //!           [--obs [ADDR]] [--obs-json PATH] [--obs-interval-ms N]
 //! ```
@@ -17,7 +18,10 @@
 //! shows in the tails; needs a `--features hazard` build to do
 //! anything. `--cohort` builds FOLL/ROLL with the NUMA cohort writer
 //! gate (batched same-socket write hand-off), exposing what the batch
-//! bound does to writer tails. `--telemetry` additionally prints each lock's
+//! bound does to writer tails. `--self-tuning` wraps the OLL locks in
+//! the `SelfTuning` online policy controller, so the tails include any
+//! mid-run knob steering (bias arm/disarm, deflation, backoff) the
+//! controller decides on. `--telemetry` additionally prints each lock's
 //! contention profile (needs a `--features telemetry` build to record);
 //! `--json` writes a schema-versioned `oll.latency` document. `--trace`
 //! captures the run in the flight recorder and writes a Perfetto-loadable
@@ -42,7 +46,8 @@ fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: latency [--threads N] [--read-pct P] [--acquisitions N] [--locks name,...|all] \
-         [--biased] [--hazard] [--cohort] [--json PATH] [--telemetry] [--trace PATH] [--trace-json PATH] \
+         [--biased] [--hazard] [--cohort] [--self-tuning] [--json PATH] [--telemetry] \
+         [--trace PATH] [--trace-json PATH] \
          [--flame PATH] [--obs [ADDR]] [--obs-json PATH] [--obs-interval-ms N]"
     );
     exit(2);
@@ -123,6 +128,7 @@ fn main() {
             "--biased" => lock_options.biased = true,
             "--hazard" => lock_options.hazard = true,
             "--cohort" => lock_options.cohort = true,
+            "--self-tuning" => lock_options.self_tuning = true,
             "--telemetry" => telemetry = true,
             "--trace" => {
                 trace = Some(value(i));
@@ -176,7 +182,7 @@ fn main() {
     };
 
     println!(
-        "latency: {threads} threads, {read_pct}% reads, {acquisitions} acquisitions/thread{}{}{}",
+        "latency: {threads} threads, {read_pct}% reads, {acquisitions} acquisitions/thread{}{}{}{}",
         if lock_options.biased {
             ", BRAVO-biased OLL locks"
         } else {
@@ -189,6 +195,11 @@ fn main() {
         },
         if lock_options.cohort {
             ", cohort writer gate"
+        } else {
+            ""
+        },
+        if lock_options.self_tuning {
+            ", self-tuning controller"
         } else {
             ""
         }

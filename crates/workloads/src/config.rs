@@ -129,6 +129,12 @@ pub struct LockOptions {
     /// release (`FollBuilder::cohort` / `RollBuilder::cohort`). Ignored
     /// by GOLL and the baselines, which have no cohort path.
     pub cohort: bool,
+    /// Wrap the OLL locks in the `oll_core::SelfTuning` online policy
+    /// controller: the lock's observed read/write mix and slow-path
+    /// fraction steer its BRAVO bias, C-SNZI deflation, backoff, and
+    /// cohort-batch knobs while it runs. Ignored by the baselines,
+    /// which have no knobs to steer.
+    pub self_tuning: bool,
 }
 
 impl LockOptions {

@@ -51,13 +51,14 @@ pub fn render_fig5_json(panels: &[PanelResult]) -> String {
         };
         let _ = write!(
             out,
-            "{{\"panel\":\"{}\",\"read_pct\":{},\"adaptive\":{},\"biased\":{},\"hazard\":{},\"cohort\":{},\"shape_threads\":{},\"thread_counts\":{:?},\"series\":[",
+            "{{\"panel\":\"{}\",\"read_pct\":{},\"adaptive\":{},\"biased\":{},\"hazard\":{},\"cohort\":{},\"self_tuning\":{},\"shape_threads\":{},\"thread_counts\":{:?},\"series\":[",
             panel.panel.tag(),
             panel.panel.read_pct(),
             panel.options.adaptive,
             panel.options.biased,
             panel.options.hazard,
             panel.options.cohort,
+            panel.options.self_tuning,
             shape,
             panel.thread_counts,
         );
@@ -794,6 +795,29 @@ mod tests {
         let v = parse::parse(&doc).unwrap();
         let p = v.get("panels").and_then(|p| p.idx(0)).unwrap();
         assert_eq!(p.get("cohort").and_then(Value::as_bool), Some(false));
+    }
+
+    #[test]
+    fn fig5_self_tuning_options_round_trip() {
+        let mut opts = tiny_opts();
+        opts.lock_options = LockOptions {
+            self_tuning: true,
+            biased: true,
+            ..LockOptions::default()
+        };
+        let panel = run_panel(Fig5Panel::A, &opts);
+        let doc = render_fig5_json(&[panel]);
+        let v = parse::parse(&doc).expect("self-tuning fig5 doc must parse");
+        let p = v.get("panels").and_then(|p| p.idx(0)).expect("one panel");
+        assert_eq!(p.get("self_tuning").and_then(Value::as_bool), Some(true));
+        assert_eq!(p.get("biased").and_then(Value::as_bool), Some(true));
+
+        // Default options serialize with the controller off.
+        let panel = run_panel(Fig5Panel::A, &tiny_opts());
+        let doc = render_fig5_json(&[panel]);
+        let v = parse::parse(&doc).unwrap();
+        let p = v.get("panels").and_then(|p| p.idx(0)).unwrap();
+        assert_eq!(p.get("self_tuning").and_then(Value::as_bool), Some(false));
     }
 
     #[test]

@@ -216,6 +216,28 @@ pub fn run_latency_profiled(
     run_latency_profiled_with(kind, config, &LockOptions::default())
 }
 
+/// [`measure_latency`] with the `self_tuning` option applied: when set,
+/// the OLL lock under test runs beneath the `SelfTuning` controller.
+fn measure_latency_tuned<L, F>(
+    make_lock: F,
+    config: &WorkloadConfig,
+    opts: &LockOptions,
+) -> (LatencyHistogram, LatencyHistogram, Option<LockSnapshot>)
+where
+    L: RwLockFamily,
+    F: Fn(usize) -> L,
+{
+    if opts.self_tuning {
+        measure_latency(
+            |cap| oll_core::SelfTuning::new(make_lock(cap)),
+            config,
+            opts,
+        )
+    } else {
+        measure_latency(make_lock, config, opts)
+    }
+}
+
 /// Like [`run_latency_profiled`], applying `opts` when constructing the
 /// OLL locks (BRAVO biasing, adaptive C-SNZIs). Baselines ignore `opts`.
 pub fn run_latency_profiled_with(
@@ -224,7 +246,7 @@ pub fn run_latency_profiled_with(
     opts: &LockOptions,
 ) -> (LatencyResult, Option<LockSnapshot>) {
     let (reads, writes, mut profile) = match kind {
-        LockKind::Goll if opts.biased => measure_latency(
+        LockKind::Goll if opts.biased => measure_latency_tuned(
             |cap| {
                 GollLock::builder(cap)
                     .adaptive(opts.adaptive)
@@ -234,7 +256,7 @@ pub fn run_latency_profiled_with(
             config,
             opts,
         ),
-        LockKind::Foll if opts.biased => measure_latency(
+        LockKind::Foll if opts.biased => measure_latency_tuned(
             |cap| {
                 FollLock::builder(cap)
                     .adaptive(opts.adaptive)
@@ -245,7 +267,7 @@ pub fn run_latency_profiled_with(
             config,
             opts,
         ),
-        LockKind::Roll if opts.biased => measure_latency(
+        LockKind::Roll if opts.biased => measure_latency_tuned(
             |cap| {
                 RollLock::builder(cap)
                     .adaptive(opts.adaptive)
@@ -256,12 +278,12 @@ pub fn run_latency_profiled_with(
             config,
             opts,
         ),
-        LockKind::Goll if opts.adaptive => measure_latency(
+        LockKind::Goll if opts.adaptive => measure_latency_tuned(
             |cap| GollLock::builder(cap).adaptive(true).build(),
             config,
             opts,
         ),
-        LockKind::Foll if opts.adaptive || opts.cohort => measure_latency(
+        LockKind::Foll if opts.adaptive || opts.cohort => measure_latency_tuned(
             |cap| {
                 FollLock::builder(cap)
                     .adaptive(opts.adaptive)
@@ -271,7 +293,7 @@ pub fn run_latency_profiled_with(
             config,
             opts,
         ),
-        LockKind::Roll if opts.adaptive || opts.cohort => measure_latency(
+        LockKind::Roll if opts.adaptive || opts.cohort => measure_latency_tuned(
             |cap| {
                 RollLock::builder(cap)
                     .adaptive(opts.adaptive)
@@ -281,9 +303,9 @@ pub fn run_latency_profiled_with(
             config,
             opts,
         ),
-        LockKind::Goll => measure_latency(GollLock::new, config, opts),
-        LockKind::Foll => measure_latency(FollLock::new, config, opts),
-        LockKind::Roll => measure_latency(RollLock::new, config, opts),
+        LockKind::Goll => measure_latency_tuned(GollLock::new, config, opts),
+        LockKind::Foll => measure_latency_tuned(FollLock::new, config, opts),
+        LockKind::Roll => measure_latency_tuned(RollLock::new, config, opts),
         LockKind::Ksuh => measure_latency(KsuhLock::new, config, opts),
         LockKind::SolarisLike => measure_latency(SolarisLikeRwLock::new, config, opts),
         LockKind::Centralized => measure_latency(CentralizedRwLock::new, config, opts),

@@ -5,7 +5,7 @@ use oll_baselines::{
     CentralizedRwLock, KsuhLock, McsMutex, McsRwLock, McsRwReaderPref, McsRwWriterPref,
     PerThreadRwLock, SolarisLikeRwLock, StdRwLock,
 };
-use oll_core::{FollLock, GollLock, RollLock, RwHandle, RwLockFamily};
+use oll_core::{FollLock, GollLock, RollLock, RwHandle, RwLockFamily, SelfTuning};
 use oll_csnzi::TreeShape;
 use oll_hazard::PoisonPolicy;
 use oll_telemetry::LockSnapshot;
@@ -118,6 +118,28 @@ where
     (last_end.duration_since(first_start), snap)
 }
 
+/// Routes an OLL lock construction through the `self_tuning` option:
+/// when set, the lock runs under the [`SelfTuning`] online policy
+/// controller for the whole measurement (the wrapper's try-then-block
+/// handle preserves the inner fast path, so an untuned comparison is
+/// apples-to-apples). Baselines never come through here — they have no
+/// knobs to steer.
+fn measure_tuned<L, F>(
+    make_lock: F,
+    config: &WorkloadConfig,
+    opts: &LockOptions,
+) -> (Duration, Option<LockSnapshot>)
+where
+    L: RwLockFamily,
+    F: Fn(usize) -> L,
+{
+    if opts.self_tuning {
+        measure(|cap| SelfTuning::new(make_lock(cap)), config, opts)
+    } else {
+        measure(make_lock, config, opts)
+    }
+}
+
 /// Runs `config` against lock `kind`, averaging `config.runs` repetitions.
 pub fn run_throughput(kind: LockKind, config: &WorkloadConfig) -> ThroughputResult {
     run_throughput_profiled(kind, config).0
@@ -149,7 +171,7 @@ pub fn run_throughput_profiled_with(
     let runs = config.runs.max(1);
     for _ in 0..runs {
         let (elapsed, snap) = match kind {
-            LockKind::Goll if opts.biased => measure(
+            LockKind::Goll if opts.biased => measure_tuned(
                 |cap| {
                     let mut b = GollLock::builder(cap).adaptive(opts.adaptive);
                     if let Some(s) = shape {
@@ -160,7 +182,7 @@ pub fn run_throughput_profiled_with(
                 config,
                 opts,
             ),
-            LockKind::Goll => measure(
+            LockKind::Goll => measure_tuned(
                 |cap| {
                     let mut b = GollLock::builder(cap).adaptive(opts.adaptive);
                     if let Some(s) = shape {
@@ -171,7 +193,7 @@ pub fn run_throughput_profiled_with(
                 config,
                 opts,
             ),
-            LockKind::Foll if opts.biased => measure(
+            LockKind::Foll if opts.biased => measure_tuned(
                 |cap| {
                     let mut b = FollLock::builder(cap)
                         .adaptive(opts.adaptive)
@@ -184,7 +206,7 @@ pub fn run_throughput_profiled_with(
                 config,
                 opts,
             ),
-            LockKind::Foll => measure(
+            LockKind::Foll => measure_tuned(
                 |cap| {
                     let mut b = FollLock::builder(cap)
                         .adaptive(opts.adaptive)
@@ -197,7 +219,7 @@ pub fn run_throughput_profiled_with(
                 config,
                 opts,
             ),
-            LockKind::Roll if opts.biased => measure(
+            LockKind::Roll if opts.biased => measure_tuned(
                 |cap| {
                     let mut b = RollLock::builder(cap)
                         .adaptive(opts.adaptive)
@@ -210,7 +232,7 @@ pub fn run_throughput_profiled_with(
                 config,
                 opts,
             ),
-            LockKind::Roll => measure(
+            LockKind::Roll => measure_tuned(
                 |cap| {
                     let mut b = RollLock::builder(cap)
                         .adaptive(opts.adaptive)

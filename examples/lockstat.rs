@@ -6,6 +6,7 @@
 //! cargo run --release --features telemetry --example lockstat
 //! cargo run --release --features telemetry --example lockstat -- --json
 //! cargo run --release --features telemetry --example lockstat -- --biased
+//! cargo run --release --features telemetry --example lockstat -- --self-tuning
 //! cargo run --release --features trace --example lockstat -- --trace out.json
 //! cargo run --release --features obs --example lockstat -- --obs 127.0.0.1:9184
 //! ```
@@ -18,6 +19,10 @@
 //! `--cohort` builds FOLL/ROLL with the NUMA cohort writer gate, so the
 //! profiles show the `cohort_local_handoff` / `cohort_remote_handoff` /
 //! `cohort_batch_exhausted` counters (GOLL has no cohort path).
+//! `--self-tuning` wraps the three OLL locks in the `SelfTuning` online
+//! policy controller, so the profiles show the `tuner_sample` /
+//! `tuner_flip` / `tuner_hold` counters alongside whatever knob
+//! steering the observed mix provoked.
 //! `--trace PATH` additionally captures the run in the flight recorder
 //! and writes a Perfetto-loadable Chrome Trace Event file (needs a
 //! `--features trace` build). `--obs [ADDR]` runs the sweep under the
@@ -30,7 +35,7 @@ use oll::trace::TraceSession;
 use oll::util::XorShift64;
 use oll::workloads::obsio::{self, ObsArgs};
 use oll::workloads::traceio;
-use oll::{FollLock, GollLock, RollLock, RwHandle, RwLockFamily, SolarisLikeRwLock};
+use oll::{FollLock, GollLock, RollLock, RwHandle, RwLockFamily, SelfTuning, SolarisLikeRwLock};
 
 const THREADS: usize = 4;
 const ACQUISITIONS: usize = 20_000;
@@ -64,6 +69,7 @@ fn main() {
     let json = argv.iter().any(|a| a == "--json");
     let biased = argv.iter().any(|a| a == "--biased");
     let cohort = argv.iter().any(|a| a == "--cohort");
+    let tuned = argv.iter().any(|a| a == "--self-tuning");
     let trace = argv
         .iter()
         .position(|a| a == "--trace")
@@ -99,7 +105,7 @@ fn main() {
         std::process::exit(2);
     });
     eprintln!(
-        "lockstat: {THREADS} threads x {ACQUISITIONS} acquisitions, {READ_PCT}% reads, per lock{}{}",
+        "lockstat: {THREADS} threads x {ACQUISITIONS} acquisitions, {READ_PCT}% reads, per lock{}{}{}",
         if biased {
             ", BRAVO-biased OLL locks"
         } else {
@@ -107,6 +113,11 @@ fn main() {
         },
         if cohort {
             ", cohort writer gate on FOLL/ROLL"
+        } else {
+            ""
+        },
+        if tuned {
+            ", self-tuning controller"
         } else {
             ""
         }
@@ -125,6 +136,17 @@ fn main() {
             .cohort(cohort)
             .biased(true)
             .build_biased();
+        if tuned {
+            let goll = SelfTuning::new(goll);
+            let foll = SelfTuning::new(foll);
+            let roll = SelfTuning::new(roll);
+            hammer(&goll, "lockstat/GOLL+bravo+tuned");
+            hammer(&foll, "lockstat/FOLL+bravo+tuned");
+            hammer(&roll, "lockstat/ROLL+bravo+tuned");
+            hammer(&solaris, "lockstat/Solaris-like");
+            report_and_trace(json, &trace, session, &obs, obs_session);
+            return;
+        }
         hammer(&goll, "lockstat/GOLL+bravo");
         hammer(&foll, "lockstat/FOLL+bravo");
         hammer(&roll, "lockstat/ROLL+bravo");
@@ -135,6 +157,17 @@ fn main() {
     let goll = GollLock::new(THREADS);
     let foll = FollLock::builder(THREADS).cohort(cohort).build();
     let roll = RollLock::builder(THREADS).cohort(cohort).build();
+    if tuned {
+        let goll = SelfTuning::new(goll);
+        let foll = SelfTuning::new(foll);
+        let roll = SelfTuning::new(roll);
+        hammer(&goll, "lockstat/GOLL+tuned");
+        hammer(&foll, "lockstat/FOLL+tuned");
+        hammer(&roll, "lockstat/ROLL+tuned");
+        hammer(&solaris, "lockstat/Solaris-like");
+        report_and_trace(json, &trace, session, &obs, obs_session);
+        return;
+    }
     hammer(&goll, "lockstat/GOLL");
     hammer(
         &foll,

@@ -80,4 +80,15 @@ target/release/fig5_cohort --threads 1,2,4,8 --acquisitions 100000 --runs 3 \
 "$FIG5CHECK" BENCH_fig5.json --expect-obs --expect-cohort \
     --expect-async --expect-async-tasks 1000000
 
+echo "==> BENCH_fig5.json tuned member: self-tuning controller delta (fig5_tuned)"
+# The self-tuning acceptance number: panels b/e/f (one per controller
+# regime) paired bare and under SelfTuning, folded into BENCH_fig5.json
+# as its "tuned" member. The recorded overall_delta_pct should stay
+# within noise of zero on quick-length points (they close too few
+# sampling windows for the steering to pay; the number bounds the
+# controller's overhead instead — see EXPERIMENTS.md).
+target/release/fig5_tuned --runs 3 --merge BENCH_fig5.json
+"$FIG5CHECK" BENCH_fig5.json --expect-obs --expect-cohort --expect-tuned \
+    --expect-async --expect-async-tasks 1000000
+
 echo "==> done; review the diffs before committing"

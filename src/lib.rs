@@ -88,6 +88,8 @@ pub use oll_core::{
     FairnessPolicy, FollBuilder, FollLock, GollBuilder, GollLock, RollBuilder, RollLock, RwHandle,
     RwLock, RwLockFamily, TimedOut, UpgradableHandle,
 };
+#[cfg(not(loom))]
+pub use oll_core::{PolicyConfig, Regime, SelfTuning, TunedHandle, TuningConfig, TuningKnobs};
 pub use oll_csnzi::{
     ArrivalMode, ArrivalPolicy, CSnzi, CancelOutcome, LeafCursor, Snzi, TreeShape,
 };
